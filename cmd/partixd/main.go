@@ -1,0 +1,70 @@
+// Command partixd runs one PartiX DBMS node: the sequential XML engine
+// served over the wire protocol. A PartiX deployment is a set of partixd
+// processes plus any client using the partix package (or the partix CLI)
+// as coordinator.
+//
+// Usage:
+//
+//	partixd -addr :7001 -db node1.db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"partix/internal/engine"
+	"partix/internal/wire"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7001", "listen address")
+		dbPath    = flag.String("db", "partixd.db", "path of the node's store file")
+		noIndexes = flag.Bool("disable-indexes", false, "disable index-assisted candidate pruning")
+		quiet     = flag.Bool("quiet", false, "suppress request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "partixd ", log.LstdFlags)
+	if *quiet {
+		logger = nil
+	}
+
+	db, err := engine.Open(*dbPath, engine.Options{DisableIndexes: *noIndexes})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := wire.NewServer(db, logger)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		srv.Close()
+	}()
+
+	if logger != nil {
+		logger.Printf("serving %s on %s", *dbPath, l.Addr())
+	}
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := db.Sync(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+// Command toxgene generates the paper's test databases as XML files, one
+// document per file (MD collections) or a single file (SD).
+//
+// Usage:
+//
+//	toxgene -profile items-small -docs 1000 -seed 7 -out ./data/items
+//	toxgene -profile store -docs 5000 -out ./data/store
+//
+// Profiles: items-small (≈2 KB Item docs, the ItemsSHor database),
+// items-large (≈80 KB, ItemsLHor), store (single Store document with
+// -docs items, StoreHyb), articles (XBench-style, XBenchVer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"partix/internal/toxgene"
+	"partix/internal/xbench"
+	"partix/internal/xmltree"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "items-small", "items-small | items-large | store | articles")
+		docs    = flag.Int("docs", 100, "documents to generate (items inside the store for -profile store)")
+		seed    = flag.Int64("seed", 2006, "generator seed")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+	if err := run(*profile, *docs, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "toxgene:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, docs int, seed int64, out string) error {
+	var col *xmltree.Collection
+	switch profile {
+	case "items-small":
+		col = toxgene.GenerateItems(toxgene.ItemsConfig{Docs: docs, Seed: seed})
+	case "items-large":
+		col = toxgene.GenerateItems(toxgene.ItemsConfig{Docs: docs, Seed: seed, Large: true})
+	case "store":
+		col = toxgene.GenerateStore(toxgene.StoreConfig{Items: docs, Seed: seed})
+	case "articles":
+		col = xbench.Generate(xbench.Config{Docs: docs, Seed: seed})
+	default:
+		return fmt.Errorf("unknown profile %q", profile)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	total := 0
+	for _, d := range col.Docs {
+		path := filepath.Join(out, d.Name+".xml")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := xmltree.Serialize(d, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		total += xmltree.SerializedSize(d)
+	}
+	fmt.Printf("wrote %d document(s), %.1f MB, to %s\n", col.Len(), float64(total)/1e6, out)
+	return nil
+}

@@ -1,0 +1,3 @@
+module partix
+
+go 1.22

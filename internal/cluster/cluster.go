@@ -1,0 +1,265 @@
+// Package cluster provides the node abstraction PartiX coordinates: the
+// Driver interface (the paper's "PartiX Driver", a uniform communication
+// interface between the middleware and XML DBMS nodes), an in-process
+// driver backed by the engine, and the evaluation methodology of the
+// paper's Section 5 — sub-queries timed per site, the response time taken
+// as the slowest site plus a transmission time computed from the result
+// size and the network speed.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"partix/internal/engine"
+	"partix/internal/storage"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// Driver is a uniform interface to one XML DBMS node. The middleware only
+// ever talks to drivers, so any XQuery-enabled DBMS can participate (the
+// paper's "the only requirement is that they are able to process XQuery").
+type Driver interface {
+	// Name identifies the node.
+	Name() string
+	// CreateCollection declares an empty collection.
+	CreateCollection(name string) error
+	// StoreDocument stores one document into a collection.
+	StoreDocument(collection string, doc *xmltree.Document) error
+	// ExecuteQuery runs an XQuery expression on the node.
+	ExecuteQuery(query string) (xquery.Seq, error)
+	// FetchCollection retrieves a whole collection (used by the
+	// coordinator for join reconstruction).
+	FetchCollection(collection string) (*xmltree.Collection, error)
+	// CollectionStats reports document count and stored bytes.
+	CollectionStats(collection string) (storage.Stats, error)
+	// HasCollection reports whether the node holds the collection.
+	HasCollection(collection string) bool
+}
+
+// LocalNode is an in-process driver backed by an engine.DB, used by the
+// simulated cluster and by tests.
+type LocalNode struct {
+	name string
+	db   *engine.DB
+}
+
+// NewLocalNode wraps db as a named node.
+func NewLocalNode(name string, db *engine.DB) *LocalNode {
+	return &LocalNode{name: name, db: db}
+}
+
+// Name implements Driver.
+func (n *LocalNode) Name() string { return n.name }
+
+// DB exposes the underlying engine (for stats in tests and benches).
+func (n *LocalNode) DB() *engine.DB { return n.db }
+
+// CreateCollection implements Driver.
+func (n *LocalNode) CreateCollection(name string) error {
+	n.db.Store().CreateCollection(name)
+	return nil
+}
+
+// StoreDocument implements Driver.
+func (n *LocalNode) StoreDocument(collection string, doc *xmltree.Document) error {
+	return n.db.PutDocument(collection, doc)
+}
+
+// ExecuteQuery implements Driver.
+func (n *LocalNode) ExecuteQuery(query string) (xquery.Seq, error) {
+	return n.db.Query(query)
+}
+
+// FetchCollection implements Driver.
+func (n *LocalNode) FetchCollection(collection string) (*xmltree.Collection, error) {
+	return n.db.Store().ReadCollection(collection)
+}
+
+// CollectionStats implements Driver.
+func (n *LocalNode) CollectionStats(collection string) (storage.Stats, error) {
+	return n.db.CollectionStats(collection)
+}
+
+// HasCollection implements Driver.
+func (n *LocalNode) HasCollection(collection string) bool {
+	return n.db.HasCollection(collection)
+}
+
+// CostModel is the communication model of Section 5: transmission time is
+// payload size divided by the link speed (the paper uses Gigabit
+// Ethernet), plus a fixed per-message latency.
+type CostModel struct {
+	// BytesPerSecond is the link speed; 0 disables transmission accounting
+	// (the paper's "-NT" series).
+	BytesPerSecond float64
+	// MessageLatency is added once per sub-query round trip.
+	MessageLatency time.Duration
+}
+
+// GigabitEthernet is the paper's link: 1 Gbit/s = 125 MB/s.
+var GigabitEthernet = CostModel{BytesPerSecond: 125e6}
+
+// NoNetwork disables transmission accounting.
+var NoNetwork = CostModel{}
+
+// Transmission returns the modeled time to move n bytes.
+func (m CostModel) Transmission(n int) time.Duration {
+	if m.BytesPerSecond <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / m.BytesPerSecond * float64(time.Second))
+}
+
+// SubQuery is one decomposed query destined for a fragment's node.
+type SubQuery struct {
+	Fragment string // fragment (node collection) the query targets
+	Node     Driver
+	// Replicas are fallback nodes holding a copy of the fragment; they
+	// are tried in order when the primary fails.
+	Replicas []Driver
+	Query    string
+}
+
+// SubResult is the measured outcome of one sub-query.
+type SubResult struct {
+	Fragment    string
+	Node        string
+	Items       xquery.Seq
+	Elapsed     time.Duration // site processing time, measured
+	ResultBytes int           // serialized size of the partial result
+}
+
+// ExecResult aggregates sub-query executions under the paper's
+// methodology.
+type ExecResult struct {
+	Sub []SubResult
+	// ParallelTime is the slowest site's processing time: "the time spent
+	// by the slowest site to produce the result".
+	ParallelTime time.Duration
+	// TotalWork is the sum of all site times (the resource cost).
+	TotalWork time.Duration
+	// TransmissionTime models shipping every sub-query and partial result
+	// over the coordinator's link.
+	TransmissionTime time.Duration
+}
+
+// ResponseTime is the simulated end-to-end time before result composition.
+func (r *ExecResult) ResponseTime() time.Duration {
+	return r.ParallelTime + r.TransmissionTime
+}
+
+// Items concatenates the partial results in sub-query order.
+func (r *ExecResult) Items() xquery.Seq {
+	var out xquery.Seq
+	for _, s := range r.Sub {
+		out = append(out, s.Items...)
+	}
+	return out
+}
+
+// Execute runs the sub-queries one at a time, measuring each site's
+// processing time, and combines them per the cost model. Sequential
+// execution with max-site accounting is the paper's own simulation of
+// intra-query parallelism ("assuming that all fragments are placed at
+// different sites and that the sub-queries are executed in parallel").
+func Execute(subs []SubQuery, cost CostModel) (*ExecResult, error) {
+	res := &ExecResult{}
+	for _, sq := range subs {
+		sub, err := runSub(sq)
+		if err != nil {
+			return nil, err
+		}
+		res.add(sub, cost, len(sq.Query))
+	}
+	return res, nil
+}
+
+// ExecuteConcurrent runs the sub-queries in parallel goroutines — the
+// mode for real distributed deployments, where each sub-query's time
+// includes genuine network and remote processing overlap. Result order
+// matches the sub-query order regardless of completion order.
+func ExecuteConcurrent(subs []SubQuery, cost CostModel) (*ExecResult, error) {
+	type outcome struct {
+		sub SubResult
+		err error
+	}
+	outcomes := make([]outcome, len(subs))
+	var wg sync.WaitGroup
+	for i, sq := range subs {
+		wg.Add(1)
+		go func(i int, sq SubQuery) {
+			defer wg.Done()
+			sub, err := runSub(sq)
+			outcomes[i] = outcome{sub: sub, err: err}
+		}(i, sq)
+	}
+	wg.Wait()
+	res := &ExecResult{}
+	for i, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.add(o.sub, cost, len(subs[i].Query))
+	}
+	return res, nil
+}
+
+func runSub(sq SubQuery) (SubResult, error) {
+	start := time.Now()
+	items, err := executeWithFailover(sq)
+	elapsed := time.Since(start)
+	if err != nil {
+		return SubResult{}, err
+	}
+	return SubResult{
+		Fragment:    sq.Fragment,
+		Node:        sq.Node.Name(),
+		Items:       items,
+		Elapsed:     elapsed,
+		ResultBytes: SeqBytes(items),
+	}, nil
+}
+
+// executeWithFailover tries the primary node, then each replica in turn.
+// Only the last error is reported when every copy fails.
+func executeWithFailover(sq SubQuery) (xquery.Seq, error) {
+	items, err := sq.Node.ExecuteQuery(sq.Query)
+	if err == nil {
+		return items, nil
+	}
+	for _, replica := range sq.Replicas {
+		items, rerr := replica.ExecuteQuery(sq.Query)
+		if rerr == nil {
+			return items, nil
+		}
+		err = rerr
+	}
+	return nil, fmt.Errorf("cluster: sub-query on %s (%s): %w", sq.Node.Name(), sq.Fragment, err)
+}
+
+func (r *ExecResult) add(sub SubResult, cost CostModel, queryBytes int) {
+	r.Sub = append(r.Sub, sub)
+	r.TotalWork += sub.Elapsed
+	if sub.Elapsed > r.ParallelTime {
+		r.ParallelTime = sub.Elapsed
+	}
+	r.TransmissionTime += cost.Transmission(queryBytes+sub.ResultBytes) + cost.MessageLatency
+}
+
+// SeqBytes is the serialized size of a result sequence: XML text for
+// nodes, string form for atomic values. It is the payload size the
+// transmission model charges for.
+func SeqBytes(s xquery.Seq) int {
+	total := 0
+	for _, it := range s {
+		if n, ok := it.(*xmltree.Node); ok {
+			total += xmltree.NodeSerializedSize(n)
+		} else {
+			total += len(xquery.ItemString(it))
+		}
+	}
+	return total
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"partix/internal/engine"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+func testNode(t *testing.T, name string) *LocalNode {
+	t.Helper()
+	db, err := engine.Open(filepath.Join(t.TempDir(), name+".db"), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	n := NewLocalNode(name, db)
+	if n.Name() != name || n.DB() != db {
+		t.Fatal("node accessors wrong")
+	}
+	return n
+}
+
+func loadDocs(t *testing.T, n *LocalNode, collection string, docs int) {
+	t.Helper()
+	if err := n.CreateCollection(collection); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < docs; i++ {
+		doc := xmltree.MustParseString(fmt.Sprintf("d%02d", i),
+			fmt.Sprintf("<Item><Code>I%d</Code></Item>", i))
+		if err := n.StoreDocument(collection, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLocalNodeDriverOperations(t *testing.T) {
+	n := testNode(t, "n0")
+	loadDocs(t, n, "c", 3)
+	if !n.HasCollection("c") || n.HasCollection("ghost") {
+		t.Fatal("HasCollection wrong")
+	}
+	items, err := n.ExecuteQuery(`count(collection("c")/Item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.ItemString(items[0]) != "3" {
+		t.Fatalf("count = %v", items)
+	}
+	col, err := n.FetchCollection("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 3 {
+		t.Fatalf("fetched %d docs", col.Len())
+	}
+	st, err := n.CollectionStats("c")
+	if err != nil || st.Documents != 3 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+}
+
+func TestExecuteMeasuresSlowestSite(t *testing.T) {
+	n0, n1 := testNode(t, "n0"), testNode(t, "n1")
+	loadDocs(t, n0, "a", 2)
+	loadDocs(t, n1, "b", 50) // heavier site
+	res, err := Execute([]SubQuery{
+		{Fragment: "fa", Node: n0, Query: `collection("a")/Item/Code`},
+		{Fragment: "fb", Node: n1, Query: `collection("b")/Item/Code`},
+	}, NoNetwork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sub) != 2 {
+		t.Fatalf("sub results = %d", len(res.Sub))
+	}
+	if res.ParallelTime != max(res.Sub[0].Elapsed, res.Sub[1].Elapsed) {
+		t.Fatal("ParallelTime is not the slowest site")
+	}
+	if res.TotalWork != res.Sub[0].Elapsed+res.Sub[1].Elapsed {
+		t.Fatal("TotalWork is not the sum")
+	}
+	if got := len(res.Items()); got != 52 {
+		t.Fatalf("items = %d", got)
+	}
+	if res.TransmissionTime != 0 {
+		t.Fatal("NoNetwork charged transmission")
+	}
+	if res.ResponseTime() != res.ParallelTime {
+		t.Fatal("response time without network must equal parallel time")
+	}
+}
+
+func TestExecuteChargesTransmission(t *testing.T) {
+	n := testNode(t, "n0")
+	loadDocs(t, n, "c", 5)
+	res, err := Execute([]SubQuery{
+		{Fragment: "f", Node: n, Query: `collection("c")/Item`},
+	}, GigabitEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransmissionTime <= 0 {
+		t.Fatal("no transmission charged")
+	}
+	wantBytes := SeqBytes(res.Sub[0].Items)
+	if res.Sub[0].ResultBytes != wantBytes {
+		t.Fatalf("result bytes %d != %d", res.Sub[0].ResultBytes, wantBytes)
+	}
+}
+
+func TestExecutePropagatesErrors(t *testing.T) {
+	n := testNode(t, "n0")
+	_, err := Execute([]SubQuery{
+		{Fragment: "f", Node: n, Query: `collection("ghost")/X`},
+	}, NoNetwork)
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	if GigabitEthernet.Transmission(125_000_000) != time.Second {
+		t.Fatal("gigabit speed wrong")
+	}
+	if NoNetwork.Transmission(1<<40) != 0 {
+		t.Fatal("NoNetwork not free")
+	}
+	m := CostModel{BytesPerSecond: 1000, MessageLatency: time.Millisecond}
+	if m.Transmission(500) != 500*time.Millisecond {
+		t.Fatalf("transmission = %v", m.Transmission(500))
+	}
+}
+
+func TestSeqBytes(t *testing.T) {
+	node := xmltree.NewElement("a", xmltree.NewText("xy"))
+	seq := xquery.Seq{node, "str", 3.5, true}
+	want := len(xmltree.NodeString(node)) + len("str") + len("3.5") + len("true")
+	if got := SeqBytes(seq); got != want {
+		t.Fatalf("SeqBytes = %d, want %d", got, want)
+	}
+}

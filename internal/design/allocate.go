@@ -1,0 +1,77 @@
+package design
+
+import (
+	"fmt"
+	"sort"
+
+	"partix/internal/fragmentation"
+	"partix/internal/xmltree"
+)
+
+// Allocate places the scheme's fragments on nodes, balancing stored bytes
+// with a greedy longest-processing-time heuristic. groups optionally pins
+// fragments to colocation groups (as ProposeVertical suggests): fragments
+// sharing a group land on the same node.
+func Allocate(scheme *fragmentation.Scheme, c *xmltree.Collection, nodes []string, groups map[string]int) (map[string]string, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("design: no nodes to allocate on")
+	}
+	frags, err := scheme.Apply(c)
+	if err != nil {
+		return nil, err
+	}
+
+	// Unit of allocation: a colocation group (singletons by default).
+	type unit struct {
+		fragments []string
+		bytes     int64
+	}
+	byGroup := map[int]*unit{}
+	var units []*unit
+	nextSyntheticGroup := -1
+	for i, f := range scheme.Fragments {
+		var size int64
+		for _, d := range frags[i].Docs {
+			size += int64(xmltree.SerializedSize(d))
+		}
+		gid, pinned := 0, false
+		if groups != nil {
+			gid, pinned = groups[f.Name]
+		}
+		if !pinned {
+			gid = nextSyntheticGroup
+			nextSyntheticGroup--
+		}
+		u := byGroup[gid]
+		if u == nil {
+			u = &unit{}
+			byGroup[gid] = u
+			units = append(units, u)
+		}
+		u.fragments = append(u.fragments, f.Name)
+		u.bytes += size
+	}
+
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].bytes != units[j].bytes {
+			return units[i].bytes > units[j].bytes
+		}
+		return units[i].fragments[0] < units[j].fragments[0]
+	})
+
+	load := make(map[string]int64, len(nodes))
+	placement := map[string]string{}
+	for _, u := range units {
+		best := nodes[0]
+		for _, n := range nodes[1:] {
+			if load[n] < load[best] {
+				best = n
+			}
+		}
+		for _, fname := range u.fragments {
+			placement[fname] = best
+		}
+		load[best] += u.bytes
+	}
+	return placement, nil
+}

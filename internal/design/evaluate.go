@@ -1,0 +1,82 @@
+package design
+
+import (
+	"fmt"
+
+	"partix/internal/cluster"
+	"partix/internal/fragmentation"
+	"partix/internal/partix"
+)
+
+// QueryCost is the planner's verdict for one workload query under a
+// candidate scheme.
+type QueryCost struct {
+	Text      string
+	Weight    int
+	Strategy  partix.Strategy
+	Fragments int // fragments contacted (sub-queries or fetches)
+}
+
+// Evaluation scores a candidate fragmentation design against a workload
+// without touching any data: each query is planned by the distributed
+// query service and the fragments it would contact are counted.
+type Evaluation struct {
+	PerQuery []QueryCost
+	// WeightedFragments is the weighted mean number of fragments
+	// contacted per query — the advisor's objective (lower is better; 1.0
+	// means every query routes to a single fragment).
+	WeightedFragments float64
+	// Reconstructions is the weighted share of queries that need the
+	// expensive ⨝ reconstruction.
+	Reconstructions float64
+}
+
+// EvaluateScheme plans every workload query against the scheme and
+// aggregates the costs. No nodes are contacted; planning only needs the
+// catalog metadata.
+func EvaluateScheme(scheme *fragmentation.Scheme, queries []WorkloadQuery, mode fragmentation.MaterializeMode) (*Evaluation, error) {
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	sys := partix.NewSystem(cluster.NoNetwork)
+	placement := map[string]string{}
+	for _, f := range scheme.Fragments {
+		placement[f.Name] = "virtual-node"
+	}
+	err := sys.Catalog().Register(&partix.CollectionMeta{
+		Name:      scheme.Collection,
+		Scheme:    scheme,
+		Placement: placement,
+		Mode:      mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ev := &Evaluation{}
+	totalWeight := 0
+	for _, wq := range queries {
+		plan, err := sys.Explain(wq.Text)
+		if err != nil {
+			return nil, fmt.Errorf("design: planning %q: %w", wq.Text, err)
+		}
+		frags := len(plan.Steps)
+		if frags == 0 {
+			frags = 1 // empty-route still answers somewhere conceptually
+		}
+		w := wq.weight()
+		ev.PerQuery = append(ev.PerQuery, QueryCost{
+			Text: wq.Text, Weight: w, Strategy: plan.Strategy, Fragments: frags,
+		})
+		ev.WeightedFragments += float64(w * frags)
+		if plan.Strategy == partix.StrategyReconstruct {
+			ev.Reconstructions += float64(w)
+		}
+		totalWeight += w
+	}
+	if totalWeight > 0 {
+		ev.WeightedFragments /= float64(totalWeight)
+		ev.Reconstructions /= float64(totalWeight)
+	}
+	return ev, nil
+}

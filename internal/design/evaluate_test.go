@@ -1,0 +1,107 @@
+package design
+
+import (
+	"testing"
+
+	"partix/internal/fragmentation"
+	"partix/internal/partix"
+	"partix/internal/toxgene"
+	"partix/internal/workload"
+	"partix/internal/xbench"
+)
+
+func TestEvaluateSchemePrefersMatchingDesign(t *testing.T) {
+	queries := []WorkloadQuery{
+		{Text: `for $i in collection("items")/Item where $i/Section = "CD" return $i/Name`, Weight: 10},
+		{Text: `for $i in collection("items")/Item where $i/Section = "DVD" return $i/Name`, Weight: 10},
+	}
+
+	// A design aligned with the workload: by Section.
+	aligned := &fragmentation.Scheme{Collection: "items", Fragments: []*fragmentation.Fragment{
+		fragmentation.MustHorizontal("Fcd", `/Item/Section = "CD"`),
+		fragmentation.MustHorizontal("Fdvd", `/Item/Section = "DVD"`),
+		fragmentation.MustHorizontal("Frest", `/Item/Section != "CD" and /Item/Section != "DVD"`),
+	}}
+	// A design orthogonal to the workload: by description text.
+	misaligned := &fragmentation.Scheme{Collection: "items", Fragments: []*fragmentation.Fragment{
+		fragmentation.MustHorizontal("Fgood", `contains(//Description, "good")`),
+		fragmentation.MustHorizontal("Frest", `not(contains(//Description, "good"))`),
+	}}
+
+	a, err := EvaluateScheme(aligned, queries, fragmentation.FragModeSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateScheme(misaligned, queries, fragmentation.FragModeSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WeightedFragments != 1.0 {
+		t.Fatalf("aligned design should route every query to one fragment, got %.2f", a.WeightedFragments)
+	}
+	if b.WeightedFragments <= a.WeightedFragments {
+		t.Fatalf("misaligned design should cost more: %.2f vs %.2f", b.WeightedFragments, a.WeightedFragments)
+	}
+	for _, qc := range a.PerQuery {
+		if qc.Strategy != partix.StrategyRouted {
+			t.Fatalf("aligned query planned as %s", qc.Strategy)
+		}
+	}
+}
+
+func TestEvaluateSchemeCountsReconstructions(t *testing.T) {
+	scheme := xbench.VerticalScheme("articles")
+	queries := []WorkloadQuery{
+		{Text: workload.ByID(workload.Vertical("articles"), "VQ1").Text, Weight: 1}, // routed
+		{Text: workload.ByID(workload.Vertical("articles"), "VQ8").Text, Weight: 3}, // reconstruct
+	}
+	ev, err := EvaluateScheme(scheme, queries, fragmentation.FragModeSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Reconstructions != 0.75 {
+		t.Fatalf("reconstruction share = %.2f, want 0.75", ev.Reconstructions)
+	}
+}
+
+func TestEvaluateSchemeErrors(t *testing.T) {
+	bad := &fragmentation.Scheme{Collection: "c"}
+	if _, err := EvaluateScheme(bad, nil, fragmentation.FragModeSD); err == nil {
+		t.Fatal("empty scheme accepted")
+	}
+	ok := &fragmentation.Scheme{Collection: "c", Fragments: []*fragmentation.Fragment{
+		fragmentation.MustHorizontal("F", "true()"),
+	}}
+	if _, err := EvaluateScheme(ok, []WorkloadQuery{{Text: "~~~"}}, fragmentation.FragModeSD); err == nil {
+		t.Fatal("unparseable workload query accepted")
+	}
+}
+
+func TestAdvisorBeatsNaiveDesignOnItsWorkload(t *testing.T) {
+	// End-to-end: the advisor's proposal must score at least as well as a
+	// random-ish two-way split on the workload it optimized for.
+	c := toxgene.GenerateItems(toxgene.ItemsConfig{Docs: 120, Seed: 77})
+	queries := itemsWorkload()
+	proposed, err := ProposeHorizontal(c, queries, HorizontalOptions{MaxFragments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := &fragmentation.Scheme{Collection: "items", Fragments: []*fragmentation.Fragment{
+		fragmentation.MustHorizontal("Fodd", `contains(/Item/Code, "1")`),
+		fragmentation.MustHorizontal("Feven", `not(contains(/Item/Code, "1"))`),
+	}}
+	evA, err := EvaluateScheme(proposed, queries, fragmentation.FragModeSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB, err := EvaluateScheme(naive, queries, fragmentation.FragModeSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize: fragments contacted relative to design size.
+	normA := evA.WeightedFragments / float64(len(proposed.Fragments))
+	normB := evB.WeightedFragments / float64(len(naive.Fragments))
+	if normA > normB {
+		t.Fatalf("advisor design relative cost %.2f worse than naive %.2f", normA, normB)
+	}
+}

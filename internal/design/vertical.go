@@ -1,0 +1,296 @@
+package design
+
+import (
+	"fmt"
+	"sort"
+
+	"partix/internal/fragmentation"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// VerticalOptions tune ProposeVertical.
+type VerticalOptions struct {
+	// MaxFragments bounds the number of clusters (default 3).
+	MaxFragments int
+}
+
+func (o VerticalOptions) withDefaults() VerticalOptions {
+	if o.MaxFragments <= 0 {
+		o.MaxFragments = 3
+	}
+	return o
+}
+
+// VerticalAdvice is a proposed vertical design plus the colocation groups
+// Allocate should respect: fragments in the same group were clustered
+// together by query affinity and belong on the same node.
+type VerticalAdvice struct {
+	Scheme *fragmentation.Scheme
+	// Groups maps fragment name → cluster index.
+	Groups map[string]int
+}
+
+// ProposeVertical derives a vertical fragmentation of c: the top-level
+// children of the document root are clustered by how often the workload's
+// queries use them together (attribute-affinity clustering, adapted from
+// relational vertical partitioning), yielding one fragment per child plus
+// an anchor fragment that owns the root and every unclaimed or repeatable
+// child.
+func ProposeVertical(c *xmltree.Collection, queries []WorkloadQuery, opts VerticalOptions) (*VerticalAdvice, error) {
+	opts = opts.withDefaults()
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("design: empty collection %q", c.Name)
+	}
+	root := c.Docs[0].Root.Name
+
+	// Candidate children: top-level element labels. A label that repeats
+	// under any root cannot be a fragment path (Definition 3); it stays
+	// with the anchor.
+	repeatable := map[string]bool{}
+	var children []string
+	seen := map[string]bool{}
+	for _, d := range c.Docs {
+		if d.Root.Name != root {
+			return nil, fmt.Errorf("design: collection %q is not homogeneous (%q vs %q)", c.Name, root, d.Root.Name)
+		}
+		counts := map[string]int{}
+		for _, ch := range d.Root.ElementChildren() {
+			counts[ch.Name]++
+		}
+		for name, n := range counts {
+			if !seen[name] {
+				seen[name] = true
+				children = append(children, name)
+			}
+			if n > 1 {
+				repeatable[name] = true
+			}
+		}
+	}
+	sort.Strings(children)
+
+	var splittable []string
+	for _, ch := range children {
+		if !repeatable[ch] {
+			splittable = append(splittable, ch)
+		}
+	}
+	if len(splittable) == 0 {
+		return nil, fmt.Errorf("design: no single-occurrence top-level children to split in %q", c.Name)
+	}
+
+	// Affinity: how often two children are used by the same query.
+	usage := map[string]int{}
+	affinity := map[[2]string]int{}
+	for _, wq := range queries {
+		used := usedChildren(wq.Text, c.Name, root, splittable)
+		for _, a := range used {
+			usage[a] += wq.weight()
+			for _, b := range used {
+				if a < b {
+					affinity[[2]string{a, b}] += wq.weight()
+				}
+			}
+		}
+	}
+
+	// Agglomerative clustering down to MaxFragments clusters.
+	clusters := make([][]string, 0, len(splittable))
+	for _, ch := range splittable {
+		clusters = append(clusters, []string{ch})
+	}
+	for len(clusters) > opts.MaxFragments {
+		bi, bj, best := 0, 1, -1
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				a := clusterAffinity(clusters[i], clusters[j], affinity)
+				if a > best {
+					bi, bj, best = i, j, a
+				}
+			}
+		}
+		merged := append(append([]string{}, clusters[bi]...), clusters[bj]...)
+		sort.Strings(merged)
+		next := [][]string{merged}
+		for k, cl := range clusters {
+			if k != bi && k != bj {
+				next = append(next, cl)
+			}
+		}
+		clusters = next
+	}
+	// Deterministic order: heaviest-used cluster first; it becomes the
+	// anchor (keeping the hottest subtrees with the root avoids a join
+	// for queries touching the root and those subtrees).
+	sort.Slice(clusters, func(i, j int) bool {
+		ui, uj := clusterUsage(clusters[i], usage), clusterUsage(clusters[j], usage)
+		if ui != uj {
+			return ui > uj
+		}
+		return clusters[i][0] < clusters[j][0]
+	})
+
+	advice := &VerticalAdvice{Groups: map[string]int{}}
+	scheme := &fragmentation.Scheme{Collection: c.Name}
+	anchor := clusters[0]
+	anchorSet := map[string]bool{}
+	for _, ch := range anchor {
+		anchorSet[ch] = true
+	}
+	var prune []string
+	for _, ch := range splittable {
+		if !anchorSet[ch] {
+			prune = append(prune, "/"+root+"/"+ch)
+		}
+	}
+	f, err := fragmentation.NewVertical("F1anchor", "/"+root, prune...)
+	if err != nil {
+		return nil, err
+	}
+	scheme.Fragments = append(scheme.Fragments, f)
+	advice.Groups["F1anchor"] = 0
+
+	idx := 2
+	for ci, cluster := range clusters[1:] {
+		for _, ch := range cluster {
+			name := fmt.Sprintf("F%d%s", idx, ch)
+			f, err := fragmentation.NewVertical(name, "/"+root+"/"+ch)
+			if err != nil {
+				return nil, err
+			}
+			scheme.Fragments = append(scheme.Fragments, f)
+			advice.Groups[name] = ci + 1
+			idx++
+		}
+	}
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	advice.Scheme = scheme
+	return advice, nil
+}
+
+func clusterAffinity(a, b []string, affinity map[[2]string]int) int {
+	total := 0
+	for _, x := range a {
+		for _, y := range b {
+			k := [2]string{x, y}
+			if y < x {
+				k = [2]string{y, x}
+			}
+			total += affinity[k]
+		}
+	}
+	return total
+}
+
+func clusterUsage(cluster []string, usage map[string]int) int {
+	total := 0
+	for _, ch := range cluster {
+		total += usage[ch]
+	}
+	return total
+}
+
+// usedChildren reports which top-level children a query touches. Queries
+// with descendant steps or unresolvable paths conservatively use all.
+func usedChildren(query, collection, root string, children []string) []string {
+	e, err := xquery.Parse(query)
+	if err != nil {
+		return nil
+	}
+	used := map[string]bool{}
+	all := false
+	vars := map[string][]string{}
+	var visit func(xquery.Expr)
+	record := func(labels []string, steps []xquery.PathStep) []string {
+		out := append([]string{}, labels...)
+		for _, st := range steps {
+			if st.Descendant || st.Name == "*" {
+				all = true
+				return out
+			}
+			if st.Attr || st.Text {
+				break
+			}
+			out = append(out, st.Name)
+		}
+		if len(out) >= 2 && out[0] == root {
+			used[out[1]] = true
+		}
+		return out
+	}
+	visit = func(x xquery.Expr) {
+		switch n := x.(type) {
+		case *xquery.FLWOR:
+			for _, cl := range n.Clauses {
+				if pe, ok := cl.In.(*xquery.PathExpr); ok {
+					switch src := pe.Source.(type) {
+					case *xquery.CollectionCall:
+						if src.Name == collection {
+							vars[cl.Var] = record(nil, pe.Steps)
+							continue
+						}
+					case *xquery.VarRef:
+						if base, known := vars[src.Name]; known {
+							vars[cl.Var] = record(base, pe.Steps)
+							continue
+						}
+					}
+				}
+				visit(cl.In)
+			}
+			visit(n.Where)
+			visit(n.Return)
+		case *xquery.PathExpr:
+			if v, ok := n.Source.(*xquery.VarRef); ok {
+				if base, known := vars[v.Name]; known {
+					record(base, n.Steps)
+				}
+			} else {
+				visit(n.Source)
+			}
+			for _, st := range n.Steps {
+				for _, p := range st.Preds {
+					visit(p)
+				}
+			}
+		case *xquery.Binary:
+			visit(n.Left)
+			visit(n.Right)
+		case *xquery.FuncCall:
+			for _, a := range n.Args {
+				visit(a)
+			}
+		case *xquery.Sequence:
+			for _, it := range n.Items {
+				visit(it)
+			}
+		case *xquery.ElementCtor:
+			for _, a := range n.Attrs {
+				visit(a.Value)
+			}
+			for _, c := range n.Children {
+				visit(c)
+			}
+		case *xquery.VarRef:
+			if labels, known := vars[n.Name]; known && len(labels) >= 2 && labels[0] == root {
+				used[labels[1]] = true
+			} else if known := vars[n.Name]; len(known) == 1 {
+				all = true // whole document consumed
+			}
+		}
+	}
+	visit(e)
+	if all {
+		return children
+	}
+	out := make([]string, 0, len(used))
+	for _, ch := range children {
+		if used[ch] {
+			out = append(out, ch)
+		}
+	}
+	return out
+}

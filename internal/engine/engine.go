@@ -1,0 +1,390 @@
+// Package engine implements the sequential XML DBMS a PartiX node runs —
+// the role eXist plays in the paper (Section 4: the only requirement on a
+// node DBMS is that it processes XQuery). It combines the paged document
+// store, an inverted text index used to prune candidate documents (eXist
+// "automatically created [indexes] to speed up text search operations and
+// path expressions evaluation", Section 5), and the XQuery evaluator.
+//
+// Documents are decoded from storage on every query execution; there is no
+// parsed-tree cache. That per-tree pre-processing cost is exactly the
+// effect the paper measures when it compares many-small-documents against
+// few-large-documents databases.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"partix/internal/storage"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// Options configure a DB.
+type Options struct {
+	// DisableIndexes turns off index-assisted candidate pruning; every
+	// query then scans all documents of its collections. Used by the
+	// index ablation benchmarks.
+	DisableIndexes bool
+}
+
+// DB is one sequential XML database instance.
+type DB struct {
+	opts  Options
+	store *storage.Store
+
+	mu  sync.RWMutex
+	idx map[string]*textIndex // collection → inverted index
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats counts the engine's work, for tests and ablation benchmarks.
+type Stats struct {
+	Queries      int64 // queries executed
+	DocsDecoded  int64 // documents decoded (parsed) during queries
+	DocsPruned   int64 // documents skipped thanks to index hints
+	BytesDecoded int64 // encoded bytes decoded during queries
+}
+
+// Open opens (creating if necessary) a database at path. Indexes are
+// loaded from the persisted snapshot when one exists (it is written
+// together with the catalog on Sync/Close, so the two are always
+// mutually consistent); otherwise they are rebuilt by scanning the
+// stored documents.
+func Open(path string, opts Options) (*DB, error) {
+	st, err := storage.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{opts: opts, store: st, idx: map[string]*textIndex{}}
+	if db.loadIndexSnapshot() {
+		return db, nil
+	}
+	for _, col := range st.Collections() {
+		names, err := st.Documents(col)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		ix := newTextIndex()
+		for _, name := range names {
+			doc, err := st.GetDocument(col, name)
+			if err != nil {
+				st.Close()
+				return nil, fmt.Errorf("engine: rebuild index for %s/%s: %w", col, name, err)
+			}
+			ix.add(doc)
+		}
+		db.idx[col] = ix
+	}
+	return db, nil
+}
+
+// Close persists the index snapshot and closes the store.
+func (db *DB) Close() error {
+	if err := db.saveIndexSnapshot(); err != nil {
+		db.store.Close()
+		return err
+	}
+	return db.store.Close()
+}
+
+// Sync persists the index snapshot and flushes the store to disk.
+func (db *DB) Sync() error {
+	if err := db.saveIndexSnapshot(); err != nil {
+		return err
+	}
+	return db.store.Sync()
+}
+
+// Store exposes the underlying document store (the wire server ships raw
+// documents through it).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// PutDocument stores and indexes a document.
+func (db *DB) PutDocument(collection string, doc *xmltree.Document) error {
+	if err := db.store.PutDocument(collection, doc); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ix := db.idx[collection]
+	if ix == nil {
+		ix = newTextIndex()
+		db.idx[collection] = ix
+	}
+	ix.remove(doc.Name) // replace semantics
+	ix.add(doc)
+	return nil
+}
+
+// LoadCollection stores and indexes every document of c.
+func (db *DB) LoadCollection(c *xmltree.Collection) error {
+	for _, d := range c.Docs {
+		if err := db.PutDocument(c.Name, d); err != nil {
+			return err
+		}
+	}
+	db.mu.Lock()
+	if db.idx[c.Name] == nil {
+		db.idx[c.Name] = newTextIndex()
+	}
+	db.mu.Unlock()
+	db.store.CreateCollection(c.Name)
+	return nil
+}
+
+// DeleteDocument removes a document from store and index.
+func (db *DB) DeleteDocument(collection, name string) error {
+	if err := db.store.DeleteDocument(collection, name); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ix := db.idx[collection]; ix != nil {
+		ix.remove(name)
+	}
+	return nil
+}
+
+// DropCollection removes a whole collection.
+func (db *DB) DropCollection(name string) error {
+	if err := db.store.DropCollection(name); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.idx, name)
+	return nil
+}
+
+// Collections lists collection names.
+func (db *DB) Collections() []string { return db.store.Collections() }
+
+// HasCollection reports whether the collection exists.
+func (db *DB) HasCollection(name string) bool { return db.store.HasCollection(name) }
+
+// CollectionStats returns store statistics for a collection.
+func (db *DB) CollectionStats(name string) (storage.Stats, error) {
+	return db.store.CollectionStats(name)
+}
+
+// Query parses and executes an XQuery expression.
+func (db *DB) Query(query string) (xquery.Seq, error) {
+	e, err := xquery.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryExpr(e)
+}
+
+// QueryExpr executes a parsed query.
+func (db *DB) QueryExpr(e xquery.Expr) (xquery.Seq, error) {
+	db.statsMu.Lock()
+	db.stats.Queries++
+	db.statsMu.Unlock()
+	return xquery.Eval(e, db)
+}
+
+// Stats returns a snapshot of the engine counters.
+func (db *DB) Stats() Stats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.stats
+}
+
+// ResetStats zeroes the counters.
+func (db *DB) ResetStats() {
+	db.statsMu.Lock()
+	db.stats = Stats{}
+	db.statsMu.Unlock()
+}
+
+// Docs implements xquery.Source with index-assisted pruning: when a hint
+// is present (and indexes are enabled) only candidate documents are
+// decoded; the rest are skipped without touching the store.
+func (db *DB) Docs(collection string, hint *xquery.Hint, fn func(*xmltree.Document) error) error {
+	names, err := db.store.Documents(collection)
+	if err != nil {
+		return err
+	}
+	var candidates []string
+	pruned := 0
+	if hint != nil && len(hint.Constraints) > 0 && !db.opts.DisableIndexes {
+		db.mu.RLock()
+		ix := db.idx[collection]
+		db.mu.RUnlock()
+		if ix != nil {
+			set := ix.candidates(hint)
+			candidates = make([]string, 0, len(set))
+			for _, name := range names {
+				if set[name] {
+					candidates = append(candidates, name)
+				} else {
+					pruned++
+				}
+			}
+		}
+	}
+	if candidates == nil {
+		candidates = names
+	}
+	var decodedBytes int64
+	for _, name := range candidates {
+		raw, err := db.store.GetDocumentRaw(collection, name)
+		if err != nil {
+			return err
+		}
+		decodedBytes += int64(len(raw))
+		doc, err := storage.DecodeDocument(name, raw)
+		if err != nil {
+			return err
+		}
+		if err := fn(doc); err != nil {
+			return err
+		}
+	}
+	db.statsMu.Lock()
+	db.stats.DocsDecoded += int64(len(candidates))
+	db.stats.DocsPruned += int64(pruned)
+	db.stats.BytesDecoded += decodedBytes
+	db.statsMu.Unlock()
+	return nil
+}
+
+// Doc implements xquery.Source for doc("name"): the document is located in
+// whichever collection holds it.
+func (db *DB) Doc(name string) (*xmltree.Document, error) {
+	for _, col := range db.store.Collections() {
+		if d, err := db.store.GetDocument(col, name); err == nil {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: document %q not found in any collection", name)
+}
+
+// textIndex is an inverted index: text token → document set (with a
+// sorted vocabulary for substring constraints) plus a structural index
+// element name → document set. Tokenization matches xquery.Tokenize,
+// which is what makes hints sound.
+type textIndex struct {
+	postings map[string]map[string]bool
+	elements map[string]map[string]bool
+	vocab    []string // sorted; rebuilt lazily
+	dirty    bool
+}
+
+func newTextIndex() *textIndex {
+	return &textIndex{
+		postings: map[string]map[string]bool{},
+		elements: map[string]map[string]bool{},
+	}
+}
+
+func (ix *textIndex) add(doc *xmltree.Document) {
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		switch n.Kind {
+		case xmltree.TextNode:
+			for _, tok := range xquery.Tokenize(n.Value) {
+				set := ix.postings[tok]
+				if set == nil {
+					set = map[string]bool{}
+					ix.postings[tok] = set
+					ix.dirty = true
+				}
+				set[doc.Name] = true
+			}
+		case xmltree.ElementNode:
+			set := ix.elements[n.Name]
+			if set == nil {
+				set = map[string]bool{}
+				ix.elements[n.Name] = set
+			}
+			set[doc.Name] = true
+		}
+		return true
+	})
+}
+
+func (ix *textIndex) remove(docName string) {
+	for tok, set := range ix.postings {
+		if set[docName] {
+			delete(set, docName)
+			if len(set) == 0 {
+				delete(ix.postings, tok)
+				ix.dirty = true
+			}
+		}
+	}
+	for name, set := range ix.elements {
+		if set[docName] {
+			delete(set, docName)
+			if len(set) == 0 {
+				delete(ix.elements, name)
+			}
+		}
+	}
+}
+
+func (ix *textIndex) vocabulary() []string {
+	if ix.dirty || ix.vocab == nil {
+		ix.vocab = make([]string, 0, len(ix.postings))
+		for tok := range ix.postings {
+			ix.vocab = append(ix.vocab, tok)
+		}
+		sort.Strings(ix.vocab)
+		ix.dirty = false
+	}
+	return ix.vocab
+}
+
+// candidates evaluates the hint's conjunction and returns the documents
+// that may satisfy it.
+func (ix *textIndex) candidates(hint *xquery.Hint) map[string]bool {
+	var result map[string]bool
+	intersect := func(set map[string]bool) {
+		if result == nil {
+			result = make(map[string]bool, len(set))
+			for k := range set {
+				result[k] = true
+			}
+			return
+		}
+		for k := range result {
+			if !set[k] {
+				delete(result, k)
+			}
+		}
+	}
+	for _, c := range hint.Constraints {
+		if len(c.Tokens) > 0 {
+			for _, tok := range c.Tokens {
+				intersect(ix.postings[tok])
+			}
+		}
+		if len(c.Elements) > 0 {
+			for _, name := range c.Elements {
+				intersect(ix.elements[name])
+			}
+		}
+		if c.Substring != "" {
+			union := map[string]bool{}
+			for _, tok := range ix.vocabulary() {
+				if strings.Contains(tok, c.Substring) {
+					for doc := range ix.postings[tok] {
+						union[doc] = true
+					}
+				}
+			}
+			intersect(union)
+		}
+	}
+	if result == nil {
+		result = map[string]bool{}
+	}
+	return result
+}

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+func testDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "node.db"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func loadItems(t *testing.T, db *DB) {
+	t.Helper()
+	c := xmltree.NewCollection("items")
+	sections := []string{"CD", "DVD", "Book", "CD"}
+	descs := []string{"a good disc", "a fine movie", "good reading", "plain disc"}
+	for i := 0; i < 4; i++ {
+		c.Add(xmltree.MustParseString(fmt.Sprintf("i%d", i+1), fmt.Sprintf(
+			`<Item id="%d"><Code>I%d</Code><Name>n%d</Name><Description>%s</Description><Section>%s</Section></Item>`,
+			i+1, i+1, i+1, descs[i], sections[i])))
+	}
+	if err := db.LoadCollection(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryBasic(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	res, err := db.Query(`for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+}
+
+func TestIndexPruning(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	db.ResetStats()
+	res, err := db.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	st := db.Stats()
+	if st.DocsPruned == 0 {
+		t.Fatalf("no docs pruned: %+v", st)
+	}
+	if st.DocsDecoded != 1 {
+		t.Fatalf("decoded %d docs, want 1 (only the DVD item)", st.DocsDecoded)
+	}
+}
+
+func TestIndexPruningDisabled(t *testing.T) {
+	db := testDB(t, Options{DisableIndexes: true})
+	loadItems(t, db)
+	db.ResetStats()
+	if _, err := db.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i/Code`); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.DocsPruned != 0 || st.DocsDecoded != 4 {
+		t.Fatalf("stats with indexes disabled: %+v", st)
+	}
+}
+
+func TestIndexSubstringPruning(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	db.ResetStats()
+	res, err := db.Query(`for $i in collection("items")/Item where contains($i/Description, "good") return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	if st := db.Stats(); st.DocsDecoded != 2 {
+		t.Fatalf("decoded %d, want 2", st.DocsDecoded)
+	}
+	// Substring of a longer token: "read" is inside "reading".
+	res, err = db.Query(`for $i in collection("items")/Item where contains($i/Description, "read") return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("substring results = %d, want 1", len(res))
+	}
+}
+
+func TestQueriesAgreeWithAndWithoutIndexes(t *testing.T) {
+	plain := testDB(t, Options{DisableIndexes: true})
+	indexed := testDB(t, Options{})
+	loadItems(t, plain)
+	loadItems(t, indexed)
+	queries := []string{
+		`for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`,
+		`for $i in collection("items")/Item where contains($i/Description, "disc") return $i/Code`,
+		`count(for $i in collection("items")/Item where contains($i/Description, "good") return $i)`,
+		`for $i in collection("items")/Item where $i/Section = "CD" and contains($i/Description, "plain") return $i/Code`,
+		`for $i in collection("items")/Item where not(contains($i/Description, "good")) return $i/Code`,
+	}
+	for _, q := range queries {
+		a, err := plain.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := indexed.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Errorf("%s: %d without indexes, %d with", q, len(a), len(b))
+		}
+		for i := range a {
+			if xquery.ItemString(a[i]) != xquery.ItemString(b[i]) {
+				t.Errorf("%s: item %d differs", q, i)
+			}
+		}
+	}
+}
+
+func TestPersistenceAndIndexRebuild(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	db2.ResetStats()
+	res, err := db2.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results after reopen = %d", len(res))
+	}
+	if st := db2.Stats(); st.DocsPruned == 0 {
+		t.Fatal("index not rebuilt on open")
+	}
+}
+
+func TestPutReplacesAndReindexes(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	// i2 was the only DVD; retag it as Vinyl.
+	doc := xmltree.MustParseString("i2",
+		`<Item id="2"><Code>I2</Code><Name>n2</Name><Description>now vinyl</Description><Section>Vinyl</Section></Item>`)
+	if err := db.PutDocument("items", doc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("stale index: %d DVD results", len(res))
+	}
+	res, err = db.Query(`for $i in collection("items")/Item where $i/Section = "Vinyl" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("new section not found: %d", len(res))
+	}
+}
+
+func TestDeleteDocumentUpdatesIndex(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	if err := db.DeleteDocument("items", "i2"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatal("deleted doc still found via index")
+	}
+}
+
+func TestDropCollection(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	if err := db.DropCollection("items"); err != nil {
+		t.Fatal(err)
+	}
+	if db.HasCollection("items") {
+		t.Fatal("collection survived")
+	}
+	if _, err := db.Query(`collection("items")/Item`); err == nil {
+		t.Fatal("query over dropped collection succeeded")
+	}
+}
+
+func TestDocLookupAcrossCollections(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	d, err := db.Doc("i3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Child("Code").Text() != "I3" {
+		t.Fatal("wrong document")
+	}
+	if _, err := db.Doc("missing"); err == nil {
+		t.Fatal("missing doc found")
+	}
+}
+
+func TestCollectionStats(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	st, err := db.CollectionStats("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != 4 || st.Bytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	cols := db.Collections()
+	if len(cols) != 1 || cols[0] != "items" {
+		t.Fatalf("collections = %v", cols)
+	}
+}
+
+func TestEmptyCollectionQuery(t *testing.T) {
+	db := testDB(t, Options{})
+	if err := db.LoadCollection(xmltree.NewCollection("empty")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`count(collection("empty")/X)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.ItemString(res[0]) != "0" {
+		t.Fatalf("count over empty collection = %v", res)
+	}
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+)
+
+// Index snapshots: the in-memory inverted indexes are serialized into a
+// metadata record of the store on Sync/Close. Because the store's catalog
+// is persisted at the same moments, a snapshot read back at Open always
+// describes exactly the cataloged documents — a crash between syncs loses
+// the un-synced documents and their index entries together.
+
+const indexMetaKey = "engine:index:v1"
+
+// indexSnapshot is the serialized form of one collection's indexes.
+type indexSnapshot struct {
+	Postings map[string][]string
+	Elements map[string][]string
+}
+
+func (db *DB) saveIndexSnapshot() error {
+	db.mu.RLock()
+	snap := make(map[string]indexSnapshot, len(db.idx))
+	for col, ix := range db.idx {
+		snap[col] = indexSnapshot{
+			Postings: setsToLists(ix.postings),
+			Elements: setsToLists(ix.elements),
+		}
+	}
+	db.mu.RUnlock()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return err
+	}
+	return db.store.PutMeta(indexMetaKey, buf.Bytes())
+}
+
+// loadIndexSnapshot restores the indexes from the persisted snapshot;
+// it reports false (leaving db.idx empty) when none exists or it cannot
+// be decoded, in which case the caller rebuilds by scanning.
+func (db *DB) loadIndexSnapshot() bool {
+	data, ok, err := db.store.GetMeta(indexMetaKey)
+	if err != nil || !ok {
+		return false
+	}
+	var snap map[string]indexSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return false
+	}
+	// Every cataloged collection must be covered, or the snapshot is
+	// stale (e.g. a collection created without a later Sync).
+	for _, col := range db.store.Collections() {
+		if _, covered := snap[col]; !covered {
+			return false
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for col, s := range snap {
+		if !db.store.HasCollection(col) {
+			continue // dropped after the snapshot was taken
+		}
+		ix := newTextIndex()
+		ix.postings = listsToSets(s.Postings)
+		ix.elements = listsToSets(s.Elements)
+		db.idx[col] = ix
+	}
+	return true
+}
+
+func setsToLists(in map[string]map[string]bool) map[string][]string {
+	out := make(map[string][]string, len(in))
+	for k, set := range in {
+		list := make([]string, 0, len(set))
+		for doc := range set {
+			list = append(list, doc)
+		}
+		sort.Strings(list)
+		out[k] = list
+	}
+	return out
+}
+
+func listsToSets(in map[string][]string) map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(in))
+	for k, list := range in {
+		set := make(map[string]bool, len(list))
+		for _, doc := range list {
+			set[doc] = true
+		}
+		out[k] = set
+	}
+	return out
+}

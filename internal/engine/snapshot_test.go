@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"path/filepath"
+	"testing"
+
+	"partix/internal/storage"
+	"partix/internal/xmltree"
+)
+
+func TestIndexSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening must load the snapshot — no document decodes happen.
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if st := db2.Stats(); st.DocsDecoded != 0 {
+		t.Fatalf("open decoded %d documents despite snapshot", st.DocsDecoded)
+	}
+	res, err := db2.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if st := db2.Stats(); st.DocsPruned == 0 {
+		t.Fatal("snapshot index did not prune")
+	}
+}
+
+func TestIndexSnapshotConsistentAfterMutations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, db)
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate after the sync, then close (which snapshots again).
+	if err := db.DeleteDocument("items", "i2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutDocument("items", xmltree.MustParseString("i9",
+		`<Item id="9"><Code>I9</Code><Name>n9</Name><Description>brand new vinyl</Description><Section>Vinyl</Section></Item>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Query(`for $i in collection("items")/Item where $i/Section = "Vinyl" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("new doc not indexed after reopen: %d", len(res))
+	}
+	res, err = db2.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("deleted doc still indexed: %d", len(res))
+	}
+}
+
+func TestCorruptSnapshotFallsBackToRebuild(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the snapshot record through the raw store.
+	st, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutMeta("engine:index:v1", []byte("not gob at all")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	// Rebuild happened (documents decoded) and queries still prune.
+	db2.ResetStats()
+	res, err := db2.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results after rebuild = %d", len(res))
+	}
+	if stt := db2.Stats(); stt.DocsPruned == 0 {
+		t.Fatal("rebuilt index does not prune")
+	}
+}
+
+func TestSnapshotStaleWhenCollectionMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Add a new collection behind the engine's back (raw store), so the
+	// snapshot no longer covers everything.
+	st, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutDocument("extra", xmltree.MustParseString("x", "<X><Y>hello</Y></X>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Query(`count(collection("extra")/X)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].(float64) != 1 {
+		t.Fatalf("extra collection not indexed: %v", res)
+	}
+}
+
+func TestStorageMetaAPI(t *testing.T) {
+	st, err := storage.Open(filepath.Join(t.TempDir(), "m.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, ok, err := st.GetMeta("missing"); ok || err != nil {
+		t.Fatalf("missing meta: ok=%v err=%v", ok, err)
+	}
+	if err := st.PutMeta("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := st.GetMeta("k")
+	if err != nil || !ok || string(data) != "v1" {
+		t.Fatalf("get = %q %v %v", data, ok, err)
+	}
+	if err := st.PutMeta("k", []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ = st.GetMeta("k")
+	if string(data) != "replaced" {
+		t.Fatalf("replace failed: %q", data)
+	}
+	if err := st.PutMeta("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st.GetMeta("k"); ok {
+		t.Fatal("empty put did not delete")
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"partix/internal/partix"
+	"partix/internal/toxgene"
+	"partix/internal/workload"
+	"partix/internal/xmltree"
+)
+
+func genItems(n int) *xmltree.Collection {
+	return toxgene.GenerateItems(toxgene.ItemsConfig{Docs: n, Seed: 7})
+}
+
+// testScale keeps unit-test runs fast; the shapes are asserted by the
+// benchmarks at larger scale.
+var testScale = Scale{SmallItems: 120, LargeItems: 6, Articles: 8, StoreItems: 100, Seed: 7}
+
+func testOpts(t *testing.T) Options {
+	return Options{Dir: t.TempDir(), Repeats: 1}
+}
+
+func TestRunFig7aShape(t *testing.T) {
+	p, err := RunFig7a(testScale, testOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Series) != 4 {
+		t.Fatalf("series = %d, want centralized+2+4+8", len(p.Series))
+	}
+	if p.Series[0].Name != "centralized" {
+		t.Fatalf("first series = %s", p.Series[0].Name)
+	}
+	for _, s := range p.Series {
+		if len(s.Times) != 8 {
+			t.Fatalf("%s: %d measurements", s.Name, len(s.Times))
+		}
+		for qid, m := range s.Times {
+			if m.Response <= 0 {
+				t.Fatalf("%s/%s: no response time", s.Name, qid)
+			}
+		}
+	}
+	// HQ1 matches the fragmentation predicate: routed in fragmented runs.
+	if st := p.Series[3].Times["HQ1"].Strategy; st != partix.StrategyRouted {
+		t.Errorf("HQ1 at 8 fragments: strategy %s", st)
+	}
+	// HQ8 is a count: composed as an aggregate when broadcast.
+	if st := p.Series[3].Times["HQ8"].Strategy; st != partix.StrategyAggregate {
+		t.Errorf("HQ8 at 8 fragments: strategy %s", st)
+	}
+}
+
+func TestRunFig7cShape(t *testing.T) {
+	p, err := RunFig7c(testScale, testOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Series) != 2 {
+		t.Fatalf("series = %d", len(p.Series))
+	}
+	frag := p.Series[1]
+	if frag.Times["VQ1"].Strategy != partix.StrategyRouted {
+		t.Errorf("VQ1: %s", frag.Times["VQ1"].Strategy)
+	}
+	if frag.Times["VQ8"].Strategy != partix.StrategyReconstruct {
+		t.Errorf("VQ8: %s", frag.Times["VQ8"].Strategy)
+	}
+}
+
+func TestRunFig7dShape(t *testing.T) {
+	p, err := RunFig7d(testScale, testOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Series) != 3 {
+		t.Fatalf("series = %d", len(p.Series))
+	}
+	for _, s := range p.Series {
+		if len(s.Times) != 11 {
+			t.Fatalf("%s: %d measurements", s.Name, len(s.Times))
+		}
+	}
+	// The -NT view must not exceed the -T view.
+	for _, s := range p.Series {
+		for qid, m := range s.Times {
+			if m.NoTransmission() > m.Response {
+				t.Fatalf("%s/%s: NT %v > T %v", s.Name, qid, m.NoTransmission(), m.Response)
+			}
+		}
+	}
+}
+
+func TestRunSmallDB(t *testing.T) {
+	p, err := RunSmallDB(testOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Series) != 4 {
+		t.Fatalf("series = %d", len(p.Series))
+	}
+}
+
+func TestRunHeadline(t *testing.T) {
+	best, panels, err := RunHeadline(testScale, testOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 2 {
+		t.Fatalf("panels = %d", len(panels))
+	}
+	if best.Speedup <= 0 || best.Query == "" {
+		t.Fatalf("headline = %+v", best)
+	}
+}
+
+func TestPrintPanel(t *testing.T) {
+	p, err := RunSmallDB(testOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	PrintPanel(&sb, p)
+	out := sb.String()
+	for _, q := range workload.Horizontal("items") {
+		if !strings.Contains(out, q.ID) {
+			t.Fatalf("output lacks %s:\n%s", q.ID, out)
+		}
+	}
+	if !strings.Contains(out, "centralized") {
+		t.Fatal("output lacks series names")
+	}
+	var nt strings.Builder
+	PrintPanelNT(&nt, p)
+	if !strings.Contains(nt.String(), "without transmission") {
+		t.Fatal("NT view missing")
+	}
+}
+
+func TestMeasureQueryAveragesRepeats(t *testing.T) {
+	dep := mustDeployItems(t)
+	defer dep.Close()
+	m, err := MeasureQuery(dep.System, `count(collection("items")/Item)`, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Response <= 0 || m.Items != 1 {
+		t.Fatalf("measurement = %+v", m)
+	}
+}
+
+func mustDeployItems(t *testing.T) *Deployment {
+	t.Helper()
+	dep, err := Deploy("m", genItems(60), nil, 0, Options{Dir: t.TempDir(), Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestSpeedup(t *testing.T) {
+	a := Measurement{Response: 100}
+	b := Measurement{Response: 25}
+	if Speedup(a, b) != 4 {
+		t.Fatal("speedup wrong")
+	}
+	if Speedup(a, Measurement{}) != 0 {
+		t.Fatal("zero denominator not handled")
+	}
+}
+
+func TestScaleMultiply(t *testing.T) {
+	s := DefaultScale.Multiply(3)
+	if s.SmallItems != DefaultScale.SmallItems*3 {
+		t.Fatal("multiply wrong")
+	}
+	if DefaultScale.Multiply(0).SmallItems != DefaultScale.SmallItems {
+		t.Fatal("multiply floor wrong")
+	}
+}

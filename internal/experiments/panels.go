@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"partix/internal/fragmentation"
+	"partix/internal/toxgene"
+	"partix/internal/workload"
+	"partix/internal/xbench"
+)
+
+// Scale sizes a run. The paper's databases are 5 MB–500 MB; the default
+// scale targets seconds-per-panel laptop runs while preserving the shapes
+// (per-document overhead, scan-vs-index, join-vs-union). The partix-bench
+// CLI exposes multipliers to approach the paper's sizes.
+type Scale struct {
+	// SmallItems is the ItemsSHor document count (≈2 KB each).
+	SmallItems int
+	// LargeItems is the ItemsLHor document count (≈80 KB each).
+	LargeItems int
+	// Articles is the XBenchVer article count.
+	Articles int
+	// StoreItems is the StoreHyb item count inside the single store
+	// document.
+	StoreItems int
+	// Seed drives the generators.
+	Seed int64
+}
+
+// DefaultScale is a fast laptop run (a few MB per database).
+var DefaultScale = Scale{SmallItems: 1500, LargeItems: 60, Articles: 60, StoreItems: 1200, Seed: 2006}
+
+// Multiply scales every dimension by f (for paper-sized runs).
+func (s Scale) Multiply(f int) Scale {
+	if f < 1 {
+		f = 1
+	}
+	s.SmallItems *= f
+	s.LargeItems *= f
+	s.Articles *= f
+	s.StoreItems *= f
+	return s
+}
+
+// RunFig7a reproduces Figure 7(a): the ItemsSHor database (many ≈2 KB
+// documents) under horizontal fragmentation into 1 (centralized), 2, 4 and
+// 8 fragments.
+func RunFig7a(scale Scale, opts Options) (*Panel, error) {
+	return runHorizontal("fig7a", "Figure 7(a) — ItemsSHor, horizontal fragmentation", false, scale.SmallItems, scale, opts)
+}
+
+// RunFig7b reproduces Figure 7(b): the ItemsLHor database (fewer ≈80 KB
+// documents), same sweep.
+func RunFig7b(scale Scale, opts Options) (*Panel, error) {
+	return runHorizontal("fig7b", "Figure 7(b) — ItemsLHor, horizontal fragmentation", true, scale.LargeItems, scale, opts)
+}
+
+func runHorizontal(id, title string, large bool, docs int, scale Scale, opts Options) (*Panel, error) {
+	opts = opts.withDefaults()
+	queries := workload.Horizontal("items")
+	panel := &Panel{ID: id, Title: title, Queries: queries}
+
+	items := toxgene.GenerateItems(toxgene.ItemsConfig{Docs: docs, Seed: scale.Seed, Large: large})
+	for _, k := range []int{1, 2, 4, 8} {
+		var scheme *fragmentation.Scheme
+		name := "centralized"
+		if k > 1 {
+			var err error
+			scheme, err = workload.HorizontalScheme("items", k)
+			if err != nil {
+				return nil, err
+			}
+			name = fmt.Sprintf("%d fragments", k)
+		}
+		dep, err := Deploy(fmt.Sprintf("%s-k%d", id, k), items.Clone(), scheme, fragmentation.FragModeSD, opts)
+		if err != nil {
+			return nil, err
+		}
+		series, err := MeasureWorkload(dep.System, name, queries, opts.Repeats)
+		dep.Close()
+		if err != nil {
+			return nil, err
+		}
+		panel.Series = append(panel.Series, series)
+	}
+	return panel, nil
+}
+
+// RunFig7c reproduces Figure 7(c): the XBenchVer database under the
+// prolog/body/epilog vertical fragmentation versus centralized.
+func RunFig7c(scale Scale, opts Options) (*Panel, error) {
+	opts = opts.withDefaults()
+	queries := workload.Vertical("articles")
+	panel := &Panel{ID: "fig7c", Title: "Figure 7(c) — XBenchVer, vertical fragmentation", Queries: queries}
+
+	articles := xbench.Generate(xbench.Config{Docs: scale.Articles, Seed: scale.Seed})
+	for _, fragged := range []bool{false, true} {
+		var scheme *fragmentation.Scheme
+		name := "centralized"
+		if fragged {
+			scheme = xbench.VerticalScheme("articles")
+			name = "vertical (3 fragments)"
+		}
+		dep, err := Deploy(fmt.Sprintf("fig7c-%v", fragged), articles.Clone(), scheme, fragmentation.FragModeSD, opts)
+		if err != nil {
+			return nil, err
+		}
+		series, err := MeasureWorkload(dep.System, name, queries, opts.Repeats)
+		dep.Close()
+		if err != nil {
+			return nil, err
+		}
+		panel.Series = append(panel.Series, series)
+	}
+	return panel, nil
+}
+
+// RunFig7d reproduces Figure 7(d): the StoreHyb database under hybrid
+// fragmentation, comparing centralized against FragMode1 (each selected
+// item its own document) and FragMode2 (one SD document per fragment).
+// The -T / -NT (with/without transmission time) views are both derivable
+// from the returned measurements.
+func RunFig7d(scale Scale, opts Options) (*Panel, error) {
+	opts = opts.withDefaults()
+	queries := workload.Hybrid("store")
+	panel := &Panel{ID: "fig7d", Title: "Figure 7(d) — StoreHyb, hybrid fragmentation", Queries: queries}
+
+	store := toxgene.GenerateStore(toxgene.StoreConfig{Items: scale.StoreItems, Seed: scale.Seed})
+	type config struct {
+		name   string
+		scheme *fragmentation.Scheme
+		mode   fragmentation.MaterializeMode
+	}
+	configs := []config{
+		{"centralized", nil, fragmentation.FragModeSD},
+		{"FragMode1", workload.HybridScheme("store"), fragmentation.FragModeMD},
+		{"FragMode2", workload.HybridScheme("store"), fragmentation.FragModeSD},
+	}
+	for _, cfg := range configs {
+		dep, err := Deploy("fig7d-"+cfg.name, store.Clone(), cfg.scheme, cfg.mode, opts)
+		if err != nil {
+			return nil, err
+		}
+		// All eleven queries are routable or unionable, so FragMode1 (which
+		// cannot reconstruct) runs the same set — matching the paper.
+		series, err := MeasureWorkload(dep.System, cfg.name, queries, opts.Repeats)
+		dep.Close()
+		if err != nil {
+			return nil, err
+		}
+		panel.Series = append(panel.Series, series)
+	}
+	return panel, nil
+}
+
+// HeadlineResult is the "up to 72× scale-up" reproduction: the best
+// fragmented-vs-centralized speedup observed across the horizontal panels.
+type HeadlineResult struct {
+	Query   string
+	Config  string
+	Speedup float64
+	Panel   string
+}
+
+// RunHeadline scans the horizontal panels for the maximum speedup.
+func RunHeadline(scale Scale, opts Options) (*HeadlineResult, []*Panel, error) {
+	a, err := RunFig7a(scale, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := RunFig7b(scale, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	best := &HeadlineResult{}
+	for _, panel := range []*Panel{a, b} {
+		central := panel.Series[0]
+		for _, series := range panel.Series[1:] {
+			for qid, m := range series.Times {
+				if sp := Speedup(central.Times[qid], m); sp > best.Speedup {
+					best.Speedup = sp
+					best.Query = qid
+					best.Config = series.Name
+					best.Panel = panel.ID
+				}
+			}
+		}
+	}
+	return best, []*Panel{a, b}, nil
+}
+
+// RunSmallDB reproduces the paper's small-database observation: "in small
+// databases (i.e., 5 MB) the performance gain obtained is not enough to
+// justify the use of fragmentation". It runs the ItemsSHor sweep on a tiny
+// collection.
+func RunSmallDB(opts Options) (*Panel, error) {
+	tiny := Scale{SmallItems: 100, LargeItems: 4, Articles: 4, StoreItems: 80, Seed: 2006}
+	p, err := runHorizontal("smalldb", "Small database (≈5 MB equivalent) — ItemsSHor sweep", false, tiny.SmallItems, tiny, opts)
+	return p, err
+}

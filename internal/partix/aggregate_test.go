@@ -1,0 +1,156 @@
+package partix
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"partix/internal/xquery"
+)
+
+// aggSystem publishes items with a numeric Price-like field spread over 3
+// fragments.
+func aggSystem(t *testing.T) (*System, []float64) {
+	t.Helper()
+	s := newTestSystem(t, 3)
+	c := itemsCollection(12)
+	// Attach a numeric value per item: id is already numeric 0..11.
+	var values []float64
+	for i := range c.Docs {
+		values = append(values, float64(i))
+	}
+	if err := s.Publish(c, horizontalScheme(), map[string]string{
+		"Fcd": "node0", "Fdvd": "node1", "Frest": "node2",
+	}, PublishOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return s, values
+}
+
+func one(t *testing.T, s *System, q string) (float64, Strategy) {
+	t.Helper()
+	res, err := s.Query(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	if len(res.Items) != 1 {
+		t.Fatalf("%s: %d items", q, len(res.Items))
+	}
+	v, err := strconv.ParseFloat(xquery.ItemString(res.Items[0]), 64)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return v, res.Strategy
+}
+
+func TestDistributedSum(t *testing.T) {
+	s, values := aggSystem(t)
+	got, strategy := one(t, s, `sum(for $i in collection("items")/Item return number($i/@id))`)
+	want := 0.0
+	for _, v := range values {
+		want += v
+	}
+	if got != want || strategy != StrategyAggregate {
+		t.Fatalf("sum = %v (%s), want %v", got, strategy, want)
+	}
+}
+
+func TestDistributedMinMax(t *testing.T) {
+	s, values := aggSystem(t)
+	minGot, st1 := one(t, s, `min(for $i in collection("items")/Item return number($i/@id))`)
+	maxGot, st2 := one(t, s, `max(for $i in collection("items")/Item return number($i/@id))`)
+	minWant, maxWant := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		minWant = math.Min(minWant, v)
+		maxWant = math.Max(maxWant, v)
+	}
+	if minGot != minWant || maxGot != maxWant {
+		t.Fatalf("min=%v max=%v, want %v %v", minGot, maxGot, minWant, maxWant)
+	}
+	if st1 != StrategyAggregate || st2 != StrategyAggregate {
+		t.Fatalf("strategies %s %s", st1, st2)
+	}
+}
+
+func TestDistributedAvg(t *testing.T) {
+	s, values := aggSystem(t)
+	got, strategy := one(t, s, `avg(for $i in collection("items")/Item return number($i/@id))`)
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	want := sum / float64(len(values))
+	if math.Abs(got-want) > 1e-9 || strategy != StrategyAggregate {
+		t.Fatalf("avg = %v (%s), want %v", got, strategy, want)
+	}
+}
+
+func TestDistributedAggregatesMatchCentralized(t *testing.T) {
+	frag, _ := aggSystem(t)
+	central := newTestSystem(t, 1)
+	if err := central.Publish(itemsCollection(12), nil, map[string]string{"": "node0"}, PublishOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`count(for $i in collection("items")/Item return $i)`,
+		`sum(for $i in collection("items")/Item return number($i/@id))`,
+		`min(for $i in collection("items")/Item return number($i/@id))`,
+		`max(for $i in collection("items")/Item return number($i/@id))`,
+		`avg(for $i in collection("items")/Item return number($i/@id))`,
+		// Filtered variants.
+		`avg(for $i in collection("items")/Item where $i/Section != "CD" return number($i/@id))`,
+		`max(for $i in collection("items")/Item where contains($i/Description, "good") return number($i/@id))`,
+	}
+	for _, q := range queries {
+		a, err := frag.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		b, err := central.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(a.Items) != len(b.Items) {
+			t.Errorf("%s: %d vs %d items", q, len(a.Items), len(b.Items))
+			continue
+		}
+		if len(a.Items) == 1 && xquery.ItemString(a.Items[0]) != xquery.ItemString(b.Items[0]) {
+			t.Errorf("%s: %s vs %s", q, xquery.ItemString(a.Items[0]), xquery.ItemString(b.Items[0]))
+		}
+	}
+}
+
+func TestAggregateOverEmptySelection(t *testing.T) {
+	s, _ := aggSystem(t)
+	// No item has this section: min/avg over nothing are empty sequences.
+	for _, fn := range []string{"min", "max", "avg"} {
+		res, err := s.Query(fn + `(for $i in collection("items")/Item where $i/Section = "Vinyl" return number($i/@id))`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Items) != 0 {
+			t.Fatalf("%s over empty = %v", fn, res.Items)
+		}
+	}
+	res, err := s.Query(`sum(for $i in collection("items")/Item where $i/Section = "Vinyl" return number($i/@id))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || xquery.ItemString(res.Items[0]) != "0" {
+		t.Fatalf("sum over empty = %v", res.Items)
+	}
+}
+
+func TestAvgSingleFragmentStaysRouted(t *testing.T) {
+	s, _ := aggSystem(t)
+	res, err := s.Query(`avg(for $i in collection("items")/Item where $i/Section = "CD" return number($i/@id))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyRouted {
+		t.Fatalf("strategy = %s (predicate matches the fragmentation)", res.Strategy)
+	}
+	if len(res.Items) != 1 {
+		t.Fatalf("items = %v", res.Items)
+	}
+}

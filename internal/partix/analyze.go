@@ -1,0 +1,512 @@
+package partix
+
+import (
+	"strings"
+
+	"partix/internal/fragmentation"
+	"partix/internal/xpath"
+	"partix/internal/xquery"
+)
+
+// queryPath is one label path the query navigates in a collection,
+// relative to the collection's document roots.
+type queryPath struct {
+	collection string
+	labels     []string // element labels; "*" is a wildcard
+	attr       string   // non-empty when the path ends in an attribute step
+	descendant bool     // the path uses //: fragment analysis must be conservative
+	// existence marks a for-binding path: the query only needs the nodes
+	// to exist to drive iteration, not their whole subtrees. An existence
+	// path above a fragment's projection root is answerable by the spine,
+	// but only if the fragment is guaranteed to hold every document.
+	existence bool
+}
+
+// constraint is a conjunctive condition the query imposes on documents of
+// a collection, used to prune horizontal fragments ("when the query
+// predicates match the fragmentation predicates, the sub-queries are
+// issued only to the corresponding fragments").
+type constraint struct {
+	collection string
+	labels     []string
+	attr       string
+	eq         bool // true: path = value must hold; false: contains(path, value)
+	value      string
+}
+
+// analysis is everything the query service needs to know about a query.
+type analysis struct {
+	paths       []queryPath
+	constraints []constraint
+	// unresolved is set when some path expression's source could not be
+	// traced back to a collection. Fragment relevance must then be
+	// conservative: every fragment is considered touched.
+	unresolved bool
+}
+
+// analyzeQuery extracts the label paths and conjunctive constraints of a
+// query. Variables bound (directly or transitively) to collection-rooted
+// paths are resolved to absolute label paths; anything it cannot resolve
+// is recorded conservatively (a descendant-marked path over the
+// collection).
+func analyzeQuery(e xquery.Expr) *analysis {
+	a := &analysis{}
+	vars := map[string]queryPath{}
+	a.walk(e, vars, nil)
+	return a
+}
+
+// walk descends the AST. ctxPath carries the context path inside step
+// predicates (nil at expression level).
+func (a *analysis) walk(e xquery.Expr, vars map[string]queryPath, ctxPath *queryPath) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *xquery.FLWOR:
+		scope := copyVars(vars)
+		for _, cl := range x.Clauses {
+			if qp, ok := a.resolvePath(cl.In, scope, ctxPath); ok {
+				// The binding itself only requires existence; content use
+				// is recorded where the variable is consumed.
+				bind := qp
+				bind.existence = true
+				a.record(bind)
+				a.constraintsFromBinding(cl.In, scope, ctxPath)
+				scope[cl.Var] = qp
+			} else {
+				a.walk(cl.In, scope, ctxPath)
+				delete(scope, cl.Var)
+			}
+		}
+		if x.Where != nil {
+			a.conjuncts(x.Where, scope, ctxPath)
+		}
+		for _, o := range x.OrderBy {
+			a.walk(o.Key, scope, ctxPath)
+		}
+		a.walk(x.Return, scope, ctxPath)
+	case *xquery.PathExpr:
+		if qp, ok := a.resolvePath(x, vars, ctxPath); ok {
+			a.record(qp)
+			a.predsOf(x, vars, ctxPath)
+		} else {
+			a.unresolved = true
+			a.walk(x.Source, vars, ctxPath)
+			for _, st := range x.Steps {
+				for _, p := range st.Preds {
+					a.walk(p, vars, ctxPath)
+				}
+			}
+		}
+	case *xquery.Binary:
+		a.walk(x.Left, vars, ctxPath)
+		a.walk(x.Right, vars, ctxPath)
+	case *xquery.FuncCall:
+		for _, arg := range x.Args {
+			a.walk(arg, vars, ctxPath)
+		}
+	case *xquery.Sequence:
+		for _, it := range x.Items {
+			a.walk(it, vars, ctxPath)
+		}
+	case *xquery.ElementCtor:
+		for _, at := range x.Attrs {
+			a.walk(at.Value, vars, ctxPath)
+		}
+		for _, ch := range x.Children {
+			a.walk(ch, vars, ctxPath)
+		}
+	case *xquery.VarRef:
+		// A bare variable consumes the whole subtrees it is bound to.
+		if qp, ok := vars[x.Name]; ok {
+			a.record(qp)
+		}
+	case *xquery.CollectionCall:
+		// A bare collection() returns whole documents.
+		a.record(queryPath{collection: x.Name})
+	case *xquery.IfExpr:
+		a.walk(x.Cond, vars, ctxPath)
+		a.walk(x.Then, vars, ctxPath)
+		a.walk(x.Else, vars, ctxPath)
+	case *xquery.Quantified:
+		scope := copyVars(vars)
+		for _, cl := range x.Clauses {
+			if qp, ok := a.resolvePath(cl.In, scope, ctxPath); ok {
+				a.record(qp) // content use: the quantifier inspects values
+				scope[cl.Var] = qp
+			} else {
+				a.walk(cl.In, scope, ctxPath)
+				delete(scope, cl.Var)
+			}
+		}
+		a.walk(x.Satisfies, scope, ctxPath)
+	case *xquery.StringLit, *xquery.NumberLit, *xquery.TextLit,
+		*xquery.ContextItem, *xquery.DocCall:
+		// Leaves without collection paths.
+	default:
+		// An expression kind this analyzer does not understand: fragment
+		// relevance cannot be bounded, fall back to touching everything.
+		a.unresolved = true
+	}
+}
+
+// conjuncts walks the top-level AND tree of a where clause, extracting
+// constraints from each term and analyzing all of them for paths.
+func (a *analysis) conjuncts(e xquery.Expr, vars map[string]queryPath, ctxPath *queryPath) {
+	if b, ok := e.(*xquery.Binary); ok && b.Op == xquery.OpAnd {
+		a.conjuncts(b.Left, vars, ctxPath)
+		a.conjuncts(b.Right, vars, ctxPath)
+		return
+	}
+	a.constraintFromTerm(e, vars, ctxPath)
+	a.walk(e, vars, ctxPath)
+}
+
+// constraintFromTerm recognizes `path = "lit"` and contains(path, "lit").
+func (a *analysis) constraintFromTerm(e xquery.Expr, vars map[string]queryPath, ctxPath *queryPath) {
+	switch x := e.(type) {
+	case *xquery.Binary:
+		if x.Op != xquery.OpEq {
+			return
+		}
+		pe, lit := splitPathLiteral(x.Left, x.Right)
+		if pe == nil {
+			return
+		}
+		if qp, ok := a.resolvePath(pe, vars, ctxPath); ok && !qp.descendant && noPreds(pe) {
+			a.constraints = append(a.constraints, constraint{
+				collection: qp.collection, labels: qp.labels, attr: qp.attr, eq: true, value: lit,
+			})
+		}
+	case *xquery.FuncCall:
+		if x.Name != "contains" || len(x.Args) != 2 {
+			return
+		}
+		lit, ok := x.Args[1].(*xquery.StringLit)
+		if !ok {
+			return
+		}
+		pe, isPath := x.Args[0].(*xquery.PathExpr)
+		var qp queryPath
+		var resolved bool
+		if isPath {
+			if !noPreds(pe) {
+				return
+			}
+			qp, resolved = a.resolvePath(pe, vars, ctxPath)
+		} else if v, isVar := x.Args[0].(*xquery.VarRef); isVar {
+			qp, resolved = vars[v.Name], true
+			if _, known := vars[v.Name]; !known {
+				resolved = false
+			}
+		}
+		if resolved && !qp.descendant {
+			a.constraints = append(a.constraints, constraint{
+				collection: qp.collection, labels: qp.labels, attr: qp.attr, eq: false, value: lit.Value,
+			})
+		}
+	}
+}
+
+// constraintsFromBinding extracts constraints from step predicates of a
+// binding path: collection("c")/Item[Section = "CD"].
+func (a *analysis) constraintsFromBinding(e xquery.Expr, vars map[string]queryPath, ctxPath *queryPath) {
+	pe, ok := e.(*xquery.PathExpr)
+	if !ok {
+		return
+	}
+	base, ok := a.resolveSource(pe.Source, vars, ctxPath)
+	if !ok {
+		return
+	}
+	cur := base
+	for _, st := range pe.Steps {
+		cur = extendPath(cur, st)
+		for _, p := range st.Preds {
+			a.conjuncts(p, vars, &cur)
+		}
+	}
+}
+
+// resolvePath turns a path expression into an absolute queryPath when its
+// source is a collection, a resolvable variable, or the predicate context.
+func (a *analysis) resolvePath(e xquery.Expr, vars map[string]queryPath, ctxPath *queryPath) (queryPath, bool) {
+	switch x := e.(type) {
+	case *xquery.CollectionCall:
+		return queryPath{collection: x.Name}, true
+	case *xquery.VarRef:
+		qp, ok := vars[x.Name]
+		return qp, ok
+	case *xquery.ContextItem:
+		if ctxPath != nil {
+			return *ctxPath, true
+		}
+		return queryPath{}, false
+	case *xquery.PathExpr:
+		base, ok := a.resolveSource(x.Source, vars, ctxPath)
+		if !ok {
+			return queryPath{}, false
+		}
+		cur := base
+		for _, st := range x.Steps {
+			cur = extendPath(cur, st)
+			// Step predicates are analyzed by the caller when needed; for
+			// resolution purposes they do not change the path.
+		}
+		return cur, true
+	default:
+		return queryPath{}, false
+	}
+}
+
+func (a *analysis) resolveSource(src xquery.Expr, vars map[string]queryPath, ctxPath *queryPath) (queryPath, bool) {
+	switch s := src.(type) {
+	case nil:
+		if ctxPath != nil {
+			return *ctxPath, true
+		}
+		return queryPath{}, false
+	case *xquery.CollectionCall:
+		return queryPath{collection: s.Name}, true
+	case *xquery.VarRef:
+		qp, ok := vars[s.Name]
+		return qp, ok
+	case *xquery.PathExpr:
+		return a.resolvePath(s, vars, ctxPath)
+	default:
+		return queryPath{}, false
+	}
+}
+
+// predsOf analyzes the step predicates of a resolved path, threading the
+// correct context path (the path up to and including the step) into each.
+func (a *analysis) predsOf(pe *xquery.PathExpr, vars map[string]queryPath, ctxPath *queryPath) {
+	cur, ok := a.resolveSource(pe.Source, vars, ctxPath)
+	if !ok {
+		return
+	}
+	for _, st := range pe.Steps {
+		cur = extendPath(cur, st)
+		for _, p := range st.Preds {
+			a.conjuncts(p, vars, &cur)
+		}
+	}
+}
+
+func (a *analysis) record(qp queryPath) {
+	if qp.collection == "" {
+		return
+	}
+	a.paths = append(a.paths, qp)
+}
+
+func extendPath(base queryPath, st xquery.PathStep) queryPath {
+	out := queryPath{
+		collection: base.collection,
+		labels:     append([]string(nil), base.labels...),
+		attr:       base.attr,
+		descendant: base.descendant || st.Descendant,
+	}
+	switch {
+	case st.Text:
+		// text() does not change the element path.
+	case st.Attr:
+		out.attr = st.Name
+	default:
+		out.labels = append(out.labels, st.Name)
+	}
+	return out
+}
+
+func splitPathLiteral(l, r xquery.Expr) (*xquery.PathExpr, string) {
+	if lit, ok := r.(*xquery.StringLit); ok {
+		if pe, ok := l.(*xquery.PathExpr); ok {
+			return pe, lit.Value
+		}
+	}
+	if lit, ok := l.(*xquery.StringLit); ok {
+		if pe, ok := r.(*xquery.PathExpr); ok {
+			return pe, lit.Value
+		}
+	}
+	return nil, ""
+}
+
+func noPreds(pe *xquery.PathExpr) bool {
+	for _, st := range pe.Steps {
+		if len(st.Preds) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func copyVars(in map[string]queryPath) map[string]queryPath {
+	out := make(map[string]queryPath, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// --- fragment relevance ---
+
+// labelsPrefix reports whether a is a label-prefix of b, treating "*" as
+// matching any label.
+func labelsPrefix(a, b []string) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && a[i] != "*" && b[i] != "*" {
+			return false
+		}
+	}
+	return true
+}
+
+func pathLabels(p *xpath.Path) []string {
+	out := make([]string, 0, len(p.Steps))
+	for _, st := range p.Steps {
+		if st.Attr {
+			break
+		}
+		out = append(out, st.Name)
+	}
+	return out
+}
+
+// touchesFragment reports whether a query path needs content owned by a
+// vertical/hybrid fragment. Spine-only paths — an ancestor's attribute, or
+// the mere existence of an ancestor element (a for-binding) — do not
+// count: the fragment's replicated spine answers them.
+func touchesFragment(f *fragmentation.Fragment, qp queryPath) bool {
+	if qp.descendant {
+		return true // cannot bound a // path statically
+	}
+	if len(qp.labels) == 0 && qp.attr == "" {
+		return true // whole documents
+	}
+	p := pathLabels(f.Path)
+	q := qp.labels
+	for _, g := range f.Prune {
+		if labelsPrefix(pathLabels(g), q) {
+			return false // the query path lives in a pruned subtree
+		}
+	}
+	if labelsPrefix(p, q) {
+		return true // inside the owned subtree (existence or content)
+	}
+	if labelsPrefix(q, p) && len(q) < len(p) {
+		// The query reaches a strict ancestor of the fragment root:
+		// consuming the element's whole subtree needs this fragment;
+		// an attribute or a bare existence test is served by the spine.
+		return qp.attr == "" && !qp.existence
+	}
+	return false
+}
+
+// ancestorExistenceOf reports whether the analysis has an existence path
+// strictly above the fragment's projection root. Routing to the fragment
+// is then only sound when the fragment holds every document of the
+// collection (documents where the projection selects nothing are absent
+// from the fragment, and their bindings would be lost).
+func ancestorExistenceOf(an *analysis, collection string, f *fragmentation.Fragment) bool {
+	p := pathLabels(f.Path)
+	for _, qp := range an.paths {
+		if qp.collection != collection || !qp.existence || qp.descendant {
+			continue
+		}
+		if len(qp.labels) < len(p) && labelsPrefix(qp.labels, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// contradictsPredicate reports whether a query constraint makes a
+// fragment's selection predicate unsatisfiable, so the fragment can be
+// skipped. Only document-level predicates built from conjunctions of
+// comparisons and (negated) contains over the same path are analyzed;
+// anything else keeps the fragment.
+//
+// absBase is prepended to the fragment predicate's paths: for a hybrid
+// fragment π(P) • σ(μ) the predicate is evaluated on P's children, so its
+// absolute path is P's labels plus the predicate path's labels.
+func contradictsPredicate(pred xpath.Predicate, absBase []string, cons []constraint, collection string) bool {
+	switch p := pred.(type) {
+	case *xpath.And:
+		for _, t := range p.Terms {
+			if contradictsPredicate(t, absBase, cons, collection) {
+				return true
+			}
+		}
+		return false
+	case *xpath.Or:
+		// A disjunction is unsatisfiable only if every branch is.
+		if len(p.Terms) == 0 {
+			return false
+		}
+		for _, t := range p.Terms {
+			if !contradictsPredicate(t, absBase, cons, collection) {
+				return false
+			}
+		}
+		return true
+	case *xpath.Comparison:
+		if p.Path.IsAttribute() || p.Path.HasDescendant() {
+			return false
+		}
+		fp := append(append([]string(nil), absBase...), pathLabels(p.Path)...)
+		for _, c := range cons {
+			if c.collection != collection || !c.eq || c.attr != "" {
+				continue
+			}
+			if !sameLabels(fp, c.labels) {
+				continue
+			}
+			// The query requires some node on this path to equal c.value.
+			// Assuming the fragmentation path is single-valued (which the
+			// scheme's schema check enforces for fragment paths), a
+			// fragment requiring = other / != c.value cannot hold.
+			if p.Op == xpath.OpEq && p.Value != c.value {
+				return true
+			}
+			if p.Op == xpath.OpNe && p.Value == c.value {
+				return true
+			}
+		}
+		return false
+	case *xpath.Not:
+		// not(contains(path, s)): contradicted by a query constraint
+		// contains(path, s') when s' contains s (any text with s' also
+		// has s).
+		inner, ok := p.Inner.(*xpath.Contains)
+		if !ok {
+			return false
+		}
+		fp := append(append([]string(nil), absBase...), pathLabels(inner.Path)...)
+		for _, c := range cons {
+			if c.collection != collection || c.eq || c.attr != "" {
+				continue
+			}
+			if matchableLabels(fp, c.labels) && strings.Contains(c.value, inner.Needle) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func sameLabels(a, b []string) bool {
+	return len(a) == len(b) && labelsPrefix(a, b)
+}
+
+// matchableLabels compares a fragment predicate path against a constraint
+// path, tolerating the fragment's use of // (which pathLabels cannot
+// express): it requires the non-descendant case to match exactly.
+func matchableLabels(fragPath, consPath []string) bool {
+	return sameLabels(fragPath, consPath)
+}

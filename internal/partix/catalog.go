@@ -1,0 +1,105 @@
+// Package partix implements the PartiX middleware of the paper's Section 4:
+// the XML Schema Catalog Service and XML Distribution Catalog Service, the
+// Distributed XML Data Publisher, and the Distributed XML Query Service
+// that analyzes path expressions, identifies the fragments referenced by a
+// query, rewrites it into sub-queries over fragment collections, gathers
+// partial results and composes the final answer.
+package partix
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"partix/internal/fragmentation"
+	"partix/internal/xmlschema"
+)
+
+// CollectionMeta is one catalog entry: the schema information (optional)
+// and the distribution design of a global collection.
+type CollectionMeta struct {
+	// Name of the global collection queries reference.
+	Name string
+	// Spec optionally carries the collection's schema and root type.
+	Spec *xmlschema.CollectionSpec
+	// Scheme is the fragmentation design; nil for unfragmented
+	// collections.
+	Scheme *fragmentation.Scheme
+	// Placement maps fragment name → primary node name. Unfragmented
+	// collections use the empty fragment name "" for their single node.
+	Placement map[string]string
+	// Replicas maps fragment name → additional nodes holding a full copy
+	// of the fragment; the query service fails over to them when the
+	// primary is unreachable.
+	Replicas map[string][]string
+	// Mode is how hybrid fragments were materialized.
+	Mode fragmentation.MaterializeMode
+}
+
+// Fragmented reports whether the collection has a fragmentation scheme.
+func (m *CollectionMeta) Fragmented() bool { return m.Scheme != nil }
+
+// NodeCollection is the name a fragment's documents are stored under on
+// its node.
+func (m *CollectionMeta) NodeCollection(fragment string) string {
+	if fragment == "" {
+		return m.Name
+	}
+	return m.Name + "::" + fragment
+}
+
+// Catalog is the middleware's metadata store: which collections exist,
+// how they are fragmented, and where the fragments live.
+type Catalog struct {
+	mu          sync.RWMutex
+	collections map[string]*CollectionMeta
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{collections: map[string]*CollectionMeta{}}
+}
+
+// Register adds (or replaces) a collection's metadata. The fragmentation
+// scheme, when present, is statically validated and every fragment must be
+// placed on a node.
+func (c *Catalog) Register(meta *CollectionMeta) error {
+	if meta.Name == "" {
+		return fmt.Errorf("partix: collection without a name")
+	}
+	if meta.Scheme != nil {
+		if err := meta.Scheme.Validate(); err != nil {
+			return err
+		}
+		for _, f := range meta.Scheme.Fragments {
+			if meta.Placement[f.Name] == "" {
+				return fmt.Errorf("partix: fragment %q of %q has no placement", f.Name, meta.Name)
+			}
+		}
+	} else if meta.Placement[""] == "" {
+		return fmt.Errorf("partix: unfragmented collection %q needs a placement", meta.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.collections[meta.Name] = meta
+	return nil
+}
+
+// Lookup returns the metadata of a collection, or nil.
+func (c *Catalog) Lookup(name string) *CollectionMeta {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.collections[name]
+}
+
+// Collections lists registered collection names, sorted.
+func (c *Catalog) Collections() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.collections))
+	for name := range c.collections {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

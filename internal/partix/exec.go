@@ -1,0 +1,201 @@
+package partix
+
+import (
+	"fmt"
+	"time"
+
+	"partix/internal/cluster"
+	"partix/internal/xquery"
+)
+
+// fragQuery is one sub-query bound for a fragment's node.
+type fragQuery struct {
+	fragment string
+	node     string
+	replicas []string
+	expr     xquery.Expr
+}
+
+// execution wraps the measured sub-query results.
+type execution struct {
+	res *cluster.ExecResult
+}
+
+// execute ships the sub-queries through the cluster layer: sequentially
+// with slowest-site accounting by default (the paper's methodology), or
+// in parallel goroutines when the system runs in concurrent mode.
+func (s *System) execute(fqs []fragQuery) (*execution, error) {
+	subs := make([]cluster.SubQuery, 0, len(fqs))
+	for _, fq := range fqs {
+		node := s.Node(fq.node)
+		if node == nil {
+			return nil, fmt.Errorf("partix: unknown node %q", fq.node)
+		}
+		sub := cluster.SubQuery{
+			Fragment: fq.fragment,
+			Node:     node,
+			Query:    xquery.Format(fq.expr),
+		}
+		for _, r := range fq.replicas {
+			replica := s.Node(r)
+			if replica == nil {
+				return nil, fmt.Errorf("partix: unknown replica node %q", r)
+			}
+			sub.Replicas = append(sub.Replicas, replica)
+		}
+		subs = append(subs, sub)
+	}
+	run := cluster.Execute
+	if s.Concurrent() {
+		run = cluster.ExecuteConcurrent
+	}
+	res, err := run(subs, s.cost)
+	if err != nil {
+		return nil, err
+	}
+	return &execution{res: res}, nil
+}
+
+func (x *execution) items() xquery.Seq { return x.res.Items() }
+
+func (x *execution) result(strategy Strategy) *QueryResult {
+	out := &QueryResult{
+		Strategy:         strategy,
+		ParallelTime:     x.res.ParallelTime,
+		TransmissionTime: x.res.TransmissionTime,
+	}
+	for _, sub := range x.res.Sub {
+		out.Fragments = append(out.Fragments, sub.Fragment)
+		out.Sub = append(out.Sub, SubTiming{
+			Fragment:    sub.Fragment,
+			Node:        sub.Node,
+			Elapsed:     sub.Elapsed,
+			ResultBytes: sub.ResultBytes,
+			Items:       len(sub.Items),
+		})
+	}
+	return out
+}
+
+// compose combines partial results per the planned strategy: centralized
+// and routed plans pass through; an aggregate plan composes the
+// per-fragment values (sum for count/sum, min/max for min/max, a
+// sum-and-count division for avg); a union plan concatenates (the ∪
+// reconstruction).
+func (s *System) compose(e xquery.Expr, exec *execution, strategy Strategy) (*QueryResult, error) {
+	if strategy == StrategyCentralized || strategy == StrategyRouted {
+		res := exec.result(strategy)
+		res.Items = exec.items()
+		return res, nil
+	}
+	start := time.Now()
+	if name, ok := topLevelAggregate(e); ok {
+		items, err := composeAggregate(name, exec)
+		if err != nil {
+			return nil, err
+		}
+		res := exec.result(StrategyAggregate)
+		res.Items = items
+		res.ComposeTime = time.Since(start)
+		return res, nil
+	}
+	res := exec.result(StrategyUnion)
+	res.Items = exec.items()
+	res.ComposeTime = time.Since(start)
+	return res, nil
+}
+
+func composeAggregate(name string, exec *execution) (xquery.Seq, error) {
+	switch name {
+	case "count", "sum":
+		total := 0.0
+		for _, sub := range exec.res.Sub {
+			for _, it := range sub.Items {
+				v, err := itemFloat(it)
+				if err != nil {
+					return nil, fmt.Errorf("partix: composing %s(): %w", name, err)
+				}
+				total += v
+			}
+		}
+		return xquery.Seq{total}, nil
+	case "min", "max":
+		var best *float64
+		for _, sub := range exec.res.Sub {
+			for _, it := range sub.Items {
+				v, err := itemFloat(it)
+				if err != nil {
+					return nil, fmt.Errorf("partix: composing %s(): %w", name, err)
+				}
+				if best == nil || (name == "min" && v < *best) || (name == "max" && v > *best) {
+					v := v
+					best = &v
+				}
+			}
+		}
+		if best == nil {
+			return nil, nil // min/max over nothing is empty
+		}
+		return xquery.Seq{*best}, nil
+	case "avg":
+		// Sub-queries were rewritten to (sum(X), count(X)) pairs.
+		sum, count := 0.0, 0.0
+		for _, sub := range exec.res.Sub {
+			if len(sub.Items) != 2 {
+				return nil, fmt.Errorf("partix: avg() sub-result has %d items, want (sum, count)", len(sub.Items))
+			}
+			sv, err := itemFloat(sub.Items[0])
+			if err != nil {
+				return nil, err
+			}
+			cv, err := itemFloat(sub.Items[1])
+			if err != nil {
+				return nil, err
+			}
+			sum += sv
+			count += cv
+		}
+		if count == 0 {
+			return nil, nil // avg of the empty sequence is empty
+		}
+		return xquery.Seq{sum / count}, nil
+	default:
+		return nil, fmt.Errorf("partix: unknown aggregate %q", name)
+	}
+}
+
+// topLevelAggregate recognizes queries whose outermost expression is a
+// decomposable aggregate.
+func topLevelAggregate(e xquery.Expr) (string, bool) {
+	f, ok := e.(*xquery.FuncCall)
+	if !ok || len(f.Args) != 1 {
+		return "", false
+	}
+	switch f.Name {
+	case "count", "sum", "min", "max", "avg":
+		return f.Name, true
+	}
+	return "", false
+}
+
+// rewriteAggregateForFragments prepares the per-fragment form of a
+// decomposable aggregate: avg(X) becomes (sum(X), count(X)) so the
+// coordinator can divide the totals; the distributive aggregates ship
+// unchanged.
+func rewriteAggregateForFragments(e xquery.Expr) xquery.Expr {
+	f, ok := e.(*xquery.FuncCall)
+	if !ok || f.Name != "avg" || len(f.Args) != 1 {
+		return e
+	}
+	return &xquery.Sequence{Items: []xquery.Expr{
+		&xquery.FuncCall{Name: "sum", Args: f.Args},
+		&xquery.FuncCall{Name: "count", Args: f.Args},
+	}}
+}
+
+func itemFloat(it xquery.Item) (float64, error) {
+	if f, ok := it.(float64); ok {
+		return f, nil
+	}
+	return 0, fmt.Errorf("aggregate sub-result is %T, want number", it)
+}

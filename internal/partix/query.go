@@ -1,0 +1,604 @@
+package partix
+
+import (
+	"fmt"
+	"time"
+
+	"partix/internal/cluster"
+	"partix/internal/fragmentation"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// Strategy names how the query service executed a query.
+type Strategy string
+
+// Execution strategies of the Distributed XML Query Service.
+const (
+	// StrategyCentralized: the collection is unfragmented on one node.
+	StrategyCentralized Strategy = "centralized"
+	// StrategyRouted: the query touches exactly one fragment.
+	StrategyRouted Strategy = "routed"
+	// StrategyUnion: the query runs on several disjoint fragments and the
+	// partial results are concatenated (the ∪ reconstruction).
+	StrategyUnion Strategy = "union"
+	// StrategyAggregate: a top-level count()/sum() composed by summing
+	// the per-fragment values ("entirely evaluated in parallel, not
+	// requiring additional time for reconstructing the global result").
+	StrategyAggregate Strategy = "aggregate"
+	// StrategyReconstruct: the query needs several vertical fragments;
+	// their documents are fetched, joined by ID (⨝) at the coordinator,
+	// and the query is evaluated over the reconstructed collection.
+	StrategyReconstruct Strategy = "reconstruct"
+)
+
+// QueryResult is the outcome of a distributed query execution, carrying
+// the timing decomposition of the paper's methodology.
+type QueryResult struct {
+	Items    xquery.Seq
+	Strategy Strategy
+	// Fragments actually queried or fetched.
+	Fragments []string
+	// Sub holds per-site measurements.
+	Sub []SubTiming
+	// ParallelTime is the slowest site's time.
+	ParallelTime time.Duration
+	// TransmissionTime is the modeled network time.
+	TransmissionTime time.Duration
+	// ComposeTime is coordinator-side composition (union, sum, or the
+	// reconstruction join plus local evaluation).
+	ComposeTime time.Duration
+}
+
+// SubTiming is one site's measured execution.
+type SubTiming struct {
+	Fragment    string
+	Node        string
+	Elapsed     time.Duration
+	ResultBytes int
+	Items       int
+}
+
+// ResponseTime is the simulated end-to-end response time: slowest site +
+// network + composition.
+func (r *QueryResult) ResponseTime() time.Duration {
+	return r.ParallelTime + r.TransmissionTime + r.ComposeTime
+}
+
+// Query parses and executes q through the distributed query service.
+func (s *System) Query(q string) (*QueryResult, error) {
+	e, err := xquery.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.QueryExpr(e)
+}
+
+// QueryExpr executes a parsed query: it is planned first (strategy
+// selection, fragment pruning, sub-query rewriting) and the plan is then
+// executed. Explain returns the plan without executing it.
+func (s *System) QueryExpr(e xquery.Expr) (*QueryResult, error) {
+	p, err := s.planQuery(e)
+	if err != nil {
+		return nil, err
+	}
+	return s.executePlan(e, p)
+}
+
+// queryPlan is the outcome of planning: what runs where.
+type queryPlan struct {
+	strategy Strategy
+	meta     *CollectionMeta // single-collection plans
+	metas    []*CollectionMeta
+	// subQueries is set for centralized/routed/union/aggregate plans.
+	subQueries []fragQuery
+	// reconstruct lists the fragments to fetch and join.
+	reconstruct []*fragmentation.Fragment
+	// emptyRoute marks a query contradicting every fragment.
+	emptyRoute bool
+}
+
+// planQuery analyzes the query and decides the execution strategy.
+func (s *System) planQuery(e xquery.Expr) (*queryPlan, error) {
+	colls := xquery.CollectionNames(e)
+	if len(colls) == 0 {
+		return nil, fmt.Errorf("partix: query references no collection")
+	}
+	metas := make([]*CollectionMeta, len(colls))
+	for i, name := range colls {
+		m := s.catalog.Lookup(name)
+		if m == nil {
+			return nil, fmt.Errorf("partix: collection %q is not registered", name)
+		}
+		metas[i] = m
+	}
+
+	// Multiple collections: evaluate at the coordinator over fetched,
+	// reconstructed collections (the paper's prototype takes decomposed
+	// queries; automatic decomposition of cross-collection joins is out
+	// of scope there too).
+	if len(colls) > 1 {
+		return &queryPlan{strategy: StrategyReconstruct, metas: metas}, nil
+	}
+
+	meta := metas[0]
+	if !meta.Fragmented() {
+		return &queryPlan{
+			strategy:   StrategyCentralized,
+			meta:       meta,
+			subQueries: []fragQuery{{fragment: "", node: meta.Placement[""], replicas: meta.Replicas[""], expr: e}},
+		}, nil
+	}
+
+	// doc() references resolve against whatever store evaluates them; on
+	// a fragment node the document may be absent or partial. Queries
+	// mixing doc() with a fragmented collection are therefore evaluated
+	// at the coordinator over the reconstructed collection.
+	if usesDocCall(e) {
+		return &queryPlan{
+			strategy:    StrategyReconstruct,
+			meta:        meta,
+			reconstruct: meta.Scheme.Fragments,
+		}, nil
+	}
+
+	an := analyzeQuery(e)
+	if meta.Scheme.AllHorizontal() {
+		return s.planHorizontal(e, meta, an)
+	}
+	return s.planVertical(e, meta, an)
+}
+
+func usesDocCall(e xquery.Expr) bool {
+	found := false
+	xquery.Walk(e, func(x xquery.Expr) {
+		if _, ok := x.(*xquery.DocCall); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// planHorizontal prunes fragments whose predicate contradicts the query
+// and targets the rewritten query at the remainder.
+func (s *System) planHorizontal(e xquery.Expr, meta *CollectionMeta, an *analysis) (*queryPlan, error) {
+	var relevant []*fragmentation.Fragment
+	for _, f := range meta.Scheme.Fragments {
+		if len(an.constraints) > 0 && contradictsPredicate(f.Predicate, nil, an.constraints, meta.Name) {
+			continue
+		}
+		relevant = append(relevant, f)
+	}
+	if len(relevant) == 0 {
+		// The query contradicts every fragment: empty result, but an
+		// aggregate still needs its zero value, so evaluate over nothing.
+		return &queryPlan{strategy: StrategyRouted, meta: meta, emptyRoute: true}, nil
+	}
+	plan := &queryPlan{meta: meta}
+	shipped := e
+	if len(relevant) > 1 {
+		shipped = rewriteAggregateForFragments(e)
+	}
+	for _, f := range relevant {
+		sub, err := rewriteForFragment(shipped, meta.Name, meta.NodeCollection(f.Name), nil)
+		if err != nil {
+			return nil, err
+		}
+		plan.subQueries = append(plan.subQueries, fragQuery{fragment: f.Name, node: meta.Placement[f.Name], replicas: meta.Replicas[f.Name], expr: sub})
+	}
+	plan.strategy = unionOrAggregate(e, len(relevant))
+	return plan, nil
+}
+
+// planVertical routes to one fragment when possible, unions across
+// sibling hybrid fragments when the query is item-scoped, and falls back
+// to join reconstruction otherwise.
+func (s *System) planVertical(e xquery.Expr, meta *CollectionMeta, an *analysis) (*queryPlan, error) {
+	touched := s.touchedFragments(meta, an)
+	if len(touched) == 0 && !an.unresolved {
+		// Spine-only query: any fragment guaranteed to hold every
+		// document answers it from its spine.
+		for _, f := range meta.Scheme.Fragments {
+			if holdsAllDocuments(meta, f) {
+				touched = []*fragmentation.Fragment{f}
+				break
+			}
+		}
+	}
+	if len(touched) == 0 {
+		touched = meta.Scheme.Fragments
+	}
+	reconstructPlan := &queryPlan{strategy: StrategyReconstruct, meta: meta, reconstruct: touched}
+	if len(touched) == 1 {
+		f := touched[0]
+		// Documents where the projection selects nothing are absent from
+		// the fragment; if the query iterates an ancestor of the
+		// projection root, those documents' bindings would silently
+		// disappear — unless the schema guarantees the path is mandatory.
+		if ancestorExistenceOf(an, meta.Name, f) && !holdsAllDocuments(meta, f) {
+			return reconstructPlan, nil
+		}
+		strip, err := s.stripLabels(meta, f)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := rewriteForFragment(e, meta.Name, meta.NodeCollection(f.Name), strip)
+		if err != nil {
+			return reconstructPlan, nil
+		}
+		return &queryPlan{
+			strategy:   StrategyRouted,
+			meta:       meta,
+			subQueries: []fragQuery{{fragment: f.Name, node: meta.Placement[f.Name], replicas: meta.Replicas[f.Name], expr: sub}},
+		}, nil
+	}
+
+	// Union is sound when all touched fragments are hybrid siblings (same
+	// projection path) and every query path stays strictly inside the
+	// repeating children — the query then treats the children as an MD
+	// collection partitioned by the σ predicates.
+	if s.unionable(meta, an, touched) {
+		plan := &queryPlan{meta: meta}
+		shipped := e
+		if len(touched) > 1 {
+			shipped = rewriteAggregateForFragments(e)
+		}
+		for _, f := range touched {
+			strip, err := s.stripLabels(meta, f)
+			if err != nil {
+				return nil, err
+			}
+			sub, err := rewriteForFragment(shipped, meta.Name, meta.NodeCollection(f.Name), strip)
+			if err != nil {
+				return reconstructPlan, nil
+			}
+			plan.subQueries = append(plan.subQueries, fragQuery{fragment: f.Name, node: meta.Placement[f.Name], replicas: meta.Replicas[f.Name], expr: sub})
+		}
+		plan.strategy = unionOrAggregate(e, len(touched))
+		return plan, nil
+	}
+	return reconstructPlan, nil
+}
+
+// unionOrAggregate picks the composition for a multi-fragment broadcast.
+func unionOrAggregate(e xquery.Expr, fragments int) Strategy {
+	if fragments == 1 {
+		return StrategyRouted
+	}
+	if _, ok := topLevelAggregate(e); ok {
+		return StrategyAggregate
+	}
+	return StrategyUnion
+}
+
+// executePlan runs a plan and assembles the measured result.
+func (s *System) executePlan(e xquery.Expr, p *queryPlan) (*QueryResult, error) {
+	switch {
+	case p.emptyRoute:
+		return s.evalLocal(e, StrategyRouted, nil,
+			map[string]*xmltree.Collection{p.meta.Name: xmltree.NewCollection(p.meta.Name)}, nil)
+	case len(p.metas) > 0:
+		return s.reconstructAndEval(e, p.metas, nil)
+	case len(p.reconstruct) > 0:
+		return s.reconstructFragments(e, p.meta, p.reconstruct)
+	default:
+		exec, err := s.execute(p.subQueries)
+		if err != nil {
+			return nil, err
+		}
+		return s.compose(e, exec, p.strategy)
+	}
+}
+
+// PlanStep describes one sub-query or fetch of an explained plan.
+type PlanStep struct {
+	Fragment string
+	Node     string
+	// Query is the rewritten sub-query text; empty for reconstruction
+	// fetches, which ship whole fragment collections.
+	Query string
+}
+
+// Plan is the user-facing explanation of how a query would execute.
+type Plan struct {
+	Strategy    Strategy
+	Collections []string
+	Steps       []PlanStep
+}
+
+// Explain plans a query without executing it.
+func (s *System) Explain(query string) (*Plan, error) {
+	e, err := xquery.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.planQuery(e)
+	if err != nil {
+		return nil, err
+	}
+	out := &Plan{Strategy: p.strategy, Collections: xquery.CollectionNames(e)}
+	switch {
+	case p.emptyRoute:
+		// Nothing to do: the predicates contradict every fragment.
+	case len(p.metas) > 0:
+		for _, meta := range p.metas {
+			for frag, node := range meta.Placement {
+				out.Steps = append(out.Steps, PlanStep{Fragment: frag, Node: node})
+			}
+		}
+	case len(p.reconstruct) > 0:
+		for _, f := range p.reconstruct {
+			out.Steps = append(out.Steps, PlanStep{Fragment: f.Name, Node: p.meta.Placement[f.Name]})
+		}
+	default:
+		for _, fq := range p.subQueries {
+			out.Steps = append(out.Steps, PlanStep{Fragment: fq.fragment, Node: fq.node, Query: xquery.Format(fq.expr)})
+		}
+	}
+	return out, nil
+}
+
+// touchedFragments returns the fragments the query's paths reach, with
+// hybrid fragments additionally pruned by predicate contradiction.
+func (s *System) touchedFragments(meta *CollectionMeta, an *analysis) []*fragmentation.Fragment {
+	var touched []*fragmentation.Fragment
+	for _, f := range meta.Scheme.Fragments {
+		if !an.unresolved {
+			reached := false
+			for _, qp := range an.paths {
+				if qp.collection == meta.Name && touchesFragment(f, qp) {
+					reached = true
+					break
+				}
+			}
+			if !reached {
+				continue
+			}
+		}
+		if f.Kind == fragmentation.Hybrid && len(an.constraints) > 0 &&
+			contradictsPredicate(f.Predicate, pathLabels(f.Path), an.constraints, meta.Name) {
+			continue
+		}
+		touched = append(touched, f)
+	}
+	return touched
+}
+
+// unionable reports whether the touched fragments partition a repeating
+// child and the query stays inside those children.
+func (s *System) unionable(meta *CollectionMeta, an *analysis, touched []*fragmentation.Fragment) bool {
+	if an.unresolved {
+		return false
+	}
+	var base []string
+	for _, f := range touched {
+		if f.Kind != fragmentation.Hybrid {
+			return false
+		}
+		p := pathLabels(f.Path)
+		if base == nil {
+			base = p
+		} else if !sameLabels(base, p) {
+			return false
+		}
+	}
+	for _, qp := range an.paths {
+		if qp.collection != meta.Name {
+			continue
+		}
+		if qp.descendant || len(qp.labels) <= len(base) || !labelsPrefix(base, qp.labels) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) stripLabels(meta *CollectionMeta, f *fragmentation.Fragment) ([]string, error) {
+	if f.Kind != fragmentation.Hybrid || meta.Mode != fragmentation.FragModeMD {
+		return nil, nil
+	}
+	return pathLabels(f.Path), nil
+}
+
+// holdsAllDocuments reports whether every document of the collection is
+// guaranteed to yield an instance of the fragment: the scheme carries a
+// schema and every step of the projection path is mandatory (min ≥ 1).
+// Without a schema the answer is conservatively false.
+func holdsAllDocuments(meta *CollectionMeta, f *fragmentation.Fragment) bool {
+	sch := meta.Scheme.Schema
+	if sch == nil || meta.Scheme.RootType == "" || f.Path == nil {
+		return false
+	}
+	t := sch.Type(meta.Scheme.RootType)
+	if t == nil {
+		return false
+	}
+	steps := f.Path.Steps
+	if len(steps) == 0 || steps[0].Name != t.ElementName() {
+		return false
+	}
+	for _, st := range steps[1:] {
+		p := t.Child(st.Name)
+		if p == nil || p.Occurs.Min < 1 {
+			return false
+		}
+		t = p.Type
+	}
+	return true
+}
+
+// reconstructFragments fetches the touched fragments, joins them by ID and
+// evaluates the query at the coordinator.
+func (s *System) reconstructFragments(e xquery.Expr, meta *CollectionMeta, touched []*fragmentation.Fragment) (*QueryResult, error) {
+	if meta.Mode == fragmentation.FragModeMD {
+		return nil, fmt.Errorf("partix: query needs %d fragments of %q but FragMode1 documents cannot be joined back", len(touched), meta.Name)
+	}
+	res := &QueryResult{Strategy: StrategyReconstruct}
+	var parts []*xmltree.Collection
+	for _, f := range touched {
+		start := time.Now()
+		node, col, err := s.fetchWithFailover(meta, f.Name)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		bytes := 0
+		for _, d := range col.Docs {
+			bytes += xmltree.SerializedSize(d)
+		}
+		res.Fragments = append(res.Fragments, f.Name)
+		res.Sub = append(res.Sub, SubTiming{Fragment: f.Name, Node: node.Name(), Elapsed: elapsed, ResultBytes: bytes, Items: col.Len()})
+		if elapsed > res.ParallelTime {
+			res.ParallelTime = elapsed
+		}
+		res.TransmissionTime += s.cost.Transmission(bytes) + s.cost.MessageLatency
+		parts = append(parts, col)
+	}
+	start := time.Now()
+	merged, err := meta.Scheme.Reconstruct(parts)
+	if err != nil {
+		return nil, fmt.Errorf("partix: reconstruction of %q failed: %w", meta.Name, err)
+	}
+	merged.Name = meta.Name
+	src := memSource{meta.Name: merged}
+	items, err := xquery.Eval(e, src)
+	if err != nil {
+		return nil, err
+	}
+	res.ComposeTime = time.Since(start)
+	res.Items = items
+	return res, nil
+}
+
+// fetchWithFailover retrieves a fragment's collection from its primary
+// node, falling back to replicas when the primary fails.
+func (s *System) fetchWithFailover(meta *CollectionMeta, fragment string) (cluster.Driver, *xmltree.Collection, error) {
+	names := append([]string{meta.Placement[fragment]}, meta.Replicas[fragment]...)
+	var lastErr error
+	for _, name := range names {
+		node := s.Node(name)
+		if node == nil {
+			lastErr = fmt.Errorf("partix: unknown node %q", name)
+			continue
+		}
+		col, err := node.FetchCollection(meta.NodeCollection(fragment))
+		if err == nil {
+			return node, col, nil
+		}
+		lastErr = err
+	}
+	return nil, nil, lastErr
+}
+
+// reconstructAndEval handles multi-collection queries: every referenced
+// collection is materialized at the coordinator and the query evaluated
+// locally.
+func (s *System) reconstructAndEval(e xquery.Expr, metas []*CollectionMeta, res *QueryResult) (*QueryResult, error) {
+	if res == nil {
+		res = &QueryResult{Strategy: StrategyReconstruct}
+	}
+	src := memSource{}
+	for _, meta := range metas {
+		col, sub, err := s.fetchWhole(meta)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range sub {
+			res.Sub = append(res.Sub, st)
+			if st.Elapsed > res.ParallelTime {
+				res.ParallelTime = st.Elapsed
+			}
+			res.TransmissionTime += s.cost.Transmission(st.ResultBytes) + s.cost.MessageLatency
+		}
+		src[meta.Name] = col
+	}
+	start := time.Now()
+	items, err := xquery.Eval(e, src)
+	if err != nil {
+		return nil, err
+	}
+	res.ComposeTime = time.Since(start)
+	res.Items = items
+	return res, nil
+}
+
+func (s *System) fetchWhole(meta *CollectionMeta) (*xmltree.Collection, []SubTiming, error) {
+	if !meta.Fragmented() {
+		node := s.Node(meta.Placement[""])
+		start := time.Now()
+		col, err := node.FetchCollection(meta.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		elapsed := time.Since(start)
+		bytes := 0
+		for _, d := range col.Docs {
+			bytes += xmltree.SerializedSize(d)
+		}
+		return col, []SubTiming{{Node: node.Name(), Elapsed: elapsed, ResultBytes: bytes, Items: col.Len()}}, nil
+	}
+	var parts []*xmltree.Collection
+	var subs []SubTiming
+	for _, f := range meta.Scheme.Fragments {
+		node := s.Node(meta.Placement[f.Name])
+		start := time.Now()
+		col, err := node.FetchCollection(meta.NodeCollection(f.Name))
+		if err != nil {
+			return nil, nil, err
+		}
+		elapsed := time.Since(start)
+		bytes := 0
+		for _, d := range col.Docs {
+			bytes += xmltree.SerializedSize(d)
+		}
+		subs = append(subs, SubTiming{Fragment: f.Name, Node: node.Name(), Elapsed: elapsed, ResultBytes: bytes, Items: col.Len()})
+		parts = append(parts, col)
+	}
+	merged, err := meta.Scheme.Reconstruct(parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	merged.Name = meta.Name
+	return merged, subs, nil
+}
+
+// evalLocal evaluates the query over in-memory collections (used for the
+// degenerate no-fragment case).
+func (s *System) evalLocal(e xquery.Expr, strategy Strategy, frags []string, cols map[string]*xmltree.Collection, subs []SubTiming) (*QueryResult, error) {
+	start := time.Now()
+	items, err := xquery.Eval(e, memSource(cols))
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{
+		Items: items, Strategy: strategy, Fragments: frags, Sub: subs,
+		ComposeTime: time.Since(start),
+	}, nil
+}
+
+// memSource adapts in-memory collections to xquery.Source.
+type memSource map[string]*xmltree.Collection
+
+// Docs implements xquery.Source.
+func (m memSource) Docs(name string, _ *xquery.Hint, fn func(*xmltree.Document) error) error {
+	c, ok := m[name]
+	if !ok {
+		return fmt.Errorf("partix: no collection %q at coordinator", name)
+	}
+	for _, d := range c.Docs {
+		if err := fn(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Doc implements xquery.Source.
+func (m memSource) Doc(name string) (*xmltree.Document, error) {
+	for _, c := range m {
+		if d := c.Doc(name); d != nil {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("partix: no document %q at coordinator", name)
+}

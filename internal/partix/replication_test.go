@@ -1,0 +1,189 @@
+package partix
+
+import (
+	"fmt"
+	"testing"
+
+	"partix/internal/cluster"
+	"partix/internal/storage"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// failingNode wraps a driver and fails every operation once armed —
+// simulating a node outage.
+type failingNode struct {
+	cluster.Driver
+	down bool
+}
+
+func (f *failingNode) ExecuteQuery(q string) (xquery.Seq, error) {
+	if f.down {
+		return nil, fmt.Errorf("node %s is down", f.Name())
+	}
+	return f.Driver.ExecuteQuery(q)
+}
+
+func (f *failingNode) FetchCollection(c string) (*xmltree.Collection, error) {
+	if f.down {
+		return nil, fmt.Errorf("node %s is down", f.Name())
+	}
+	return f.Driver.FetchCollection(c)
+}
+
+func (f *failingNode) CollectionStats(c string) (storage.Stats, error) {
+	if f.down {
+		return storage.Stats{}, fmt.Errorf("node %s is down", f.Name())
+	}
+	return f.Driver.CollectionStats(c)
+}
+
+// replicatedSystem publishes the horizontal items scheme with node0's
+// fragments replicated on node2, and wraps node0 so it can be downed.
+func replicatedSystem(t *testing.T) (*System, *failingNode) {
+	t.Helper()
+	s := newTestSystem(t, 3)
+	primary := s.Node("node0")
+	failer := &failingNode{Driver: primary}
+	s.AddNode(failer) // replaces node0 with the failable wrapper
+
+	err := s.Publish(itemsCollection(12), horizontalScheme(), map[string]string{
+		"Fcd": "node0", "Fdvd": "node1", "Frest": "node1",
+	}, PublishOptions{
+		Replicas: map[string][]string{"Fcd": {"node2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, failer
+}
+
+func TestReplicationPublishesCopies(t *testing.T) {
+	s, _ := replicatedSystem(t)
+	// The replica node holds a full copy of the fragment.
+	primary, err := s.Node("node0").CollectionStats("items::Fcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := s.Node("node2").CollectionStats("items::Fcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primary.Documents == 0 || primary.Documents != replica.Documents {
+		t.Fatalf("primary %d docs, replica %d", primary.Documents, replica.Documents)
+	}
+}
+
+func TestFailoverToReplica(t *testing.T) {
+	s, failer := replicatedSystem(t)
+	q := `for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`
+
+	res, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(res.Items)
+	if want == 0 {
+		t.Fatal("no CD items in fixture")
+	}
+
+	failer.down = true
+	res, err = s.Query(q)
+	if err != nil {
+		t.Fatalf("failover did not kick in: %v", err)
+	}
+	if len(res.Items) != want {
+		t.Fatalf("failover answer has %d items, want %d", len(res.Items), want)
+	}
+}
+
+func TestFailoverExhaustedReportsError(t *testing.T) {
+	s, failer := replicatedSystem(t)
+	failer.down = true
+	// Fdvd has no replicas and lives on node1 — fine. Query something on
+	// the failed node without replicas: repoint Fcd's replica away first.
+	s.Catalog().Lookup("items").Replicas = nil
+	if _, err := s.Query(`for $i in collection("items")/Item where $i/Section = "CD" return $i`); err == nil {
+		t.Fatal("query over a dead, unreplicated node succeeded")
+	}
+}
+
+func TestReplicaValidation(t *testing.T) {
+	s := newTestSystem(t, 2)
+	err := s.Publish(itemsCollection(4), horizontalScheme(), map[string]string{
+		"Fcd": "node0", "Fdvd": "node1", "Frest": "node1",
+	}, PublishOptions{Replicas: map[string][]string{"Fcd": {"ghost"}}})
+	if err == nil {
+		t.Fatal("unknown replica node accepted")
+	}
+}
+
+func TestConcurrentExecutionMatchesSequential(t *testing.T) {
+	seq := newTestSystem(t, 3)
+	publishHorizontal(t, seq, 24)
+	conc := newTestSystem(t, 3)
+	publishHorizontal(t, conc, 24)
+	conc.SetConcurrent(true)
+	if !conc.Concurrent() || seq.Concurrent() {
+		t.Fatal("mode flags wrong")
+	}
+
+	queries := []string{
+		`for $i in collection("items")/Item where contains($i/Description, "good") return $i/Code`,
+		`count(for $i in collection("items")/Item return $i)`,
+		`for $i in collection("items")/Item where $i/Section = "CD" return $i/Name`,
+	}
+	for _, q := range queries {
+		a, err := seq.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := conc.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, bs := itemsAsStrings(a.Items), itemsAsStrings(b.Items)
+		counts := map[string]int{}
+		for _, v := range as {
+			counts[v]++
+		}
+		for _, v := range bs {
+			counts[v]--
+		}
+		for k, c := range counts {
+			if c != 0 {
+				t.Fatalf("%s: concurrent result differs at %q", q, k)
+			}
+		}
+		if a.Strategy != b.Strategy {
+			t.Fatalf("%s: strategies differ: %s vs %s", q, a.Strategy, b.Strategy)
+		}
+	}
+}
+
+func TestReconstructionFailover(t *testing.T) {
+	s := newTestSystem(t, 4)
+	primary := s.Node("node0")
+	failer := &failingNode{Driver: primary}
+	s.AddNode(failer)
+	err := s.Publish(articlesCollection(6), verticalScheme(), map[string]string{
+		"Fprolog": "node0", "Fbody": "node1", "Fepilog": "node2",
+	}, PublishOptions{Replicas: map[string][]string{"Fprolog": {"node3"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failer.down = true
+	// VQ8-style whole-document query needs all fragments, including the
+	// prolog from the replica.
+	res, err := s.Query(`for $a in collection("articles")/article where $a/@id = "a1" return $a`)
+	if err != nil {
+		t.Fatalf("reconstruction failover failed: %v", err)
+	}
+	if len(res.Items) != 1 {
+		t.Fatalf("items = %d", len(res.Items))
+	}
+	root := res.Items[0].(*xmltree.Node)
+	if root.Child("prolog") == nil {
+		t.Fatal("reconstructed article lacks prolog from replica")
+	}
+}

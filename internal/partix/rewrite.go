@@ -1,0 +1,175 @@
+package partix
+
+import (
+	"fmt"
+
+	"partix/internal/xquery"
+)
+
+// rewriteForFragment produces the sub-query for one fragment: every
+// collection(from) reference becomes collection(to), and — for hybrid
+// fragments materialized as independent documents (FragMode1) — the
+// leading strip labels are removed from collection-rooted paths, because
+// the fragment's documents are rooted at the repeating child rather than
+// at the original document root (e.g. /Store/Items/Item over the global
+// collection becomes /Item over the fragment).
+//
+// It fails when a path cannot be stripped (a bare collection() reference,
+// a predicate or descendant axis inside the stripped prefix); callers fall
+// back to a reconstruction strategy then.
+func rewriteForFragment(e xquery.Expr, from, to string, strip []string) (xquery.Expr, error) {
+	renamed := xquery.RewriteCollections(e, map[string]string{from: to})
+	if len(strip) == 0 {
+		return renamed, nil
+	}
+	return stripPrefix(renamed, to, strip)
+}
+
+func stripPrefix(e xquery.Expr, collection string, strip []string) (xquery.Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *xquery.FLWOR:
+		cp := &xquery.FLWOR{}
+		for _, cl := range x.Clauses {
+			in, err := stripPrefix(cl.In, collection, strip)
+			if err != nil {
+				return nil, err
+			}
+			cp.Clauses = append(cp.Clauses, xquery.Clause{Let: cl.Let, Var: cl.Var, In: in})
+		}
+		var err error
+		if cp.Where, err = stripPrefix(x.Where, collection, strip); err != nil {
+			return nil, err
+		}
+		for _, o := range x.OrderBy {
+			key, err := stripPrefix(o.Key, collection, strip)
+			if err != nil {
+				return nil, err
+			}
+			cp.OrderBy = append(cp.OrderBy, xquery.OrderSpec{Key: key, Descending: o.Descending})
+		}
+		if cp.Return, err = stripPrefix(x.Return, collection, strip); err != nil {
+			return nil, err
+		}
+		return cp, nil
+	case *xquery.CollectionCall:
+		if x.Name == collection {
+			return nil, fmt.Errorf("partix: bare collection(%q) cannot run over item-rooted fragment documents", collection)
+		}
+		return x, nil
+	case *xquery.PathExpr:
+		cp := &xquery.PathExpr{}
+		// Strip only paths rooted at the target collection.
+		if cc, ok := x.Source.(*xquery.CollectionCall); ok && cc.Name == collection {
+			if len(x.Steps) <= len(strip) {
+				return nil, fmt.Errorf("partix: path over collection(%q) does not descend past the fragment root", collection)
+			}
+			for i, want := range strip {
+				st := x.Steps[i]
+				if st.Descendant || st.Attr || st.Text || len(st.Preds) > 0 || (st.Name != want && st.Name != "*") {
+					return nil, fmt.Errorf("partix: cannot strip step %d of path over collection(%q)", i, collection)
+				}
+			}
+			cp.Source = cc
+			x = &xquery.PathExpr{Source: cc, Steps: x.Steps[len(strip):]}
+		} else {
+			src, err := stripPrefix(x.Source, collection, strip)
+			if err != nil {
+				return nil, err
+			}
+			cp.Source = src
+		}
+		for _, st := range x.Steps {
+			ns := xquery.PathStep{Descendant: st.Descendant, Name: st.Name, Attr: st.Attr, Text: st.Text}
+			for _, p := range st.Preds {
+				sp, err := stripPrefix(p, collection, strip)
+				if err != nil {
+					return nil, err
+				}
+				ns.Preds = append(ns.Preds, sp)
+			}
+			cp.Steps = append(cp.Steps, ns)
+		}
+		return cp, nil
+	case *xquery.Binary:
+		l, err := stripPrefix(x.Left, collection, strip)
+		if err != nil {
+			return nil, err
+		}
+		r, err := stripPrefix(x.Right, collection, strip)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.Binary{Op: x.Op, Left: l, Right: r}, nil
+	case *xquery.FuncCall:
+		cp := &xquery.FuncCall{Name: x.Name}
+		for _, a := range x.Args {
+			sa, err := stripPrefix(a, collection, strip)
+			if err != nil {
+				return nil, err
+			}
+			cp.Args = append(cp.Args, sa)
+		}
+		return cp, nil
+	case *xquery.Sequence:
+		cp := &xquery.Sequence{}
+		for _, it := range x.Items {
+			si, err := stripPrefix(it, collection, strip)
+			if err != nil {
+				return nil, err
+			}
+			cp.Items = append(cp.Items, si)
+		}
+		return cp, nil
+	case *xquery.ElementCtor:
+		cp := &xquery.ElementCtor{Name: x.Name}
+		for _, a := range x.Attrs {
+			v, err := stripPrefix(a.Value, collection, strip)
+			if err != nil {
+				return nil, err
+			}
+			cp.Attrs = append(cp.Attrs, xquery.AttrCtor{Name: a.Name, Value: v})
+		}
+		for _, c := range x.Children {
+			sc, err := stripPrefix(c, collection, strip)
+			if err != nil {
+				return nil, err
+			}
+			cp.Children = append(cp.Children, sc)
+		}
+		return cp, nil
+	case *xquery.IfExpr:
+		cond, err := stripPrefix(x.Cond, collection, strip)
+		if err != nil {
+			return nil, err
+		}
+		then, err := stripPrefix(x.Then, collection, strip)
+		if err != nil {
+			return nil, err
+		}
+		els, err := stripPrefix(x.Else, collection, strip)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.IfExpr{Cond: cond, Then: then, Else: els}, nil
+	case *xquery.Quantified:
+		cp := &xquery.Quantified{Every: x.Every}
+		for _, cl := range x.Clauses {
+			in, err := stripPrefix(cl.In, collection, strip)
+			if err != nil {
+				return nil, err
+			}
+			cp.Clauses = append(cp.Clauses, xquery.Clause{Let: cl.Let, Var: cl.Var, In: in})
+		}
+		sat, err := stripPrefix(x.Satisfies, collection, strip)
+		if err != nil {
+			return nil, err
+		}
+		cp.Satisfies = sat
+		return cp, nil
+	default:
+		// Remaining kinds are leaves (literals, variables, doc()).
+		return e, nil
+	}
+}

@@ -1,0 +1,180 @@
+package partix
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"partix/internal/cluster"
+	"partix/internal/fragmentation"
+	"partix/internal/xmltree"
+)
+
+// System is a running PartiX deployment: a set of DBMS nodes behind
+// drivers, the catalogs, and the query service configuration.
+type System struct {
+	mu         sync.RWMutex
+	nodes      map[string]cluster.Driver
+	catalog    *Catalog
+	cost       cluster.CostModel
+	concurrent bool
+}
+
+// SetConcurrent switches sub-query execution between the paper's
+// simulated mode (sequential with slowest-site accounting, the default)
+// and real concurrent execution, which a deployment over remote nodes
+// wants.
+func (s *System) SetConcurrent(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.concurrent = on
+}
+
+// Concurrent reports the execution mode.
+func (s *System) Concurrent() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.concurrent
+}
+
+// NewSystem returns a system with the given communication cost model.
+func NewSystem(cost cluster.CostModel) *System {
+	return &System{
+		nodes:   map[string]cluster.Driver{},
+		catalog: NewCatalog(),
+		cost:    cost,
+	}
+}
+
+// AddNode registers a DBMS node.
+func (s *System) AddNode(d cluster.Driver) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodes[d.Name()] = d
+}
+
+// Node returns the driver for a node name, or nil.
+func (s *System) Node(name string) cluster.Driver {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nodes[name]
+}
+
+// Nodes lists node names, sorted.
+func (s *System) Nodes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.nodes))
+	for n := range s.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Catalog exposes the metadata catalog.
+func (s *System) Catalog() *Catalog { return s.catalog }
+
+// CostModel returns the communication model in use.
+func (s *System) CostModel() cluster.CostModel { return s.cost }
+
+// PublishOptions configure Publish.
+type PublishOptions struct {
+	// Mode selects the hybrid materialization (FragMode1 vs FragMode2).
+	Mode fragmentation.MaterializeMode
+	// CheckCorrectness additionally verifies the three correctness rules
+	// of Section 3.3 against the concrete collection before distributing
+	// anything. It reads the whole collection, so large loads may prefer
+	// to validate on a sample.
+	CheckCorrectness bool
+	// Replicas optionally maps fragment name → additional nodes that
+	// receive a full copy of the fragment for failover.
+	Replicas map[string][]string
+}
+
+// Publish is the Distributed XML Data Publisher: it registers the
+// collection's metadata, applies the fragmentation to the documents, and
+// sends each fragment to its node. placement maps fragment name → node
+// name; for an unfragmented collection (scheme nil) use {"": node}.
+func (s *System) Publish(c *xmltree.Collection, scheme *fragmentation.Scheme, placement map[string]string, opts PublishOptions) error {
+	meta := &CollectionMeta{Name: c.Name, Scheme: scheme, Placement: placement, Replicas: opts.Replicas, Mode: opts.Mode}
+	if err := s.catalog.Register(meta); err != nil {
+		return err
+	}
+	for frag, nodeName := range placement {
+		if s.Node(nodeName) == nil {
+			return fmt.Errorf("partix: placement of %q references unknown node %q", frag, nodeName)
+		}
+	}
+	for frag, replicas := range opts.Replicas {
+		for _, nodeName := range replicas {
+			if s.Node(nodeName) == nil {
+				return fmt.Errorf("partix: replica of %q references unknown node %q", frag, nodeName)
+			}
+		}
+	}
+	if scheme == nil {
+		if err := s.storeCollection(placement[""], c.Name, c); err != nil {
+			return err
+		}
+		for _, replica := range opts.Replicas[""] {
+			if err := s.storeCollection(replica, c.Name, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if opts.CheckCorrectness {
+		if err := scheme.Check(c); err != nil {
+			return fmt.Errorf("partix: fragmentation of %q is incorrect: %w", c.Name, err)
+		}
+	}
+	frags, err := scheme.ApplyMode(c, opts.Mode)
+	if err != nil {
+		return err
+	}
+	for i, f := range scheme.Fragments {
+		targets := append([]string{placement[f.Name]}, opts.Replicas[f.Name]...)
+		for _, nodeName := range targets {
+			if err := s.storeCollection(nodeName, meta.NodeCollection(f.Name), frags[i]); err != nil {
+				return fmt.Errorf("partix: publish fragment %q to %q: %w", f.Name, nodeName, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) storeCollection(nodeName, collection string, c *xmltree.Collection) error {
+	node := s.Node(nodeName)
+	if node == nil {
+		return fmt.Errorf("partix: unknown node %q", nodeName)
+	}
+	if err := node.CreateCollection(collection); err != nil {
+		return err
+	}
+	for _, d := range c.Docs {
+		if err := node.StoreDocument(collection, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FragmentStats reports per-fragment document counts and bytes, as stored
+// on the nodes.
+func (s *System) FragmentStats(collection string) (map[string]int64, error) {
+	meta := s.catalog.Lookup(collection)
+	if meta == nil {
+		return nil, fmt.Errorf("partix: unknown collection %q", collection)
+	}
+	out := map[string]int64{}
+	for frag, nodeName := range meta.Placement {
+		node := s.Node(nodeName)
+		st, err := node.CollectionStats(meta.NodeCollection(frag))
+		if err != nil {
+			return nil, err
+		}
+		out[frag] = st.Bytes
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"partix/internal/xmltree"
+)
+
+// Binary document encoding. The format keeps node IDs (the reconstruction
+// join key) and compresses repeated element names through a string table:
+//
+//	[version byte = 1]
+//	[name table: varint count, then varint-length strings]
+//	[node]
+//
+//	node := [kind byte][id uvarint][nameRef uvarint]      (element/attribute)
+//	        [childCount uvarint][children ...]
+//	node := [kind byte][id uvarint][value string]          (text)
+//
+// Decoding a document is the per-tree "parse" cost of the engine: the
+// store never caches decoded trees, reproducing the per-document
+// pre-processing overhead the paper attributes to eXist (Section 5).
+const encVersion = 1
+
+// EncodeDocument serializes a document to the binary format.
+func EncodeDocument(doc *xmltree.Document) ([]byte, error) {
+	if doc.Root == nil {
+		return nil, fmt.Errorf("storage: encode %q: no root", doc.Name)
+	}
+	// Collect the name table.
+	names := make(map[string]uint64)
+	var table []string
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if n.Kind != xmltree.TextNode {
+			if _, ok := names[n.Name]; !ok {
+				names[n.Name] = uint64(len(table))
+				table = append(table, n.Name)
+			}
+		}
+		return true
+	})
+
+	buf := make([]byte, 0, 256)
+	buf = append(buf, encVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(table)))
+	for _, s := range table {
+		buf = appendString(buf, s)
+	}
+	buf = appendNode(buf, doc.Root, names)
+	return buf, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendNode(buf []byte, n *xmltree.Node, names map[string]uint64) []byte {
+	buf = append(buf, byte(n.Kind))
+	buf = binary.AppendUvarint(buf, uint64(n.ID))
+	if n.Kind == xmltree.TextNode {
+		return appendString(buf, n.Value)
+	}
+	buf = binary.AppendUvarint(buf, names[n.Name])
+	buf = binary.AppendUvarint(buf, uint64(len(n.Children)))
+	for _, c := range n.Children {
+		buf = appendNode(buf, c, names)
+	}
+	return buf
+}
+
+// DecodeDocument parses the binary format back into a document tree.
+func DecodeDocument(name string, data []byte) (*xmltree.Document, error) {
+	d := &decoder{buf: data}
+	v, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != encVersion {
+		return nil, fmt.Errorf("storage: decode %q: unsupported version %d", name, v)
+	}
+	count, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(data)) {
+		return nil, fmt.Errorf("storage: decode %q: name table of %d entries in %d bytes", name, count, len(data))
+	}
+	table := make([]string, count)
+	for i := range table {
+		table[i], err = d.string()
+		if err != nil {
+			return nil, err
+		}
+	}
+	root, err := d.node(table, 0)
+	if err != nil {
+		return nil, fmt.Errorf("storage: decode %q: %w", name, err)
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("storage: decode %q: %d trailing bytes", name, len(data)-d.pos)
+	}
+	return &xmltree.Document{Name: name, Root: root}, nil
+}
+
+const maxDecodeDepth = 10000
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, fmt.Errorf("storage: truncated record")
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("storage: bad varint at offset %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) string() (string, error) {
+	l, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if l > uint64(len(d.buf)-d.pos) {
+		return "", fmt.Errorf("storage: string of %d bytes at offset %d overruns record", l, d.pos)
+	}
+	s := string(d.buf[d.pos : d.pos+int(l)])
+	d.pos += int(l)
+	return s, nil
+}
+
+func (d *decoder) node(table []string, depth int) (*xmltree.Node, error) {
+	if depth > maxDecodeDepth {
+		return nil, fmt.Errorf("storage: tree deeper than %d", maxDecodeDepth)
+	}
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	id, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n := &xmltree.Node{Kind: xmltree.Kind(kind), ID: xmltree.NodeID(id)}
+	switch n.Kind {
+	case xmltree.TextNode:
+		n.Value, err = d.string()
+		if err != nil {
+			return nil, err
+		}
+		return n, nil
+	case xmltree.ElementNode, xmltree.AttributeNode:
+		ref, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ref >= uint64(len(table)) {
+			return nil, fmt.Errorf("storage: name ref %d outside table of %d", ref, len(table))
+		}
+		n.Name = table[ref]
+		count, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count > uint64(len(d.buf)-d.pos) {
+			return nil, fmt.Errorf("storage: child count %d overruns record", count)
+		}
+		n.Children = make([]*xmltree.Node, 0, count)
+		for i := uint64(0); i < count; i++ {
+			c, err := d.node(table, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			c.Parent = n
+			n.Children = append(n.Children, c)
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("storage: unknown node kind %d", kind)
+	}
+}

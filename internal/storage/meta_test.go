@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+func TestMetaRoundTripAndPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutMeta("idx", []byte("snapshot-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Large metadata spans pages.
+	big := []byte(strings.Repeat("m", 3*PageSize))
+	if err := s.PutMeta("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	data, ok, err := s2.GetMeta("idx")
+	if err != nil || !ok || string(data) != "snapshot-bytes" {
+		t.Fatalf("meta after reopen: %q %v %v", data, ok, err)
+	}
+	got, ok, err := s2.GetMeta("big")
+	if err != nil || !ok || len(got) != len(big) {
+		t.Fatalf("big meta: %d bytes, %v, %v", len(got), ok, err)
+	}
+}
+
+func TestMetaReplaceFreesPages(t *testing.T) {
+	s, _ := tempStore(t)
+	big := []byte(strings.Repeat("x", 4*PageSize))
+	if err := s.PutMeta("k", big); err != nil {
+		t.Fatal(err)
+	}
+	pages := s.pager.pageCount
+	if err := s.PutMeta("k", big); err != nil {
+		t.Fatal(err)
+	}
+	if s.pager.pageCount > pages+1 {
+		t.Fatalf("pages grew from %d to %d on meta replace", pages, s.pager.pageCount)
+	}
+}
+
+func TestSyncDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := xmltree.MustParseString("d1", "<a><b>v</b></a>")
+	if err := s.PutDocument("c", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen the same file via a second handle without closing the first
+	// — the synced catalog must already be on disk.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.GetDocument("c", "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualDocuments(d, got) {
+		t.Fatal("synced document unreadable from second handle")
+	}
+	s2.Close()
+	s.Close()
+}
+
+func TestReadPageOutOfRange(t *testing.T) {
+	s, _ := tempStore(t)
+	if _, err := s.pager.readPage(999); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+	if _, err := s.pager.readPage(0); err == nil {
+		t.Fatal("header page read via readPage succeeded")
+	}
+}
+
+func TestWritePageValidation(t *testing.T) {
+	s, _ := tempStore(t)
+	if err := s.pager.writePage(1, make([]byte, 10)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if err := s.pager.writePage(0, make([]byte, PageSize)); err == nil {
+		t.Fatal("write to header page accepted")
+	}
+}
+
+func TestEmptyRecordRejected(t *testing.T) {
+	s, _ := tempStore(t)
+	if _, err := s.pager.writeRecord(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+}

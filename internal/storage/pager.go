@@ -1,0 +1,248 @@
+// Package storage implements the persistent document store each PartiX
+// node runs on: a paged single-file store with a free list, chained-page
+// records, a collection catalog and a compact binary tree encoding that
+// preserves node IDs (vertical fragments are joined back by ID, so the
+// store must not lose them the way a plain XML serialization would).
+//
+// The layout is deliberately simple and classical:
+//
+//	page 0            header (magic, version, page count, free list,
+//	                  catalog record pointer)
+//	page 1..n         record pages, each [next int64][used uint16][data]
+//
+// A record (an encoded document, or the catalog itself) occupies a chain
+// of pages. Deleting a record returns its pages to the free list. All
+// mutating operations are serialized by a store-level mutex; durability is
+// fsync-on-Sync (callers decide when to pay for it).
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed page size of a store file.
+const PageSize = 4096
+
+const (
+	magic          = "PTXSTOR1"
+	headerSize     = 8 + 8 + 8 + 8 // magic, pageCount, freeHead, catalogPage
+	pageHeaderSize = 8 + 2         // next page id, used bytes
+	pagePayload    = PageSize - pageHeaderSize
+)
+
+// pager manages the page file: allocation, free list and raw page IO.
+type pager struct {
+	mu        sync.Mutex
+	f         *os.File
+	pageCount int64
+	freeHead  int64
+	catalog   int64 // first page of the catalog record, 0 if none
+}
+
+func openPager(path string) (*pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	p := &pager{f: f}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		p.pageCount = 1 // header page
+		if err := p.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return p, nil
+	}
+	if err := p.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *pager) writeHeader() error {
+	buf := make([]byte, PageSize)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(p.pageCount))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(p.freeHead))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(p.catalog))
+	if _, err := p.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("storage: write header: %w", err)
+	}
+	return nil
+}
+
+func (p *pager) readHeader() error {
+	buf := make([]byte, PageSize)
+	if _, err := io.ReadFull(io.NewSectionReader(p.f, 0, PageSize), buf); err != nil {
+		return fmt.Errorf("storage: read header: %w", err)
+	}
+	if string(buf[:8]) != magic {
+		return fmt.Errorf("storage: bad magic %q (not a partix store)", buf[:8])
+	}
+	p.pageCount = int64(binary.LittleEndian.Uint64(buf[8:]))
+	p.freeHead = int64(binary.LittleEndian.Uint64(buf[16:]))
+	p.catalog = int64(binary.LittleEndian.Uint64(buf[24:]))
+	if p.pageCount < 1 {
+		return fmt.Errorf("storage: corrupt header: page count %d", p.pageCount)
+	}
+	return nil
+}
+
+// allocPage returns a usable page id, reusing the free list first.
+func (p *pager) allocPage() (int64, error) {
+	if p.freeHead != 0 {
+		id := p.freeHead
+		next, _, _, err := p.readPageHeader(id)
+		if err != nil {
+			return 0, err
+		}
+		p.freeHead = next
+		return id, nil
+	}
+	id := p.pageCount
+	p.pageCount++
+	return id, nil
+}
+
+// freePage links the page into the free list.
+func (p *pager) freePage(id int64) error {
+	buf := make([]byte, PageSize)
+	binary.LittleEndian.PutUint64(buf, uint64(p.freeHead))
+	if err := p.writePage(id, buf); err != nil {
+		return err
+	}
+	p.freeHead = id
+	return nil
+}
+
+func (p *pager) writePage(id int64, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: page buffer is %d bytes", len(buf))
+	}
+	if id < 1 {
+		return fmt.Errorf("storage: write to reserved page %d", id)
+	}
+	if _, err := p.f.WriteAt(buf, id*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (p *pager) readPage(id int64) ([]byte, error) {
+	if id < 1 || id >= p.pageCount {
+		return nil, fmt.Errorf("storage: read of page %d outside store (pages: %d)", id, p.pageCount)
+	}
+	buf := make([]byte, PageSize)
+	if _, err := p.f.ReadAt(buf, id*PageSize); err != nil {
+		return nil, fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return buf, nil
+}
+
+func (p *pager) readPageHeader(id int64) (next int64, used int, buf []byte, err error) {
+	buf, err = p.readPage(id)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	next = int64(binary.LittleEndian.Uint64(buf))
+	used = int(binary.LittleEndian.Uint16(buf[8:]))
+	if used > pagePayload {
+		return 0, 0, nil, fmt.Errorf("storage: corrupt page %d: used %d", id, used)
+	}
+	return next, used, buf, nil
+}
+
+// writeRecord stores data in a fresh chain of pages and returns the id of
+// the first page.
+func (p *pager) writeRecord(data []byte) (int64, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("storage: empty record")
+	}
+	// Allocate all pages first so chains are linked front-to-back.
+	n := (len(data) + pagePayload - 1) / pagePayload
+	pages := make([]int64, n)
+	for i := range pages {
+		id, err := p.allocPage()
+		if err != nil {
+			return 0, err
+		}
+		pages[i] = id
+	}
+	for i, id := range pages {
+		chunk := data[i*pagePayload:]
+		if len(chunk) > pagePayload {
+			chunk = chunk[:pagePayload]
+		}
+		buf := make([]byte, PageSize)
+		var next int64
+		if i+1 < n {
+			next = pages[i+1]
+		}
+		binary.LittleEndian.PutUint64(buf, uint64(next))
+		binary.LittleEndian.PutUint16(buf[8:], uint16(len(chunk)))
+		copy(buf[pageHeaderSize:], chunk)
+		if err := p.writePage(id, buf); err != nil {
+			return 0, err
+		}
+	}
+	return pages[0], nil
+}
+
+// readRecord loads a full record chain.
+func (p *pager) readRecord(first int64) ([]byte, error) {
+	var out []byte
+	id := first
+	for id != 0 {
+		next, used, buf, err := p.readPageHeader(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf[pageHeaderSize:pageHeaderSize+used]...)
+		id = next
+	}
+	if out == nil {
+		return nil, fmt.Errorf("storage: empty record chain at page %d", first)
+	}
+	return out, nil
+}
+
+// freeRecord returns a record's chain to the free list.
+func (p *pager) freeRecord(first int64) error {
+	id := first
+	for id != 0 {
+		next, _, _, err := p.readPageHeader(id)
+		if err != nil {
+			return err
+		}
+		if err := p.freePage(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}
+
+func (p *pager) sync() error {
+	if err := p.writeHeader(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
+
+func (p *pager) close() error {
+	if err := p.writeHeader(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}

@@ -1,0 +1,326 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"partix/internal/xmltree"
+)
+
+// docEntry locates one stored document.
+type docEntry struct {
+	Page int64 // first page of the record chain
+	Size int64 // encoded size in bytes
+}
+
+// catalog maps collection name → document name → location, plus named
+// metadata records (index snapshots and the like). It is itself persisted
+// as a record; the header points at it.
+type catalog struct {
+	Collections map[string]map[string]docEntry
+	Meta        map[string]docEntry
+}
+
+// Store is a persistent XML document store: named collections of named
+// documents over a single paged file. It is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	pager *pager
+	cat   catalog
+	path  string
+}
+
+// Open opens (creating if needed) a store at path.
+func Open(path string) (*Store, error) {
+	p, err := openPager(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{pager: p, path: path, cat: catalog{Collections: map[string]map[string]docEntry{}}}
+	if p.catalog != 0 {
+		data, err := p.readRecord(p.catalog)
+		if err != nil {
+			p.close()
+			return nil, fmt.Errorf("storage: load catalog: %w", err)
+		}
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s.cat); err != nil {
+			p.close()
+			return nil, fmt.Errorf("storage: decode catalog: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Close flushes the catalog and closes the file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.saveCatalogLocked(); err != nil {
+		s.pager.close()
+		return err
+	}
+	return s.pager.close()
+}
+
+// Sync persists the catalog and fsyncs the file.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.saveCatalogLocked(); err != nil {
+		return err
+	}
+	return s.pager.sync()
+}
+
+func (s *Store) saveCatalogLocked() error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s.cat); err != nil {
+		return fmt.Errorf("storage: encode catalog: %w", err)
+	}
+	if s.pager.catalog != 0 {
+		if err := s.pager.freeRecord(s.pager.catalog); err != nil {
+			return err
+		}
+		s.pager.catalog = 0
+	}
+	id, err := s.pager.writeRecord(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	s.pager.catalog = id
+	return s.pager.writeHeader()
+}
+
+// CreateCollection declares an empty collection; it is a no-op when the
+// collection exists.
+func (s *Store) CreateCollection(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cat.Collections[name] == nil {
+		s.cat.Collections[name] = map[string]docEntry{}
+	}
+}
+
+// DropCollection deletes a collection and all its documents.
+func (s *Store) DropCollection(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	docs, ok := s.cat.Collections[name]
+	if !ok {
+		return fmt.Errorf("storage: collection %q does not exist", name)
+	}
+	for _, e := range docs {
+		if err := s.pager.freeRecord(e.Page); err != nil {
+			return err
+		}
+	}
+	delete(s.cat.Collections, name)
+	return nil
+}
+
+// PutDocument stores (or replaces) a document in a collection, creating
+// the collection if needed.
+func (s *Store) PutDocument(collection string, doc *xmltree.Document) error {
+	data, err := EncodeDocument(doc)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	docs := s.cat.Collections[collection]
+	if docs == nil {
+		docs = map[string]docEntry{}
+		s.cat.Collections[collection] = docs
+	}
+	if old, ok := docs[doc.Name]; ok {
+		if err := s.pager.freeRecord(old.Page); err != nil {
+			return err
+		}
+	}
+	page, err := s.pager.writeRecord(data)
+	if err != nil {
+		return err
+	}
+	docs[doc.Name] = docEntry{Page: page, Size: int64(len(data))}
+	return nil
+}
+
+// GetDocument loads and decodes a document. Decoding happens on every call
+// — the per-tree parse cost the evaluation section of the paper discusses.
+func (s *Store) GetDocument(collection, name string) (*xmltree.Document, error) {
+	data, err := s.GetDocumentRaw(collection, name)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeDocument(name, data)
+}
+
+// GetDocumentRaw returns the encoded bytes of a document (used by the wire
+// protocol to ship documents without a decode/encode round trip). The read
+// lock is held across lookup and page reads so a concurrent delete cannot
+// recycle the record's pages mid-read.
+func (s *Store) GetDocumentRaw(collection, name string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, err := s.lookupLocked(collection, name)
+	if err != nil {
+		return nil, err
+	}
+	return s.pager.readRecord(e.Page)
+}
+
+func (s *Store) lookupLocked(collection, name string) (docEntry, error) {
+	docs, ok := s.cat.Collections[collection]
+	if !ok {
+		return docEntry{}, fmt.Errorf("storage: collection %q does not exist", collection)
+	}
+	e, ok := docs[name]
+	if !ok {
+		return docEntry{}, fmt.Errorf("storage: document %q not in collection %q", name, collection)
+	}
+	return e, nil
+}
+
+// DeleteDocument removes a document.
+func (s *Store) DeleteDocument(collection, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.lookupLocked(collection, name)
+	if err != nil {
+		return err
+	}
+	if err := s.pager.freeRecord(e.Page); err != nil {
+		return err
+	}
+	delete(s.cat.Collections[collection], name)
+	return nil
+}
+
+// Collections returns the collection names, sorted.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.cat.Collections))
+	for name := range s.cat.Collections {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Documents returns the document names of a collection, sorted.
+func (s *Store) Documents(collection string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	docs, ok := s.cat.Collections[collection]
+	if !ok {
+		return nil, fmt.Errorf("storage: collection %q does not exist", collection)
+	}
+	out := make([]string, 0, len(docs))
+	for name := range docs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// HasCollection reports whether a collection exists.
+func (s *Store) HasCollection(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.cat.Collections[name]
+	return ok
+}
+
+// Stats summarizes a collection: document count and stored bytes.
+type Stats struct {
+	Documents int
+	Bytes     int64
+}
+
+// CollectionStats returns size statistics for a collection.
+func (s *Store) CollectionStats(collection string) (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	docs, ok := s.cat.Collections[collection]
+	if !ok {
+		return Stats{}, fmt.Errorf("storage: collection %q does not exist", collection)
+	}
+	st := Stats{Documents: len(docs)}
+	for _, e := range docs {
+		st.Bytes += e.Size
+	}
+	return st, nil
+}
+
+// PutMeta stores (or replaces) a named metadata record — opaque bytes the
+// engine uses for persisted index snapshots. Metadata lives in the same
+// paged file as documents.
+func (s *Store) PutMeta(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cat.Meta == nil {
+		s.cat.Meta = map[string]docEntry{}
+	}
+	if old, ok := s.cat.Meta[key]; ok {
+		if err := s.pager.freeRecord(old.Page); err != nil {
+			return err
+		}
+		delete(s.cat.Meta, key)
+	}
+	if len(data) == 0 {
+		return nil // storing empty deletes the record
+	}
+	page, err := s.pager.writeRecord(data)
+	if err != nil {
+		return err
+	}
+	s.cat.Meta[key] = docEntry{Page: page, Size: int64(len(data))}
+	return nil
+}
+
+// GetMeta loads a metadata record; ok is false when the key is absent.
+func (s *Store) GetMeta(key string) (data []byte, ok bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, present := s.cat.Meta[key]
+	if !present {
+		return nil, false, nil
+	}
+	data, err = s.pager.readRecord(e.Page)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// LoadCollection stores every document of c under the collection name.
+func (s *Store) LoadCollection(c *xmltree.Collection) error {
+	s.CreateCollection(c.Name)
+	for _, d := range c.Docs {
+		if err := s.PutDocument(c.Name, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCollection decodes every document of a collection, sorted by name.
+func (s *Store) ReadCollection(name string) (*xmltree.Collection, error) {
+	docs, err := s.Documents(name)
+	if err != nil {
+		return nil, err
+	}
+	c := xmltree.NewCollection(name)
+	for _, dn := range docs {
+		d, err := s.GetDocument(name, dn)
+		if err != nil {
+			return nil, err
+		}
+		c.Add(d)
+	}
+	return c, nil
+}

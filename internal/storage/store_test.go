@@ -1,0 +1,366 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"partix/internal/xmltree"
+)
+
+func tempStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+func doc(name, xml string) *xmltree.Document {
+	return xmltree.MustParseString(name, xml)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := tempStore(t)
+	d := doc("i1", `<Item id="1"><Code>I1</Code><Section>CD</Section></Item>`)
+	if err := s.PutDocument("items", d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetDocument("items", "i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualDocuments(d, got) {
+		t.Fatalf("round trip mismatch: %s", xmltree.Diff(d.Root, got.Root))
+	}
+}
+
+func TestBinaryEncodingPreservesIDs(t *testing.T) {
+	d := doc("x", `<a><b attr="v">text</b><c/></a>`)
+	data, err := EncodeDocument(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDocument("x", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var origIDs, backIDs []xmltree.NodeID
+	d.Root.Walk(func(n *xmltree.Node) bool { origIDs = append(origIDs, n.ID); return true })
+	back.Root.Walk(func(n *xmltree.Node) bool { backIDs = append(backIDs, n.ID); return true })
+	if len(origIDs) != len(backIDs) {
+		t.Fatalf("node counts differ: %d vs %d", len(origIDs), len(backIDs))
+	}
+	for i := range origIDs {
+		if origIDs[i] != backIDs[i] {
+			t.Fatalf("ID %d: %d vs %d", i, origIDs[i], backIDs[i])
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := EncodeDocument(&xmltree.Document{Name: "x"}); err == nil {
+		t.Fatal("nil root encoded")
+	}
+}
+
+func TestDecodeRejectsCorruptRecords(t *testing.T) {
+	d := doc("x", `<a><b>text</b></a>`)
+	data, _ := EncodeDocument(d)
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad version":  {99},
+		"truncated":    data[:len(data)/2],
+		"trailing":     append(append([]byte{}, data...), 0xFF),
+		"huge table":   {1, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+		"bad name ref": {1, 0, 0 /*kind=element*/, 1 /*id*/, 7 /*ref out of empty table*/, 0},
+	}
+	for name, in := range cases {
+		if _, err := DecodeDocument("x", in); err == nil {
+			t.Errorf("%s: decoded successfully", name)
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := doc("i1", `<Item><Code>I1</Code></Item>`)
+	d2 := doc("i2", `<Item><Code>I2</Code></Item>`)
+	if err := s.PutDocument("items", d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutDocument("items", d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	names, err := s2.Documents("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "i1" || names[1] != "i2" {
+		t.Fatalf("documents after reopen: %v", names)
+	}
+	got, err := s2.GetDocument("items", "i2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualDocuments(d2, got) {
+		t.Fatal("content lost across reopen")
+	}
+}
+
+func TestReplaceDocumentReusesSpace(t *testing.T) {
+	s, _ := tempStore(t)
+	big := doc("d", "<a><b>"+strings.Repeat("x", 3*PageSize)+"</b></a>")
+	if err := s.PutDocument("c", big); err != nil {
+		t.Fatal(err)
+	}
+	pagesAfterFirst := s.pager.pageCount
+	// Replacing with an equally big document must reuse freed pages.
+	if err := s.PutDocument("c", big); err != nil {
+		t.Fatal(err)
+	}
+	if s.pager.pageCount > pagesAfterFirst+1 {
+		t.Fatalf("pages grew from %d to %d on replace", pagesAfterFirst, s.pager.pageCount)
+	}
+	got, err := s.GetDocument("c", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualDocuments(big, got) {
+		t.Fatal("replaced document corrupt")
+	}
+}
+
+func TestDeleteDocument(t *testing.T) {
+	s, _ := tempStore(t)
+	if err := s.PutDocument("c", doc("d", "<a/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteDocument("c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetDocument("c", "d"); err == nil {
+		t.Fatal("deleted document still readable")
+	}
+	if err := s.DeleteDocument("c", "d"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if err := s.DeleteDocument("nope", "d"); err == nil {
+		t.Fatal("delete from missing collection succeeded")
+	}
+}
+
+func TestCollectionsAndStats(t *testing.T) {
+	s, _ := tempStore(t)
+	s.CreateCollection("empty")
+	if err := s.PutDocument("items", doc("i1", "<a><b>hello</b></a>")); err != nil {
+		t.Fatal(err)
+	}
+	cols := s.Collections()
+	if len(cols) != 2 || cols[0] != "empty" || cols[1] != "items" {
+		t.Fatalf("collections = %v", cols)
+	}
+	if !s.HasCollection("items") || s.HasCollection("nope") {
+		t.Fatal("HasCollection wrong")
+	}
+	st, err := s.CollectionStats("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != 1 || st.Bytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := s.CollectionStats("nope"); err == nil {
+		t.Fatal("stats of missing collection succeeded")
+	}
+	if _, err := s.Documents("nope"); err == nil {
+		t.Fatal("documents of missing collection succeeded")
+	}
+}
+
+func TestDropCollection(t *testing.T) {
+	s, _ := tempStore(t)
+	if err := s.PutDocument("c", doc("d", "<a/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropCollection("c"); err != nil {
+		t.Fatal(err)
+	}
+	if s.HasCollection("c") {
+		t.Fatal("collection survived drop")
+	}
+	if err := s.DropCollection("c"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+}
+
+func TestLoadAndReadCollection(t *testing.T) {
+	s, _ := tempStore(t)
+	c := xmltree.NewCollection("items",
+		doc("i2", "<a><x>2</x></a>"),
+		doc("i1", "<a><x>1</x></a>"),
+	)
+	if err := s.LoadCollection(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadCollection("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualCollections(c, got) {
+		t.Fatal("collection round trip failed")
+	}
+	// ReadCollection returns documents sorted by name.
+	if got.Docs[0].Name != "i1" {
+		t.Fatalf("order: %s first", got.Docs[0].Name)
+	}
+}
+
+func TestLargeDocumentSpansManyPages(t *testing.T) {
+	s, _ := tempStore(t)
+	var sb strings.Builder
+	sb.WriteString("<Store><Items>")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, "<Item><Code>I%d</Code><Description>some text %d</Description></Item>", i, i)
+	}
+	sb.WriteString("</Items></Store>")
+	d := doc("big", sb.String())
+	if err := s.PutDocument("c", d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetDocument("c", "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualDocuments(d, got) {
+		t.Fatal("large document corrupt")
+	}
+	if s.pager.pageCount < 10 {
+		t.Fatalf("expected many pages, got %d", s.pager.pageCount)
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.db")
+	if err := os.WriteFile(path, []byte(strings.Repeat("junk data!", 600)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("foreign file opened as store")
+	}
+}
+
+func TestGetDocumentErrors(t *testing.T) {
+	s, _ := tempStore(t)
+	if _, err := s.GetDocument("nope", "d"); err == nil {
+		t.Fatal("missing collection read")
+	}
+	s.CreateCollection("c")
+	if _, err := s.GetDocument("c", "nope"); err == nil {
+		t.Fatal("missing document read")
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s, _ := tempStore(t)
+	base := doc("seed", "<a><b>seed</b></a>")
+	if err := s.PutDocument("c", base); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				d := doc(fmt.Sprintf("w%d-%d", w, i), fmt.Sprintf("<a><b>%d</b></a>", i))
+				if err := s.PutDocument("c", d); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := s.GetDocument("c", "seed"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	names, _ := s.Documents("c")
+	if len(names) != 81 {
+		t.Fatalf("documents = %d, want 81", len(names))
+	}
+}
+
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := xmltree.NewDocument("q", randomTree(r, 4))
+		data, err := EncodeDocument(d)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeDocument("q", data)
+		if err != nil {
+			return false
+		}
+		return xmltree.EqualDocuments(d, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomTree mirrors the generator in xmltree's tests (kept local: test
+// helpers are not exported across packages).
+func randomTree(r *rand.Rand, depth int) *xmltree.Node {
+	names := []string{"a", "b", "Item", "Section"}
+	el := xmltree.NewElement(names[r.Intn(len(names))])
+	if r.Intn(3) == 0 {
+		el.Append(xmltree.NewAttr("id", fmt.Sprintf("v%d", r.Intn(100))))
+	}
+	if depth <= 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			el.Append(xmltree.NewText(fmt.Sprintf("text %d", r.Intn(1000))))
+		}
+		return el
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		el.Append(randomTree(r, depth-1))
+	}
+	return el
+}

@@ -1,0 +1,237 @@
+// Package toxgene is a deterministic, template-based XML data generator —
+// the stand-in for the ToXgene generator the paper uses to create its test
+// databases (Section 5). Templates declare element structure with
+// repetition ranges and pluggable text generators; a seeded PRNG makes
+// every run reproducible.
+package toxgene
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"partix/internal/xmltree"
+)
+
+// Context carries per-document generation state into text generators.
+type Context struct {
+	// DocIndex is the zero-based index of the document being generated.
+	DocIndex int
+	// Counters are scoped sequence counters, keyed by name.
+	Counters map[string]int
+}
+
+// next increments and returns the named counter.
+func (c *Context) next(name string) int {
+	if c.Counters == nil {
+		c.Counters = map[string]int{}
+	}
+	c.Counters[name]++
+	return c.Counters[name]
+}
+
+// TextGen produces a text value.
+type TextGen func(r *rand.Rand, ctx *Context) string
+
+// Template declares one element shape.
+type Template struct {
+	Name     string
+	Attrs    []AttrTemplate
+	Children []ChildTemplate
+	Text     TextGen // leaf content; mutually exclusive with Children
+}
+
+// AttrTemplate declares an attribute.
+type AttrTemplate struct {
+	Name string
+	Gen  TextGen
+}
+
+// ChildTemplate declares a child slot with a repetition range. The child
+// is emitted between Min and Max times (inclusive, chosen uniformly);
+// Min == Max pins the count.
+type ChildTemplate struct {
+	T        *Template
+	Min, Max int
+}
+
+// Once wraps a template as a 1..1 child.
+func Once(t *Template) ChildTemplate { return ChildTemplate{T: t, Min: 1, Max: 1} }
+
+// Maybe wraps a template as a 0..1 child with the given probability
+// numerator out of 100.
+func Maybe(t *Template, pct int) ChildTemplate {
+	// Encoded as Min=-pct: see generate.
+	return ChildTemplate{T: t, Min: -pct, Max: 1}
+}
+
+// Rep wraps a template as a min..max child.
+func Rep(t *Template, min, max int) ChildTemplate { return ChildTemplate{T: t, Min: min, Max: max} }
+
+// Elem declares an element with children.
+func Elem(name string, children ...ChildTemplate) *Template {
+	return &Template{Name: name, Children: children}
+}
+
+// Leaf declares a text element.
+func Leaf(name string, gen TextGen) *Template {
+	return &Template{Name: name, Text: gen}
+}
+
+// Generate materializes one document from the template.
+func Generate(t *Template, name string, r *rand.Rand, ctx *Context) *xmltree.Document {
+	if ctx == nil {
+		ctx = &Context{}
+	}
+	return xmltree.NewDocument(name, generate(t, r, ctx))
+}
+
+func generate(t *Template, r *rand.Rand, ctx *Context) *xmltree.Node {
+	el := xmltree.NewElement(t.Name)
+	for _, a := range t.Attrs {
+		el.Append(xmltree.NewAttr(a.Name, a.Gen(r, ctx)))
+	}
+	if t.Text != nil {
+		el.Append(xmltree.NewText(t.Text(r, ctx)))
+		return el
+	}
+	for _, c := range t.Children {
+		count := 0
+		switch {
+		case c.Min < 0: // Maybe: |Min| is the percent chance of presence
+			if r.Intn(100) < -c.Min {
+				count = 1
+			}
+		case c.Max <= c.Min:
+			count = c.Min
+		default:
+			count = c.Min + r.Intn(c.Max-c.Min+1)
+		}
+		for i := 0; i < count; i++ {
+			el.Append(generate(c.T, r, ctx))
+		}
+	}
+	return el
+}
+
+// GenerateCollection materializes n documents named with nameFormat
+// (a fmt pattern receiving the document index).
+func GenerateCollection(t *Template, collection, nameFormat string, n int, seed int64) *xmltree.Collection {
+	r := rand.New(rand.NewSource(seed))
+	c := xmltree.NewCollection(collection)
+	for i := 0; i < n; i++ {
+		ctx := &Context{DocIndex: i}
+		c.Add(Generate(t, fmt.Sprintf(nameFormat, i), r, ctx))
+	}
+	return c
+}
+
+// --- text generators ---
+
+// Const always produces s.
+func Const(s string) TextGen {
+	return func(*rand.Rand, *Context) string { return s }
+}
+
+// Seq produces format applied to a per-document counter: Seq("I%04d")
+// yields I0001, I0002, … within a document.
+func Seq(format string) TextGen {
+	return func(_ *rand.Rand, ctx *Context) string {
+		return fmt.Sprintf(format, ctx.next(format))
+	}
+}
+
+// DocSeq produces format applied to the document index: unique across a
+// collection.
+func DocSeq(format string) TextGen {
+	return func(_ *rand.Rand, ctx *Context) string {
+		return fmt.Sprintf(format, ctx.DocIndex)
+	}
+}
+
+// Choice picks uniformly from the options.
+func Choice(options ...string) TextGen {
+	return func(r *rand.Rand, _ *Context) string { return options[r.Intn(len(options))] }
+}
+
+// WeightedChoice picks an option with probability proportional to its
+// weight — the paper's horizontal experiments use a "non-uniform document
+// distribution" across sections.
+func WeightedChoice(options []string, weights []int) TextGen {
+	if len(options) != len(weights) {
+		panic("toxgene: options and weights differ in length")
+	}
+	total := 0
+	for _, w := range weights {
+		if w <= 0 {
+			panic("toxgene: weights must be positive")
+		}
+		total += w
+	}
+	return func(r *rand.Rand, _ *Context) string {
+		pick := r.Intn(total)
+		for i, w := range weights {
+			if pick < w {
+				return options[i]
+			}
+			pick -= w
+		}
+		return options[len(options)-1]
+	}
+}
+
+// Words produces min..max words drawn from the pool.
+func Words(pool []string, min, max int) TextGen {
+	return func(r *rand.Rand, _ *Context) string {
+		n := min
+		if max > min {
+			n += r.Intn(max - min + 1)
+		}
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(pool[r.Intn(len(pool))])
+		}
+		return sb.String()
+	}
+}
+
+// Number produces a decimal in [min, max) with two fraction digits.
+func Number(min, max float64) TextGen {
+	return func(r *rand.Rand, _ *Context) string {
+		return fmt.Sprintf("%.2f", min+r.Float64()*(max-min))
+	}
+}
+
+// Date produces a date in 2000 + [0, years), arbitrary month/day.
+func Date(years int) TextGen {
+	return func(r *rand.Rand, _ *Context) string {
+		return fmt.Sprintf("%04d-%02d-%02d", 2000+r.Intn(years), 1+r.Intn(12), 1+r.Intn(28))
+	}
+}
+
+// DefaultWordPool is the vocabulary descriptions are drawn from. The
+// marker words the text-search workload greps for ("good", "excellent",
+// "defective") are included with natural frequencies by pool repetition.
+var DefaultWordPool = buildWordPool()
+
+func buildWordPool() []string {
+	base := []string{
+		"product", "quality", "classic", "limited", "edition", "original",
+		"imported", "popular", "standard", "premium", "compact", "digital",
+		"portable", "wireless", "vintage", "modern", "series", "volume",
+		"collection", "bundle", "exclusive", "certified", "refurbished",
+		"item", "unit", "pack", "box", "set", "deluxe", "basic", "special",
+		"seasonal", "durable", "lightweight", "ergonomic", "versatile",
+	}
+	// "good" lands in roughly a third of generated descriptions; rarer
+	// markers appear correspondingly less often.
+	pool := append([]string{}, base...)
+	for i := 0; i < 6; i++ {
+		pool = append(pool, "good")
+	}
+	pool = append(pool, "excellent", "excellent", "defective")
+	return pool
+}

@@ -1,0 +1,190 @@
+package toxgene
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"partix/internal/xmlschema"
+	"partix/internal/xmltree"
+)
+
+func TestGenerateItemsSmallProfile(t *testing.T) {
+	c := GenerateItems(ItemsConfig{Docs: 50, Seed: 1})
+	if c.Len() != 50 {
+		t.Fatalf("docs = %d", c.Len())
+	}
+	spec := xmlschema.CItems()
+	if err := spec.Schema.ValidateCollection(c, "Item"); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, d := range c.Docs {
+		size := xmltree.SerializedSize(d)
+		total += size
+		if d.Root.Child("PictureList") != nil || d.Root.Child("PricesHistory") != nil {
+			t.Fatal("ItemsSHor profile must have no pictures or price history")
+		}
+	}
+	avg := total / c.Len()
+	if avg < 300 || avg > 4000 {
+		t.Fatalf("ItemsSHor average doc size = %d bytes, want ≈2 KB", avg)
+	}
+}
+
+func TestGenerateItemsLargeProfile(t *testing.T) {
+	c := GenerateItems(ItemsConfig{Docs: 5, Seed: 2, Large: true})
+	spec := xmlschema.CItems()
+	if err := spec.Schema.ValidateCollection(c, "Item"); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, d := range c.Docs {
+		total += xmltree.SerializedSize(d)
+		if d.Root.Child("PictureList") == nil || d.Root.Child("PricesHistory") == nil {
+			t.Fatal("ItemsLHor profile needs pictures and price history")
+		}
+	}
+	avg := total / c.Len()
+	if avg < 30_000 || avg > 200_000 {
+		t.Fatalf("ItemsLHor average doc size = %d bytes, want ≈80 KB", avg)
+	}
+}
+
+func TestGenerateItemsDeterministic(t *testing.T) {
+	a := GenerateItems(ItemsConfig{Docs: 10, Seed: 42})
+	b := GenerateItems(ItemsConfig{Docs: 10, Seed: 42})
+	if !xmltree.EqualCollections(a, b) {
+		t.Fatal("same seed produced different collections")
+	}
+	c := GenerateItems(ItemsConfig{Docs: 10, Seed: 43})
+	if xmltree.EqualCollections(a, c) {
+		t.Fatal("different seeds produced identical collections")
+	}
+}
+
+func TestSectionDistributionNonUniform(t *testing.T) {
+	c := GenerateItems(ItemsConfig{Docs: 800, Seed: 3})
+	counts := map[string]int{}
+	for _, d := range c.Docs {
+		counts[d.Root.Child("Section").Text()]++
+	}
+	if len(counts) != len(Sections) {
+		t.Fatalf("sections seen = %d, want %d", len(counts), len(Sections))
+	}
+	// The heaviest section must clearly dominate the lightest.
+	if counts["CD"] < 2*counts["Garden"] {
+		t.Fatalf("distribution looks uniform: CD=%d Garden=%d", counts["CD"], counts["Garden"])
+	}
+}
+
+func TestGenerateStore(t *testing.T) {
+	c := GenerateStore(StoreConfig{Items: 40, Seed: 4})
+	if !c.IsSD() {
+		t.Fatal("store must be SD")
+	}
+	spec := xmlschema.CStore()
+	if err := spec.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	items := c.Docs[0].Root.Child("Items").ElementChildren()
+	if len(items) != 40 {
+		t.Fatalf("items = %d", len(items))
+	}
+}
+
+func TestTextGenerators(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ctx := &Context{DocIndex: 7}
+
+	if got := Const("x")(r, ctx); got != "x" {
+		t.Fatal("Const wrong")
+	}
+	if got := DocSeq("d%03d")(r, ctx); got != "d007" {
+		t.Fatalf("DocSeq = %q", got)
+	}
+	if a, b := Seq("s%d")(r, ctx), Seq("s%d")(r, ctx); a != "s1" || b != "s2" {
+		t.Fatalf("Seq = %q, %q", a, b)
+	}
+	w := Words([]string{"alpha", "beta"}, 3, 3)(r, ctx)
+	if len(strings.Fields(w)) != 3 {
+		t.Fatalf("Words = %q", w)
+	}
+	n := Number(10, 20)(r, ctx)
+	if !strings.Contains(n, ".") {
+		t.Fatalf("Number = %q", n)
+	}
+	d := Date(3)(r, ctx)
+	if len(d) != 10 || d[4] != '-' {
+		t.Fatalf("Date = %q", d)
+	}
+	choice := Choice("only")(r, ctx)
+	if choice != "only" {
+		t.Fatal("Choice wrong")
+	}
+}
+
+func TestWeightedChoiceRespectsWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	gen := WeightedChoice([]string{"heavy", "light"}, []int{9, 1})
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		counts[gen(r, nil)]++
+	}
+	if counts["heavy"] < 800 {
+		t.Fatalf("weights ignored: %v", counts)
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	assertPanics(t, func() { WeightedChoice([]string{"a"}, []int{1, 2}) })
+	assertPanics(t, func() { WeightedChoice([]string{"a"}, []int{0}) })
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestMaybeProbability(t *testing.T) {
+	tmpl := Elem("root", Maybe(Leaf("opt", Const("v")), 50))
+	r := rand.New(rand.NewSource(6))
+	present := 0
+	for i := 0; i < 400; i++ {
+		doc := Generate(tmpl, "d", r, nil)
+		if doc.Root.Child("opt") != nil {
+			present++
+		}
+	}
+	if present < 120 || present > 280 {
+		t.Fatalf("Maybe(50%%) present %d/400", present)
+	}
+}
+
+func TestGenerateCollectionNames(t *testing.T) {
+	tmpl := Elem("a", Once(Leaf("b", Const("x"))))
+	c := GenerateCollection(tmpl, "col", "doc%02d", 3, 9)
+	if c.Name != "col" || c.Len() != 3 || c.Docs[1].Name != "doc01" {
+		t.Fatalf("collection: %s %d %s", c.Name, c.Len(), c.Docs[1].Name)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordPoolContainsMarkers(t *testing.T) {
+	found := map[string]bool{}
+	for _, w := range DefaultWordPool {
+		found[w] = true
+	}
+	for _, marker := range []string{"good", "excellent", "defective"} {
+		if !found[marker] {
+			t.Fatalf("marker %q missing from pool", marker)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package toxgene
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partix/internal/xmltree"
+)
+
+// Sections is the section vocabulary of the virtual store; the horizontal
+// experiments fragment C_items by these values into 2, 4 or 8 fragments.
+var Sections = []string{"CD", "DVD", "Book", "Game", "Software", "Hardware", "Toy", "Garden"}
+
+// SectionWeights gives the paper's "non-uniform document distribution":
+// some sections hold far more items than others.
+var SectionWeights = []int{24, 18, 16, 12, 10, 9, 6, 5}
+
+// ItemsConfig parameterizes the C_items MD collection of Figure 1(b).
+type ItemsConfig struct {
+	// Docs is the number of Item documents.
+	Docs int
+	// Seed makes the collection reproducible.
+	Seed int64
+	// Large selects the ItemsLHor profile (≈80 KB per document, with
+	// picture lists and price histories); false selects ItemsSHor
+	// (≈2 KB, "elements PriceHistory and ImagesList with zero
+	// occurrences", Section 5).
+	Large bool
+	// Collection names the result; defaults to "items".
+	Collection string
+}
+
+// itemTemplate builds the Item template for one profile.
+func itemTemplate(large bool) *Template {
+	picture := Elem("Picture",
+		Once(Leaf("Name", Words(DefaultWordPool, 1, 2))),
+		Once(Leaf("Description", Words(DefaultWordPool, 3, 8))),
+		Once(Leaf("ModificationDate", Date(6))),
+		Once(Leaf("OriginalPath", DocSeq("/img/orig/%d.png"))),
+		Once(Leaf("ThumbPath", DocSeq("/img/thumb/%d.png"))),
+	)
+	priceHistory := Elem("PriceHistory",
+		Once(Leaf("Price", Number(1, 500))),
+		Once(Leaf("ModificationDate", Date(6))),
+	)
+
+	item := Elem("Item",
+		Once(Leaf("Code", DocSeq("I%06d"))),
+		Once(Leaf("Name", Words(DefaultWordPool, 2, 4))),
+		Once(Leaf("Description", Words(DefaultWordPool, 12, 28))),
+		Once(Leaf("Section", WeightedChoice(Sections, SectionWeights))),
+	)
+	item.Attrs = []AttrTemplate{{Name: "id", Gen: DocSeq("%d")}}
+	if !large {
+		// ItemsSHor: a couple of characteristics, no pictures or prices.
+		item.Children = append(item.Children,
+			ChildTemplate{T: Leaf("Characteristics", Words(DefaultWordPool, 4, 9)), Min: 1, Max: 3},
+		)
+		return item
+	}
+	// ItemsLHor: long characteristics, a large picture list and a deep
+	// price history push the document to roughly 80 KB.
+	item.Children = append(item.Children,
+		Maybe(Leaf("Release", Date(2)), 30),
+		ChildTemplate{T: Leaf("Characteristics", Words(DefaultWordPool, 40, 80)), Min: 8, Max: 14},
+		Once(Elem("PictureList", Rep(picture, 60, 90))),
+		Once(Elem("PricesHistory", Rep(priceHistory, 120, 200))),
+	)
+	return item
+}
+
+// GenerateItems builds a C_items collection.
+func GenerateItems(cfg ItemsConfig) *xmltree.Collection {
+	name := cfg.Collection
+	if name == "" {
+		name = "items"
+	}
+	return GenerateCollection(itemTemplate(cfg.Large), name, "item%06d", cfg.Docs, cfg.Seed)
+}
+
+// StoreConfig parameterizes the C_store SD collection of Figure 1(b).
+type StoreConfig struct {
+	// Items is the number of Item elements under /Store/Items.
+	Items int
+	// Seed makes the document reproducible.
+	Seed int64
+	// Large items blow the store up towards the paper's 5–500 MB sizes.
+	Large bool
+	// Collection names the result; defaults to "store".
+	Collection string
+}
+
+// GenerateStore builds the single-document C_store collection.
+func GenerateStore(cfg StoreConfig) *xmltree.Collection {
+	name := cfg.Collection
+	if name == "" {
+		name = "store"
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	ctx := &Context{}
+
+	store := xmltree.NewElement("Store")
+	sections := xmltree.NewElement("Sections")
+	for i, s := range Sections {
+		sections.Append(xmltree.NewElement("Section",
+			xmltree.NewElement("Code", xmltree.NewText(fmt.Sprintf("S%02d", i+1))),
+			xmltree.NewElement("Name", xmltree.NewText(s)),
+		))
+	}
+	store.Append(sections)
+
+	itemT := itemTemplate(cfg.Large)
+	items := xmltree.NewElement("Items")
+	for i := 0; i < cfg.Items; i++ {
+		ctx.DocIndex = i
+		items.Append(generate(itemT, r, ctx))
+	}
+	store.Append(items)
+
+	employees := xmltree.NewElement("Employees")
+	n := 3 + r.Intn(8)
+	for i := 0; i < n; i++ {
+		employees.Append(xmltree.NewElement("Employee",
+			xmltree.NewText(fmt.Sprintf("employee-%02d", i+1))))
+	}
+	store.Append(employees)
+
+	doc := xmltree.NewDocument("store", store)
+	return xmltree.NewCollection(name, doc)
+}

@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"partix/internal/storage"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// Client is a remote node driver: it satisfies cluster.Driver over a TCP
+// connection to a partixd server.
+type Client struct {
+	name string
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a node server. name is the node's logical name in the
+// PartiX system.
+func Dial(name, addr string, timeout time.Duration) (*Client, error) {
+	c := &Client{name: name, addr: addr}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c.setConn(conn)
+	if _, err := c.roundTrip(&Request{Op: OpPing}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) setConn(conn net.Conn) {
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, fmt.Errorf("wire: client %s is closed", c.name)
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("wire: send to %s: %w", c.addr, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wire: receive from %s: %w", c.addr, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("wire: node %s: %s", c.name, resp.Err)
+	}
+	return &resp, nil
+}
+
+// Name implements cluster.Driver.
+func (c *Client) Name() string { return c.name }
+
+// CreateCollection implements cluster.Driver.
+func (c *Client) CreateCollection(name string) error {
+	_, err := c.roundTrip(&Request{Op: OpCreateCollection, Collection: name})
+	return err
+}
+
+// StoreDocument implements cluster.Driver.
+func (c *Client) StoreDocument(collection string, doc *xmltree.Document) error {
+	data, err := storage.EncodeDocument(doc)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(&Request{
+		Op: OpStoreDocument, Collection: collection, DocName: doc.Name, DocData: data,
+	})
+	return err
+}
+
+// ExecuteQuery implements cluster.Driver.
+func (c *Client) ExecuteQuery(query string) (xquery.Seq, error) {
+	resp, err := c.roundTrip(&Request{Op: OpQuery, Query: query})
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSeq(resp.Items)
+}
+
+// FetchCollection implements cluster.Driver.
+func (c *Client) FetchCollection(collection string) (*xmltree.Collection, error) {
+	resp, err := c.roundTrip(&Request{Op: OpFetchCollection, Collection: collection})
+	if err != nil {
+		return nil, err
+	}
+	col := xmltree.NewCollection(collection)
+	for i, raw := range resp.Docs {
+		doc, err := storage.DecodeDocument(resp.DocNames[i], raw)
+		if err != nil {
+			return nil, err
+		}
+		col.Add(doc)
+	}
+	return col, nil
+}
+
+// CollectionStats implements cluster.Driver.
+func (c *Client) CollectionStats(collection string) (storage.Stats, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStats, Collection: collection})
+	if err != nil {
+		return storage.Stats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// HasCollection implements cluster.Driver.
+func (c *Client) HasCollection(collection string) bool {
+	resp, err := c.roundTrip(&Request{Op: OpHasCollection, Collection: collection})
+	return err == nil && resp.Bool
+}

@@ -1,0 +1,115 @@
+// Package wire implements the network protocol between the PartiX
+// middleware and remote DBMS nodes: a length-free gob stream over TCP with
+// one request/response exchange at a time per connection. The remote
+// driver (Client) implements cluster.Driver, so a PartiX system can mix
+// in-process and networked nodes freely.
+package wire
+
+import (
+	"fmt"
+
+	"partix/internal/storage"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// Op identifies a request type.
+type Op uint8
+
+// Protocol operations.
+const (
+	OpPing Op = iota
+	OpCreateCollection
+	OpStoreDocument
+	OpQuery
+	OpFetchCollection
+	OpStats
+	OpHasCollection
+)
+
+// Request is one client → server message.
+type Request struct {
+	Op         Op
+	Collection string
+	DocName    string
+	DocData    []byte // binary-encoded document (storage format)
+	Query      string
+}
+
+// Response is one server → client message.
+type Response struct {
+	Err      string
+	Items    []Item
+	DocNames []string
+	Docs     [][]byte // binary-encoded documents
+	Stats    storage.Stats
+	Bool     bool
+}
+
+// ItemKind tags a serialized result item.
+type ItemKind uint8
+
+// Result item kinds.
+const (
+	ItemNode ItemKind = iota
+	ItemString
+	ItemNumber
+	ItemBool
+)
+
+// Item is one result-sequence element in wire form.
+type Item struct {
+	Kind ItemKind
+	Str  string
+	Num  float64
+	Bool bool
+	Node []byte // binary-encoded subtree for ItemNode
+}
+
+// EncodeSeq converts an evaluation result into wire items.
+func EncodeSeq(s xquery.Seq) ([]Item, error) {
+	out := make([]Item, 0, len(s))
+	for _, it := range s {
+		switch v := it.(type) {
+		case *xmltree.Node:
+			data, err := storage.EncodeDocument(&xmltree.Document{Name: "item", Root: v})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Item{Kind: ItemNode, Node: data})
+		case string:
+			out = append(out, Item{Kind: ItemString, Str: v})
+		case float64:
+			out = append(out, Item{Kind: ItemNumber, Num: v})
+		case bool:
+			out = append(out, Item{Kind: ItemBool, Bool: v})
+		default:
+			return nil, fmt.Errorf("wire: cannot encode item of type %T", it)
+		}
+	}
+	return out, nil
+}
+
+// DecodeSeq converts wire items back to an evaluation result.
+func DecodeSeq(items []Item) (xquery.Seq, error) {
+	out := make(xquery.Seq, 0, len(items))
+	for _, it := range items {
+		switch it.Kind {
+		case ItemNode:
+			doc, err := storage.DecodeDocument("item", it.Node)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, doc.Root)
+		case ItemString:
+			out = append(out, it.Str)
+		case ItemNumber:
+			out = append(out, it.Num)
+		case ItemBool:
+			out = append(out, it.Bool)
+		default:
+			return nil, fmt.Errorf("wire: unknown item kind %d", it.Kind)
+		}
+	}
+	return out, nil
+}

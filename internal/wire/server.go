@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"partix/internal/engine"
+	"partix/internal/storage"
+)
+
+// Server exposes one engine.DB over the wire protocol.
+type Server struct {
+	db  *engine.DB
+	log *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer wraps db. logger may be nil to disable logging.
+func NewServer(db *engine.DB, logger *log.Logger) *Server {
+	return &Server{db: db, log: logger, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts connections until the listener is closed. It blocks.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener and all active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && s.log != nil {
+				s.log.Printf("wire: decode from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			if s.log != nil {
+				s.log.Printf("wire: encode to %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	resp := &Response{}
+	fail := func(err error) *Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case OpPing:
+		resp.Bool = true
+	case OpCreateCollection:
+		s.db.Store().CreateCollection(req.Collection)
+	case OpStoreDocument:
+		doc, err := storage.DecodeDocument(req.DocName, req.DocData)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.db.PutDocument(req.Collection, doc); err != nil {
+			return fail(err)
+		}
+	case OpQuery:
+		items, err := s.db.Query(req.Query)
+		if err != nil {
+			return fail(err)
+		}
+		wi, err := EncodeSeq(items)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Items = wi
+	case OpFetchCollection:
+		names, err := s.db.Store().Documents(req.Collection)
+		if err != nil {
+			return fail(err)
+		}
+		resp.DocNames = names
+		resp.Docs = make([][]byte, len(names))
+		for i, name := range names {
+			raw, err := s.db.Store().GetDocumentRaw(req.Collection, name)
+			if err != nil {
+				return fail(err)
+			}
+			resp.Docs[i] = raw
+		}
+	case OpStats:
+		st, err := s.db.CollectionStats(req.Collection)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Stats = st
+	case OpHasCollection:
+		resp.Bool = s.db.HasCollection(req.Collection)
+	default:
+		resp.Err = "wire: unknown operation"
+	}
+	return resp
+}

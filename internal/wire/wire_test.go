@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"partix/internal/cluster"
+	"partix/internal/engine"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// startServer runs a server over a loopback listener and returns a
+// connected client.
+func startServer(t *testing.T) *Client {
+	t.Helper()
+	db, err := engine.Open(filepath.Join(t.TempDir(), "node.db"), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db, nil)
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	client, err := Dial("remote0", l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+func TestClientImplementsDriver(t *testing.T) {
+	var _ cluster.Driver = (*Client)(nil)
+}
+
+func TestRemoteStoreAndQuery(t *testing.T) {
+	c := startServer(t)
+	if c.Name() != "remote0" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if err := c.CreateCollection("items"); err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{
+		`<Item><Code>I1</Code><Section>CD</Section><Description>a good disc</Description></Item>`,
+		`<Item><Code>I2</Code><Section>DVD</Section><Description>a movie</Description></Item>`,
+	}
+	for i, xml := range docs {
+		doc := xmltree.MustParseString([]string{"i1", "i2"}[i], xml)
+		if err := c.StoreDocument("items", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.HasCollection("items") || c.HasCollection("ghost") {
+		t.Fatal("HasCollection wrong")
+	}
+	items, err := c.ExecuteQuery(`for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || xquery.ItemString(items[0]) != "I1" {
+		t.Fatalf("items = %v", items)
+	}
+	st, err := c.CollectionStats("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRemoteFetchCollection(t *testing.T) {
+	c := startServer(t)
+	orig := xmltree.NewCollection("col",
+		xmltree.MustParseString("a", `<X id="1"><Y>one</Y></X>`),
+		xmltree.MustParseString("b", `<X id="2"><Y>two</Y></X>`),
+	)
+	if err := c.CreateCollection("col"); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range orig.Docs {
+		if err := c.StoreDocument("col", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.FetchCollection("col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualCollections(orig, got) {
+		t.Fatal("fetched collection differs")
+	}
+	// Node IDs survive the round trip (required for reconstruction joins).
+	if got.Doc("a").Root.ID != orig.Doc("a").Root.ID {
+		t.Fatal("IDs lost over the wire")
+	}
+}
+
+func TestRemoteErrors(t *testing.T) {
+	c := startServer(t)
+	if _, err := c.ExecuteQuery(`for $x in collection("ghost")/X return $x`); err == nil {
+		t.Fatal("remote error not propagated")
+	}
+	if _, err := c.ExecuteQuery(`syntax error here`); err == nil {
+		t.Fatal("remote parse error not propagated")
+	}
+	if _, err := c.CollectionStats("ghost"); err == nil {
+		t.Fatal("stats of ghost collection")
+	}
+}
+
+func TestRemoteQueryResultKinds(t *testing.T) {
+	c := startServer(t)
+	if err := c.CreateCollection("items"); err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.MustParseString("i1", `<Item><Code>I1</Code></Item>`)
+	if err := c.StoreDocument("items", doc); err != nil {
+		t.Fatal(err)
+	}
+	items, err := c.ExecuteQuery(`(count(collection("items")/Item), "text", 1 = 1, collection("items")/Item/Code)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if _, ok := items[0].(float64); !ok {
+		t.Fatalf("item0 %T", items[0])
+	}
+	if s, ok := items[1].(string); !ok || s != "text" {
+		t.Fatalf("item1 %v", items[1])
+	}
+	if b, ok := items[2].(bool); !ok || !b {
+		t.Fatalf("item2 %v", items[2])
+	}
+	if n, ok := items[3].(*xmltree.Node); !ok || n.Text() != "I1" {
+		t.Fatalf("item3 %v", items[3])
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("x", "127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	c := startServer(t)
+	c.Close()
+	if _, err := c.ExecuteQuery(`collection("x")/a`); err == nil {
+		t.Fatal("closed client executed query")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := startServer(t)
+	if err := c.CreateCollection("items"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 10; i++ {
+				_, err := c.ExecuteQuery(`count(collection("items")/Item)`)
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEncodeSeqRejectsUnknown(t *testing.T) {
+	if _, err := EncodeSeq(xquery.Seq{struct{}{}}); err == nil {
+		t.Fatal("unknown item encoded")
+	}
+	if _, err := DecodeSeq([]Item{{Kind: 99}}); err == nil {
+		t.Fatal("unknown kind decoded")
+	}
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"partix/internal/partix"
+	"partix/internal/toxgene"
+)
+
+// TestQuickTransparencyAcrossSeeds is the system-level property the whole
+// design rests on: for any generated database, every workload query
+// returns the same multiset of answers on the fragmented deployment as on
+// the centralized one. (The fixed-seed tests above pin specific routing
+// strategies; this one varies the data.)
+func TestQuickTransparencyAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system-level property test")
+	}
+	f := func(seed int64) bool {
+		docs := 20 + int(uint64(seed)%40)
+		items := toxgene.GenerateItems(toxgene.ItemsConfig{Docs: docs, Seed: seed})
+
+		scheme, err := HorizontalScheme("items", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frag := newSystem(t, 4)
+		placement := map[string]string{}
+		for i, fr := range scheme.Fragments {
+			placement[fr.Name] = fmt.Sprintf("node%d", i)
+		}
+		if err := frag.Publish(items.Clone(), scheme, placement, partix.PublishOptions{}); err != nil {
+			t.Logf("seed %d: publish: %v", seed, err)
+			return false
+		}
+		central := newSystem(t, 1)
+		if err := central.Publish(items.Clone(), nil, map[string]string{"": "node0"}, partix.PublishOptions{}); err != nil {
+			t.Logf("seed %d: publish central: %v", seed, err)
+			return false
+		}
+		for _, q := range Horizontal("items") {
+			a, err := frag.Query(q.Text)
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, q.ID, err)
+				return false
+			}
+			b, err := central.Query(q.Text)
+			if err != nil {
+				t.Logf("seed %d %s central: %v", seed, q.ID, err)
+				return false
+			}
+			am, bm := multiset(a.Items), multiset(b.Items)
+			if len(am) != len(bm) {
+				t.Logf("seed %d %s: %d vs %d items", seed, q.ID, len(am), len(bm))
+				return false
+			}
+			for i := range am {
+				if am[i] != bm[i] {
+					t.Logf("seed %d %s: item %d differs", seed, q.ID, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

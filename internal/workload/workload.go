@@ -1,0 +1,323 @@
+// Package workload defines the query sets and fragmentation designs of
+// the paper's evaluation (Section 5). The concrete query texts live in the
+// unavailable technical report [3]; these sets implement the paper's
+// characterization of them: "diverse access patterns to XML collections,
+// including the usage of predicates, text searches and aggregation
+// operations", with the text-search and aggregation queries (HQ5–HQ8)
+// showing the largest horizontal-fragmentation gains, the vertical set
+// mixing single-fragment and multi-fragment (join-requiring) queries
+// (VQ4, VQ7–VQ9 span fragments), and the hybrid set mostly returning whole
+// Item elements plus two prune-side queries (YQ9, YQ10) and an aggregate
+// (YQ11).
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"partix/internal/fragmentation"
+	"partix/internal/toxgene"
+	"partix/internal/xmlschema"
+)
+
+// Class tags a query's access pattern.
+type Class string
+
+// Access-pattern classes.
+const (
+	ClassPredicate   Class = "predicate"   // structural/value predicates
+	ClassTextSearch  Class = "text-search" // contains() over text
+	ClassAggregation Class = "aggregation" // count()/sum()
+	ClassFullReturn  Class = "full-return" // returns whole subtrees
+	ClassMultiFrag   Class = "multi-fragment"
+	ClassPruneSide   Class = "prune-side" // touches the pruned store part
+)
+
+// Query is one workload member.
+type Query struct {
+	ID    string
+	Text  string
+	Class Class
+	// Note documents what the query exercises.
+	Note string
+}
+
+// Horizontal is the 8-query set of the ItemsSHor/ItemsLHor experiments
+// (Figure 7(a), 7(b)) over the C_items MD collection.
+func Horizontal(collection string) []Query {
+	c := collection
+	return []Query{
+		{
+			ID:    "HQ1",
+			Class: ClassPredicate,
+			Note:  "selection on the fragmentation attribute; routed to one fragment",
+			Text:  `for $i in collection("` + c + `")/Item where $i/Section = "CD" return $i/Name`,
+		},
+		{
+			ID:    "HQ2",
+			Class: ClassPredicate,
+			Note:  "selection on a non-fragmentation value; broadcast, index-assisted",
+			Text:  `for $i in collection("` + c + `")/Item where $i/Code = "I000007" return $i`,
+		},
+		{
+			ID:    "HQ3",
+			Class: ClassFullReturn,
+			Note:  "fragmentation-attribute selection returning whole items",
+			Text:  `for $i in collection("` + c + `")/Item where $i/Section = "DVD" return $i`,
+		},
+		{
+			ID:    "HQ4",
+			Class: ClassPredicate,
+			Note:  "structural existence test (Figure 2(c) style)",
+			Text:  `for $i in collection("` + c + `")/Item where exists($i/Characteristics) return $i/Code`,
+		},
+		{
+			ID:    "HQ5",
+			Class: ClassTextSearch,
+			Note:  "text search over descriptions; common word, scans most fragments",
+			Text:  `for $i in collection("` + c + `")/Item where contains($i/Description, "good") return $i/Code`,
+		},
+		{
+			ID:    "HQ6",
+			Class: ClassTextSearch,
+			Note:  "text search combined with the fragmentation attribute",
+			Text:  `for $i in collection("` + c + `")/Item where $i/Section = "Book" and contains($i/Description, "excellent") return $i/Name`,
+		},
+		{
+			ID:    "HQ7",
+			Class: ClassAggregation,
+			Note:  "count, entirely parallelizable (composed by summing)",
+			Text:  `count(for $i in collection("` + c + `")/Item where $i/Section = "CD" return $i)`,
+		},
+		{
+			ID:    "HQ8",
+			Class: ClassAggregation,
+			Note:  "text search + aggregation; the paper's slowest centralized case",
+			Text:  `count(for $i in collection("` + c + `")/Item where contains($i/Description, "good") return $i)`,
+		},
+	}
+}
+
+// HorizontalScheme partitions C_items by /Item/Section into k fragments
+// (k ∈ {2, 4, 8}, the paper's Figure 7(a)/(b) sweeps). Sections are dealt
+// round-robin so the non-uniform section weights produce a non-uniform
+// document distribution across fragments, as in the paper.
+func HorizontalScheme(collection string, k int) (*fragmentation.Scheme, error) {
+	if k < 1 || k > len(toxgene.Sections) {
+		return nil, fmt.Errorf("workload: fragment count %d outside 1..%d", k, len(toxgene.Sections))
+	}
+	groups := make([][]string, k)
+	for i, s := range toxgene.Sections {
+		groups[i%k] = append(groups[i%k], s)
+	}
+	scheme := &fragmentation.Scheme{Collection: collection}
+	for i, group := range groups {
+		var terms []string
+		for _, s := range group {
+			terms = append(terms, fmt.Sprintf(`/Item/Section = %q`, s))
+		}
+		pred := strings.Join(terms, " or ")
+		if len(terms) > 1 {
+			pred = "(" + pred + ")"
+		}
+		f, err := fragmentation.NewHorizontal(fmt.Sprintf("F%d", i+1), pred)
+		if err != nil {
+			return nil, err
+		}
+		scheme.Fragments = append(scheme.Fragments, f)
+	}
+	return scheme, nil
+}
+
+// Vertical is the 10-query set of the XBenchVer experiment (Figure 7(c))
+// over the articles collection fragmented into prolog/body/epilog. VQ4 and
+// VQ7–VQ9 need more than one fragment and pay the reconstruction join;
+// the paper reports exactly those as the queries that fragmentation can
+// slow down.
+func Vertical(collection string) []Query {
+	c := collection
+	return []Query{
+		{
+			ID:    "VQ1",
+			Class: ClassPredicate,
+			Note:  "prolog only: titles by genre",
+			Text:  `for $a in collection("` + c + `")/article where $a/prolog/genre = "databases" return $a/prolog/title`,
+		},
+		{
+			ID:    "VQ2",
+			Class: ClassPredicate,
+			Note:  "prolog only: authors of recent articles",
+			Text:  `for $a in collection("` + c + `")/article where $a/prolog/date > "2004-01-01" return $a/prolog/authors/author`,
+		},
+		{
+			ID:    "VQ3",
+			Class: ClassAggregation,
+			Note:  "prolog only: keyword count",
+			Text:  `count(for $a in collection("` + c + `")/article, $k in $a/prolog/keywords/keyword return $k)`,
+		},
+		{
+			ID:    "VQ4",
+			Class: ClassMultiFrag,
+			Note:  "prolog predicate, body result: needs the ⨝ reconstruction",
+			Text:  `for $a in collection("` + c + `")/article where $a/prolog/genre = "theory" return $a/body/section/title`,
+		},
+		{
+			ID:    "VQ5",
+			Class: ClassTextSearch,
+			Note:  "body only: text search within one fragment",
+			Text:  `for $a in collection("` + c + `")/article where contains($a/body, "excellent") return $a/@id`,
+		},
+		{
+			ID:    "VQ6",
+			Class: ClassPredicate,
+			Note:  "epilog only: articles referencing a given country",
+			Text:  `for $a in collection("` + c + `")/article where $a/epilog/country = "Brazil" return $a/@id`,
+		},
+		{
+			ID:    "VQ7",
+			Class: ClassMultiFrag,
+			Note:  "body text search returning prolog titles: two fragments",
+			Text:  `for $a in collection("` + c + `")/article where contains($a/body, "defective") return $a/prolog/title`,
+		},
+		{
+			ID:    "VQ8",
+			Class: ClassMultiFrag,
+			Note:  "returns whole articles: all three fragments",
+			Text:  `for $a in collection("` + c + `")/article where $a/prolog/genre = "security" return $a`,
+		},
+		{
+			ID:    "VQ9",
+			Class: ClassMultiFrag,
+			Note:  "prolog + epilog join",
+			Text:  `for $a in collection("` + c + `")/article where $a/epilog/country = "Japan" return $a/prolog/title`,
+		},
+		{
+			ID:    "VQ10",
+			Class: ClassAggregation,
+			Note:  "epilog only: reference counting",
+			Text:  `sum(for $a in collection("` + c + `")/article return count($a/epilog/references/a_id))`,
+		},
+	}
+}
+
+// Hybrid is the 11-query set of the StoreHyb experiment (Figure 7(d))
+// over the C_store SD collection with the Figure 4 design. YQ1–YQ8 are the
+// ItemsSHor/ItemsLHor queries re-targeted at /Store/Items/Item, mostly
+// returning whole Item elements — "most of the queries returned all the
+// content of the Item element", which the paper identifies as the dominant
+// transmission cost. YQ9/YQ10 live on the pruned store side; YQ11 is the
+// aggregate.
+func Hybrid(collection string) []Query {
+	c := collection
+	item := `collection("` + c + `")/Store/Items/Item`
+	return []Query{
+		{
+			ID:    "YQ1",
+			Class: ClassFullReturn,
+			Note:  "fragmentation-attribute selection returning whole items; routed",
+			Text:  `for $i in ` + item + ` where $i/Section = "CD" return $i`,
+		},
+		{
+			ID:    "YQ2",
+			Class: ClassFullReturn,
+			Note:  "non-fragmentation value predicate; broadcast over item fragments",
+			Text:  `for $i in ` + item + ` where $i/Code = "I000011" return $i`,
+		},
+		{
+			ID:    "YQ3",
+			Class: ClassFullReturn,
+			Note:  "another routed section, whole items",
+			Text:  `for $i in ` + item + ` where $i/Section = "DVD" return $i`,
+		},
+		{
+			ID:    "YQ4",
+			Class: ClassPredicate,
+			Note:  "routed section returning only codes (cheap transmission)",
+			Text:  `for $i in ` + item + ` where $i/Section = "Book" return $i/Code`,
+		},
+		{
+			ID:    "YQ5",
+			Class: ClassTextSearch,
+			Note:  "text search returning whole items",
+			Text:  `for $i in ` + item + ` where contains($i/Description, "good") return $i`,
+		},
+		{
+			ID:    "YQ6",
+			Class: ClassTextSearch,
+			Note:  "text search + section, routed",
+			Text:  `for $i in ` + item + ` where $i/Section = "Game" and contains($i/Description, "excellent") return $i`,
+		},
+		{
+			ID:    "YQ7",
+			Class: ClassPredicate,
+			Note:  "structural existence over items",
+			Text:  `for $i in ` + item + ` where exists($i/Characteristics) return $i/Name`,
+		},
+		{
+			ID:    "YQ8",
+			Class: ClassTextSearch,
+			Note:  "rare-word text search, whole items",
+			Text:  `for $i in ` + item + ` where contains($i/Description, "defective") return $i`,
+		},
+		{
+			ID:    "YQ9",
+			Class: ClassPruneSide,
+			Note:  "prune-side: store sections (F4 only)",
+			Text:  `for $s in collection("` + c + `")/Store/Sections/Section return $s/Name`,
+		},
+		{
+			ID:    "YQ10",
+			Class: ClassPruneSide,
+			Note:  "prune-side: employees (F4 only)",
+			Text:  `for $e in collection("` + c + `")/Store/Employees/Employee return $e`,
+		},
+		{
+			ID:    "YQ11",
+			Class: ClassAggregation,
+			Note:  "count over all items, composed by summing",
+			Text:  `count(for $i in ` + item + ` return $i)`,
+		},
+	}
+}
+
+// HybridScheme is the Figure 4 / Section 5 StoreHyb design: F1 prunes
+// /Store/Items out of the store, and four hybrid fragments partition the
+// items by section groups.
+func HybridScheme(collection string) *fragmentation.Scheme {
+	sectionGroups := [][]string{
+		{"CD", "Software"},
+		{"DVD", "Hardware"},
+		{"Book", "Toy"},
+		{"Game", "Garden"},
+	}
+	scheme := &fragmentation.Scheme{
+		Collection: collection,
+		SD:         true,
+		Schema:     xmlschema.VirtualStore(),
+		RootType:   "Store",
+		Fragments: []*fragmentation.Fragment{
+			fragmentation.MustVertical("F1store", "/Store", "/Store/Items"),
+		},
+	}
+	for i, group := range sectionGroups {
+		var terms []string
+		for _, s := range group {
+			terms = append(terms, fmt.Sprintf(`/Item/Section = %q`, s))
+		}
+		scheme.Fragments = append(scheme.Fragments, fragmentation.MustHybrid(
+			fmt.Sprintf("F%ditems", i+2), "/Store/Items", nil,
+			"("+strings.Join(terms, " or ")+")",
+		))
+	}
+	return scheme
+}
+
+// ByID returns the query with the given ID from a set, or nil.
+func ByID(set []Query, id string) *Query {
+	for i := range set {
+		if set[i].ID == id {
+			return &set[i]
+		}
+	}
+	return nil
+}

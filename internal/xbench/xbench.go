@@ -1,0 +1,108 @@
+// Package xbench is the XBench substitute: it generates the text-centric
+// article collection the paper's vertical-fragmentation experiment
+// (XBenchVer) runs on, and declares the vertical scheme
+// F1 = π/article/prolog, F2 = π/article/body, F3 = π/article/epilog of
+// Section 5.
+package xbench
+
+import (
+	"partix/internal/fragmentation"
+	"partix/internal/toxgene"
+	"partix/internal/xmlschema"
+	"partix/internal/xmltree"
+)
+
+// Genres label articles; prolog queries select on them.
+var Genres = []string{"databases", "networks", "systems", "theory", "graphics", "security"}
+
+// Countries appear in epilogs.
+var Countries = []string{"Brazil", "Canada", "France", "Japan", "Germany"}
+
+// Config parameterizes the article collection. The paper's XBenchVer
+// documents are 5–15 MB; Sections/Paragraphs scale ours to a laptop-sized
+// equivalent with the same three-part shape (metadata-light prolog and
+// epilog, text-heavy body).
+type Config struct {
+	// Docs is the number of articles.
+	Docs int
+	// Seed makes the collection reproducible.
+	Seed int64
+	// Sections is the number of body sections per article (default 10).
+	Sections int
+	// Paragraphs per section (default 12).
+	Paragraphs int
+	// Collection names the result; defaults to "articles".
+	Collection string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sections == 0 {
+		c.Sections = 10
+	}
+	if c.Paragraphs == 0 {
+		c.Paragraphs = 12
+	}
+	if c.Collection == "" {
+		c.Collection = "articles"
+	}
+	return c
+}
+
+// Generate builds the article collection.
+func Generate(cfg Config) *xmltree.Collection {
+	cfg = cfg.withDefaults()
+
+	prolog := toxgene.Elem("prolog",
+		toxgene.Once(toxgene.Leaf("title", toxgene.Words(toxgene.DefaultWordPool, 4, 9))),
+		toxgene.Once(toxgene.Elem("authors",
+			toxgene.Rep(toxgene.Leaf("author", toxgene.Words(toxgene.DefaultWordPool, 2, 2)), 1, 4))),
+		toxgene.Once(toxgene.Leaf("genre", toxgene.Choice(Genres...))),
+		toxgene.Once(toxgene.Elem("keywords",
+			toxgene.Rep(toxgene.Leaf("keyword", toxgene.Words(toxgene.DefaultWordPool, 1, 1)), 2, 6))),
+		toxgene.Once(toxgene.Leaf("date", toxgene.Date(6))),
+	)
+
+	section := toxgene.Elem("section",
+		toxgene.Once(toxgene.Leaf("title", toxgene.Words(toxgene.DefaultWordPool, 3, 6))),
+		toxgene.Rep(toxgene.Leaf("p", toxgene.Words(toxgene.DefaultWordPool, 30, 60)), cfg.Paragraphs, cfg.Paragraphs),
+	)
+	body := toxgene.Elem("body",
+		toxgene.Maybe(toxgene.Leaf("abstract", toxgene.Words(toxgene.DefaultWordPool, 25, 40)), 80),
+		toxgene.Rep(section, cfg.Sections, cfg.Sections),
+	)
+
+	epilog := toxgene.Elem("epilog",
+		toxgene.Once(toxgene.Elem("references",
+			toxgene.Rep(toxgene.Leaf("a_id", toxgene.Seq("ref-%03d")), 3, 12))),
+		toxgene.Maybe(toxgene.Leaf("acknowledgements", toxgene.Words(toxgene.DefaultWordPool, 8, 16)), 60),
+		toxgene.Maybe(toxgene.Leaf("country", toxgene.Choice(Countries...)), 90),
+	)
+
+	article := toxgene.Elem("article",
+		toxgene.Once(prolog),
+		toxgene.Once(body),
+		toxgene.Once(epilog),
+	)
+	article.Attrs = []toxgene.AttrTemplate{{Name: "id", Gen: toxgene.DocSeq("a%05d")}}
+
+	return toxgene.GenerateCollection(article, cfg.Collection, "article%05d", cfg.Docs, cfg.Seed)
+}
+
+// VerticalScheme is the XBenchVer fragmentation of Section 5:
+// F1papers = π/article/prolog, F2papers = π/article/body,
+// F3papers = π/article/epilog.
+func VerticalScheme(collection string) *fragmentation.Scheme {
+	if collection == "" {
+		collection = "articles"
+	}
+	return &fragmentation.Scheme{
+		Collection: collection,
+		Schema:     xmlschema.XBenchArticle(),
+		RootType:   "article",
+		Fragments: []*fragmentation.Fragment{
+			fragmentation.MustVertical("F1papers", "/article/prolog"),
+			fragmentation.MustVertical("F2papers", "/article/body"),
+			fragmentation.MustVertical("F3papers", "/article/epilog"),
+		},
+	}
+}

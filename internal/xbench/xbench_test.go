@@ -1,0 +1,69 @@
+package xbench
+
+import (
+	"testing"
+
+	"partix/internal/xmlschema"
+	"partix/internal/xmltree"
+)
+
+func TestGenerateValidatesAgainstSchema(t *testing.T) {
+	c := Generate(Config{Docs: 8, Seed: 1})
+	if c.Len() != 8 {
+		t.Fatalf("docs = %d", c.Len())
+	}
+	if err := xmlschema.XBenchArticle().ValidateCollection(c, "article"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateBodyDominates(t *testing.T) {
+	c := Generate(Config{Docs: 3, Seed: 2})
+	for _, d := range c.Docs {
+		body := xmltree.NodeSerializedSize(d.Root.Child("body"))
+		prolog := xmltree.NodeSerializedSize(d.Root.Child("prolog"))
+		epilog := xmltree.NodeSerializedSize(d.Root.Child("epilog"))
+		if body < 5*prolog || body < 5*epilog {
+			t.Fatalf("body %d should dwarf prolog %d and epilog %d (text-centric)", body, prolog, epilog)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Docs: 4, Seed: 7})
+	b := Generate(Config{Docs: 4, Seed: 7})
+	if !xmltree.EqualCollections(a, b) {
+		t.Fatal("same seed differs")
+	}
+}
+
+func TestVerticalSchemeCorrectOnGeneratedData(t *testing.T) {
+	c := Generate(Config{Docs: 5, Seed: 3, Sections: 3, Paragraphs: 4})
+	scheme := VerticalScheme(c.Name)
+	if err := scheme.Check(c); err != nil {
+		t.Fatal(err)
+	}
+	frags, err := scheme.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("fragments = %d", len(frags))
+	}
+	// Every article appears in every fragment (all parts are mandatory).
+	for _, fc := range frags {
+		if fc.Len() != c.Len() {
+			t.Fatalf("%s holds %d of %d docs", fc.Name, fc.Len(), c.Len())
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Sections == 0 || cfg.Paragraphs == 0 || cfg.Collection != "articles" {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if VerticalScheme("").Collection != "articles" {
+		t.Fatal("default scheme collection")
+	}
+}

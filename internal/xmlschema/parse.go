@@ -1,0 +1,125 @@
+package xmlschema
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// ParseSchema reads a compact, DTD-like schema notation:
+//
+//	# comments and blank lines are ignored
+//	Store    = Sections Items Employees
+//	Sections = SectionDef+
+//	Items    = Item*
+//	Item     = Code Name Description Section Release? Characteristics* PictureList?
+//	Item     @ id
+//	SectionDef as Section = Code Name
+//
+// Each "Name = child…" line declares an element type with an ordered
+// sequence of children; the suffixes `?`, `*`, `+` set the cardinality
+// (none means exactly one). "Name @ attr…" declares attributes; a
+// trailing `!` marks one required. "TypeName as Label = …" declares a
+// type whose element name differs from its unique type name (the paper's
+// Figure 1(a) uses the element name Section for two structures). Any name
+// that never appears on a left-hand side is a text element.
+func ParseSchema(name, text string) (*Schema, error) {
+	s := New(name)
+	declared := map[string]bool{}
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.Contains(line, "="):
+			if err := parseElementLine(s, declared, line); err != nil {
+				return nil, fmt.Errorf("xmlschema: line %d: %w", lineNo, err)
+			}
+		case strings.Contains(line, "@"):
+			if err := parseAttrLine(s, line); err != nil {
+				return nil, fmt.Errorf("xmlschema: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("xmlschema: line %d: expected '=' or '@' in %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Every name only ever used as a child is a text element.
+	for tname, t := range s.types {
+		if !declared[tname] {
+			Text(t)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseElementLine(s *Schema, declared map[string]bool, line string) error {
+	lhs, rhs, _ := strings.Cut(line, "=")
+	typeName := strings.TrimSpace(lhs)
+	label := ""
+	if base, lab, ok := strings.Cut(typeName, " as "); ok {
+		typeName = strings.TrimSpace(base)
+		label = strings.TrimSpace(lab)
+	}
+	if typeName == "" || strings.ContainsAny(typeName, " \t") {
+		return fmt.Errorf("bad type name %q", typeName)
+	}
+	if declared[typeName] {
+		return fmt.Errorf("type %q declared twice", typeName)
+	}
+	declared[typeName] = true
+
+	t := s.Element(typeName)
+	if label != "" {
+		t.Label = label
+	}
+	t.Content = ElementContent
+	for _, tok := range strings.Fields(rhs) {
+		occurs := One
+		switch {
+		case strings.HasSuffix(tok, "?"):
+			occurs = Optional
+			tok = strings.TrimSuffix(tok, "?")
+		case strings.HasSuffix(tok, "*"):
+			occurs = ZeroOrMore
+			tok = strings.TrimSuffix(tok, "*")
+		case strings.HasSuffix(tok, "+"):
+			occurs = OneOrMore
+			tok = strings.TrimSuffix(tok, "+")
+		}
+		if tok == "" {
+			return fmt.Errorf("empty child name on %q", line)
+		}
+		t.Children = append(t.Children, P(s.Element(tok), occurs))
+	}
+	return nil
+}
+
+func parseAttrLine(s *Schema, line string) error {
+	lhs, rhs, _ := strings.Cut(line, "@")
+	typeName := strings.TrimSpace(lhs)
+	t := s.Type(typeName)
+	if t == nil {
+		return fmt.Errorf("attributes for undeclared type %q (declare its '=' line first)", typeName)
+	}
+	for _, tok := range strings.Fields(rhs) {
+		required := strings.HasSuffix(tok, "!")
+		tok = strings.TrimSuffix(tok, "!")
+		if tok == "" {
+			return fmt.Errorf("empty attribute name on %q", line)
+		}
+		t.Attributes = append(t.Attributes, AttrDecl{Name: tok, Required: required})
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package xmlschema
+
+import (
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+const storeSchemaText = `
+# the paper's Figure 1(a), in the compact notation
+Store      = Sections Items Employees
+Sections   = SectionDef+
+SectionDef as Section = Code Name
+Items      = Item*
+Item       = Code Name Description Section Release? Characteristics* PictureList? PricesHistory?
+Item       @ id
+PictureList   = Picture+
+Picture       = Name Description? ModificationDate OriginalPath ThumbPath
+PricesHistory = PriceHistory+
+PriceHistory  = Price ModificationDate
+Employees     = Employee+
+`
+
+func TestParseSchemaEquivalentToBuiltin(t *testing.T) {
+	parsed, err := ParseSchema("virtual_store", storeSchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin := VirtualStore()
+
+	// Both accept the same documents.
+	docs := []string{
+		`<Store><Sections><Section><Code>c</Code><Name>n</Name></Section></Sections><Items/><Employees><Employee>e</Employee></Employees></Store>`,
+		`<Store><Sections><Section><Code>c</Code><Name>n</Name></Section></Sections><Items><Item id="1"><Code>c</Code><Name>n</Name><Description>d</Description><Section>CD</Section></Item></Items><Employees><Employee>e</Employee></Employees></Store>`,
+	}
+	for _, xml := range docs {
+		doc := xmltree.MustParseString("d", xml)
+		if err := parsed.ValidateDocument(doc, "Store"); err != nil {
+			t.Errorf("parsed schema rejects: %v", err)
+		}
+		if err := builtin.ValidateDocument(doc, "Store"); err != nil {
+			t.Errorf("builtin schema rejects: %v", err)
+		}
+	}
+	// And both reject the same violations.
+	bad := xmltree.MustParseString("d",
+		`<Store><Items/><Sections><Section><Code>c</Code><Name>n</Name></Section></Sections><Employees><Employee>e</Employee></Employees></Store>`)
+	if parsed.ValidateDocument(bad, "Store") == nil {
+		t.Error("parsed schema accepted out-of-order children")
+	}
+}
+
+func TestParseSchemaCardinalities(t *testing.T) {
+	s, err := ParseSchema("s", `
+root = one opt? many* some+
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Type("root")
+	want := []Occurs{One, Optional, ZeroOrMore, OneOrMore}
+	for i, p := range r.Children {
+		if p.Occurs != want[i] {
+			t.Errorf("child %d occurs %v, want %v", i, p.Occurs, want[i])
+		}
+	}
+	// Undeclared children default to text elements.
+	if s.Type("one").Content != TextContent {
+		t.Error("leaf not text")
+	}
+}
+
+func TestParseSchemaAttributes(t *testing.T) {
+	s, err := ParseSchema("s", `
+root = child
+root @ id! note
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Type("root")
+	if len(r.Attributes) != 2 || !r.Attributes[0].Required || r.Attributes[1].Required {
+		t.Fatalf("attributes = %+v", r.Attributes)
+	}
+}
+
+func TestParseSchemaLabelAlias(t *testing.T) {
+	// The same element name with two structures under different parents —
+	// the Figure 1(a) Section case.
+	s, err := ParseSchema("s", `
+root  = left right
+left  = Wrapper
+right = Leaf
+Wrapper as Leaf = Inner
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Type("Wrapper").ElementName() != "Leaf" {
+		t.Fatal("alias not applied")
+	}
+	doc := xmltree.MustParseString("d",
+		`<root><left><Leaf><Inner>x</Inner></Leaf></left><right><Leaf>y</Leaf></right></root>`)
+	if err := s.ValidateDocument(doc, "root"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	bad := map[string]string{
+		"no separator":     `root child`,
+		"dup type":         "root = a\nroot = b",
+		"attr before decl": `root @ id`,
+		"bad type name":    `= a b`,
+	}
+	for name, text := range bad {
+		if _, err := ParseSchema("s", text); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseSchemaUsableForFragmentChecks(t *testing.T) {
+	s, err := ParseSchema("virtual_store", storeSchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cardinality resolution the fragmentation validator relies on.
+	_, _, rep, err := s.ResolveSteps("Store", []string{"Items"})
+	if err != nil || rep {
+		t.Fatalf("Items: rep=%v err=%v", rep, err)
+	}
+	_, _, rep, err = s.ResolveSteps("Store", []string{"Items", "Item"})
+	if err != nil || !rep {
+		t.Fatalf("Item should be repeatable: rep=%v err=%v", rep, err)
+	}
+}

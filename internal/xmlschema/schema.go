@@ -1,0 +1,231 @@
+// Package xmlschema models XML schemas the way the PartiX paper uses them
+// (Section 3.1): element names correspond to type names, a document Δ
+// satisfies a type τ ∈ S iff its tree derives from the grammar defined by S
+// with ℓ(rootΔ) → τ, and a homogeneous collection C = ⟨S, τroot⟩ is a set of
+// documents that all satisfy τroot.
+//
+// The content model is a DTD-like ordered sequence of child particles with
+// minimum/maximum cardinalities, which is exactly what the schema tree in
+// the paper's Figure 1(a) expresses (e.g. Item has PictureList 0..1, whose
+// Picture child is 1..n).
+package xmlschema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unbounded is the Max value of an Occurs with no upper cardinality bound
+// (the "n" in "1..n").
+const Unbounded = -1
+
+// Occurs is a cardinality constraint min..max on a child particle.
+type Occurs struct {
+	Min int
+	Max int // Unbounded for no limit
+}
+
+// Common cardinalities, named after their DTD equivalents.
+var (
+	One        = Occurs{1, 1}         // exactly one
+	Optional   = Occurs{0, 1}         // 0..1
+	OneOrMore  = Occurs{1, Unbounded} // 1..n
+	ZeroOrMore = Occurs{0, Unbounded} // 0..n
+)
+
+// String renders the cardinality as "min..max".
+func (o Occurs) String() string {
+	if o.Max == Unbounded {
+		return fmt.Sprintf("%d..n", o.Min)
+	}
+	return fmt.Sprintf("%d..%d", o.Min, o.Max)
+}
+
+// Contains reports whether a count of n children satisfies the constraint.
+func (o Occurs) Contains(n int) bool {
+	return n >= o.Min && (o.Max == Unbounded || n <= o.Max)
+}
+
+// MayRepeat reports whether the constraint allows more than one occurrence.
+func (o Occurs) MayRepeat() bool { return o.Max == Unbounded || o.Max > 1 }
+
+// Content describes what an element type may contain.
+type Content uint8
+
+const (
+	// ElementContent means an ordered sequence of child elements.
+	ElementContent Content = iota
+	// TextContent means a single data value (a terminal path step).
+	TextContent
+	// EmptyContent means no children.
+	EmptyContent
+)
+
+// Particle is one slot in an element type's content sequence.
+type Particle struct {
+	Type   *ElementType
+	Occurs Occurs
+}
+
+// AttrDecl declares an attribute of an element type.
+type AttrDecl struct {
+	Name     string
+	Required bool
+}
+
+// ElementType is a named type in the schema. Per the paper, the type name
+// usually is the element name; when one element name is used with two
+// structures (Figure 1(a) has both Store/Sections/Section and Item/Section),
+// Label carries the element name and Name stays unique within the schema.
+type ElementType struct {
+	Name       string
+	Label      string // element name; defaults to Name
+	Content    Content
+	Children   []Particle // ordered; meaningful for ElementContent
+	Attributes []AttrDecl
+}
+
+// ElementName returns the element name documents use for this type.
+func (t *ElementType) ElementName() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return t.Name
+}
+
+// Child returns the particle whose type's element name is name, or nil.
+func (t *ElementType) Child(name string) *Particle {
+	for i := range t.Children {
+		if t.Children[i].Type.ElementName() == name {
+			return &t.Children[i]
+		}
+	}
+	return nil
+}
+
+// Attr returns the declaration of the attribute named name, or nil.
+func (t *ElementType) Attr(name string) *AttrDecl {
+	for i := range t.Attributes {
+		if t.Attributes[i].Name == name {
+			return &t.Attributes[i]
+		}
+	}
+	return nil
+}
+
+// Schema is a set of element types, keyed by type (= element) name.
+type Schema struct {
+	Name  string
+	types map[string]*ElementType
+}
+
+// New returns an empty schema with the given name.
+func New(name string) *Schema {
+	return &Schema{Name: name, types: make(map[string]*ElementType)}
+}
+
+// Element declares (or returns the existing) element type named name.
+// Builders call Element first and fill in content later, which permits
+// recursive types.
+func (s *Schema) Element(name string) *ElementType {
+	if t, ok := s.types[name]; ok {
+		return t
+	}
+	t := &ElementType{Name: name}
+	s.types[name] = t
+	return t
+}
+
+// Type returns the element type named name, or nil.
+func (s *Schema) Type(name string) *ElementType { return s.types[name] }
+
+// Types returns the number of declared types.
+func (s *Schema) Types() int { return len(s.types) }
+
+// Seq sets t's content to an ordered sequence of particles.
+func Seq(t *ElementType, parts ...Particle) *ElementType {
+	t.Content = ElementContent
+	t.Children = parts
+	return t
+}
+
+// Text marks t as holding a single data value.
+func Text(t *ElementType) *ElementType {
+	t.Content = TextContent
+	return t
+}
+
+// P builds a particle.
+func P(t *ElementType, o Occurs) Particle { return Particle{Type: t, Occurs: o} }
+
+// Validate checks internal consistency: every particle references a type
+// declared in this schema, cardinalities are sane, and attribute names are
+// unique per type.
+func (s *Schema) Validate() error {
+	for name, t := range s.types {
+		if name != t.Name {
+			return fmt.Errorf("xmlschema: type registered as %q but named %q", name, t.Name)
+		}
+		seenAttr := map[string]bool{}
+		for _, a := range t.Attributes {
+			if seenAttr[a.Name] {
+				return fmt.Errorf("xmlschema: type %q declares attribute %q twice", name, a.Name)
+			}
+			seenAttr[a.Name] = true
+		}
+		if t.Content != ElementContent && len(t.Children) > 0 {
+			return fmt.Errorf("xmlschema: type %q has children but %v content", name, t.Content)
+		}
+		seenChild := map[string]bool{}
+		for _, p := range t.Children {
+			if p.Type == nil {
+				return fmt.Errorf("xmlschema: type %q has a nil particle", name)
+			}
+			if s.types[p.Type.Name] != p.Type {
+				return fmt.Errorf("xmlschema: type %q references foreign type %q", name, p.Type.Name)
+			}
+			if seenChild[p.Type.ElementName()] {
+				return fmt.Errorf("xmlschema: type %q repeats child %q in its sequence", name, p.Type.ElementName())
+			}
+			seenChild[p.Type.ElementName()] = true
+			if p.Occurs.Min < 0 || (p.Occurs.Max != Unbounded && p.Occurs.Max < p.Occurs.Min) {
+				return fmt.Errorf("xmlschema: type %q child %q has invalid cardinality %v", name, p.Type.Name, p.Occurs)
+			}
+		}
+	}
+	return nil
+}
+
+// ResolveSteps walks a sequence of child element steps from the type named
+// root and returns the type reached. A step "@name" must be last and
+// resolves to an attribute declaration, returned separately. repeatable
+// reports whether any step along the way (excluding the root itself) may
+// occur more than once — the property the paper's vertical-fragmentation
+// restriction cares about.
+func (s *Schema) ResolveSteps(root string, steps []string) (t *ElementType, attr *AttrDecl, repeatable bool, err error) {
+	t = s.Type(root)
+	if t == nil {
+		return nil, nil, false, fmt.Errorf("xmlschema: unknown root type %q", root)
+	}
+	for i, step := range steps {
+		if strings.HasPrefix(step, "@") {
+			if i != len(steps)-1 {
+				return nil, nil, false, fmt.Errorf("xmlschema: attribute step %q must be last", step)
+			}
+			a := t.Attr(step[1:])
+			if a == nil {
+				return nil, nil, false, fmt.Errorf("xmlschema: type %q has no attribute %q", t.Name, step[1:])
+			}
+			return t, a, repeatable, nil
+		}
+		p := t.Child(step)
+		if p == nil {
+			return nil, nil, false, fmt.Errorf("xmlschema: type %q has no child %q", t.Name, step)
+		}
+		if p.Occurs.MayRepeat() {
+			repeatable = true
+		}
+		t = p.Type
+	}
+	return t, nil, repeatable, nil
+}

@@ -1,0 +1,260 @@
+package xmlschema
+
+import (
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+func TestOccurs(t *testing.T) {
+	if One.String() != "1..1" || OneOrMore.String() != "1..n" {
+		t.Fatalf("Occurs.String wrong: %s %s", One, OneOrMore)
+	}
+	if !Optional.Contains(0) || !Optional.Contains(1) || Optional.Contains(2) {
+		t.Fatal("Optional.Contains wrong")
+	}
+	if !ZeroOrMore.Contains(100) || ZeroOrMore.Contains(-1) {
+		t.Fatal("ZeroOrMore.Contains wrong")
+	}
+	if One.MayRepeat() || Optional.MayRepeat() || !OneOrMore.MayRepeat() || !ZeroOrMore.MayRepeat() {
+		t.Fatal("MayRepeat wrong")
+	}
+	if !(Occurs{0, 3}).MayRepeat() {
+		t.Fatal("0..3 should repeat")
+	}
+}
+
+func TestBuiltinSchemasValid(t *testing.T) {
+	for _, s := range []*Schema{VirtualStore(), XBenchArticle()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if s.Types() == 0 {
+			t.Errorf("%s: no types", s.Name)
+		}
+	}
+}
+
+func TestElementReturnsSameType(t *testing.T) {
+	s := New("s")
+	a := s.Element("a")
+	if s.Element("a") != a {
+		t.Fatal("Element not idempotent")
+	}
+	if s.Type("a") != a || s.Type("b") != nil {
+		t.Fatal("Type lookup wrong")
+	}
+}
+
+func TestSchemaValidateRejectsBadSchemas(t *testing.T) {
+	// Foreign type reference.
+	s1, s2 := New("s1"), New("s2")
+	foreign := s2.Element("x")
+	Seq(s1.Element("root"), P(foreign, One))
+	if err := s1.Validate(); err == nil {
+		t.Error("foreign type accepted")
+	}
+
+	// Invalid cardinality.
+	s3 := New("s3")
+	Seq(s3.Element("root"), P(Text(s3.Element("a")), Occurs{2, 1}))
+	if err := s3.Validate(); err == nil {
+		t.Error("max<min accepted")
+	}
+
+	// Duplicate child element name in sequence.
+	s4 := New("s4")
+	a := Text(s4.Element("a"))
+	Seq(s4.Element("root"), P(a, One), P(a, One))
+	if err := s4.Validate(); err == nil {
+		t.Error("duplicate child accepted")
+	}
+
+	// Duplicate attribute.
+	s5 := New("s5")
+	r := s5.Element("root")
+	r.Attributes = []AttrDecl{{Name: "x"}, {Name: "x"}}
+	if err := s5.Validate(); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+
+	// Text content with children.
+	s6 := New("s6")
+	bad := Text(s6.Element("bad"))
+	bad.Children = []Particle{P(Text(s6.Element("c")), One)}
+	if err := s6.Validate(); err == nil {
+		t.Error("text type with children accepted")
+	}
+}
+
+func validItemXML() string {
+	return `<Item id="1">
+	  <Code>I1</Code><Name>Disc</Name><Description>nice</Description>
+	  <Section>CD</Section>
+	  <Characteristics>shiny</Characteristics>
+	  <PictureList>
+	    <Picture><Name>p</Name><ModificationDate>2005-01-01</ModificationDate>
+	      <OriginalPath>/o</OriginalPath><ThumbPath>/t</ThumbPath></Picture>
+	  </PictureList>
+	  <PricesHistory>
+	    <PriceHistory><Price>9.90</Price><ModificationDate>2005-02-02</ModificationDate></PriceHistory>
+	  </PricesHistory>
+	</Item>`
+}
+
+func TestValidateItemDocument(t *testing.T) {
+	s := VirtualStore()
+	doc := xmltree.MustParseString("i1", validItemXML())
+	if err := s.ValidateDocument(doc, "Item"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateStoreDocumentWithSectionLabel(t *testing.T) {
+	s := VirtualStore()
+	doc := xmltree.MustParseString("store", `<Store>
+	  <Sections>
+	    <Section><Code>S1</Code><Name>CD</Name></Section>
+	  </Sections>
+	  <Items>
+	    <Item><Code>I1</Code><Name>N</Name><Description>D</Description><Section>CD</Section></Item>
+	  </Items>
+	  <Employees><Employee>bob</Employee></Employees>
+	</Store>`)
+	if err := s.ValidateDocument(doc, "Store"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	s := VirtualStore()
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"wrong root", `<Thing/>`},
+		{"missing required child", `<Item><Code>c</Code></Item>`},
+		{"unexpected child", `<Item><Code>c</Code><Name>n</Name><Description>d</Description><Section>s</Section><Bogus/></Item>`},
+		{"out of order", `<Item><Name>n</Name><Code>c</Code><Description>d</Description><Section>s</Section></Item>`},
+		{"undeclared attribute", `<Item foo="1"><Code>c</Code><Name>n</Name><Description>d</Description><Section>s</Section></Item>`},
+		{"element content in text type", `<Item><Code><X/></Code><Name>n</Name><Description>d</Description><Section>s</Section></Item>`},
+		{"too many PictureList", `<Item><Code>c</Code><Name>n</Name><Description>d</Description><Section>s</Section><PictureList><Picture><Name>p</Name><ModificationDate>m</ModificationDate><OriginalPath>o</OriginalPath><ThumbPath>t</ThumbPath></Picture></PictureList><PictureList><Picture><Name>p</Name><ModificationDate>m</ModificationDate><OriginalPath>o</OriginalPath><ThumbPath>t</ThumbPath></Picture></PictureList></Item>`},
+	}
+	for _, tc := range cases {
+		doc, err := xmltree.ParseString("d", tc.xml)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if err := s.ValidateDocument(doc, "Item"); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestValidateUnknownType(t *testing.T) {
+	s := VirtualStore()
+	doc := xmltree.MustParseString("d", "<X/>")
+	if err := s.ValidateDocument(doc, "Nope"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestRequiredAttribute(t *testing.T) {
+	s := XBenchArticle()
+	doc := xmltree.MustParseString("a", `<article><prolog><title>t</title><authors><author>a</author></authors><genre>g</genre><keywords/><date>2004</date></prolog><body><section><title>s</title><p>text</p></section></body><epilog><references/></epilog></article>`)
+	if err := s.ValidateDocument(doc, "article"); err == nil {
+		t.Fatal("missing required id attribute accepted")
+	}
+	doc.Root.Append(xmltree.NewAttr("id", "a1"))
+	// Attribute order does not matter for validation.
+	if err := s.ValidateDocument(doc, "article"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCollectionHomogeneity(t *testing.T) {
+	spec := CItems()
+	good := xmltree.NewCollection("items",
+		xmltree.MustParseString("i1", validItemXML()),
+	)
+	if err := spec.Validate(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := xmltree.NewCollection("items",
+		xmltree.MustParseString("i1", validItemXML()),
+		xmltree.MustParseString("x", `<Other/>`),
+	)
+	if err := spec.Validate(bad); err == nil {
+		t.Fatal("heterogeneous collection accepted")
+	}
+}
+
+func TestSDSpec(t *testing.T) {
+	spec := CStore()
+	two := xmltree.NewCollection("store",
+		xmltree.MustParseString("s1", "<Store><Sections><Section><Code>c</Code><Name>n</Name></Section></Sections><Items/><Employees><Employee>e</Employee></Employees></Store>"),
+		xmltree.MustParseString("s2", "<Store><Sections><Section><Code>c</Code><Name>n</Name></Section></Sections><Items/><Employees><Employee>e</Employee></Employees></Store>"),
+	)
+	if err := spec.Validate(two); err == nil {
+		t.Fatal("SD spec accepted 2 documents")
+	}
+}
+
+func TestResolveSteps(t *testing.T) {
+	s := VirtualStore()
+
+	typ, attr, rep, err := s.ResolveSteps("Store", []string{"Items", "Item"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ.Name != "Item" || attr != nil || !rep {
+		t.Fatalf("Items/Item: type=%v attr=%v repeatable=%v", typ.Name, attr, rep)
+	}
+
+	typ, _, rep, err = s.ResolveSteps("Item", []string{"PictureList"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ.Name != "PictureList" || rep {
+		t.Fatalf("PictureList: type=%v repeatable=%v (0..1 must not repeat)", typ.Name, rep)
+	}
+
+	_, _, rep, err = s.ResolveSteps("Item", []string{"PictureList", "Picture"})
+	if err != nil || !rep {
+		t.Fatalf("Picture should be repeatable, err=%v", err)
+	}
+
+	_, attr, _, err = s.ResolveSteps("Item", []string{"@id"})
+	if err != nil || attr == nil || attr.Name != "id" {
+		t.Fatalf("@id: attr=%v err=%v", attr, err)
+	}
+
+	if _, _, _, err := s.ResolveSteps("Item", []string{"@id", "Code"}); err == nil {
+		t.Fatal("attribute step not last accepted")
+	}
+	if _, _, _, err := s.ResolveSteps("Item", []string{"Nope"}); err == nil {
+		t.Fatal("unknown step accepted")
+	}
+	if _, _, _, err := s.ResolveSteps("Nope", nil); err == nil {
+		t.Fatal("unknown root accepted")
+	}
+	if _, _, _, err := s.ResolveSteps("Item", []string{"@nope"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestResolveStepsUsesElementLabels(t *testing.T) {
+	s := VirtualStore()
+	typ, _, _, err := s.ResolveSteps("Store", []string{"Sections", "Section", "Code"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ.Name != "Code" {
+		t.Fatalf("resolved %q", typ.Name)
+	}
+	// Item/Section resolves to the text-typed Section, not SectionDef.
+	typ, _, _, err = s.ResolveSteps("Item", []string{"Section"})
+	if err != nil || typ.Content != TextContent {
+		t.Fatalf("Item/Section: %v content=%v", err, typ.Content)
+	}
+}

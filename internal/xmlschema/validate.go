@@ -1,0 +1,106 @@
+package xmlschema
+
+import (
+	"fmt"
+
+	"partix/internal/xmltree"
+)
+
+// ValidateDocument checks that doc satisfies the type named rootType: the
+// root element is labeled rootType and every subtree matches its type's
+// content model and attribute declarations.
+func (s *Schema) ValidateDocument(doc *xmltree.Document, rootType string) error {
+	t := s.Type(rootType)
+	if t == nil {
+		return fmt.Errorf("xmlschema: unknown type %q", rootType)
+	}
+	if doc.Root == nil {
+		return fmt.Errorf("xmlschema: document %q has no root", doc.Name)
+	}
+	if doc.Root.Name != t.ElementName() {
+		return fmt.Errorf("xmlschema: document %q root is %q, want %q", doc.Name, doc.Root.Name, t.ElementName())
+	}
+	if err := s.validateNode(doc.Root, t); err != nil {
+		return fmt.Errorf("document %q: %w", doc.Name, err)
+	}
+	return nil
+}
+
+func (s *Schema) validateNode(n *xmltree.Node, t *ElementType) error {
+	// Attributes: all present ones declared, all required ones present.
+	for _, a := range n.Attributes() {
+		if t.Attr(a.Name) == nil {
+			return fmt.Errorf("%s: undeclared attribute %q", n.Path(), a.Name)
+		}
+	}
+	for _, decl := range t.Attributes {
+		if _, ok := n.Attr(decl.Name); decl.Required && !ok {
+			return fmt.Errorf("%s: missing required attribute %q", n.Path(), decl.Name)
+		}
+	}
+
+	els := n.ElementChildren()
+	switch t.Content {
+	case TextContent:
+		if len(els) > 0 {
+			return fmt.Errorf("%s: type %q holds text but has element children", n.Path(), t.Name)
+		}
+		return nil
+	case EmptyContent:
+		if len(els) > 0 || n.Text() != "" {
+			return fmt.Errorf("%s: type %q must be empty", n.Path(), t.Name)
+		}
+		return nil
+	}
+
+	// ElementContent: match children against the ordered particle sequence.
+	// Children with the same name must be contiguous and each particle's
+	// count must satisfy its cardinality.
+	i := 0
+	for _, p := range t.Children {
+		count := 0
+		for i < len(els) && els[i].Name == p.Type.ElementName() {
+			if err := s.validateNode(els[i], p.Type); err != nil {
+				return err
+			}
+			count++
+			i++
+		}
+		if !p.Occurs.Contains(count) {
+			return fmt.Errorf("%s: child %q occurs %d times, want %v", n.Path(), p.Type.ElementName(), count, p.Occurs)
+		}
+	}
+	if i < len(els) {
+		return fmt.Errorf("%s: unexpected child %q", n.Path(), els[i].Name)
+	}
+	return nil
+}
+
+// ValidateCollection checks that the collection is homogeneous for
+// rootType: every document satisfies the type (paper: C = ⟨S, τroot⟩).
+func (s *Schema) ValidateCollection(c *xmltree.Collection, rootType string) error {
+	for _, d := range c.Docs {
+		if err := s.ValidateDocument(d, rootType); err != nil {
+			return fmt.Errorf("collection %q not homogeneous: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// CollectionSpec names a homogeneous collection C := ⟨S, τroot⟩ over a
+// schema, as in the paper's Figure 1(b). RootType is the element type every
+// document in the collection satisfies; SD repositories have exactly one
+// document.
+type CollectionSpec struct {
+	Schema   *Schema
+	RootType string
+	SD       bool
+}
+
+// Validate checks a concrete collection against the spec.
+func (cs CollectionSpec) Validate(c *xmltree.Collection) error {
+	if cs.SD && c.Len() != 1 {
+		return fmt.Errorf("xmlschema: collection %q declared SD but has %d documents", c.Name, c.Len())
+	}
+	return cs.Schema.ValidateCollection(c, cs.RootType)
+}

@@ -1,0 +1,94 @@
+package xmltree
+
+import "fmt"
+
+// Equal reports whether two subtrees are structurally identical: same kind,
+// name, value and equal children in the same order. Node IDs are ignored,
+// so a reconstructed collection compares equal to the original even if the
+// reconstruction rebuilt some nodes.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Name != b.Name || a.Value != b.Value {
+		return false
+	}
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualDocuments reports whether two documents have the same name and equal
+// trees.
+func EqualDocuments(a, b *Document) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Name == b.Name && Equal(a.Root, b.Root)
+}
+
+// EqualCollections reports whether two collections contain equal documents.
+// Document order is ignored: collections are sets (paper Section 3.1), so
+// both sides are matched by document name.
+func EqualCollections(a, b *Collection) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	byName := make(map[string]*Document, b.Len())
+	for _, d := range b.Docs {
+		byName[d.Name] = d
+	}
+	for _, d := range a.Docs {
+		other, ok := byName[d.Name]
+		if !ok || !Equal(d.Root, other.Root) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first structural
+// difference between two subtrees, or "" if they are equal. Used by the
+// fragmentation correctness checker to explain reconstruction failures.
+func Diff(a, b *Node) string {
+	return diff(a, b, "/")
+}
+
+func diff(a, b *Node, path string) string {
+	switch {
+	case a == nil && b == nil:
+		return ""
+	case a == nil:
+		return fmt.Sprintf("%s: missing on left (right has %s %q)", path, b.Kind, b.Name)
+	case b == nil:
+		return fmt.Sprintf("%s: missing on right (left has %s %q)", path, a.Kind, a.Name)
+	}
+	if a.Kind != b.Kind {
+		return fmt.Sprintf("%s: kind %s vs %s", path, a.Kind, b.Kind)
+	}
+	if a.Name != b.Name {
+		return fmt.Sprintf("%s: name %q vs %q", path, a.Name, b.Name)
+	}
+	if a.Value != b.Value {
+		return fmt.Sprintf("%s: value %q vs %q", path, a.Value, b.Value)
+	}
+	if len(a.Children) != len(b.Children) {
+		return fmt.Sprintf("%s/%s: %d children vs %d", path, a.Name, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		child := path
+		if a.Name != "" {
+			child = path + a.Name + "/"
+		}
+		if d := diff(a.Children[i], b.Children[i], child); d != "" {
+			return d
+		}
+	}
+	return ""
+}

@@ -1,0 +1,174 @@
+package xmltree
+
+import "testing"
+
+func TestEqualIgnoresIDs(t *testing.T) {
+	a := NewDocument("d", sampleItem())
+	b := sampleItem() // no IDs assigned
+	if !Equal(a.Root, b) {
+		t.Fatal("Equal should ignore IDs")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	base := sampleItem()
+	cases := []struct {
+		name   string
+		mutate func(*Node)
+	}{
+		{"name", func(n *Node) { n.Children[1].Name = "Kode" }},
+		{"value", func(n *Node) { n.Children[1].Children[0].Value = "other" }},
+		{"kind", func(n *Node) { n.Children[1].Kind = AttributeNode }},
+		{"extra child", func(n *Node) { n.Append(NewElement("Extra")) }},
+		{"order", func(n *Node) { n.Children[1], n.Children[2] = n.Children[2], n.Children[1] }},
+	}
+	for _, tc := range cases {
+		other := base.Clone()
+		tc.mutate(other)
+		if Equal(base, other) {
+			t.Errorf("%s: mutation not detected", tc.name)
+		}
+		if Diff(base, other) == "" {
+			t.Errorf("%s: Diff empty for unequal trees", tc.name)
+		}
+	}
+}
+
+func TestEqualNil(t *testing.T) {
+	if !Equal(nil, nil) {
+		t.Fatal("nil,nil should be equal")
+	}
+	if Equal(sampleItem(), nil) || Equal(nil, sampleItem()) {
+		t.Fatal("nil vs non-nil should differ")
+	}
+}
+
+func TestDiffEqualTreesEmpty(t *testing.T) {
+	a := sampleItem()
+	if d := Diff(a, a.Clone()); d != "" {
+		t.Fatalf("Diff of equal trees = %q", d)
+	}
+}
+
+func TestEqualDocuments(t *testing.T) {
+	a := NewDocument("x", sampleItem())
+	b := NewDocument("x", sampleItem())
+	c := NewDocument("y", sampleItem())
+	if !EqualDocuments(a, b) {
+		t.Fatal("same-name equal trees should match")
+	}
+	if EqualDocuments(a, c) {
+		t.Fatal("different names should not match")
+	}
+	if !EqualDocuments(nil, nil) || EqualDocuments(a, nil) {
+		t.Fatal("nil handling wrong")
+	}
+}
+
+func TestEqualCollectionsIgnoresOrder(t *testing.T) {
+	d1 := NewDocument("a", sampleItem())
+	d2 := NewDocument("b", NewElement("Other"))
+	c1 := NewCollection("c", d1, d2)
+	c2 := NewCollection("c", d2.Clone(), d1.Clone())
+	if !EqualCollections(c1, c2) {
+		t.Fatal("order should not matter")
+	}
+	c3 := NewCollection("c", d1.Clone())
+	if EqualCollections(c1, c3) {
+		t.Fatal("different sizes should not match")
+	}
+	d3 := NewDocument("b", NewElement("Changed"))
+	c4 := NewCollection("c", d1.Clone(), d3)
+	if EqualCollections(c1, c4) {
+		t.Fatal("changed doc should not match")
+	}
+}
+
+func TestCollectionHelpers(t *testing.T) {
+	c := NewCollection("items")
+	if c.Len() != 0 || c.IsSD() {
+		t.Fatal("empty collection basics wrong")
+	}
+	c.Add(NewDocument("one", sampleItem()))
+	if !c.IsSD() || c.Len() != 1 {
+		t.Fatal("single-doc collection should be SD")
+	}
+	c.Add(NewDocument("two", NewElement("X")))
+	if c.IsSD() {
+		t.Fatal("two-doc collection reported SD")
+	}
+	if c.Doc("one") == nil || c.Doc("three") != nil {
+		t.Fatal("Doc lookup wrong")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Add(NewDocument("one", NewElement("Dup")))
+	if err := c.Validate(); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestCollectionSortAndClone(t *testing.T) {
+	c := NewCollection("c",
+		NewDocument("b", NewElement("B")),
+		NewDocument("a", NewElement("A")),
+	)
+	cp := c.Clone()
+	c.SortByName()
+	if c.Docs[0].Name != "a" {
+		t.Fatal("sort failed")
+	}
+	if cp.Docs[0].Name != "b" {
+		t.Fatal("clone shares slice with original")
+	}
+	cp.Docs[0].Root.Name = "Mutated"
+	if c.Doc("b").Root.Name == "Mutated" {
+		t.Fatal("clone shares nodes with original")
+	}
+	if n := c.TotalNodes(); n != 2 {
+		t.Fatalf("TotalNodes = %d, want 2", n)
+	}
+}
+
+func TestDocumentFindByID(t *testing.T) {
+	doc := NewDocument("d", sampleItem())
+	sec := doc.Root.Child("Section")
+	if got := doc.FindByID(sec.ID); got != sec {
+		t.Fatal("FindByID did not locate node")
+	}
+	if doc.FindByID(9999) != nil {
+		t.Fatal("FindByID found ghost node")
+	}
+}
+
+func TestAssignIDsContinuesAfterExisting(t *testing.T) {
+	root := sampleItem()
+	doc := NewDocument("d", root)
+	maxBefore := NodeID(0)
+	root.Walk(func(n *Node) bool {
+		if n.ID > maxBefore {
+			maxBefore = n.ID
+		}
+		return true
+	})
+	root.Append(NewElement("New", NewText("v")))
+	doc.AssignIDs()
+	newEl := root.Child("New")
+	if newEl.ID <= maxBefore {
+		t.Fatalf("new node ID %d not after existing max %d", newEl.ID, maxBefore)
+	}
+	// Existing IDs unchanged.
+	if root.ID != 1 {
+		t.Fatalf("root ID changed to %d", root.ID)
+	}
+}
+
+func TestDocumentValidate(t *testing.T) {
+	if err := (&Document{Name: "d"}).Validate(); err == nil {
+		t.Fatal("nil root accepted")
+	}
+	if err := NewDocument("d", NewText("x")).Validate(); err == nil {
+		t.Fatal("text root accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Document is a well-formed XML document: a data tree with a single root
+// element. Name identifies the document within its collection (the paper's
+// MD repositories are sets of named documents; an SD repository is a
+// collection with exactly one document).
+type Document struct {
+	Name string
+	Root *Node
+}
+
+// NewDocument returns a document with the given name and root. Node IDs are
+// assigned in document order starting from 1 for any node whose ID is zero,
+// so hand-built trees become join-ready without an explicit numbering pass.
+func NewDocument(name string, root *Node) *Document {
+	d := &Document{Name: name, Root: root}
+	d.AssignIDs()
+	return d
+}
+
+// AssignIDs numbers all nodes with ID zero in document order, continuing
+// after the highest ID already present. Existing IDs are never changed,
+// so projected fragments keep their original identities.
+func (d *Document) AssignIDs() {
+	if d.Root == nil {
+		return
+	}
+	var max NodeID
+	d.Root.Walk(func(n *Node) bool {
+		if n.ID > max {
+			max = n.ID
+		}
+		return true
+	})
+	next := max + 1
+	d.Root.Walk(func(n *Node) bool {
+		if n.ID == 0 {
+			n.ID = next
+			next++
+		}
+		return true
+	})
+}
+
+// Clone returns a deep copy of the document. IDs are preserved.
+func (d *Document) Clone() *Document {
+	cp := &Document{Name: d.Name}
+	if d.Root != nil {
+		cp.Root = d.Root.Clone()
+	}
+	return cp
+}
+
+// Validate checks that the document has a root element and that the tree
+// satisfies the structural invariants of the data model.
+func (d *Document) Validate() error {
+	if d.Root == nil {
+		return fmt.Errorf("xmltree: document %q has no root", d.Name)
+	}
+	if d.Root.Kind != ElementNode {
+		return fmt.Errorf("xmltree: document %q root is a %s, want element", d.Name, d.Root.Kind)
+	}
+	return d.Root.Validate()
+}
+
+// CountNodes returns the number of nodes in the document.
+func (d *Document) CountNodes() int {
+	if d.Root == nil {
+		return 0
+	}
+	return d.Root.CountNodes()
+}
+
+// FindByID returns the node with the given ID, or nil if absent.
+func (d *Document) FindByID(id NodeID) *Node {
+	var found *Node
+	if d.Root == nil {
+		return nil
+	}
+	d.Root.Walk(func(n *Node) bool {
+		if found != nil {
+			return false
+		}
+		if n.ID == id {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Collection is an ordered set of XML documents (paper Section 3.1). A
+// collection is the unit over which fragments are defined; MD repositories
+// hold many documents, SD repositories exactly one.
+type Collection struct {
+	Name string
+	Docs []*Document
+}
+
+// NewCollection returns a collection with the given name and documents.
+func NewCollection(name string, docs ...*Document) *Collection {
+	return &Collection{Name: name, Docs: docs}
+}
+
+// Add appends doc to the collection.
+func (c *Collection) Add(doc *Document) { c.Docs = append(c.Docs, doc) }
+
+// Len returns the number of documents in the collection.
+func (c *Collection) Len() int { return len(c.Docs) }
+
+// IsSD reports whether the collection is a single-document repository.
+func (c *Collection) IsSD() bool { return len(c.Docs) == 1 }
+
+// Doc returns the document with the given name, or nil.
+func (c *Collection) Doc(name string) *Document {
+	for _, d := range c.Docs {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the collection.
+func (c *Collection) Clone() *Collection {
+	cp := &Collection{Name: c.Name, Docs: make([]*Document, len(c.Docs))}
+	for i, d := range c.Docs {
+		cp.Docs[i] = d.Clone()
+	}
+	return cp
+}
+
+// Validate checks every document and that document names are unique (names
+// are the horizontal-fragmentation data items, so duplicates would make the
+// disjointness rule ambiguous).
+func (c *Collection) Validate() error {
+	seen := make(map[string]bool, len(c.Docs))
+	for _, d := range c.Docs {
+		if seen[d.Name] {
+			return fmt.Errorf("xmltree: collection %q has duplicate document %q", c.Name, d.Name)
+		}
+		seen[d.Name] = true
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("collection %q: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// SortByName orders the documents by name. Fragmentation and reconstruction
+// never rely on order, but deterministic order makes comparisons and tests
+// stable.
+func (c *Collection) SortByName() {
+	sort.Slice(c.Docs, func(i, j int) bool { return c.Docs[i].Name < c.Docs[j].Name })
+}
+
+// TotalNodes returns the number of nodes across all documents.
+func (c *Collection) TotalNodes() int {
+	total := 0
+	for _, d := range c.Docs {
+		total += d.CountNodes()
+	}
+	return total
+}

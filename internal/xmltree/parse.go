@@ -1,0 +1,95 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and builds its data tree. Whitespace-
+// only text is dropped (the model has no mixed content, so such text is
+// always formatting). Comments, processing instructions and namespace
+// declarations are ignored; element and attribute names keep their local
+// form as written.
+func Parse(name string, r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse %s: %w", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := &Node{Kind: ElementNode, Name: t.Name.Local}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				el.Append(NewAttr(a.Name.Local, a.Value))
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: parse %s: multiple root elements", name)
+				}
+				root = el
+			} else {
+				stack[len(stack)-1].Append(el)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse %s: unbalanced end element %s", name, t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := string(t)
+			if strings.TrimSpace(text) == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse %s: text outside root element", name)
+			}
+			parent := stack[len(stack)-1]
+			// Coalesce adjacent character data into a single text node.
+			if n := len(parent.Children); n > 0 && parent.Children[n-1].Kind == TextNode {
+				parent.Children[n-1].Value += text
+			} else {
+				parent.Append(NewText(text))
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// not part of the data model
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse %s: empty document", name)
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse %s: unclosed elements", name)
+	}
+	doc := NewDocument(name, root)
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(name, s string) (*Document, error) {
+	return Parse(name, strings.NewReader(s))
+}
+
+// MustParseString parses s and panics on error. For tests and examples.
+func MustParseString(name, s string) *Document {
+	d, err := ParseString(name, s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

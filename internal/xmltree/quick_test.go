@@ -1,0 +1,104 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTree builds a random well-formed data tree. Element names come from
+// a small alphabet so paths collide (exercising navigation); text values use
+// characters that require escaping.
+func randomTree(r *rand.Rand, depth int) *Node {
+	names := []string{"a", "b", "c", "Item", "Section"}
+	el := NewElement(names[r.Intn(len(names))])
+	if r.Intn(3) == 0 {
+		el.Append(NewAttr("id", randomValue(r)))
+	}
+	if depth <= 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			el.Append(NewText(randomValue(r)))
+		}
+		return el
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		el.Append(randomTree(r, depth-1))
+	}
+	return el
+}
+
+func randomValue(r *rand.Rand) string {
+	chars := []rune(`abc123<>&" `)
+	n := 1 + r.Intn(8)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = chars[r.Intn(len(chars))]
+	}
+	// Avoid whitespace-only values: the parser legitimately drops them.
+	out[0] = 'x'
+	return string(out)
+}
+
+func TestQuickSerializeParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := NewDocument("q", randomTree(r, 4))
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("generator produced invalid tree: %v", err)
+		}
+		out := SerializeString(doc)
+		back, err := ParseString("q", out)
+		if err != nil {
+			t.Logf("parse failed for %q: %v", out, err)
+			return false
+		}
+		return Equal(doc.Root, back.Root)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneEqualAndIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := NewDocument("q", randomTree(r, 4))
+		cp := doc.Clone()
+		if !EqualDocuments(doc, cp) {
+			return false
+		}
+		// Mutate every text node in the clone; original must not change.
+		orig := SerializeString(doc)
+		cp.Root.Walk(func(n *Node) bool {
+			if n.Kind == TextNode {
+				n.Value += "!"
+			}
+			return true
+		})
+		return SerializeString(doc) == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIDsUniqueAndDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := NewDocument("q", randomTree(r, 5))
+		seen := map[NodeID]bool{}
+		ok := true
+		doc.Root.Walk(func(n *Node) bool {
+			if n.ID == 0 || seen[n.ID] {
+				ok = false
+				return false
+			}
+			seen[n.ID] = true
+			return true
+		})
+		return ok && len(seen) == doc.CountNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

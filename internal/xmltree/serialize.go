@@ -1,0 +1,138 @@
+package xmltree
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// Serialize writes the document as XML text to w. Output is compact (no
+// indentation); attributes precede element content, both in document order.
+func Serialize(d *Document, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if d.Root != nil {
+		writeNode(bw, d.Root)
+	}
+	return bw.Flush()
+}
+
+// SerializeString returns the document as XML text.
+func SerializeString(d *Document) string {
+	var sb strings.Builder
+	if d.Root != nil {
+		serializeNode(&sb, d.Root)
+	}
+	return sb.String()
+}
+
+// NodeString returns the subtree rooted at n as XML text. Attribute nodes
+// render as name="value"; text nodes as their escaped value.
+func NodeString(n *Node) string {
+	var sb strings.Builder
+	serializeNode(&sb, n)
+	return sb.String()
+}
+
+type stringWriter interface {
+	WriteString(string) (int, error)
+	WriteByte(byte) error
+}
+
+func writeNode(w *bufio.Writer, n *Node) { serializeNode(w, n) }
+
+func serializeNode(w stringWriter, n *Node) {
+	switch n.Kind {
+	case TextNode:
+		escapeText(w, n.Value)
+	case AttributeNode:
+		w.WriteString(n.Name)
+		w.WriteString(`="`)
+		escapeAttr(w, n.Text())
+		w.WriteByte('"')
+	case ElementNode:
+		w.WriteByte('<')
+		w.WriteString(n.Name)
+		var content []*Node
+		for _, c := range n.Children {
+			if c.Kind == AttributeNode {
+				w.WriteByte(' ')
+				serializeNode(w, c)
+			} else {
+				content = append(content, c)
+			}
+		}
+		if len(content) == 0 {
+			w.WriteString("/>")
+			return
+		}
+		w.WriteByte('>')
+		for _, c := range content {
+			serializeNode(w, c)
+		}
+		w.WriteString("</")
+		w.WriteString(n.Name)
+		w.WriteByte('>')
+	}
+}
+
+func escapeText(w stringWriter, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			w.WriteString("&lt;")
+		case '>':
+			w.WriteString("&gt;")
+		case '&':
+			w.WriteString("&amp;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}
+
+func escapeAttr(w stringWriter, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			w.WriteString("&lt;")
+		case '>':
+			w.WriteString("&gt;")
+		case '&':
+			w.WriteString("&amp;")
+		case '"':
+			w.WriteString("&quot;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}
+
+// SerializedSize returns the length in bytes of the document's XML text.
+// The cluster transmission-cost model (paper Section 5: result size divided
+// by Gigabit Ethernet speed) uses this as the payload size.
+func SerializedSize(d *Document) int {
+	var c countingWriter
+	if d.Root != nil {
+		serializeNode(&c, d.Root)
+	}
+	return c.n
+}
+
+// NodeSerializedSize returns the length in bytes of the subtree's XML text.
+func NodeSerializedSize(n *Node) int {
+	var c countingWriter
+	serializeNode(&c, n)
+	return c.n
+}
+
+type countingWriter struct{ n int }
+
+func (c *countingWriter) WriteString(s string) (int, error) {
+	c.n += len(s)
+	return len(s), nil
+}
+
+func (c *countingWriter) WriteByte(byte) error {
+	c.n++
+	return nil
+}

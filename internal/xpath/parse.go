@@ -1,0 +1,108 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePath compiles a path expression. Accepted forms:
+//
+//	/Store/Items/Item
+//	/Item/@id
+//	//Description
+//	/Item//Picture[1]
+//	/Item/*/Name
+//
+// Relative paths (no leading slash) are accepted too; their first step uses
+// the Child axis, which is what SelectFrom expects.
+func ParsePath(expr string) (*Path, error) {
+	s := strings.TrimSpace(expr)
+	if s == "" {
+		return nil, fmt.Errorf("xpath: empty path expression")
+	}
+	p := &Path{raw: s}
+	i := 0
+	axis := Child
+	first := true
+	for i < len(s) {
+		// Separator handling.
+		if s[i] == '/' {
+			if i+1 < len(s) && s[i+1] == '/' {
+				axis = Descendant
+				i += 2
+			} else {
+				axis = Child
+				i++
+			}
+			if i >= len(s) {
+				return nil, fmt.Errorf("xpath: %q ends with a separator", expr)
+			}
+		} else if !first {
+			return nil, fmt.Errorf("xpath: expected '/' at offset %d in %q", i, expr)
+		}
+		first = false
+
+		st := Step{Axis: axis}
+		if s[i] == '@' {
+			st.Attr = true
+			i++
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i]) {
+			i++
+		}
+		if i == start {
+			if i < len(s) && s[i] == '*' {
+				i++
+				st.Name = "*"
+			} else {
+				return nil, fmt.Errorf("xpath: expected name at offset %d in %q", start, expr)
+			}
+		} else {
+			st.Name = s[start:i]
+		}
+		if st.Attr && st.Name == "*" {
+			// @* is permitted: any attribute.
+		}
+
+		// Optional positional filter [i].
+		if i < len(s) && s[i] == '[' {
+			end := strings.IndexByte(s[i:], ']')
+			if end < 0 {
+				return nil, fmt.Errorf("xpath: unterminated '[' in %q", expr)
+			}
+			numStr := s[i+1 : i+end]
+			n, err := strconv.Atoi(strings.TrimSpace(numStr))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("xpath: bad positional index %q in %q", numStr, expr)
+			}
+			if st.Attr {
+				return nil, fmt.Errorf("xpath: positional index on attribute step in %q", expr)
+			}
+			st.Pos = n
+			i += end + 1
+		}
+
+		p.Steps = append(p.Steps, st)
+		if st.Attr && i < len(s) {
+			return nil, fmt.Errorf("xpath: attribute step must be last in %q", expr)
+		}
+	}
+	return p, nil
+}
+
+// MustParsePath parses expr and panics on error. For declaring fragment
+// schemas and test fixtures.
+func MustParsePath(expr string) *Path {
+	p, err := ParsePath(expr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}

@@ -1,0 +1,320 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePredicate parses the simple-predicate language:
+//
+//	/Item/Section = "CD"
+//	/Item/Code != "I1" and /Item/Section = "CD"
+//	contains(//Description, "good")
+//	not(contains(//Description, "good"))
+//	empty(/Item/PictureList)
+//	count(/Item/Characteristics) >= 2
+//	/Item/PictureList              (existential test)
+//	(/Item/Section = "CD" or /Item/Section = "DVD")
+//	true()
+//
+// "and" binds tighter than "or", parentheses group.
+func ParsePredicate(expr string) (Predicate, error) {
+	p := &predParser{in: expr}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("xpath: trailing input at offset %d in %q", p.pos, expr)
+	}
+	return pred, nil
+}
+
+// MustParsePredicate parses expr and panics on error.
+func MustParsePredicate(expr string) Predicate {
+	pred, err := ParsePredicate(expr)
+	if err != nil {
+		panic(err)
+	}
+	return pred
+}
+
+type predParser struct {
+	in  string
+	pos int
+}
+
+func (p *predParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *predParser) peekWord(w string) bool {
+	p.skipSpace()
+	if !strings.HasPrefix(p.in[p.pos:], w) {
+		return false
+	}
+	end := p.pos + len(w)
+	return end == len(p.in) || !isNameChar(p.in[end])
+}
+
+func (p *predParser) eatWord(w string) bool {
+	if p.peekWord(w) {
+		p.pos += len(w)
+		return true
+	}
+	return false
+}
+
+func (p *predParser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Predicate{left}
+	for p.eatWord("or") {
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return left, nil
+	}
+	return &Or{Terms: terms}, nil
+}
+
+func (p *predParser) parseAnd() (Predicate, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Predicate{left}
+	for p.eatWord("and") {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return left, nil
+	}
+	return &And{Terms: terms}, nil
+}
+
+func (p *predParser) parseTerm() (Predicate, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return nil, fmt.Errorf("xpath: unexpected end of predicate %q", p.in)
+	}
+	switch {
+	case p.in[p.pos] == '(':
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.eatWord("true"):
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return True{}, nil
+	case p.eatWord("not"):
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &Not{Inner: inner}, nil
+	case p.eatWord("contains"):
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePathArg(",)")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		lit, err := p.parseStringLit()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &Contains{Path: path, Needle: lit}, nil
+	case p.eatWord("empty"):
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePathArg(")")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &Empty{Path: path}, nil
+	case p.eatWord("count"):
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePathArg(")")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		op, err := p.parseOp()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.in) && (p.in[p.pos] >= '0' && p.in[p.pos] <= '9') {
+			p.pos++
+		}
+		n, err := strconv.Atoi(p.in[start:p.pos])
+		if err != nil {
+			return nil, fmt.Errorf("xpath: count() needs an integer at offset %d in %q", start, p.in)
+		}
+		return &CountComparison{Path: path, Op: op, Value: n}, nil
+	}
+
+	// A bare path: either an existential test or the left side of a
+	// θ-comparison.
+	path, err := p.parsePathArg("=!<> )") // stop at operator chars, space, ')'
+	if err != nil {
+		return nil, err
+	}
+	save := p.pos
+	p.skipSpace()
+	if p.pos < len(p.in) && strings.ContainsRune("=!<>", rune(p.in[p.pos])) {
+		op, err := p.parseOp()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos < len(p.in) && (p.in[p.pos] == '"' || p.in[p.pos] == '\'') {
+			lit, err := p.parseStringLit()
+			if err != nil {
+				return nil, err
+			}
+			return &Comparison{Path: path, Op: op, Value: lit}, nil
+		}
+		// Bare numeric literal.
+		start := p.pos
+		for p.pos < len(p.in) && (p.in[p.pos] == '.' || p.in[p.pos] == '-' || (p.in[p.pos] >= '0' && p.in[p.pos] <= '9')) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, fmt.Errorf("xpath: expected literal after operator at offset %d in %q", start, p.in)
+		}
+		return &Comparison{Path: path, Op: op, Value: p.in[start:p.pos]}, nil
+	}
+	p.pos = save
+	return &Exists{Path: path}, nil
+}
+
+func (p *predParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != c {
+		return fmt.Errorf("xpath: expected %q at offset %d in %q", string(c), p.pos, p.in)
+	}
+	p.pos++
+	return nil
+}
+
+// parsePathArg reads a path expression up to any byte in stop (or a space).
+func (p *predParser) parsePathArg(stop string) (*Path, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == ' ' || strings.IndexByte(stop, c) >= 0 {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("xpath: expected path at offset %d in %q", start, p.in)
+	}
+	raw := p.in[start:p.pos]
+	if raw == "and" || raw == "or" || raw == "not" {
+		return nil, fmt.Errorf("xpath: reserved word %q cannot be a path in %q", raw, p.in)
+	}
+	return ParsePath(raw)
+}
+
+func (p *predParser) parseOp() (Op, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return OpEq, fmt.Errorf("xpath: expected operator at end of %q", p.in)
+	}
+	two := ""
+	if p.pos+1 < len(p.in) {
+		two = p.in[p.pos : p.pos+2]
+	}
+	switch two {
+	case "!=":
+		p.pos += 2
+		return OpNe, nil
+	case "<=":
+		p.pos += 2
+		return OpLe, nil
+	case ">=":
+		p.pos += 2
+		return OpGe, nil
+	}
+	switch p.in[p.pos] {
+	case '=':
+		p.pos++
+		return OpEq, nil
+	case '<':
+		p.pos++
+		return OpLt, nil
+	case '>':
+		p.pos++
+		return OpGt, nil
+	}
+	return OpEq, fmt.Errorf("xpath: bad operator at offset %d in %q", p.pos, p.in)
+}
+
+func (p *predParser) parseStringLit() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) || (p.in[p.pos] != '"' && p.in[p.pos] != '\'') {
+		return "", fmt.Errorf("xpath: expected string literal at offset %d in %q", p.pos, p.in)
+	}
+	quote := p.in[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.in) {
+		return "", fmt.Errorf("xpath: unterminated string literal in %q", p.in)
+	}
+	lit := p.in[start:p.pos]
+	p.pos++
+	return lit, nil
+}

@@ -1,0 +1,244 @@
+// Package xpath implements the path-expression and simple-predicate
+// language of the PartiX paper (Section 3.1):
+//
+//	P := /e1/…/{ek | @ak}
+//
+// where each ex is an element name, ak an attribute name, "*" matches any
+// element, "//" matches any sequence of descendant elements, and e[i]
+// selects the i-th occurrence of e. A simple predicate is
+//
+//	p := P θ value | φv(P) θ value | φb(P) | Q
+//
+// with θ ∈ {=, <, >, !=, <=, >=}, value functions (count, number, string),
+// boolean functions (contains, empty, not) and existential path tests Q.
+//
+// This is the language fragment definitions are written in; the XQuery
+// engine reuses it for its own path steps.
+package xpath
+
+import (
+	"strings"
+
+	"partix/internal/xmltree"
+)
+
+// Axis is the relationship between a step and its context node.
+type Axis uint8
+
+const (
+	// Child selects children of the context node ("/" separator).
+	Child Axis = iota
+	// Descendant selects descendants-or-self of the context node ("//").
+	Descendant
+)
+
+// Step is one location step of a path expression.
+type Step struct {
+	Axis Axis
+	Name string // element or attribute name, or "*"
+	Attr bool   // true for @name steps
+	Pos  int    // 1-based positional filter e[i]; 0 means none
+}
+
+// matches reports whether the step's node test accepts n.
+func (s Step) matches(n *xmltree.Node) bool {
+	if s.Attr {
+		return n.Kind == xmltree.AttributeNode && (s.Name == "*" || n.Name == s.Name)
+	}
+	return n.Kind == xmltree.ElementNode && (s.Name == "*" || n.Name == s.Name)
+}
+
+// Path is a compiled path expression.
+type Path struct {
+	Steps []Step
+	raw   string
+}
+
+// String returns the expression as written.
+func (p *Path) String() string { return p.raw }
+
+// IsAttribute reports whether the path ends in an attribute step.
+func (p *Path) IsAttribute() bool {
+	return len(p.Steps) > 0 && p.Steps[len(p.Steps)-1].Attr
+}
+
+// LastName returns the name tested by the final step ("" for an empty path).
+func (p *Path) LastName() string {
+	if len(p.Steps) == 0 {
+		return ""
+	}
+	return p.Steps[len(p.Steps)-1].Name
+}
+
+// StepNames returns the element names along the path (attribute step
+// rendered as "@name"), used to resolve the path against a schema.
+func (p *Path) StepNames() []string {
+	out := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		if s.Attr {
+			out[i] = "@" + s.Name
+		} else {
+			out[i] = s.Name
+		}
+	}
+	return out
+}
+
+// HasDescendant reports whether any step uses the // axis.
+func (p *Path) HasDescendant() bool {
+	for _, s := range p.Steps {
+		if s.Axis == Descendant {
+			return true
+		}
+	}
+	return false
+}
+
+// Select evaluates the absolute path against a document: the first step is
+// matched against the document root (the paper evaluates P "whose steps
+// from rootΔ satisfy P"), unless it uses the // axis, in which case it
+// searches the whole tree. Results are in document order without
+// duplicates.
+func (p *Path) Select(doc *xmltree.Document) []*xmltree.Node {
+	if doc == nil || doc.Root == nil {
+		return nil
+	}
+	return p.SelectRoot(doc.Root)
+}
+
+// SelectRoot is Select for a bare root node.
+func (p *Path) SelectRoot(root *xmltree.Node) []*xmltree.Node {
+	if len(p.Steps) == 0 {
+		return []*xmltree.Node{root}
+	}
+	// Absolute evaluation: pretend there is a virtual parent whose only
+	// child is the root, then run relative evaluation.
+	virtual := &xmltree.Node{Kind: xmltree.ElementNode, Name: "#document", Children: []*xmltree.Node{root}}
+	return p.SelectFrom([]*xmltree.Node{virtual})
+}
+
+// SelectFrom evaluates the path relative to a set of context nodes: the
+// first step selects among their children (or descendants for //), as the
+// XQuery engine needs for expressions like $x/Section.
+func (p *Path) SelectFrom(ctx []*xmltree.Node) []*xmltree.Node {
+	cur := ctx
+	for _, st := range p.Steps {
+		cur = evalStep(cur, st)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Matches reports whether the path selects at least one node in doc (the
+// existential test Q of the predicate grammar).
+func (p *Path) Matches(doc *xmltree.Document) bool { return len(p.Select(doc)) > 0 }
+
+// Values returns the string values of the nodes selected in doc. For a
+// terminal path (content in D) these are the data values compared by
+// θ-predicates.
+func (p *Path) Values(doc *xmltree.Document) []string {
+	nodes := p.Select(doc)
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Text()
+	}
+	return out
+}
+
+func evalStep(ctx []*xmltree.Node, st Step) []*xmltree.Node {
+	var out []*xmltree.Node
+	seen := make(map[*xmltree.Node]bool)
+	add := func(n *xmltree.Node) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, c := range ctx {
+		switch st.Axis {
+		case Child:
+			pos := 0
+			for _, ch := range c.Children {
+				if st.matches(ch) {
+					pos++
+					if st.Pos == 0 || st.Pos == pos {
+						add(ch)
+					}
+				}
+			}
+		case Descendant:
+			// Descendant-or-self: the context node itself is eligible,
+			// matching "//Description may be at any level" in the paper.
+			pos := 0
+			c.Walk(func(n *xmltree.Node) bool {
+				if st.matches(n) {
+					pos++
+					if st.Pos == 0 || st.Pos == pos {
+						add(n)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// Prefix reports whether p is a prefix of other: every step of p equals the
+// corresponding leading step of other. The paper's prune criterion Γ of a
+// vertical fragment must consist of paths that have the fragment path as a
+// prefix.
+func (p *Path) Prefix(other *Path) bool {
+	if len(p.Steps) > len(other.Steps) {
+		return false
+	}
+	for i, s := range p.Steps {
+		o := other.Steps[i]
+		if s.Axis != o.Axis || s.Name != o.Name || s.Attr != o.Attr || s.Pos != o.Pos {
+			return false
+		}
+	}
+	return true
+}
+
+// TrimPrefix returns the path that remains after removing the given prefix.
+// It returns nil when prefix is not actually a prefix of p.
+func (p *Path) TrimPrefix(prefix *Path) *Path {
+	if !prefix.Prefix(p) {
+		return nil
+	}
+	rest := p.Steps[len(prefix.Steps):]
+	steps := make([]Step, len(rest))
+	copy(steps, rest)
+	return &Path{Steps: steps, raw: formatSteps(steps, false)}
+}
+
+func formatSteps(steps []Step, absolute bool) string {
+	var sb strings.Builder
+	for i, s := range steps {
+		if s.Axis == Descendant {
+			sb.WriteString("//")
+		} else if i > 0 || absolute {
+			sb.WriteByte('/')
+		}
+		if s.Attr {
+			sb.WriteByte('@')
+		}
+		sb.WriteString(s.Name)
+		if s.Pos > 0 {
+			sb.WriteByte('[')
+			writeInt(&sb, s.Pos)
+			sb.WriteByte(']')
+		}
+	}
+	return sb.String()
+}
+
+func writeInt(sb *strings.Builder, v int) {
+	if v >= 10 {
+		writeInt(sb, v/10)
+	}
+	sb.WriteByte(byte('0' + v%10))
+}

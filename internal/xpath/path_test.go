@@ -1,0 +1,242 @@
+package xpath
+
+import (
+	"reflect"
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+const itemXML = `<Item id="7">
+  <Code>I7</Code>
+  <Name>Box</Name>
+  <Description>a good box</Description>
+  <Section>CD</Section>
+  <Characteristics>red</Characteristics>
+  <Characteristics>large</Characteristics>
+  <PictureList>
+    <Picture><Name>front</Name><ModificationDate>d1</ModificationDate><OriginalPath>/f</OriginalPath><ThumbPath>/tf</ThumbPath></Picture>
+    <Picture><Name>back</Name><ModificationDate>d2</ModificationDate><OriginalPath>/b</OriginalPath><ThumbPath>/tb</ThumbPath></Picture>
+  </PictureList>
+</Item>`
+
+func itemDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	return xmltree.MustParseString("i7", itemXML)
+}
+
+func texts(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Text()
+	}
+	return out
+}
+
+func TestParsePathForms(t *testing.T) {
+	cases := []struct {
+		expr  string
+		steps int
+	}{
+		{"/Store/Items/Item", 3},
+		{"/Item/@id", 2},
+		{"//Description", 1},
+		{"/Item//Picture[1]", 2},
+		{"/Item/*/Name", 3},
+		{"Section", 1},
+		{"/Item/PictureList/Picture[2]", 3},
+	}
+	for _, tc := range cases {
+		p, err := ParsePath(tc.expr)
+		if err != nil {
+			t.Errorf("%s: %v", tc.expr, err)
+			continue
+		}
+		if len(p.Steps) != tc.steps {
+			t.Errorf("%s: %d steps, want %d", tc.expr, len(p.Steps), tc.steps)
+		}
+		if p.String() != tc.expr {
+			t.Errorf("%s: String = %q", tc.expr, p.String())
+		}
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	bad := []string{
+		"", "/", "/Item/", "/Item/@id/Code", "/Item[x]", "/Item[0]",
+		"/Item[1", "/@a[2]", "/Item name", "/Item/&bad",
+	}
+	for _, expr := range bad {
+		if _, err := ParsePath(expr); err == nil {
+			t.Errorf("%q: accepted", expr)
+		}
+	}
+}
+
+func TestSelectAbsolute(t *testing.T) {
+	doc := itemDoc(t)
+	got := MustParsePath("/Item/Section").Values(doc)
+	if !reflect.DeepEqual(got, []string{"CD"}) {
+		t.Fatalf("Section = %v", got)
+	}
+	// First step must match the root label.
+	if n := MustParsePath("/Other/Section").Select(doc); len(n) != 0 {
+		t.Fatalf("wrong root matched: %v", n)
+	}
+}
+
+func TestSelectRepeatedElements(t *testing.T) {
+	doc := itemDoc(t)
+	got := MustParsePath("/Item/Characteristics").Values(doc)
+	if !reflect.DeepEqual(got, []string{"red", "large"}) {
+		t.Fatalf("Characteristics = %v", got)
+	}
+}
+
+func TestSelectAttribute(t *testing.T) {
+	doc := itemDoc(t)
+	got := MustParsePath("/Item/@id").Values(doc)
+	if !reflect.DeepEqual(got, []string{"7"}) {
+		t.Fatalf("@id = %v", got)
+	}
+}
+
+func TestSelectDescendant(t *testing.T) {
+	doc := itemDoc(t)
+	// //Name finds Item's Name and both Picture Names, in document order.
+	got := MustParsePath("//Name").Values(doc)
+	if !reflect.DeepEqual(got, []string{"Box", "front", "back"}) {
+		t.Fatalf("//Name = %v", got)
+	}
+	got = MustParsePath("/Item//Picture/Name").Values(doc)
+	if !reflect.DeepEqual(got, []string{"front", "back"}) {
+		t.Fatalf("/Item//Picture/Name = %v", got)
+	}
+}
+
+func TestSelectDescendantOrSelfIncludesRoot(t *testing.T) {
+	doc := itemDoc(t)
+	if n := MustParsePath("//Item").Select(doc); len(n) != 1 || n[0] != doc.Root {
+		t.Fatalf("//Item should select the root itself, got %v", n)
+	}
+}
+
+func TestSelectWildcard(t *testing.T) {
+	doc := itemDoc(t)
+	got := MustParsePath("/Item/PictureList/*/Name").Values(doc)
+	if !reflect.DeepEqual(got, []string{"front", "back"}) {
+		t.Fatalf("wildcard = %v", got)
+	}
+	// "*" matches elements only, not attributes.
+	all := MustParsePath("/Item/*").Select(doc)
+	for _, n := range all {
+		if n.Kind != xmltree.ElementNode {
+			t.Fatalf("wildcard selected %s node", n.Kind)
+		}
+	}
+}
+
+func TestSelectPositional(t *testing.T) {
+	doc := itemDoc(t)
+	got := MustParsePath("/Item/PictureList/Picture[2]/Name").Values(doc)
+	if !reflect.DeepEqual(got, []string{"back"}) {
+		t.Fatalf("Picture[2] = %v", got)
+	}
+	got = MustParsePath("/Item/Characteristics[1]").Values(doc)
+	if !reflect.DeepEqual(got, []string{"red"}) {
+		t.Fatalf("Characteristics[1] = %v", got)
+	}
+	if n := MustParsePath("/Item/Characteristics[3]").Select(doc); len(n) != 0 {
+		t.Fatalf("Characteristics[3] = %v", n)
+	}
+}
+
+func TestSelectFromRelative(t *testing.T) {
+	doc := itemDoc(t)
+	pics := MustParsePath("/Item/PictureList/Picture").Select(doc)
+	if len(pics) != 2 {
+		t.Fatalf("pictures = %d", len(pics))
+	}
+	names := MustParsePath("Name").SelectFrom(pics)
+	if !reflect.DeepEqual(texts(names), []string{"front", "back"}) {
+		t.Fatalf("relative Name = %v", texts(names))
+	}
+}
+
+func TestSelectNoDuplicates(t *testing.T) {
+	doc := itemDoc(t)
+	// // over // could visit nodes twice without dedup.
+	got := MustParsePath("//PictureList//Name").Select(doc)
+	if len(got) != 2 {
+		t.Fatalf("got %d nodes: %v", len(got), texts(got))
+	}
+}
+
+func TestMatchesAndEmptySelect(t *testing.T) {
+	doc := itemDoc(t)
+	if !MustParsePath("/Item/PictureList").Matches(doc) {
+		t.Fatal("PictureList should match")
+	}
+	if MustParsePath("/Item/PricesHistory").Matches(doc) {
+		t.Fatal("PricesHistory should not match")
+	}
+	var nilDoc *xmltree.Document
+	if MustParsePath("/Item").Select(nilDoc) != nil {
+		t.Fatal("nil doc should select nothing")
+	}
+}
+
+func TestPrefixAndTrim(t *testing.T) {
+	base := MustParsePath("/Store/Items")
+	long := MustParsePath("/Store/Items/Item/Code")
+	if !base.Prefix(long) {
+		t.Fatal("prefix not detected")
+	}
+	if long.Prefix(base) {
+		t.Fatal("longer path cannot be prefix of shorter")
+	}
+	rest := long.TrimPrefix(base)
+	if rest == nil || rest.String() != "Item/Code" {
+		t.Fatalf("TrimPrefix = %v", rest)
+	}
+	other := MustParsePath("/Store/Sections")
+	if other.Prefix(long) {
+		t.Fatal("non-prefix accepted")
+	}
+	if long.TrimPrefix(other) != nil {
+		t.Fatal("TrimPrefix of non-prefix should be nil")
+	}
+	// // axis must match exactly.
+	d1 := MustParsePath("//Items/Item")
+	d2 := MustParsePath("/Items/Item")
+	if d2.Prefix(d1) || d1.Prefix(d2) {
+		t.Fatal("axis mismatch treated as prefix")
+	}
+}
+
+func TestStepNamesAndAccessors(t *testing.T) {
+	p := MustParsePath("/Item/PictureList/@id")
+	if !reflect.DeepEqual(p.StepNames(), []string{"Item", "PictureList", "@id"}) {
+		t.Fatalf("StepNames = %v", p.StepNames())
+	}
+	if !p.IsAttribute() || p.LastName() != "id" {
+		t.Fatal("attribute accessors wrong")
+	}
+	if MustParsePath("/a/b").IsAttribute() {
+		t.Fatal("IsAttribute wrong for element path")
+	}
+	if !MustParsePath("/a//b").HasDescendant() || MustParsePath("/a/b").HasDescendant() {
+		t.Fatal("HasDescendant wrong")
+	}
+	if (&Path{}).LastName() != "" {
+		t.Fatal("empty path LastName")
+	}
+}
+
+func TestSelectEmptyPathReturnsRoot(t *testing.T) {
+	doc := itemDoc(t)
+	p := &Path{}
+	if got := p.Select(doc); len(got) != 1 || got[0] != doc.Root {
+		t.Fatalf("empty path = %v", got)
+	}
+}

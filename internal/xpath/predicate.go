@@ -1,0 +1,318 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"partix/internal/xmltree"
+)
+
+// Op is a comparison operator θ ∈ {=, <, >, !=, <=, >=}.
+type Op uint8
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator as written in predicates.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Negate returns the complementary operator, used to derive the complement
+// fragment of a horizontal fragmentation (e.g. Figure 2(a): F2CD selects
+// Section != "CD").
+func (o Op) Negate() Op {
+	switch o {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	default:
+		return OpLt
+	}
+}
+
+// compare applies the operator to a node value and a literal. If both sides
+// parse as numbers the comparison is numeric, otherwise lexicographic.
+func (o Op) compare(nodeVal, lit string) bool {
+	if a, errA := strconv.ParseFloat(strings.TrimSpace(nodeVal), 64); errA == nil {
+		if b, errB := strconv.ParseFloat(strings.TrimSpace(lit), 64); errB == nil {
+			return o.cmpFloat(a, b)
+		}
+	}
+	return o.cmpString(nodeVal, lit)
+}
+
+func (o Op) cmpFloat(a, b float64) bool {
+	switch o {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func (o Op) cmpString(a, b string) bool {
+	switch o {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// Predicate is a simple predicate evaluated over a document. Horizontal
+// fragmentation selects whole documents (paper Definition 2), so documents
+// are the evaluation unit; EvalNode supports evaluation relative to a
+// projected subtree (hybrid fragmentation applies σ after π).
+type Predicate interface {
+	// Eval reports whether the document satisfies the predicate.
+	Eval(doc *xmltree.Document) bool
+	// EvalNode reports whether the subtree rooted at n satisfies the
+	// predicate, treating n as the document root.
+	EvalNode(n *xmltree.Node) bool
+	// String renders the predicate in the concrete syntax ParsePredicate
+	// accepts.
+	String() string
+}
+
+// Comparison is P θ value: true if any node selected by P has a value
+// satisfying the comparison (existential semantics, as in XPath).
+type Comparison struct {
+	Path  *Path
+	Op    Op
+	Value string
+}
+
+// Eval implements Predicate.
+func (c *Comparison) Eval(doc *xmltree.Document) bool { return c.EvalNode(doc.Root) }
+
+// EvalNode implements Predicate.
+func (c *Comparison) EvalNode(n *xmltree.Node) bool {
+	if n == nil {
+		return false
+	}
+	for _, sel := range c.Path.SelectRoot(n) {
+		if c.Op.compare(sel.Text(), c.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Predicate.
+func (c *Comparison) String() string {
+	return fmt.Sprintf("%s %s %q", c.Path, c.Op, c.Value)
+}
+
+// CountComparison is count(P) θ value — the value-function form φv(P) θ v.
+type CountComparison struct {
+	Path  *Path
+	Op    Op
+	Value int
+}
+
+// Eval implements Predicate.
+func (c *CountComparison) Eval(doc *xmltree.Document) bool { return c.EvalNode(doc.Root) }
+
+// EvalNode implements Predicate.
+func (c *CountComparison) EvalNode(n *xmltree.Node) bool {
+	if n == nil {
+		return false
+	}
+	got := len(c.Path.SelectRoot(n))
+	return c.Op.cmpFloat(float64(got), float64(c.Value))
+}
+
+// String implements Predicate.
+func (c *CountComparison) String() string {
+	return fmt.Sprintf("count(%s) %s %d", c.Path, c.Op, c.Value)
+}
+
+// Contains is contains(P, "s"): true if any node selected by P has a string
+// value containing s. This is the text-search predicate of the paper's
+// Figure 2(b).
+type Contains struct {
+	Path   *Path
+	Needle string
+}
+
+// Eval implements Predicate.
+func (c *Contains) Eval(doc *xmltree.Document) bool { return c.EvalNode(doc.Root) }
+
+// EvalNode implements Predicate.
+func (c *Contains) EvalNode(n *xmltree.Node) bool {
+	if n == nil {
+		return false
+	}
+	for _, sel := range c.Path.SelectRoot(n) {
+		if strings.Contains(sel.Text(), c.Needle) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Predicate.
+func (c *Contains) String() string {
+	return fmt.Sprintf("contains(%s, %q)", c.Path, c.Needle)
+}
+
+// Empty is empty(P): true if P selects no nodes (Figure 2(c) uses it to
+// separate documents lacking a structure).
+type Empty struct{ Path *Path }
+
+// Eval implements Predicate.
+func (e *Empty) Eval(doc *xmltree.Document) bool { return e.EvalNode(doc.Root) }
+
+// EvalNode implements Predicate.
+func (e *Empty) EvalNode(n *xmltree.Node) bool {
+	return n == nil || len(e.Path.SelectRoot(n)) == 0
+}
+
+// String implements Predicate.
+func (e *Empty) String() string { return fmt.Sprintf("empty(%s)", e.Path) }
+
+// Exists is the existential test Q: true if the path selects any node.
+type Exists struct{ Path *Path }
+
+// Eval implements Predicate.
+func (e *Exists) Eval(doc *xmltree.Document) bool { return e.EvalNode(doc.Root) }
+
+// EvalNode implements Predicate.
+func (e *Exists) EvalNode(n *xmltree.Node) bool {
+	return n != nil && len(e.Path.SelectRoot(n)) > 0
+}
+
+// String implements Predicate.
+func (e *Exists) String() string { return e.Path.String() }
+
+// Not negates a predicate.
+type Not struct{ Inner Predicate }
+
+// Eval implements Predicate.
+func (n *Not) Eval(doc *xmltree.Document) bool { return !n.Inner.Eval(doc) }
+
+// EvalNode implements Predicate.
+func (n *Not) EvalNode(node *xmltree.Node) bool { return !n.Inner.EvalNode(node) }
+
+// String implements Predicate.
+func (n *Not) String() string { return fmt.Sprintf("not(%s)", n.Inner) }
+
+// And is a conjunction of simple predicates (μ in Definition 2).
+type And struct{ Terms []Predicate }
+
+// Eval implements Predicate.
+func (a *And) Eval(doc *xmltree.Document) bool {
+	for _, t := range a.Terms {
+		if !t.Eval(doc) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalNode implements Predicate.
+func (a *And) EvalNode(n *xmltree.Node) bool {
+	for _, t := range a.Terms {
+		if !t.EvalNode(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Predicate.
+func (a *And) String() string { return joinTerms(a.Terms, " and ") }
+
+// Or is a disjunction of predicates.
+type Or struct{ Terms []Predicate }
+
+// Eval implements Predicate.
+func (o *Or) Eval(doc *xmltree.Document) bool {
+	for _, t := range o.Terms {
+		if t.Eval(doc) {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalNode implements Predicate.
+func (o *Or) EvalNode(n *xmltree.Node) bool {
+	for _, t := range o.Terms {
+		if t.EvalNode(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Predicate.
+func (o *Or) String() string { return "(" + joinTerms(o.Terms, " or ") + ")" }
+
+// True is the always-true predicate; selecting with it yields the whole
+// collection (the degenerate single-fragment design used as the
+// centralized baseline).
+type True struct{}
+
+// Eval implements Predicate.
+func (True) Eval(*xmltree.Document) bool { return true }
+
+// EvalNode implements Predicate.
+func (True) EvalNode(*xmltree.Node) bool { return true }
+
+// String implements Predicate.
+func (True) String() string { return "true()" }
+
+func joinTerms(terms []Predicate, sep string) string {
+	parts := make([]string, len(terms))
+	for i, t := range terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, sep)
+}

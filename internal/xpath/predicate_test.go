@@ -1,0 +1,210 @@
+package xpath
+
+import (
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+func TestComparisonPredicates(t *testing.T) {
+	doc := itemDoc(t)
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{`/Item/Section = "CD"`, true},
+		{`/Item/Section = "DVD"`, false},
+		{`/Item/Section != "DVD"`, true},
+		{`/Item/@id = "7"`, true},
+		{`/Item/@id > 5`, true},  // numeric comparison
+		{`/Item/@id < 5`, false}, // numeric comparison
+		{`/Item/@id >= 7`, true},
+		{`/Item/@id <= 6`, false},
+		{`/Item/Code > "I5"`, true}, // lexicographic fallback
+		{`/Item/Characteristics = "large"`, true},
+		{`/Item/Missing = "x"`, false},
+	}
+	for _, tc := range cases {
+		pred, err := ParsePredicate(tc.expr)
+		if err != nil {
+			t.Errorf("%s: %v", tc.expr, err)
+			continue
+		}
+		if got := pred.Eval(doc); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestBooleanFunctions(t *testing.T) {
+	doc := itemDoc(t)
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{`contains(//Description, "good")`, true},
+		{`contains(//Description, "bad")`, false},
+		{`not(contains(//Description, "good"))`, false},
+		{`empty(/Item/PricesHistory)`, true},
+		{`empty(/Item/PictureList)`, false},
+		{`/Item/PictureList`, true}, // existential
+		{`/Item/PricesHistory`, false},
+		{`count(/Item/Characteristics) >= 2`, true},
+		{`count(/Item/Characteristics) > 2`, false},
+		{`count(//Picture) = 2`, true},
+		{`true()`, true},
+	}
+	for _, tc := range cases {
+		pred, err := ParsePredicate(tc.expr)
+		if err != nil {
+			t.Errorf("%s: %v", tc.expr, err)
+			continue
+		}
+		if got := pred.Eval(doc); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestConjunctionDisjunction(t *testing.T) {
+	doc := itemDoc(t)
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{`/Item/Section = "CD" and contains(//Description, "good")`, true},
+		{`/Item/Section = "CD" and /Item/Section = "DVD"`, false},
+		{`(/Item/Section = "DVD" or /Item/Section = "CD")`, true},
+		{`/Item/Section = "DVD" or /Item/Section = "Book"`, false},
+		// and binds tighter than or: false and false or true = true
+		{`/Item/Missing and /Item/Missing or true()`, true},
+		{`(/Item/Missing or true()) and /Item/PictureList`, true},
+		{`not(/Item/Missing) and /Item/PictureList`, true},
+	}
+	for _, tc := range cases {
+		pred, err := ParsePredicate(tc.expr)
+		if err != nil {
+			t.Errorf("%s: %v", tc.expr, err)
+			continue
+		}
+		if got := pred.Eval(doc); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestPredicateStringRoundTrip(t *testing.T) {
+	exprs := []string{
+		`/Item/Section = "CD"`,
+		`contains(//Description, "good")`,
+		`not(contains(//Description, "good"))`,
+		`empty(/Item/PictureList)`,
+		`/Item/PictureList`,
+		`count(/Item/Characteristics) >= 2`,
+		`/Item/Section = "CD" and /Item/Code != "I1"`,
+		`(/Item/Section = "CD" or /Item/Section = "DVD")`,
+		`true()`,
+	}
+	doc := itemDoc(t)
+	for _, expr := range exprs {
+		p1 := MustParsePredicate(expr)
+		p2, err := ParsePredicate(p1.String())
+		if err != nil {
+			t.Errorf("%s: reparse of %q: %v", expr, p1.String(), err)
+			continue
+		}
+		if p1.Eval(doc) != p2.Eval(doc) {
+			t.Errorf("%s: round trip changed semantics", expr)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("%s: String not stable: %q vs %q", expr, p1.String(), p2.String())
+		}
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	bad := []string{
+		"", "and", `/Item =`, `contains(/Item)`, `contains(/Item "x")`,
+		`empty()`, `count(/a) = x`, `/Item/Section = "unterminated`,
+		`(/Item/Section = "CD"`, `/Item/Section = "CD") extra`,
+		`not(/Item`, `true(`, `/a/b trailing`,
+	}
+	for _, expr := range bad {
+		if _, err := ParsePredicate(expr); err == nil {
+			t.Errorf("%q: accepted", expr)
+		}
+	}
+}
+
+func TestOpNegate(t *testing.T) {
+	doc := itemDoc(t)
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range ops {
+		pred := &Comparison{Path: MustParsePath("/Item/@id"), Op: op, Value: "7"}
+		neg := &Comparison{Path: pred.Path, Op: op.Negate(), Value: "7"}
+		if pred.Eval(doc) == neg.Eval(doc) {
+			t.Errorf("op %s: negation not complementary on single-valued path", op)
+		}
+		if op.Negate().Negate() != op {
+			t.Errorf("op %s: double negation not identity", op)
+		}
+	}
+}
+
+func TestEvalNodeRelativeContext(t *testing.T) {
+	doc := itemDoc(t)
+	pics := MustParsePath("/Item/PictureList/Picture").Select(doc)
+	pred := MustParsePredicate(`/Picture/Name = "front"`)
+	if !pred.EvalNode(pics[0]) || pred.EvalNode(pics[1]) {
+		t.Fatal("EvalNode should treat the node as root")
+	}
+	if pred.EvalNode(nil) {
+		t.Fatal("nil node satisfied comparison")
+	}
+	if !MustParsePredicate(`empty(/x)`).EvalNode(nil) {
+		t.Fatal("empty() on nil node should be true")
+	}
+	if MustParsePredicate(`/x`).EvalNode(nil) {
+		t.Fatal("exists on nil node should be false")
+	}
+	if MustParsePredicate(`count(/x) = 0`).EvalNode(nil) {
+		t.Fatal("count on nil node should be false (no document)")
+	}
+}
+
+func TestOpStringAll(t *testing.T) {
+	want := map[Op]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("Op %d String = %q, want %q", op, op.String(), s)
+		}
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op empty string")
+	}
+}
+
+func TestFigure2Fragments(t *testing.T) {
+	// The three alternative designs of the paper's Figure 2, evaluated on
+	// two sample documents.
+	cd := xmltree.MustParseString("cd", `<Item><Code>c</Code><Name>n</Name><Description>good disc</Description><Section>CD</Section></Item>`)
+	dvd := xmltree.MustParseString("dvd", `<Item><Code>c</Code><Name>n</Name><Description>fine movie</Description><Section>DVD</Section><PictureList><Picture><Name>p</Name><ModificationDate>m</ModificationDate><OriginalPath>o</OriginalPath><ThumbPath>t</ThumbPath></Picture></PictureList></Item>`)
+
+	f1cd := MustParsePredicate(`/Item/Section = "CD"`)
+	f2cd := MustParsePredicate(`/Item/Section != "CD"`)
+	if !f1cd.Eval(cd) || f1cd.Eval(dvd) || f2cd.Eval(cd) || !f2cd.Eval(dvd) {
+		t.Fatal("Figure 2(a) fragments wrong")
+	}
+
+	f1good := MustParsePredicate(`contains(//Description, "good")`)
+	f2good := MustParsePredicate(`not(contains(//Description, "good"))`)
+	if !f1good.Eval(cd) || f1good.Eval(dvd) || f2good.Eval(cd) || !f2good.Eval(dvd) {
+		t.Fatal("Figure 2(b) fragments wrong")
+	}
+
+	f1pics := MustParsePredicate(`/Item/PictureList`)
+	f2pics := MustParsePredicate(`empty(/Item/PictureList)`)
+	if f1pics.Eval(cd) || !f1pics.Eval(dvd) || !f2pics.Eval(cd) || f2pics.Eval(dvd) {
+		t.Fatal("Figure 2(c) fragments wrong")
+	}
+}

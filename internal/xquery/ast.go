@@ -1,0 +1,319 @@
+package xquery
+
+import (
+	"strings"
+)
+
+// Expr is a node of the query AST.
+type Expr interface {
+	exprNode()
+}
+
+// FLWOR is a for/let/where/order by/return expression.
+type FLWOR struct {
+	Clauses []Clause
+	Where   Expr // nil when absent
+	OrderBy []OrderSpec
+	Return  Expr
+}
+
+// OrderSpec is one key of an order-by clause.
+type OrderSpec struct {
+	Key        Expr
+	Descending bool
+}
+
+// Clause is one binding clause of a FLWOR.
+type Clause struct {
+	Let bool // false: for-clause (iterates), true: let-clause (binds whole)
+	Var string
+	In  Expr
+}
+
+// PathExpr applies location steps (with optional step predicates) to a
+// source expression.
+type PathExpr struct {
+	Source Expr // CollectionCall, DocCall, VarRef, or nil for the leading-/ form
+	Steps  []PathStep
+}
+
+// PathStep is one step of a PathExpr.
+type PathStep struct {
+	Descendant bool // // axis
+	Name       string
+	Attr       bool
+	Text       bool   // text() step
+	Preds      []Expr // [p] filters; a numeric literal is positional
+}
+
+// CollectionCall is collection("name").
+type CollectionCall struct{ Name string }
+
+// DocCall is doc("name").
+type DocCall struct{ Name string }
+
+// VarRef is $name.
+type VarRef struct{ Name string }
+
+// ContextItem is "." — the current context node inside a step predicate.
+type ContextItem struct{}
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+// NumberLit is a numeric literal.
+type NumberLit struct{ Value float64 }
+
+// BinaryOp identifies a binary operator.
+type BinaryOp uint8
+
+// Binary operators.
+const (
+	OpEq BinaryOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+var opNames = map[BinaryOp]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "and", OpOr: "or", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "div", OpMod: "mod",
+}
+
+// String returns the operator's surface syntax.
+func (o BinaryOp) String() string { return opNames[o] }
+
+// Binary is a binary expression.
+type Binary struct {
+	Op          BinaryOp
+	Left, Right Expr
+}
+
+// FuncCall is a function invocation fn(args...).
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// Sequence is (e1, e2, …).
+type Sequence struct{ Items []Expr }
+
+// ElementCtor is an element constructor <name attr="v">…</name>. Children
+// mixes literal text (StringLit), nested constructors and embedded
+// expressions; attributes are literal or embedded.
+type ElementCtor struct {
+	Name     string
+	Attrs    []AttrCtor
+	Children []Expr
+}
+
+// AttrCtor is one attribute of an element constructor.
+type AttrCtor struct {
+	Name  string
+	Value Expr // StringLit for literal values, any Expr for {…}
+}
+
+// TextLit is literal text content inside an element constructor.
+type TextLit struct{ Value string }
+
+// IfExpr is if (Cond) then Then else Else.
+type IfExpr struct {
+	Cond, Then, Else Expr
+}
+
+// Quantified is some/every $v in expr (, $v2 in expr2)* satisfies expr.
+type Quantified struct {
+	Every     bool // false: some
+	Clauses   []Clause
+	Satisfies Expr
+}
+
+func (*FLWOR) exprNode()          {}
+func (*PathExpr) exprNode()       {}
+func (*CollectionCall) exprNode() {}
+func (*DocCall) exprNode()        {}
+func (*VarRef) exprNode()         {}
+func (*ContextItem) exprNode()    {}
+func (*StringLit) exprNode()      {}
+func (*NumberLit) exprNode()      {}
+func (*Binary) exprNode()         {}
+func (*FuncCall) exprNode()       {}
+func (*Sequence) exprNode()       {}
+func (*ElementCtor) exprNode()    {}
+func (*TextLit) exprNode()        {}
+func (*IfExpr) exprNode()         {}
+func (*Quantified) exprNode()     {}
+
+// Walk visits every expression of the AST in depth-first order.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *FLWOR:
+		for _, c := range x.Clauses {
+			Walk(c.In, fn)
+		}
+		Walk(x.Where, fn)
+		for _, o := range x.OrderBy {
+			Walk(o.Key, fn)
+		}
+		Walk(x.Return, fn)
+	case *PathExpr:
+		Walk(x.Source, fn)
+		for _, st := range x.Steps {
+			for _, p := range st.Preds {
+				Walk(p, fn)
+			}
+		}
+	case *Binary:
+		Walk(x.Left, fn)
+		Walk(x.Right, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *Sequence:
+		for _, it := range x.Items {
+			Walk(it, fn)
+		}
+	case *ElementCtor:
+		for _, a := range x.Attrs {
+			Walk(a.Value, fn)
+		}
+		for _, c := range x.Children {
+			Walk(c, fn)
+		}
+	case *IfExpr:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *Quantified:
+		for _, c := range x.Clauses {
+			Walk(c.In, fn)
+		}
+		Walk(x.Satisfies, fn)
+	}
+}
+
+// CollectionNames returns the distinct collection() names referenced by
+// the query, in first-appearance order. The PartiX query service uses this
+// to map a query onto fragments.
+func CollectionNames(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	Walk(e, func(x Expr) {
+		if c, ok := x.(*CollectionCall); ok && !seen[c.Name] {
+			seen[c.Name] = true
+			out = append(out, c.Name)
+		}
+	})
+	return out
+}
+
+// RewriteCollections returns a deep copy of the AST with every
+// collection(name) reference renamed through the rename map (names absent
+// from the map stay unchanged). PartiX rewrites a global query into
+// sub-queries over fragment collections with exactly this transformation.
+func RewriteCollections(e Expr, rename map[string]string) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *FLWOR:
+		cp := &FLWOR{Where: RewriteCollections(x.Where, rename), Return: RewriteCollections(x.Return, rename)}
+		for _, c := range x.Clauses {
+			cp.Clauses = append(cp.Clauses, Clause{Let: c.Let, Var: c.Var, In: RewriteCollections(c.In, rename)})
+		}
+		for _, o := range x.OrderBy {
+			cp.OrderBy = append(cp.OrderBy, OrderSpec{Key: RewriteCollections(o.Key, rename), Descending: o.Descending})
+		}
+		return cp
+	case *PathExpr:
+		cp := &PathExpr{Source: RewriteCollections(x.Source, rename)}
+		for _, st := range x.Steps {
+			ns := PathStep{Descendant: st.Descendant, Name: st.Name, Attr: st.Attr, Text: st.Text}
+			for _, p := range st.Preds {
+				ns.Preds = append(ns.Preds, RewriteCollections(p, rename))
+			}
+			cp.Steps = append(cp.Steps, ns)
+		}
+		return cp
+	case *CollectionCall:
+		if to, ok := rename[x.Name]; ok {
+			return &CollectionCall{Name: to}
+		}
+		return &CollectionCall{Name: x.Name}
+	case *Binary:
+		return &Binary{Op: x.Op, Left: RewriteCollections(x.Left, rename), Right: RewriteCollections(x.Right, rename)}
+	case *FuncCall:
+		cp := &FuncCall{Name: x.Name}
+		for _, a := range x.Args {
+			cp.Args = append(cp.Args, RewriteCollections(a, rename))
+		}
+		return cp
+	case *Sequence:
+		cp := &Sequence{}
+		for _, it := range x.Items {
+			cp.Items = append(cp.Items, RewriteCollections(it, rename))
+		}
+		return cp
+	case *ElementCtor:
+		cp := &ElementCtor{Name: x.Name}
+		for _, a := range x.Attrs {
+			cp.Attrs = append(cp.Attrs, AttrCtor{Name: a.Name, Value: RewriteCollections(a.Value, rename)})
+		}
+		for _, c := range x.Children {
+			cp.Children = append(cp.Children, RewriteCollections(c, rename))
+		}
+		return cp
+	case *IfExpr:
+		return &IfExpr{
+			Cond: RewriteCollections(x.Cond, rename),
+			Then: RewriteCollections(x.Then, rename),
+			Else: RewriteCollections(x.Else, rename),
+		}
+	case *Quantified:
+		cp := &Quantified{Every: x.Every, Satisfies: RewriteCollections(x.Satisfies, rename)}
+		for _, c := range x.Clauses {
+			cp.Clauses = append(cp.Clauses, Clause{Let: c.Let, Var: c.Var, In: RewriteCollections(c.In, rename)})
+		}
+		return cp
+	default:
+		// Leaves without collection references are immutable; share them.
+		return e
+	}
+}
+
+// pathString renders steps for diagnostics.
+func pathString(steps []PathStep) string {
+	var sb strings.Builder
+	for _, st := range steps {
+		if st.Descendant {
+			sb.WriteString("//")
+		} else {
+			sb.WriteString("/")
+		}
+		switch {
+		case st.Text:
+			sb.WriteString("text()")
+		case st.Attr:
+			sb.WriteString("@" + st.Name)
+		default:
+			sb.WriteString(st.Name)
+		}
+		for range st.Preds {
+			sb.WriteString("[…]")
+		}
+	}
+	return sb.String()
+}

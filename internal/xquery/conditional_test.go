@@ -1,0 +1,132 @@
+package xquery
+
+import (
+	"reflect"
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+func TestIfThenElse(t *testing.T) {
+	src := itemsSource()
+	cases := map[string]string{
+		`if (1 = 1) then "yes" else "no"`:                         "yes",
+		`if (1 = 2) then "yes" else "no"`:                         "no",
+		`if (empty(collection("items")/Item/Nope)) then 1 else 2`: "1",
+		`if (collection("items")/Item) then "has" else "none"`:    "has",
+	}
+	for q, want := range cases {
+		got := evalStrings(t, src, q)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("%s = %v, want %q", q, got, want)
+		}
+	}
+}
+
+func TestIfInsideFLWOR(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  return if ($i/Section = "CD") then concat($i/Code, "*") else $i/Code`)
+	want := []string{"I1*", "I2", "I3*", "I4"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIfBranchesAreLazy(t *testing.T) {
+	src := itemsSource()
+	// The untaken branch must not be evaluated: it would fail otherwise.
+	got := evalStrings(t, src, `if (1 = 1) then "safe" else $unbound`)
+	if got[0] != "safe" {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := EvalQuery(`if (1 = 2) then "safe" else $unbound`, src); err == nil {
+		t.Fatal("taken else branch with unbound variable succeeded")
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	src := itemsSource()
+	cases := map[string]bool{
+		`some $i in collection("items")/Item satisfies $i/Section = "CD"`:    true,
+		`some $i in collection("items")/Item satisfies $i/Section = "Vinyl"`: false,
+		`every $i in collection("items")/Item satisfies exists($i/Code)`:     true,
+		`every $i in collection("items")/Item satisfies $i/Section = "CD"`:   false,
+		`some $x in (1, 2, 3) satisfies $x > 2`:                              true,
+		`every $x in (1, 2, 3) satisfies $x > 0`:                             true,
+		`some $x in () satisfies 1 = 1`:                                      false,
+		`every $x in () satisfies 1 = 2`:                                     true, // vacuous
+		`some $x in (1, 2), $y in (10, 20) satisfies $x * $y = 40`:           true,
+		`every $x in (1, 2), $y in (10, 20) satisfies $x * $y >= 10`:         true,
+		`every $x in (1, 2), $y in (10, 20) satisfies $x * $y > 10`:          false,
+	}
+	for q, want := range cases {
+		res, err := EvalQuery(q, src)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if b, ok := res[0].(bool); !ok || b != want {
+			t.Errorf("%s = %v, want %v", q, res[0], want)
+		}
+	}
+}
+
+func TestQuantifierInWhere(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  where some $p in $i/PictureList/Picture satisfies $p/Name = "p1"
+	  return $i/Code`)
+	if !reflect.DeepEqual(got, []string{"I1"}) {
+		t.Fatalf("got %v (only i1 has two pictures)", got)
+	}
+}
+
+func TestConditionalFormatRoundTrip(t *testing.T) {
+	src := itemsSource()
+	queries := []string{
+		`if (count(collection("items")/Item) > 2) then "many" else "few"`,
+		`some $i in collection("items")/Item satisfies contains($i/Description, "good")`,
+		`every $i in collection("items")/Item, $s in $i/Section satisfies string-length(string($s)) > 1`,
+		`for $i in collection("items")/Item return if ($i/PictureList) then "pics" else "bare"`,
+	}
+	for _, q := range queries {
+		e := MustParse(q)
+		re, err := Parse(Format(e))
+		if err != nil {
+			t.Fatalf("%s: reparse of %q: %v", q, Format(e), err)
+		}
+		a, _ := Eval(e, src)
+		b, _ := Eval(re, src)
+		if seqString(a) != seqString(b) {
+			t.Errorf("%s: round trip changed result", q)
+		}
+	}
+}
+
+func TestConditionalParseErrors(t *testing.T) {
+	bad := []string{
+		`if (1 = 1) then "a"`,          // XQuery requires else
+		`if 1 = 1 then "a" else "b"`,   // missing parens → path "if" then junk
+		`some satisfies 1`,             // missing binding
+		`some $x in (1) satisfy 1 = 1`, // typo keyword
+		`every $x (1) satisfies 1`,     // missing in
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%q accepted", q)
+		}
+	}
+}
+
+func TestBareIfNameStillAPath(t *testing.T) {
+	// "if" not followed by "(" falls back to a relative path, so element
+	// names called "if" keep working inside predicates.
+	src := newMemSource(xmltree.NewCollection("weird",
+		xmltree.MustParseString("w1", `<root><if>x</if></root>`)))
+	got := evalStrings(t, src, `collection("weird")/root[if = "x"]/if`)
+	if !reflect.DeepEqual(got, []string{"x"}) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,441 @@
+package xquery
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+// memSource is an in-memory Source for tests. It records whether hints
+// were offered so hint plumbing can be asserted.
+type memSource struct {
+	collections map[string]*xmltree.Collection
+	docs        map[string]*xmltree.Document
+	lastHint    map[string]*Hint
+}
+
+func newMemSource(cols ...*xmltree.Collection) *memSource {
+	s := &memSource{
+		collections: map[string]*xmltree.Collection{},
+		docs:        map[string]*xmltree.Document{},
+		lastHint:    map[string]*Hint{},
+	}
+	for _, c := range cols {
+		s.collections[c.Name] = c
+		for _, d := range c.Docs {
+			s.docs[d.Name] = d
+		}
+	}
+	return s
+}
+
+func (s *memSource) Docs(name string, hint *Hint, fn func(*xmltree.Document) error) error {
+	c, ok := s.collections[name]
+	if !ok {
+		return fmt.Errorf("no collection %q", name)
+	}
+	s.lastHint[name] = hint
+	for _, d := range c.Docs {
+		if err := fn(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *memSource) Doc(name string) (*xmltree.Document, error) {
+	d, ok := s.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("no document %q", name)
+	}
+	return d, nil
+}
+
+func itemsSource() *memSource {
+	mk := func(name, code, section, desc string, pics int) *xmltree.Document {
+		xml := `<Item id="` + strings.TrimPrefix(name, "i") + `"><Code>` + code +
+			`</Code><Name>name-` + code + `</Name><Description>` + desc +
+			`</Description><Section>` + section + `</Section>`
+		if pics > 0 {
+			xml += "<PictureList>"
+			for p := 0; p < pics; p++ {
+				xml += fmt.Sprintf("<Picture><Name>p%d</Name><ModificationDate>m</ModificationDate><OriginalPath>o</OriginalPath><ThumbPath>t</ThumbPath></Picture>", p)
+			}
+			xml += "</PictureList>"
+		}
+		xml += `</Item>`
+		return xmltree.MustParseString(name, xml)
+	}
+	return newMemSource(xmltree.NewCollection("items",
+		mk("i1", "I1", "CD", "a good disc", 2),
+		mk("i2", "I2", "DVD", "a fine movie", 0),
+		mk("i3", "I3", "CD", "plain disc", 1),
+		mk("i4", "I4", "Book", "good reading", 0),
+	))
+}
+
+func evalStrings(t *testing.T, src Source, query string) []string {
+	t.Helper()
+	res, err := EvalQuery(query, src)
+	if err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	out := make([]string, len(res))
+	for i, it := range res {
+		out[i] = ItemString(it)
+	}
+	return out
+}
+
+func TestSimplePathQuery(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `collection("items")/Item/Code`)
+	want := []string{"I1", "I2", "I3", "I4"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPathWithStepPredicate(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `collection("items")/Item[Section = "CD"]/Code`)
+	if !reflect.DeepEqual(got, []string{"I1", "I3"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAttributeStep(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `collection("items")/Item[Section = "DVD"]/@id`)
+	if !reflect.DeepEqual(got, []string{"2"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPositionalPredicate(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `collection("items")/Item[Code = "I1"]/PictureList/Picture[2]/Name`)
+	if !reflect.DeepEqual(got, []string{"p1"}) {
+		t.Fatalf("got %v", got)
+	}
+	if out := evalStrings(t, src, `collection("items")/Item/PictureList/Picture[9]/Name`); len(out) != 0 {
+		t.Fatalf("out-of-range positional returned %v", out)
+	}
+}
+
+func TestDescendantStep(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `collection("items")/Item[Code = "I3"]//Picture/Name`)
+	if !reflect.DeepEqual(got, []string{"p0"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFLWORWhereReturn(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  where $i/Section = "CD"
+	  return $i/Name`)
+	if !reflect.DeepEqual(got, []string{"name-I1", "name-I3"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFLWORLetClause(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  let $c := count($i/PictureList/Picture)
+	  where $c > 0
+	  return concat($i/Code, ":", string($c))`)
+	if !reflect.DeepEqual(got, []string{"I1:2", "I3:1"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFLWORNestedFor(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item[Code = "I1"], $p in $i/PictureList/Picture
+	  return $p/Name`)
+	if !reflect.DeepEqual(got, []string{"p0", "p1"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTextSearchQuery(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  where contains($i/Description, "good")
+	  return $i/Code`)
+	if !reflect.DeepEqual(got, []string{"I1", "I4"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	src := itemsSource()
+	cases := []struct {
+		q, want string
+	}{
+		{`count(collection("items")/Item)`, "4"},
+		{`count(for $i in collection("items")/Item where contains($i/Description, "good") return $i)`, "2"},
+		{`sum(for $i in collection("items")/Item return count($i//Picture))`, "3"},
+		{`avg((2, 4, 6))`, "4"},
+		{`min((3, 1, 2))`, "1"},
+		{`max((3, 1, 2))`, "3"},
+		{`sum(())`, "0"},
+	}
+	for _, tc := range cases {
+		got := evalStrings(t, src, tc.q)
+		if len(got) != 1 || got[0] != tc.want {
+			t.Errorf("%s = %v, want %s", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestEmptyAggregatesAreEmpty(t *testing.T) {
+	src := itemsSource()
+	for _, q := range []string{`avg(())`, `min(())`, `max(())`} {
+		q := strings.Replace(q, "()", `(for $i in collection("items")/Item where $i/Code = "nope" return $i)`, 1)
+		res, err := EvalQuery(q, src)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(res) != 0 {
+			t.Errorf("%s = %v, want empty", q, res)
+		}
+	}
+}
+
+func TestElementConstructor(t *testing.T) {
+	src := itemsSource()
+	res, err := EvalQuery(`
+	  for $i in collection("items")/Item
+	  where $i/Section = "DVD"
+	  return <result code="{$i/Code}"><n>{$i/Name}</n><fixed>x</fixed></result>`, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	n := res[0].(*xmltree.Node)
+	out := xmltree.NodeString(n)
+	want := `<result code="I2"><n><Name>name-I2</Name></n><fixed>x</fixed></result>`
+	if out != want {
+		t.Fatalf("got %s", out)
+	}
+}
+
+func TestConstructorEmbedsAtomics(t *testing.T) {
+	src := itemsSource()
+	res, err := EvalQuery(`<total>{count(collection("items")/Item)}</total>`, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res[0].(*xmltree.Node)
+	if got := xmltree.NodeString(n); got != "<total>4</total>" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	src := itemsSource()
+	cases := map[string]string{
+		`1 + 2 * 3`:                           "7",
+		`(1 + 2) * 3`:                         "9",
+		`10 div 4`:                            "2.5",
+		`10 mod 4`:                            "2",
+		`-5 + 2`:                              "-3",
+		`count(collection("items")/Item) - 1`: "3",
+	}
+	for q, want := range cases {
+		got := evalStrings(t, src, q)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("%s = %v, want %s", q, got, want)
+		}
+	}
+}
+
+func TestComparisonSemantics(t *testing.T) {
+	src := itemsSource()
+	cases := map[string]bool{
+		`"abc" = "abc"`:  true,
+		`"abc" != "abc"`: false,
+		`"10" < "9"`:     false, // both numeric: numeric compare
+		`"a10" < "a9"`:   true,  // string compare
+		`2 >= 2`:         true,
+		`1 > 2`:          false,
+	}
+	for q, want := range cases {
+		res, err := EvalQuery(q, src)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if b, _ := res[0].(bool); b != want {
+			t.Errorf("%s = %v, want %v", q, res[0], want)
+		}
+	}
+}
+
+func TestGeneralComparisonIsExistential(t *testing.T) {
+	src := itemsSource()
+	// Some Section equals CD.
+	res, err := EvalQuery(`collection("items")/Item/Section = "CD"`, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := res[0].(bool); !b {
+		t.Fatal("existential = failed")
+	}
+	// != is also existential: some Section differs from CD.
+	res, _ = EvalQuery(`collection("items")/Item/Section != "CD"`, src)
+	if b := res[0].(bool); !b {
+		t.Fatal("existential != failed")
+	}
+}
+
+func TestBooleanFunctions(t *testing.T) {
+	src := itemsSource()
+	cases := map[string]string{
+		`not(1 = 1)`:                               "false",
+		`empty(collection("items")/Item/Nope)`:     "true",
+		`exists(collection("items")/Item/Section)`: "true",
+		`contains("hello world", "lo wo")`:         "true",
+		`starts-with("hello", "he")`:               "true",
+		`ends-with("hello", "lo")`:                 "true",
+		`string-length("abcd")`:                    "4",
+		`string(count(collection("items")/Item))`:  "4",
+		`number("3.5") * 2`:                        "7",
+	}
+	for q, want := range cases {
+		got := evalStrings(t, src, q)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("%s = %v, want %q", q, got, want)
+		}
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `distinct-values(collection("items")/Item/Section)`)
+	if !reflect.DeepEqual(got, []string{"CD", "DVD", "Book"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDocCall(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `doc("i2")/Item/Section`)
+	if !reflect.DeepEqual(got, []string{"DVD"}) {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := EvalQuery(`doc("missing")/Item`, src); err == nil {
+		t.Fatal("missing doc not reported")
+	}
+}
+
+func TestTextStep(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `collection("items")/Item[Code = "I1"]/Description/text()`)
+	if !reflect.DeepEqual(got, []string{"a good disc"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWildcardStep(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `count(collection("items")/Item[Code = "I2"]/*)`)
+	if !reflect.DeepEqual(got, []string{"4"}) {
+		t.Fatalf("got %v (Code, Name, Description, Section)", got)
+	}
+}
+
+func TestSequenceExpression(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `("a", "b", 3)`)
+	if !reflect.DeepEqual(got, []string{"a", "b", "3"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	src := itemsSource()
+	bad := []string{
+		`$unbound`,
+		`collection("nope")/Item`,
+		`"a" + 1`,
+		`unknownfn(1)`,
+		`count(1, 2)`,
+		`(1, 2) + 1`,
+		`"str"/child`,
+		`.`,       // no context item at top level
+		`Section`, // relative path without context
+		`true(1)`,
+		`number(())`,
+	}
+	for _, q := range bad {
+		if _, err := EvalQuery(q, src); err == nil {
+			t.Errorf("%s: no error", q)
+		}
+	}
+}
+
+func TestVariableScoping(t *testing.T) {
+	src := itemsSource()
+	// Inner for shadows outer let; after the FLWOR the outer binding is intact.
+	got := evalStrings(t, src, `
+	  let $x := "outer"
+	  for $y in (1, 2)
+	  let $x := concat("inner", string($y))
+	  return $x`)
+	if !reflect.DeepEqual(got, []string{"inner1", "inner2"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEffectiveBool(t *testing.T) {
+	node := xmltree.NewElement("x")
+	cases := []struct {
+		in   Seq
+		want bool
+	}{
+		{nil, false},
+		{Seq{true}, true},
+		{Seq{false}, false},
+		{Seq{""}, false},
+		{Seq{"x"}, true},
+		{Seq{0.0}, false},
+		{Seq{1.5}, true},
+		{Seq{node}, true},
+		{Seq{node, node}, true},
+	}
+	for _, tc := range cases {
+		got, err := EffectiveBool(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("EffectiveBool(%v) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := EffectiveBool(Seq{"a", "b"}); err == nil {
+		t.Error("multi-atomic EBV accepted")
+	}
+}
+
+func TestItemString(t *testing.T) {
+	if ItemString(3.0) != "3" || ItemString(3.25) != "3.25" {
+		t.Error("number formatting wrong")
+	}
+	if ItemString(true) != "true" || ItemString(false) != "false" {
+		t.Error("bool formatting wrong")
+	}
+	n := xmltree.NewElement("a", xmltree.NewText("v"))
+	if ItemString(n) != "v" {
+		t.Error("node atomization wrong")
+	}
+}

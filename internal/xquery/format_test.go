@@ -1,0 +1,84 @@
+package xquery
+
+import (
+	"testing"
+)
+
+// TestFormatRoundTripsSemantics: formatting a parsed query and re-parsing
+// it must evaluate identically — the property PartiX relies on when it
+// ships rewritten sub-queries to remote nodes as text.
+func TestFormatRoundTripsSemantics(t *testing.T) {
+	src := itemsSource()
+	queries := []string{
+		`collection("items")/Item/Code`,
+		`collection("items")/Item[Section = "CD"][1]/Name`,
+		`doc("i2")/Item/@id`,
+		`collection("items")/Item/Description/text()`,
+		`collection("items")/Item/*`,
+		`for $i in collection("items")/Item where $i/Section = "CD" return $i/Name`,
+		`for $i in collection("items")/Item, $p in $i/PictureList/Picture return $p/Name`,
+		`for $i in collection("items")/Item let $c := count($i//Picture) where $c > 0 return concat($i/Code, "-", string($c))`,
+		`for $i in collection("items")/Item order by $i/Section descending, $i/Code return $i/Code`,
+		`count(for $i in collection("items")/Item where contains($i/Description, "good") return $i)`,
+		`sum((1, 2, 3)) + avg((4, 6)) - min((7, 8)) * max((1, 2))`,
+		`10 div 4 + 10 mod 4`,
+		`not(empty(collection("items")/Item)) and exists(collection("items")/Item)`,
+		`(1 = 1 or 2 != 3) and ("a" < "b" or "c" >= "d")`,
+		`<r a="x" b="{count(())}"><inner>text</inner>{1 + 1, "s"}</r>`,
+		`<empty/>`,
+		`for $i in collection("items")/Item return <item code="{$i/Code}">{$i/Name}</item>`,
+		`distinct-values(collection("items")/Item/Section)`,
+		`substring("hello", 2, 3)`,
+		`("a", 1, 1 = 1)`,
+		`-5 + 3`,
+	}
+	for _, q := range queries {
+		e := MustParse(q)
+		text := Format(e)
+		re, err := Parse(text)
+		if err != nil {
+			t.Errorf("%s\n  formatted %q fails to parse: %v", q, text, err)
+			continue
+		}
+		a, errA := Eval(e, src)
+		b, errB := Eval(re, src)
+		if (errA == nil) != (errB == nil) {
+			t.Errorf("%s: eval errors differ: %v vs %v", q, errA, errB)
+			continue
+		}
+		if errA != nil {
+			continue
+		}
+		if len(a) != len(b) {
+			t.Errorf("%s: %d vs %d items after round trip (%q)", q, len(a), len(b), text)
+			continue
+		}
+		for i := range a {
+			if ItemString(a[i]) != ItemString(b[i]) {
+				t.Errorf("%s: item %d differs after round trip: %q vs %q",
+					q, i, ItemString(a[i]), ItemString(b[i]))
+				break
+			}
+		}
+	}
+}
+
+func TestFormatDescendantAndAttrSteps(t *testing.T) {
+	e := MustParse(`doc("i1")//Picture/@id`)
+	if got := Format(e); got != `doc("i1")//Picture/@id` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBinaryOpStrings(t *testing.T) {
+	ops := map[BinaryOp]string{
+		OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+		OpAnd: "and", OpOr: "or", OpAdd: "+", OpSub: "-", OpMul: "*",
+		OpDiv: "div", OpMod: "mod",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d = %q, want %q", op, op.String(), want)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package xquery
+
+import "strings"
+
+// Hint is a conjunction of text constraints a document must satisfy to
+// possibly contribute to a query's result. The engine evaluates hints
+// against its inverted text index to prune candidate documents before
+// decoding them (this is the "indexes … to speed up text search
+// operations" behaviour of eXist the paper relies on). Hints are always a
+// NECESSARY condition, never sufficient: surviving documents are still
+// fully evaluated.
+type Hint struct {
+	Constraints []Constraint
+}
+
+// Constraint is one conjunct.
+type Constraint struct {
+	// Tokens non-empty: the document must contain every listed token
+	// (derived from `path = "literal"`: a node value equal to the literal
+	// necessarily contributes all the literal's tokens).
+	Tokens []string
+	// Substring non-empty: the document must contain some token having
+	// this substring (derived from contains(path, "literal") with a purely
+	// alphanumeric literal; a substring match within a text always lands
+	// inside a single token then).
+	Substring string
+	// Elements non-empty: the document must contain an element with every
+	// listed name (derived from for-binding paths and positive existence
+	// tests — a document lacking the element yields no bindings and so no
+	// output). This is the structural-index counterpart of eXist's
+	// "indexes … to speed up path expressions evaluation".
+	Elements []string
+}
+
+// Tokenize splits text into lowercase alphanumeric tokens — the exact
+// tokenization the engine's inverted index uses; keeping them identical is
+// what makes hints sound.
+func Tokenize(text string) []string {
+	var out []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			out = append(out, strings.ToLower(text[start:end]))
+			start = -1
+		}
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9') {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(text))
+	return out
+}
+
+func isAlphanumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractHints analyzes a query and derives, per collection, a sound
+// document-pruning hint. Constraints are only taken from positions that
+// are necessary conditions for a document to contribute:
+//
+//   - conjunctive terms of a FLWOR where-clause comparing a path rooted at
+//     a for-variable bound to the collection against a string literal, and
+//   - the same shapes inside step predicates of the binding path itself
+//     (collection("c")/Item[Section = "CD"]).
+//
+// Terms under not(), or, and any other function are ignored.
+func ExtractHints(e Expr) map[string]*Hint {
+	hints := map[string]*Hint{}
+	collectFLWORs(e, hints)
+	return hints
+}
+
+func collectFLWORs(e Expr, hints map[string]*Hint) {
+	Walk(e, func(x Expr) {
+		f, ok := x.(*FLWOR)
+		if !ok {
+			return
+		}
+		// Map for-variables to their source collections.
+		varColl := map[string]string{}
+		for _, cl := range f.Clauses {
+			if cl.Let {
+				continue
+			}
+			coll, steps, ok := collectionRooted(cl.In)
+			if !ok {
+				continue
+			}
+			varColl[cl.Var] = coll
+			// The binding path must select something for the document to
+			// produce any output: its element names are required.
+			if els := stepElements(steps); len(els) > 0 {
+				appendConstraint(hints, coll, Constraint{Elements: els})
+			}
+			// Step predicates of the binding path are conjunctive for this
+			// collection's documents.
+			for _, st := range steps {
+				for _, p := range st.Preds {
+					addConjuncts(p, func(term Expr) {
+						if c, ok := constraintFromTerm(term, nil, varColl); ok {
+							appendConstraint(hints, coll, c)
+						}
+					})
+				}
+			}
+		}
+		if f.Where == nil || len(varColl) == 0 {
+			return
+		}
+		addConjuncts(f.Where, func(term Expr) {
+			coll, c, ok := constraintWithVar(term, varColl)
+			if ok {
+				appendConstraint(hints, coll, c)
+			}
+		})
+	})
+}
+
+func appendConstraint(hints map[string]*Hint, coll string, c Constraint) {
+	h := hints[coll]
+	if h == nil {
+		h = &Hint{}
+		hints[coll] = h
+	}
+	h.Constraints = append(h.Constraints, c)
+}
+
+// addConjuncts calls fn for every term of the top-level AND tree.
+func addConjuncts(e Expr, fn func(Expr)) {
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		addConjuncts(b.Left, fn)
+		addConjuncts(b.Right, fn)
+		return
+	}
+	fn(e)
+}
+
+// constraintWithVar recognizes a term touching exactly one for-variable
+// and returns the constraint plus its collection.
+func constraintWithVar(term Expr, varColl map[string]string) (string, Constraint, bool) {
+	var coll string
+	c, ok := constraintFromTerm(term, &coll, varColl)
+	if !ok || coll == "" {
+		return "", Constraint{}, false
+	}
+	return coll, c, true
+}
+
+// constraintFromTerm extracts a constraint from one conjunctive term. When
+// collOut is non-nil the term must reference a for-variable (whose
+// collection is reported through collOut); when nil the term is a step
+// predicate whose context is already scoped to the collection, so relative
+// paths are accepted.
+func constraintFromTerm(term Expr, collOut *string, varColl map[string]string) (Constraint, bool) {
+	switch x := term.(type) {
+	case *Binary:
+		if x.Op != OpEq {
+			return Constraint{}, false
+		}
+		path, lit, ok := pathAndLiteral(x.Left, x.Right)
+		if !ok {
+			return Constraint{}, false
+		}
+		if !sourceMatches(path, collOut, varColl) {
+			return Constraint{}, false
+		}
+		tokens := Tokenize(lit)
+		if len(tokens) == 0 {
+			return Constraint{}, false
+		}
+		return Constraint{Tokens: tokens}, true
+	case *FuncCall:
+		switch x.Name {
+		case "contains":
+			if len(x.Args) != 2 {
+				return Constraint{}, false
+			}
+			lit, ok := x.Args[1].(*StringLit)
+			if !ok || !isAlphanumeric(lit.Value) {
+				return Constraint{}, false
+			}
+			if !sourceMatches(x.Args[0], collOut, varColl) {
+				return Constraint{}, false
+			}
+			return Constraint{Substring: strings.ToLower(lit.Value)}, true
+		case "exists":
+			if len(x.Args) != 1 {
+				return Constraint{}, false
+			}
+			return existenceConstraint(x.Args[0], collOut, varColl)
+		default:
+			return Constraint{}, false
+		}
+	case *PathExpr:
+		// A bare path as a conjunct is an existence test.
+		return existenceConstraint(x, collOut, varColl)
+	default:
+		return Constraint{}, false
+	}
+}
+
+// existenceConstraint derives a required-elements constraint from a
+// positive existence test over a path.
+func existenceConstraint(e Expr, collOut *string, varColl map[string]string) (Constraint, bool) {
+	pe, ok := e.(*PathExpr)
+	if !ok {
+		return Constraint{}, false
+	}
+	if !sourceMatches(pe, collOut, varColl) {
+		return Constraint{}, false
+	}
+	els := stepElements(pe.Steps)
+	if len(els) == 0 {
+		return Constraint{}, false
+	}
+	return Constraint{Elements: els}, true
+}
+
+// stepElements returns the concrete element names a path requires.
+func stepElements(steps []PathStep) []string {
+	var out []string
+	for _, st := range steps {
+		if st.Attr || st.Text || st.Name == "*" || st.Name == "" {
+			continue
+		}
+		out = append(out, st.Name)
+	}
+	return out
+}
+
+func pathAndLiteral(a, b Expr) (path Expr, lit string, ok bool) {
+	if s, isLit := b.(*StringLit); isLit {
+		return a, s.Value, true
+	}
+	if s, isLit := a.(*StringLit); isLit {
+		return b, s.Value, true
+	}
+	return nil, "", false
+}
+
+// sourceMatches checks the path side of a term: with collOut it must be a
+// path rooted at a known for-variable with no further step predicates (a
+// predicate could invert the match); without collOut, a relative path.
+func sourceMatches(e Expr, collOut *string, varColl map[string]string) bool {
+	p, ok := e.(*PathExpr)
+	if !ok {
+		if v, isVar := e.(*VarRef); isVar && collOut != nil {
+			coll, known := varColl[v.Name]
+			if known {
+				*collOut = coll
+				return true
+			}
+		}
+		return false
+	}
+	for _, st := range p.Steps {
+		if len(st.Preds) > 0 {
+			return false
+		}
+	}
+	if collOut == nil {
+		return p.Source == nil // relative path inside a step predicate
+	}
+	v, isVar := p.Source.(*VarRef)
+	if !isVar {
+		return false
+	}
+	coll, known := varColl[v.Name]
+	if !known {
+		return false
+	}
+	*collOut = coll
+	return true
+}

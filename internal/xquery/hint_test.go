@@ -1,0 +1,287 @@
+package xquery
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := map[string][]string{
+		"a good Disc": {"a", "good", "disc"},
+		"CD":          {"cd"},
+		"  x  y ":     {"x", "y"},
+		"":            nil,
+		"2005-01-01":  {"2005", "01", "01"},
+		"don't-stop":  {"don", "t", "stop"},
+	}
+	for in, want := range cases {
+		if got := Tokenize(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestExtractHintsEqualityAndContains(t *testing.T) {
+	e := MustParse(`for $i in collection("items")/Item
+	  where $i/Section = "CD" and contains($i/Description, "good")
+	  return $i/Code`)
+	hints := ExtractHints(e)
+	h := hints["items"]
+	if h == nil {
+		t.Fatalf("hints = %+v", hints)
+	}
+	text := textConstraints(h)
+	if len(text) != 2 {
+		t.Fatalf("text constraints = %+v", text)
+	}
+	if !reflect.DeepEqual(text[0].Tokens, []string{"cd"}) {
+		t.Fatalf("eq constraint = %+v", text[0])
+	}
+	if text[1].Substring != "good" {
+		t.Fatalf("contains constraint = %+v", text[1])
+	}
+}
+
+func TestExtractHintsStepPredicates(t *testing.T) {
+	e := MustParse(`collection("items")/Item[Section = "CD"]/Name`)
+	// Path expressions outside a FLWOR do not produce hints (nothing
+	// guarantees document pruning is observable there), but the same path
+	// inside a for-binding does.
+	f := MustParse(`for $i in collection("items")/Item[Section = "CD"] return $i/Name`)
+	_ = e
+	hints := ExtractHints(f)
+	h := hints["items"]
+	if h == nil {
+		t.Fatalf("hints = %+v", hints)
+	}
+	text := textConstraints(h)
+	if len(text) != 1 || !reflect.DeepEqual(text[0].Tokens, []string{"cd"}) {
+		t.Fatalf("hints = %+v", text)
+	}
+}
+
+func TestExtractHintsIgnoresUnsafePositions(t *testing.T) {
+	queries := []string{
+		// Negation: docs without "good" still match.
+		`for $i in collection("items")/Item where not(contains($i/Description, "good")) return $i`,
+		// Disjunction: neither side is necessary.
+		`for $i in collection("items")/Item where $i/Section = "CD" or $i/Section = "DVD" return $i`,
+		// Non-literal needle.
+		`for $i in collection("items")/Item where contains($i/Description, $i/Code) return $i`,
+		// Needle with a space could span tokens.
+		`for $i in collection("items")/Item where contains($i/Description, "good disc") return $i`,
+		// Inequality is not a token witness.
+		`for $i in collection("items")/Item where $i/Section != "CD" return $i`,
+		// Path with an inner predicate could invert the match.
+		`for $i in collection("items")/Item where $i/PictureList[empty(Picture)]/Name = "CD" return $i`,
+	}
+	for _, q := range queries {
+		hints := ExtractHints(MustParse(q))
+		// The for-binding legitimately requires the Item element; no text
+		// constraint may leak from the unsafe positions.
+		if h := hints["items"]; h != nil && len(textConstraints(h)) > 0 {
+			t.Errorf("%s: unsafe hint extracted: %+v", q, h.Constraints)
+		}
+	}
+}
+
+// textConstraints filters a hint to its token/substring conjuncts.
+func textConstraints(h *Hint) []Constraint {
+	var out []Constraint
+	for _, c := range h.Constraints {
+		if len(c.Tokens) > 0 || c.Substring != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestExtractHintsPerVariableCollection(t *testing.T) {
+	e := MustParse(`for $a in collection("prolog")/article, $b in collection("body")/article
+	  where $a/@id = $b/@id and contains($b/body, "model")
+	  return $a/prolog/title`)
+	hints := ExtractHints(e)
+	if hints["prolog"] != nil && len(textConstraints(hints["prolog"])) > 0 {
+		t.Fatalf("prolog should have no text constraints: %+v", hints["prolog"])
+	}
+	h := hints["body"]
+	if h == nil {
+		t.Fatal("no body hints")
+	}
+	text := textConstraints(h)
+	if len(text) != 1 || text[0].Substring != "model" {
+		t.Fatalf("body hints = %+v", text)
+	}
+}
+
+func TestExtractHintsLiteralOnLeft(t *testing.T) {
+	e := MustParse(`for $i in collection("items")/Item where "CD" = $i/Section return $i`)
+	h := ExtractHints(e)["items"]
+	if h == nil {
+		t.Fatal("no hints")
+	}
+	text := textConstraints(h)
+	if len(text) != 1 || !reflect.DeepEqual(text[0].Tokens, []string{"cd"}) {
+		t.Fatalf("hints = %+v", text)
+	}
+}
+
+func TestExtractHintsMultiTokenEquality(t *testing.T) {
+	e := MustParse(`for $i in collection("items")/Item where $i/Description = "a good disc" return $i`)
+	h := ExtractHints(e)["items"]
+	if h == nil || !reflect.DeepEqual(textConstraints(h)[0].Tokens, []string{"a", "good", "disc"}) {
+		t.Fatalf("hints = %+v", h)
+	}
+}
+
+func TestExtractHintsElements(t *testing.T) {
+	e := MustParse(`for $i in collection("items")/Item
+	  where exists($i/PictureList/Picture) and $i/Section = "CD"
+	  return $i/Code`)
+	h := ExtractHints(e)["items"]
+	if h == nil {
+		t.Fatal("no hints")
+	}
+	var els [][]string
+	for _, c := range h.Constraints {
+		if len(c.Elements) > 0 {
+			els = append(els, c.Elements)
+		}
+	}
+	// Binding requires Item; the exists() requires PictureList/Picture.
+	if len(els) != 2 {
+		t.Fatalf("element constraints = %v", els)
+	}
+	if !reflect.DeepEqual(els[0], []string{"Item"}) {
+		t.Fatalf("binding elements = %v", els[0])
+	}
+	if !reflect.DeepEqual(els[1], []string{"PictureList", "Picture"}) {
+		t.Fatalf("exists elements = %v", els[1])
+	}
+}
+
+func TestExtractHintsBareExistenceTerm(t *testing.T) {
+	e := MustParse(`for $i in collection("items")/Item where $i/PictureList return $i/Code`)
+	h := ExtractHints(e)["items"]
+	found := false
+	for _, c := range h.Constraints {
+		if reflect.DeepEqual(c.Elements, []string{"PictureList"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bare existence term not extracted: %+v", h.Constraints)
+	}
+}
+
+func TestExtractHintsElementsSkipUnsafe(t *testing.T) {
+	queries := []string{
+		// Negated existence must not require the element.
+		`for $i in collection("items")/Item where not(exists($i/PictureList)) return $i`,
+		// Disjunction of existence tests is not conjunctive.
+		`for $i in collection("items")/Item where $i/PictureList or $i/PricesHistory return $i`,
+	}
+	for _, q := range queries {
+		h := ExtractHints(MustParse(q))["items"]
+		if h == nil {
+			continue
+		}
+		for _, c := range h.Constraints {
+			for _, el := range c.Elements {
+				if el == "PictureList" || el == "PricesHistory" {
+					t.Errorf("%s: unsafe element constraint %v", q, c.Elements)
+				}
+			}
+		}
+	}
+}
+
+func TestHintsAreSound(t *testing.T) {
+	// Evaluating with and without hint-based pruning must agree. The
+	// pruning source drops documents failing the constraints the way the
+	// engine's index would.
+	src := itemsSource()
+	queries := []string{
+		`for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`,
+		`for $i in collection("items")/Item where contains($i/Description, "good") return $i/Code`,
+		`for $i in collection("items")/Item where $i/Section = "CD" and contains($i/Description, "disc") return $i/Code`,
+	}
+	for _, q := range queries {
+		e := MustParse(q)
+		full, err := Eval(e, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := Eval(e, &pruningSource{inner: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full) != len(pruned) {
+			t.Errorf("%s: %d results full, %d pruned", q, len(full), len(pruned))
+		}
+	}
+}
+
+// pruningSource simulates index-based candidate pruning by evaluating the
+// hint against each document's token set, exactly as the engine's inverted
+// index does.
+type pruningSource struct{ inner *memSource }
+
+func (p *pruningSource) Doc(name string) (*xmltree.Document, error) {
+	return p.inner.Doc(name)
+}
+
+func (p *pruningSource) Docs(name string, hint *Hint, fn func(*xmltree.Document) error) error {
+	return p.inner.Docs(name, hint, func(d *xmltree.Document) error {
+		if hint != nil && !docSatisfiesHint(d, hint) {
+			return nil
+		}
+		return fn(d)
+	})
+}
+
+func docSatisfiesHint(d *xmltree.Document, h *Hint) bool {
+	tokens := map[string]bool{}
+	elements := map[string]bool{}
+	d.Root.Walk(func(n *xmltree.Node) bool {
+		switch n.Kind {
+		case xmltree.TextNode:
+			for _, tok := range Tokenize(n.Value) {
+				tokens[tok] = true
+			}
+		case xmltree.ElementNode:
+			elements[n.Name] = true
+		}
+		return true
+	})
+	for _, c := range h.Constraints {
+		for _, el := range c.Elements {
+			if !elements[el] {
+				return false
+			}
+		}
+		if len(c.Tokens) > 0 {
+			for _, tok := range c.Tokens {
+				if !tokens[tok] {
+					return false
+				}
+			}
+		}
+		if c.Substring != "" {
+			found := false
+			for tok := range tokens {
+				if strings.Contains(tok, c.Substring) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	return true
+}

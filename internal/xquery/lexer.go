@@ -1,0 +1,207 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexer tokenizes the expression language. Element constructors are lexed
+// by the parser itself (their content is raw text), which repositions the
+// lexer with setPos afterwards.
+type lexer struct {
+	in  string
+	pos int
+}
+
+func newLexer(in string) *lexer { return &lexer{in: in} }
+
+func (l *lexer) setPos(p int) { l.pos = p }
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("xquery: offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// XQuery comments: (: ... :), nestable.
+		if c == '(' && l.pos+1 < len(l.in) && l.in[l.pos+1] == ':' {
+			depth := 1
+			i := l.pos + 2
+			for i < len(l.in) && depth > 0 {
+				if strings.HasPrefix(l.in[i:], "(:") {
+					depth++
+					i += 2
+				} else if strings.HasPrefix(l.in[i:], ":)") {
+					depth--
+					i += 2
+				} else {
+					i++
+				}
+			}
+			if depth != 0 {
+				return l.errf(l.pos, "unterminated comment")
+			}
+			l.pos = i
+			continue
+		}
+		return nil
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	start := l.pos
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.in[l.pos]
+	switch c {
+	case '/':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '/' {
+			l.pos += 2
+			return token{tokDSlash, "//", start}, nil
+		}
+		l.pos++
+		return token{tokSlash, "/", start}, nil
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case '[':
+		l.pos++
+		return token{tokLBracket, "[", start}, nil
+	case ']':
+		l.pos++
+		return token{tokRBracket, "]", start}, nil
+	case '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case '@':
+		l.pos++
+		return token{tokAt, "@", start}, nil
+	case '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case '+':
+		l.pos++
+		return token{tokPlus, "+", start}, nil
+	case '-':
+		l.pos++
+		return token{tokMinus, "-", start}, nil
+	case '=':
+		l.pos++
+		return token{tokEq, "=", start}, nil
+	case '!':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokNe, "!=", start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case '<':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '/' {
+			l.pos += 2
+			return token{tokTagClose, "</", start}, nil
+		}
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokLe, "<=", start}, nil
+		}
+		l.pos++
+		return token{tokLt, "<", start}, nil
+	case '>':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokGe, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokGt, ">", start}, nil
+	case ':':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokAssign, ":=", start}, nil
+		}
+		return token{}, l.errf(start, "unexpected ':'")
+	case '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case '$':
+		l.pos++
+		name := l.scanName()
+		if name == "" {
+			return token{}, l.errf(start, "expected variable name after '$'")
+		}
+		return token{tokVar, name, start}, nil
+	case '"', '\'':
+		quote := c
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.in) && l.in[l.pos] != quote {
+			l.pos++
+		}
+		if l.pos >= len(l.in) {
+			return token{}, l.errf(start, "unterminated string literal")
+		}
+		lit := l.in[s:l.pos]
+		l.pos++
+		return token{tokString, lit, start}, nil
+	}
+	if c >= '0' && c <= '9' {
+		s := l.pos
+		for l.pos < len(l.in) && (l.in[l.pos] >= '0' && l.in[l.pos] <= '9') {
+			l.pos++
+		}
+		if l.pos < len(l.in) && l.in[l.pos] == '.' {
+			l.pos++
+			for l.pos < len(l.in) && (l.in[l.pos] >= '0' && l.in[l.pos] <= '9') {
+				l.pos++
+			}
+		}
+		return token{tokNumber, l.in[s:l.pos], start}, nil
+	}
+	if isNameStart(c) {
+		name := l.scanName()
+		return token{tokName, name, start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", string(c))
+}
+
+// peek returns the next token without consuming it.
+func (l *lexer) peek() (token, error) {
+	save := l.pos
+	t, err := l.next()
+	l.pos = save
+	return t, err
+}
+
+func (l *lexer) scanName() string {
+	s := l.pos
+	for l.pos < len(l.in) && isNameChar(l.in[l.pos]) {
+		l.pos++
+	}
+	return l.in[s:l.pos]
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || ('0' <= c && c <= '9')
+}

@@ -1,0 +1,166 @@
+package xquery
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestOrderByString(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  order by $i/Section
+	  return $i/Section`)
+	want := []string{"Book", "CD", "CD", "DVD"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOrderByDescending(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  order by $i/Code descending
+	  return $i/Code`)
+	want := []string{"I4", "I3", "I2", "I1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOrderByNumeric(t *testing.T) {
+	src := itemsSource()
+	// @id values are numeric: 10 must sort after 9, not between 1 and 2.
+	got := evalStrings(t, src, `
+	  for $x in (10, 2, 1, 9)
+	  order by $x
+	  return $x`)
+	if !reflect.DeepEqual(got, []string{"1", "2", "9", "10"}) {
+		t.Fatalf("got %v", got)
+	}
+	_ = src
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  order by $i/Section, $i/Code descending
+	  return $i/Code`)
+	// Book: I4; CD: I3, I1 (descending); DVD: I2.
+	want := []string{"I4", "I3", "I1", "I2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOrderByWithWhere(t *testing.T) {
+	src := itemsSource()
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  where $i/Section = "CD"
+	  order by $i/Name descending
+	  return $i/Name`)
+	if !reflect.DeepEqual(got, []string{"name-I3", "name-I1"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOrderByEmptyKeysFirst(t *testing.T) {
+	src := itemsSource()
+	// Items without pictures have an empty key and sort first.
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  order by $i/PictureList/Picture[1]/Name, $i/Code
+	  return $i/Code`)
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	// i2 and i4 (no pictures) precede picture-bearing i1 (p0) and i3 (p0).
+	if got[0] != "I2" || got[1] != "I4" {
+		t.Fatalf("empty keys not first: %v", got)
+	}
+}
+
+func TestOrderByIsStable(t *testing.T) {
+	src := itemsSource()
+	// Equal keys keep document order: both CDs keep I1 before I3.
+	got := evalStrings(t, src, `
+	  for $i in collection("items")/Item
+	  order by $i/Section
+	  return $i/Code`)
+	if !reflect.DeepEqual(got, []string{"I4", "I1", "I3", "I2"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOrderByFormatRoundTrip(t *testing.T) {
+	q := `for $i in collection("items")/Item order by $i/Section descending, $i/Code return $i/Code`
+	e := MustParse(q)
+	re := MustParse(Format(e))
+	src := itemsSource()
+	a, err := Eval(e, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Eval(re, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqString(a), seqString(b)) {
+		t.Fatalf("format round trip changed semantics: %v vs %v", a, b)
+	}
+}
+
+func TestOrderByParseErrors(t *testing.T) {
+	bad := []string{
+		`for $x in (1) order return $x`,
+		`for $x in (1) order by return $x`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%q accepted", q)
+		}
+	}
+}
+
+func TestNewStringFunctions(t *testing.T) {
+	src := itemsSource()
+	cases := map[string]string{
+		`substring("hello world", 7)`:    "world",
+		`substring("hello world", 1, 5)`: "hello",
+		`substring("hello", 0, 3)`:       "he", // XPath clamping
+		`substring("hello", 99)`:         "",
+		`substring("hello", 2, 0)`:       "",
+		`upper-case("MixedCase")`:        "MIXEDCASE",
+		`lower-case("MixedCase")`:        "mixedcase",
+		`normalize-space("  a   b  c ")`: "a b c",
+		`round(2.5)`:                     "3",
+		`round(2.4)`:                     "2",
+		`floor(2.9)`:                     "2",
+		`ceiling(2.1)`:                   "3",
+		`abs(0 - 5)`:                     "5",
+	}
+	for q, want := range cases {
+		got := evalStrings(t, src, q)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("%s = %v, want %q", q, got, want)
+		}
+	}
+}
+
+func TestNewFunctionErrors(t *testing.T) {
+	src := itemsSource()
+	bad := []string{
+		`substring("x")`,
+		`substring("x", "a")`,
+		`upper-case()`,
+		`round("nan-ish")`,
+	}
+	for _, q := range bad {
+		if _, err := EvalQuery(q, src); err == nil {
+			t.Errorf("%s accepted", q)
+		}
+	}
+}

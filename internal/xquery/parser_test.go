@@ -1,0 +1,199 @@
+package xquery
+
+import (
+	"reflect"
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+func TestParseFLWORShape(t *testing.T) {
+	e := MustParse(`for $i in collection("items")/Item where $i/Section = "CD" return $i/Name`)
+	f, ok := e.(*FLWOR)
+	if !ok {
+		t.Fatalf("parsed %T", e)
+	}
+	if len(f.Clauses) != 1 || f.Clauses[0].Let || f.Clauses[0].Var != "i" {
+		t.Fatalf("clauses: %+v", f.Clauses)
+	}
+	if f.Where == nil || f.Return == nil {
+		t.Fatal("missing where/return")
+	}
+	p, ok := f.Clauses[0].In.(*PathExpr)
+	if !ok {
+		t.Fatalf("binding is %T", f.Clauses[0].In)
+	}
+	if _, ok := p.Source.(*CollectionCall); !ok {
+		t.Fatalf("source is %T", p.Source)
+	}
+	if len(p.Steps) != 1 || p.Steps[0].Name != "Item" {
+		t.Fatalf("steps: %+v", p.Steps)
+	}
+}
+
+func TestParseMultiClause(t *testing.T) {
+	e := MustParse(`for $a in collection("x")/a, $b in $a/b let $c := count($b) return $c`)
+	f := e.(*FLWOR)
+	if len(f.Clauses) != 3 {
+		t.Fatalf("clauses = %d", len(f.Clauses))
+	}
+	if f.Clauses[0].Let || f.Clauses[1].Let || !f.Clauses[2].Let {
+		t.Fatal("let flags wrong")
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	// or < and < comparison < additive < multiplicative
+	e := MustParse(`1 = 1 and 2 = 2 or 3 = 3`)
+	b := e.(*Binary)
+	if b.Op != OpOr {
+		t.Fatalf("top op = %v", b.Op)
+	}
+	if b.Left.(*Binary).Op != OpAnd {
+		t.Fatalf("left op = %v", b.Left.(*Binary).Op)
+	}
+	e2 := MustParse(`1 + 2 * 3 = 7`)
+	if e2.(*Binary).Op != OpEq {
+		t.Fatal("comparison should be top")
+	}
+	if e2.(*Binary).Left.(*Binary).Op != OpAdd {
+		t.Fatal("additive should be under comparison")
+	}
+}
+
+func TestParseStepKinds(t *testing.T) {
+	e := MustParse(`doc("d")/a//b/@c`)
+	p := e.(*PathExpr)
+	if len(p.Steps) != 3 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if p.Steps[0].Descendant || !p.Steps[1].Descendant {
+		t.Fatal("descendant flags wrong")
+	}
+	if !p.Steps[2].Attr || p.Steps[2].Name != "c" {
+		t.Fatal("attribute step wrong")
+	}
+
+	e = MustParse(`doc("d")/a/text()`)
+	if !e.(*PathExpr).Steps[1].Text {
+		t.Fatal("text() step not recognized")
+	}
+
+	e = MustParse(`doc("d")/*/b`)
+	if e.(*PathExpr).Steps[0].Name != "*" {
+		t.Fatal("wildcard step wrong")
+	}
+}
+
+func TestParseStepPredicates(t *testing.T) {
+	e := MustParse(`collection("c")/Item[Section = "CD"][2]/Name`)
+	p := e.(*PathExpr)
+	if len(p.Steps[0].Preds) != 2 {
+		t.Fatalf("preds = %d", len(p.Steps[0].Preds))
+	}
+	if _, ok := p.Steps[0].Preds[1].(*NumberLit); !ok {
+		t.Fatal("positional predicate not numeric literal")
+	}
+}
+
+func TestParseConstructor(t *testing.T) {
+	e := MustParse(`<r a="1" b="{count(())}"><x>lit</x>{1 + 2}</r>`)
+	c := e.(*ElementCtor)
+	if c.Name != "r" || len(c.Attrs) != 2 || len(c.Children) != 2 {
+		t.Fatalf("ctor: %+v", c)
+	}
+	if _, ok := c.Attrs[0].Value.(*StringLit); !ok {
+		t.Fatal("literal attribute should be StringLit")
+	}
+	if _, ok := c.Attrs[1].Value.(*FuncCall); !ok {
+		t.Fatalf("embedded attribute is %T", c.Attrs[1].Value)
+	}
+	inner := c.Children[0].(*ElementCtor)
+	if inner.Name != "x" || len(inner.Children) != 1 {
+		t.Fatalf("inner: %+v", inner)
+	}
+	if _, ok := c.Children[1].(*Binary); !ok {
+		t.Fatalf("embed is %T", c.Children[1])
+	}
+}
+
+func TestParseSelfClosingConstructor(t *testing.T) {
+	e := MustParse(`<empty a="v"/>`)
+	c := e.(*ElementCtor)
+	if c.Name != "empty" || len(c.Children) != 0 || len(c.Attrs) != 1 {
+		t.Fatalf("ctor: %+v", c)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	e := MustParse(`(: outer (: nested :) comment :) 1 + (: mid :) 2`)
+	if e.(*Binary).Op != OpAdd {
+		t.Fatal("comment parsing broke expression")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`for`,
+		`for $x return 1`,
+		`for x in (1) return x`,
+		`let $x = 1 return $x`,       // = instead of :=
+		`for $x in (1) where return`, // missing condition
+		`collection(name)`,           // non-literal collection
+		`doc()`,
+		`collection("a", "b")`,
+		`1 +`,
+		`(1, 2`,
+		`<a>`,           // unterminated
+		`<a></b>`,       // mismatched
+		`<a x=5/>`,      // unquoted attribute
+		`$x[`,           // dangling bracket
+		`count(1`,       // unterminated call
+		`1 ! 2`,         // lone !
+		`"unterminated`, // string
+		`1 : 2`,         // lone :
+		`foo bar`,       // trailing input
+		`(: unterminated comment`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%q: accepted", q)
+		}
+	}
+}
+
+func TestCollectionNames(t *testing.T) {
+	e := MustParse(`for $a in collection("one")/x, $b in collection("two")/y
+	  where count(collection("one")/x) > 0 return 1`)
+	got := CollectionNames(e)
+	if !reflect.DeepEqual(got, []string{"one", "two"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRewriteCollections(t *testing.T) {
+	orig := MustParse(`for $i in collection("items")/Item
+	  where contains($i/Description, "good") and count(collection("items")/Item) > 0
+	  return <r>{$i/Code, collection("other")/X}</r>`)
+	re := RewriteCollections(orig, map[string]string{"items": "items_f1"})
+	got := CollectionNames(re)
+	if !reflect.DeepEqual(got, []string{"items_f1", "other"}) {
+		t.Fatalf("renamed collections: %v", got)
+	}
+	// The original AST is untouched.
+	if !reflect.DeepEqual(CollectionNames(orig), []string{"items", "other"}) {
+		t.Fatal("rewrite mutated the original AST")
+	}
+	// The rewritten query evaluates against the renamed collection.
+	src := itemsSource()
+	src.collections["items_f1"] = src.collections["items"]
+	src.collections["other"] = xmltree.NewCollection("other")
+	res, err := Eval(re, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+}

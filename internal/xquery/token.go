@@ -1,0 +1,66 @@
+// Package xquery implements the XQuery subset PartiX nodes execute: FLWOR
+// expressions (for/let/where/return), path expressions over collection()
+// and doc() sources, element constructors, the comparison and boolean
+// operators, arithmetic, and the core function library (count, sum, avg,
+// min, max, contains, starts-with, not, empty, exists, string, number,
+// concat, string-length, distinct-values). The paper's only requirement on
+// a node DBMS is that "they are able to process XQuery" (Section 4); this
+// package is that processor.
+package xquery
+
+import "fmt"
+
+type tokenKind uint8
+
+const (
+	tokEOF      tokenKind = iota
+	tokName               // identifiers: for, let, element names, function names
+	tokVar                // $name
+	tokString             // "..." or '...'
+	tokNumber             // 123, 1.5
+	tokSlash              // /
+	tokDSlash             // //
+	tokLParen             // (
+	tokRParen             // )
+	tokLBracket           // [
+	tokRBracket           // ]
+	tokLBrace             // {
+	tokRBrace             // }
+	tokComma              // ,
+	tokAt                 // @
+	tokStar               // *
+	tokEq                 // =
+	tokNe                 // !=
+	tokLt                 // <
+	tokLe                 // <=
+	tokGt                 // >
+	tokGe                 // >=
+	tokPlus               // +
+	tokMinus              // -
+	tokAssign             // :=
+	tokDot                // . (context item)
+	tokTagOpen            // < when starting an element constructor
+	tokTagClose           // </
+)
+
+func (k tokenKind) String() string {
+	names := map[tokenKind]string{
+		tokEOF: "EOF", tokName: "name", tokVar: "variable", tokString: "string",
+		tokNumber: "number", tokSlash: "/", tokDSlash: "//", tokLParen: "(",
+		tokRParen: ")", tokLBracket: "[", tokRBracket: "]", tokLBrace: "{",
+		tokRBrace: "}", tokComma: ",", tokAt: "@", tokStar: "*", tokEq: "=",
+		tokNe: "!=", tokLt: "<", tokLe: "<=", tokGt: ">", tokGe: ">=",
+		tokPlus: "+", tokMinus: "-", tokAssign: ":=", tokDot: ".",
+		tokTagOpen: "<tag", tokTagClose: "</",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
