@@ -23,17 +23,23 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | all")
-		scaleF  = flag.Int("scale", 1, "multiply the default database sizes")
-		repeats = flag.Int("repeats", 3, "timed executions per query (after one discarded warm-up)")
-		dir     = flag.String("dir", "", "working directory for node stores (default: temp)")
-		noIdx   = flag.Bool("no-indexes", false, "disable index-assisted pruning on the nodes (scan-bound baseline)")
-		format  = flag.String("format", "table", "table | csv")
+		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | all")
+		scaleF     = flag.Int("scale", 1, "multiply the default database sizes")
+		repeats    = flag.Int("repeats", 3, "timed executions per query (after one discarded warm-up)")
+		dir        = flag.String("dir", "", "working directory for node stores (default: temp)")
+		noIdx      = flag.Bool("no-indexes", false, "disable index-assisted pruning on the nodes (scan-bound baseline)")
+		workers    = flag.Int("decode-workers", 1, "engine decode workers per node (1 = paper-faithful sequential; 0 = GOMAXPROCS)")
+		cacheBytes = flag.Int64("tree-cache-bytes", 0, "decoded-tree cache budget per node in bytes (0 = off, paper-faithful)")
+		format     = flag.String("format", "table", "table | csv")
 	)
 	flag.Parse()
 
 	scale := experiments.DefaultScale.Multiply(*scaleF)
-	opts := experiments.Options{Dir: *dir, Repeats: *repeats, DisableIndexes: *noIdx}
+	opts := experiments.Options{Dir: *dir, Repeats: *repeats, DisableIndexes: *noIdx,
+		DecodeWorkers: *workers, TreeCacheBytes: *cacheBytes}
+	if *workers != 1 || *cacheBytes != 0 {
+		fmt.Println("note: decode-workers != 1 or tree-cache-bytes > 0 departs from the published paper-fidelity series (see EXPERIMENTS.md)")
+	}
 
 	if *format == "csv" {
 		printPanel = experiments.PrintCSV
@@ -62,6 +68,7 @@ func run(exp string, scale experiments.Scale, opts experiments.Options) error {
 		if nt {
 			printPanelNT(out, p)
 		}
+		experiments.PrintEngineStats(out, p)
 		return nil
 	}
 
@@ -82,6 +89,7 @@ func run(exp string, scale experiments.Scale, opts experiments.Options) error {
 			return err
 		}
 		printPanel(out, p)
+		experiments.PrintEngineStats(out, p)
 		return nil
 	case "all":
 		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "headline"} {
@@ -102,6 +110,7 @@ func headline(scale experiments.Scale, opts experiments.Options) error {
 	}
 	for _, p := range panels {
 		printPanel(os.Stdout, p)
+		experiments.PrintEngineStats(os.Stdout, p)
 	}
 	fmt.Printf("Headline: best fragmented-vs-centralized speedup %.1fx (%s, %s, %s)\n",
 		best.Speedup, best.Query, best.Config, best.Panel)

@@ -23,10 +23,12 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7001", "listen address")
-		dbPath    = flag.String("db", "partixd.db", "path of the node's store file")
-		noIndexes = flag.Bool("disable-indexes", false, "disable index-assisted candidate pruning")
-		quiet     = flag.Bool("quiet", false, "suppress request logging")
+		addr       = flag.String("addr", ":7001", "listen address")
+		dbPath     = flag.String("db", "partixd.db", "path of the node's store file")
+		noIndexes  = flag.Bool("disable-indexes", false, "disable index-assisted candidate pruning")
+		workers    = flag.Int("decode-workers", 0, "decode worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		cacheBytes = flag.Int64("tree-cache-bytes", 0, "decoded-tree cache budget in bytes (0 = off)")
+		quiet      = flag.Bool("quiet", false, "suppress request logging")
 	)
 	flag.Parse()
 
@@ -35,7 +37,11 @@ func main() {
 		logger = nil
 	}
 
-	db, err := engine.Open(*dbPath, engine.Options{DisableIndexes: *noIndexes})
+	db, err := engine.Open(*dbPath, engine.Options{
+		DisableIndexes: *noIndexes,
+		DecodeWorkers:  *workers,
+		TreeCacheBytes: *cacheBytes,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -180,18 +180,36 @@ func Execute(subs []SubQuery, cost CostModel) (*ExecResult, error) {
 // ExecuteConcurrent runs the sub-queries in parallel goroutines — the
 // mode for real distributed deployments, where each sub-query's time
 // includes genuine network and remote processing overlap. Result order
-// matches the sub-query order regardless of completion order.
+// matches the sub-query order regardless of completion order. Launch is
+// unbounded; deployments decomposing queries into many sub-queries should
+// use ExecuteConcurrentN.
 func ExecuteConcurrent(subs []SubQuery, cost CostModel) (*ExecResult, error) {
+	return ExecuteConcurrentN(subs, cost, 0)
+}
+
+// ExecuteConcurrentN is ExecuteConcurrent with at most maxConcurrent
+// sub-queries in flight at once (0 means unlimited). The cap is
+// independent of the CostModel: it bounds real coordinator resources
+// (goroutines, sockets, node load), not the simulated network.
+func ExecuteConcurrentN(subs []SubQuery, cost CostModel, maxConcurrent int) (*ExecResult, error) {
 	type outcome struct {
 		sub SubResult
 		err error
 	}
 	outcomes := make([]outcome, len(subs))
+	var sem chan struct{}
+	if maxConcurrent > 0 {
+		sem = make(chan struct{}, maxConcurrent)
+	}
 	var wg sync.WaitGroup
 	for i, sq := range subs {
 		wg.Add(1)
 		go func(i int, sq SubQuery) {
 			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
 			sub, err := runSub(sq)
 			outcomes[i] = outcome{sub: sub, err: err}
 		}(i, sq)

@@ -3,10 +3,12 @@ package cluster
 import (
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"partix/internal/engine"
+	"partix/internal/storage"
 	"partix/internal/xmltree"
 	"partix/internal/xquery"
 )
@@ -143,5 +145,81 @@ func TestSeqBytes(t *testing.T) {
 	want := len(xmltree.NodeString(node)) + len("str") + len("3.5") + len("true")
 	if got := SeqBytes(seq); got != want {
 		t.Fatalf("SeqBytes = %d, want %d", got, want)
+	}
+}
+
+// countingDriver is a stub node that records how many ExecuteQuery calls
+// run simultaneously.
+type countingDriver struct {
+	name    string
+	inUse   atomic.Int32
+	maxSeen atomic.Int32
+}
+
+func (d *countingDriver) Name() string                                  { return d.name }
+func (d *countingDriver) CreateCollection(string) error                 { return nil }
+func (d *countingDriver) HasCollection(string) bool                     { return true }
+func (d *countingDriver) StoreDocument(string, *xmltree.Document) error { return nil }
+func (d *countingDriver) FetchCollection(string) (*xmltree.Collection, error) {
+	return xmltree.NewCollection("c"), nil
+}
+func (d *countingDriver) CollectionStats(string) (storage.Stats, error) {
+	return storage.Stats{}, nil
+}
+func (d *countingDriver) ExecuteQuery(query string) (xquery.Seq, error) {
+	cur := d.inUse.Add(1)
+	for {
+		seen := d.maxSeen.Load()
+		if cur <= seen || d.maxSeen.CompareAndSwap(seen, cur) {
+			break
+		}
+	}
+	time.Sleep(time.Millisecond)
+	d.inUse.Add(-1)
+	return xquery.Seq{query}, nil
+}
+
+func TestExecuteConcurrentBounded(t *testing.T) {
+	const subQueries, limit = 100, 8
+	d := &countingDriver{name: "n"}
+	subs := make([]SubQuery, subQueries)
+	for i := range subs {
+		subs[i] = SubQuery{Fragment: fmt.Sprintf("f%d", i), Node: d, Query: fmt.Sprintf("q%03d", i)}
+	}
+	res, err := ExecuteConcurrentN(subs, NoNetwork, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sub) != subQueries {
+		t.Fatalf("sub results = %d, want %d", len(res.Sub), subQueries)
+	}
+	// Results stay in sub-query order regardless of completion order.
+	for i, sub := range res.Sub {
+		if want := fmt.Sprintf("q%03d", i); xquery.ItemString(sub.Items[0]) != want {
+			t.Fatalf("result %d is %v, want %s", i, sub.Items[0], want)
+		}
+	}
+	if seen := d.maxSeen.Load(); seen > limit {
+		t.Fatalf("observed %d concurrent sub-queries, cap is %d", seen, limit)
+	}
+	if seen := d.maxSeen.Load(); seen < 2 {
+		t.Fatalf("observed %d concurrent sub-queries, expected overlap under a cap of %d", seen, limit)
+	}
+}
+
+func TestExecuteConcurrentUnlimitedStillOrdered(t *testing.T) {
+	d := &countingDriver{name: "n"}
+	subs := make([]SubQuery, 20)
+	for i := range subs {
+		subs[i] = SubQuery{Fragment: fmt.Sprintf("f%d", i), Node: d, Query: fmt.Sprintf("q%02d", i)}
+	}
+	res, err := ExecuteConcurrent(subs, NoNetwork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range res.Sub {
+		if want := fmt.Sprintf("q%02d", i); xquery.ItemString(sub.Items[0]) != want {
+			t.Fatalf("result %d is %v, want %s", i, sub.Items[0], want)
+		}
 	}
 }

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"partix/internal/xmltree"
+)
+
+// treeCache is an optional byte-budgeted LRU cache of decoded document
+// trees. It is off by default: the paper's evaluation depends on paying
+// the per-document parse cost on every query (DESIGN.md §5a), so only
+// deployments that opt in via Options.TreeCacheBytes get caching.
+//
+// Entries are keyed by (collection, name, store generation). The engine
+// bumps a collection's generation on every PutDocument, DeleteDocument
+// and DropCollection, so entries for replaced or removed documents become
+// unreachable immediately — that is the invalidation — and age out of the
+// budget through normal LRU eviction.
+type treeCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[treeKey]*list.Element
+}
+
+type treeKey struct {
+	collection string
+	name       string
+	gen        uint64
+}
+
+type treeEntry struct {
+	key  treeKey
+	doc  *xmltree.Document
+	size int64
+}
+
+func newTreeCache(budget int64) *treeCache {
+	return &treeCache{budget: budget, ll: list.New(), items: map[treeKey]*list.Element{}}
+}
+
+// get returns the cached tree for key, promoting it to most recent.
+func (c *treeCache) get(key treeKey) (*xmltree.Document, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*treeEntry).doc, true
+}
+
+// put inserts a decoded tree, evicting least-recently-used entries until
+// the budget holds. Trees larger than the whole budget are not cached.
+func (c *treeCache) put(key treeKey, doc *xmltree.Document) {
+	size := treeFootprint(doc)
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&treeEntry{key: key, doc: doc, size: size})
+	c.used += size
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*treeEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.used -= e.size
+	}
+}
+
+// len reports the number of cached trees (for tests).
+func (c *treeCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// treeFootprint estimates the in-memory size of a decoded tree: a fixed
+// per-node overhead (struct, child-slice and pointer bookkeeping) plus
+// the string payloads.
+func treeFootprint(doc *xmltree.Document) int64 {
+	const perNode = 96
+	size := int64(len(doc.Name)) + perNode
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		size += perNode + int64(len(n.Name)+len(n.Value)) + 8*int64(len(n.Children))
+		return true
+	})
+	return size
+}

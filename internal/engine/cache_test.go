@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+func TestTreeCacheServesRepeatQueries(t *testing.T) {
+	db := testDB(t, Options{TreeCacheBytes: 1 << 20})
+	loadItems(t, db)
+	db.ResetStats()
+
+	if _, err := db.Query(`count(collection("items")/Item)`); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.DocsDecoded != 4 || st.CacheMisses != 4 || st.CacheHits != 0 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+
+	if _, err := db.Query(`count(collection("items")/Item)`); err != nil {
+		t.Fatal(err)
+	}
+	st = db.Stats()
+	if st.CacheHits != 4 {
+		t.Fatalf("warm query hit %d trees, want 4: %+v", st.CacheHits, st)
+	}
+	if st.DocsDecoded != 4 {
+		t.Fatalf("warm query re-decoded: %+v", st)
+	}
+
+	// A pruned query over already-cached documents also hits.
+	if _, err := db.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i/Code`); err != nil {
+		t.Fatal(err)
+	}
+	if st = db.Stats(); st.CacheHits != 5 || st.DocsDecoded != 4 {
+		t.Fatalf("pruned warm query stats = %+v", st)
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	db.ResetStats()
+	for i := 0; i < 2; i++ {
+		if _, err := db.Query(`count(collection("items")/Item)`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("cache counters moved with caching off: %+v", st)
+	}
+	if st.DocsDecoded != 8 {
+		t.Fatalf("decoded %d docs, want 8 (4 per query, no cache)", st.DocsDecoded)
+	}
+}
+
+// TestTreeCacheInvalidation: every mutation bumps the collection's
+// generation, so cached trees of the old state are never served again.
+func TestTreeCacheInvalidation(t *testing.T) {
+	db := testDB(t, Options{TreeCacheBytes: 1 << 20})
+	loadItems(t, db)
+	warm := func() {
+		t.Helper()
+		if _, err := db.Query(`count(collection("items")/Item)`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	warm() // populate, then confirm hits flow
+	if st := db.Stats(); st.CacheHits == 0 {
+		t.Fatalf("cache never hit: %+v", st)
+	}
+
+	// PutDocument: the replaced version must not be served.
+	hits := db.Stats().CacheHits
+	if err := db.PutDocument("items", xmltree.MustParseString("i2",
+		`<Item id="2"><Code>I2</Code><Name>n2</Name><Description>now vinyl</Description><Section>Vinyl</Section></Item>`)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`for $i in collection("items")/Item where $i/Section = "Vinyl" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("replacement not visible: %d results", len(res))
+	}
+	if db.Stats().CacheHits != hits {
+		t.Fatal("stale tree served after PutDocument")
+	}
+
+	// DeleteDocument: remaining documents are re-fetched under the new
+	// generation; the deleted one is gone.
+	warm()
+	hits = db.Stats().CacheHits
+	if err := db.DeleteDocument("items", "i1"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query(`collection("items")/Item/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d docs after delete, want 3", len(res))
+	}
+	if db.Stats().CacheHits != hits {
+		t.Fatal("stale tree served after DeleteDocument")
+	}
+
+	// DropCollection: the collection is gone entirely.
+	if err := db.DropCollection("items"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`collection("items")/Item`); err == nil {
+		t.Fatal("query over dropped collection succeeded")
+	}
+}
+
+func TestTreeCacheLRUEviction(t *testing.T) {
+	mk := func(name string) *xmltree.Document {
+		return xmltree.MustParseString(name, `<A><B>some text payload</B></A>`)
+	}
+	one := treeFootprint(mk("d1"))
+	c := newTreeCache(2*one + one/2) // room for two same-shape trees
+	key := func(name string) treeKey { return treeKey{collection: "c", name: name, gen: 1} }
+
+	c.put(key("d1"), mk("d1"))
+	c.put(key("d2"), mk("d2"))
+	c.put(key("d3"), mk("d3")) // evicts d1, the least recently used
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d trees, want 2", c.len())
+	}
+	if _, ok := c.get(key("d1")); ok {
+		t.Fatal("d1 not evicted")
+	}
+	if _, ok := c.get(key("d2")); !ok {
+		t.Fatal("d2 evicted")
+	}
+
+	// get promoted d2, so inserting d4 must evict d3.
+	c.put(key("d4"), mk("d4"))
+	if _, ok := c.get(key("d3")); ok {
+		t.Fatal("d3 survived despite d2's promotion")
+	}
+	if _, ok := c.get(key("d2")); !ok {
+		t.Fatal("promoted d2 evicted")
+	}
+
+	// A tree larger than the whole budget is not cached.
+	tiny := newTreeCache(one - 1)
+	tiny.put(key("big"), mk("big"))
+	if tiny.len() != 0 {
+		t.Fatal("oversized tree cached")
+	}
+}

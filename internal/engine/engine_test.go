@@ -249,6 +249,57 @@ func TestCollectionStats(t *testing.T) {
 	}
 }
 
+// TestLoadCollectionCreatesCollection is the regression test for the
+// fresh-database load bug: LoadCollection must catalog the collection
+// itself (not rely on the first PutDocument to do it), so loading an
+// empty collection — or one whose load is interrupted — still leaves it
+// visible, queryable and persistent.
+func TestLoadCollectionCreatesCollection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "load.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := xmltree.NewCollection("filled")
+	c.Add(xmltree.MustParseString("d1", `<Item><Code>A</Code></Item>`))
+	c.Add(xmltree.MustParseString("d2", `<Item><Code>B</Code></Item>`))
+	if err := db.LoadCollection(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadCollection(xmltree.NewCollection("bare")); err != nil {
+		t.Fatal(err)
+	}
+	if !db.HasCollection("filled") || !db.HasCollection("bare") {
+		t.Fatalf("collections after load: %v", db.Collections())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !db2.HasCollection("bare") {
+		t.Fatal("empty collection lost across reopen")
+	}
+	res, err := db2.Query(`count(collection("bare")/X)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.ItemString(res[0]) != "0" {
+		t.Fatalf("count over empty collection = %v", res)
+	}
+	res, err = db2.Query(`count(collection("filled")/Item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.ItemString(res[0]) != "2" {
+		t.Fatalf("count over filled collection = %v", res)
+	}
+}
+
 func TestEmptyCollectionQuery(t *testing.T) {
 	db := testDB(t, Options{})
 	if err := db.LoadCollection(xmltree.NewCollection("empty")); err != nil {

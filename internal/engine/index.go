@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// docID is an interned document name. IDs are dense, assigned on first
+// add and recycled on remove, so posting lists stay compact []docID
+// slices instead of the map-of-maps the first engine version used.
+type docID uint32
+
+// textIndex is an inverted index: text token → sorted posting list of
+// docIDs (with a sorted vocabulary for substring constraints) plus a
+// structural index element name → sorted posting list. Tokenization
+// matches xquery.Tokenize, which is what makes hints sound.
+//
+// The reverse maps (docID → the tokens/elements it contributed) make
+// remove proportional to the document's own vocabulary instead of the
+// whole index's.
+//
+// All methods lock ix.mu, so an index is safe for concurrent readers and
+// writers regardless of which engine lock the caller holds; the engine's
+// db.mu only guards the collection → index map itself.
+type textIndex struct {
+	mu sync.Mutex
+
+	names []string         // docID → name; "" marks a recycled slot
+	ids   map[string]docID // name → docID
+	free  []docID          // recycled slots, reused before growing names
+
+	postings map[string][]docID // token → sorted docIDs
+	elements map[string][]docID // element name → sorted docIDs
+
+	docTokens   map[docID][]string // reverse: tokens a doc contributed
+	docElements map[docID][]string // reverse: element names a doc contributed
+
+	vocab []string // sorted tokens; rebuilt lazily
+	dirty bool
+}
+
+func newTextIndex() *textIndex {
+	return &textIndex{
+		ids:         map[string]docID{},
+		postings:    map[string][]docID{},
+		elements:    map[string][]docID{},
+		docTokens:   map[docID][]string{},
+		docElements: map[docID][]string{},
+	}
+}
+
+// intern returns the docID for name, assigning one if needed. Callers
+// hold ix.mu.
+func (ix *textIndex) intern(name string) docID {
+	if id, ok := ix.ids[name]; ok {
+		return id
+	}
+	var id docID
+	if n := len(ix.free); n > 0 {
+		id = ix.free[n-1]
+		ix.free = ix.free[:n-1]
+		ix.names[id] = name
+	} else {
+		id = docID(len(ix.names))
+		ix.names = append(ix.names, name)
+	}
+	ix.ids[name] = id
+	return id
+}
+
+// insertSorted adds id to a sorted posting list, keeping it sorted.
+func insertSorted(list []docID, id docID) []docID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if i < len(list) && list[i] == id {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = id
+	return list
+}
+
+// removeSorted deletes id from a sorted posting list if present.
+func removeSorted(list []docID, id docID) []docID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if i >= len(list) || list[i] != id {
+		return list
+	}
+	return append(list[:i], list[i+1:]...)
+}
+
+func (ix *textIndex) add(doc *xmltree.Document) {
+	tokens := map[string]bool{}
+	elements := map[string]bool{}
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		switch n.Kind {
+		case xmltree.TextNode:
+			for _, tok := range xquery.Tokenize(n.Value) {
+				tokens[tok] = true
+			}
+		case xmltree.ElementNode:
+			elements[n.Name] = true
+		}
+		return true
+	})
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id := ix.intern(doc.Name)
+	for tok := range tokens {
+		if _, known := ix.postings[tok]; !known {
+			ix.dirty = true
+		}
+		ix.postings[tok] = insertSorted(ix.postings[tok], id)
+		ix.docTokens[id] = append(ix.docTokens[id], tok)
+	}
+	for name := range elements {
+		ix.elements[name] = insertSorted(ix.elements[name], id)
+		ix.docElements[id] = append(ix.docElements[id], name)
+	}
+}
+
+func (ix *textIndex) remove(docName string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id, ok := ix.ids[docName]
+	if !ok {
+		return
+	}
+	for _, tok := range ix.docTokens[id] {
+		if list := removeSorted(ix.postings[tok], id); len(list) == 0 {
+			delete(ix.postings, tok)
+			ix.dirty = true
+		} else {
+			ix.postings[tok] = list
+		}
+	}
+	for _, name := range ix.docElements[id] {
+		if list := removeSorted(ix.elements[name], id); len(list) == 0 {
+			delete(ix.elements, name)
+		} else {
+			ix.elements[name] = list
+		}
+	}
+	delete(ix.docTokens, id)
+	delete(ix.docElements, id)
+	delete(ix.ids, docName)
+	ix.names[id] = ""
+	ix.free = append(ix.free, id)
+}
+
+// vocabulary returns the sorted token list. Callers hold ix.mu.
+func (ix *textIndex) vocabulary() []string {
+	if ix.dirty || ix.vocab == nil {
+		ix.vocab = make([]string, 0, len(ix.postings))
+		for tok := range ix.postings {
+			ix.vocab = append(ix.vocab, tok)
+		}
+		sort.Strings(ix.vocab)
+		ix.dirty = false
+	}
+	return ix.vocab
+}
+
+// intersectSorted merges two sorted posting lists into their intersection.
+func intersectSorted(a, b []docID) []docID {
+	out := a[:0:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// candidates evaluates the hint's conjunction and returns the documents
+// that may satisfy it.
+func (ix *textIndex) candidates(hint *xquery.Hint) map[string]bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var result []docID
+	first := true
+	intersect := func(list []docID) {
+		if first {
+			result = append(result[:0:0], list...)
+			first = false
+			return
+		}
+		result = intersectSorted(result, list)
+	}
+	for _, c := range hint.Constraints {
+		for _, tok := range c.Tokens {
+			intersect(ix.postings[tok])
+		}
+		for _, name := range c.Elements {
+			intersect(ix.elements[name])
+		}
+		if c.Substring != "" {
+			union := map[docID]bool{}
+			for _, tok := range ix.vocabulary() {
+				if strings.Contains(tok, c.Substring) {
+					for _, id := range ix.postings[tok] {
+						union[id] = true
+					}
+				}
+			}
+			list := make([]docID, 0, len(union))
+			for id := range union {
+				list = append(list, id)
+			}
+			sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+			intersect(list)
+		}
+	}
+	out := make(map[string]bool, len(result))
+	for _, id := range result {
+		out[ix.names[id]] = true
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"partix/internal/storage"
+	"partix/internal/xmltree"
+)
+
+// The parallel decode pipeline: Docs fans candidate fetch+decode out to a
+// bounded worker pool and delivers documents to the evaluator callback in
+// stable document order, so query results are identical to the sequential
+// engine's regardless of worker count. Decode-ahead is throttled by a
+// window of 2×workers outstanding documents, bounding memory.
+
+// fetched is one candidate document fetched (and decoded, unless served
+// from the tree cache) for delivery to the evaluator.
+type fetched struct {
+	doc      *xmltree.Document
+	rawBytes int64
+	cacheHit bool
+	err      error
+}
+
+// docCounters accumulates per-query work, flushed into Stats only when
+// the whole iteration succeeds (matching the sequential engine, which
+// never counted partially-failed scans).
+type docCounters struct {
+	decoded int64
+	bytes   int64
+	hits    int64
+	misses  int64
+}
+
+func (c *docCounters) account(db *DB, f fetched) {
+	if f.cacheHit {
+		c.hits++
+		return
+	}
+	c.decoded++
+	c.bytes += f.rawBytes
+	if db.cache != nil {
+		c.misses++
+	}
+}
+
+// fetchDecode loads one candidate document, consulting the decoded-tree
+// cache when enabled.
+func (db *DB) fetchDecode(collection, name string, gen uint64) fetched {
+	key := treeKey{collection: collection, name: name, gen: gen}
+	if db.cache != nil {
+		if doc, ok := db.cache.get(key); ok {
+			return fetched{doc: doc, cacheHit: true}
+		}
+	}
+	raw, err := db.store.GetDocumentRaw(collection, name)
+	if err != nil {
+		return fetched{err: err}
+	}
+	doc, err := storage.DecodeDocument(name, raw)
+	if err != nil {
+		return fetched{err: err}
+	}
+	if db.cache != nil {
+		db.cache.put(key, doc)
+	}
+	return fetched{doc: doc, rawBytes: int64(len(raw))}
+}
+
+// docsSequential is the paper-faithful path (DecodeWorkers=1): one
+// candidate at a time on the calling goroutine.
+func (db *DB) docsSequential(collection string, names []string, gen uint64,
+	fn func(*xmltree.Document) error, c *docCounters) error {
+	for _, name := range names {
+		f := db.fetchDecode(collection, name, gen)
+		if f.err != nil {
+			return f.err
+		}
+		c.account(db, f)
+		if err := fn(f.doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// docsPipelined fans fetch+decode across workers goroutines. Each
+// candidate index has a one-slot reorder channel; the consumer walks them
+// in order, so fn observes the exact sequential document order. The sem
+// channel throttles decode-ahead: workers acquire a token per job, the
+// consumer releases one per delivered document.
+func (db *DB) docsPipelined(collection string, names []string, gen uint64, workers int,
+	fn func(*xmltree.Document) error, c *docCounters) error {
+	n := len(names)
+	window := 2 * workers
+	if window > n {
+		window = n
+	}
+	sem := make(chan struct{}, window)
+	slots := make([]chan fetched, n)
+	for i := range slots {
+		slots[i] = make(chan fetched, 1)
+	}
+	stop := make(chan struct{})
+	var next atomic.Int64
+	next.Store(-1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case sem <- struct{}{}:
+				case <-stop:
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				slots[i] <- db.fetchDecode(collection, names[i], gen)
+			}
+		}()
+	}
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	for i := 0; i < n; i++ {
+		f := <-slots[i]
+		<-sem
+		if f.err != nil {
+			return f.err
+		}
+		c.account(db, f)
+		if err := fn(f.doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// loadWide loads n small documents with varied sections and descriptions,
+// enough to keep a worker pool busy.
+func loadWide(t testing.TB, db *DB, n int) {
+	t.Helper()
+	c := xmltree.NewCollection("wide")
+	sections := []string{"CD", "DVD", "Book", "Toy", "Garden"}
+	for i := 0; i < n; i++ {
+		desc := "plain stock"
+		if i%3 == 0 {
+			desc = "good quality stock"
+		}
+		c.Add(xmltree.MustParseString(fmt.Sprintf("w%03d", i), fmt.Sprintf(
+			`<Item id="%d"><Code>W%d</Code><Name>name%d</Name><Description>%s</Description><Section>%s</Section></Item>`,
+			i, i, i, desc, sections[i%len(sections)])))
+	}
+	if err := db.LoadCollection(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var wideQueries = []string{
+	`for $i in collection("wide")/Item where $i/Section = "DVD" return $i/Code`,
+	`for $i in collection("wide")/Item where contains($i/Description, "good") return $i/Code`,
+	`for $i in collection("wide")/Item where $i/Section = "CD" and contains($i/Description, "stock") return $i/Name`,
+	`count(collection("wide")/Item)`,
+	`for $i in collection("wide")/Item return $i/Code`,
+}
+
+// TestParallelDecodeMatchesSequential is the tentpole's correctness
+// contract: any worker count must produce the exact result sequences and
+// the exact decode/prune counters of the sequential engine.
+func TestParallelDecodeMatchesSequential(t *testing.T) {
+	const docs = 40
+	type outcome struct {
+		results [][]string
+		stats   Stats
+	}
+	exec := func(workers int) outcome {
+		db := testDB(t, Options{DecodeWorkers: workers})
+		loadWide(t, db, docs)
+		db.ResetStats()
+		var o outcome
+		for _, q := range wideQueries {
+			res, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, q, err)
+			}
+			items := make([]string, len(res))
+			for i, it := range res {
+				items[i] = xquery.ItemString(it)
+			}
+			o.results = append(o.results, items)
+		}
+		o.stats = db.Stats()
+		return o
+	}
+
+	base := exec(1)
+	for _, workers := range []int{2, 4, 8, 0} { // 0 = GOMAXPROCS
+		got := exec(workers)
+		for qi, q := range wideQueries {
+			if !reflect.DeepEqual(got.results[qi], base.results[qi]) {
+				t.Errorf("workers=%d %s:\n got %v\nwant %v", workers, q, got.results[qi], base.results[qi])
+			}
+		}
+		if got.stats != base.stats {
+			t.Errorf("workers=%d stats = %+v, want %+v", workers, got.stats, base.stats)
+		}
+	}
+}
+
+func TestDecodeWorkerResolution(t *testing.T) {
+	cases := []struct{ opt, want int }{
+		{0, runtime.GOMAXPROCS(0)},
+		{1, 1},
+		{-3, 1},
+		{5, 5},
+	}
+	for _, c := range cases {
+		db := &DB{opts: Options{DecodeWorkers: c.opt}}
+		if got := db.decodeWorkers(); got != c.want {
+			t.Errorf("decodeWorkers(%d) = %d, want %d", c.opt, got, c.want)
+		}
+	}
+}
+
+// TestParallelDecodeManyWorkersFewDocs exercises the pool-larger-than-
+// candidate-set edge (workers are capped at the candidate count).
+func TestParallelDecodeManyWorkersFewDocs(t *testing.T) {
+	db := testDB(t, Options{DecodeWorkers: 32})
+	loadItems(t, db)
+	res, err := db.Query(`for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	if got, want := xquery.ItemString(res[0]), "I1"; got != want {
+		t.Fatalf("first result = %q, want %q", got, want)
+	}
+}
+
+// TestParallelDecodeCallbackError checks that an error returned by the
+// evaluator callback mid-iteration aborts the pipeline cleanly (workers
+// drain, no goroutine leak under -race) and surfaces to the caller.
+func TestParallelDecodeCallbackError(t *testing.T) {
+	db := testDB(t, Options{DecodeWorkers: 4})
+	loadWide(t, db, 30)
+	wantErr := fmt.Errorf("stop early")
+	seen := 0
+	err := db.Docs("wide", nil, func(*xmltree.Document) error {
+		seen++
+		if seen == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if seen != 3 {
+		t.Fatalf("callback ran %d times, want 3", seen)
+	}
+	// The engine must remain usable after an aborted iteration.
+	if _, err := db.Query(`count(collection("wide")/Item)`); err != nil {
+		t.Fatal(err)
+	}
+}

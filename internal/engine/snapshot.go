@@ -3,7 +3,6 @@ package engine
 import (
 	"bytes"
 	"encoding/gob"
-	"sort"
 )
 
 // Index snapshots: the in-memory inverted indexes are serialized into a
@@ -11,87 +10,194 @@ import (
 // is persisted at the same moments, a snapshot read back at Open always
 // describes exactly the cataloged documents — a crash between syncs loses
 // the un-synced documents and their index entries together.
+//
+// The v2 format stores the interned doc-name table once and posting
+// lists as docID slices; the original v1 format (token → sorted doc-name
+// lists) is still decoded for stores written by older engines. A
+// snapshot in neither format, or one not covering every cataloged
+// collection, triggers a rebuild scan — loading never errors.
 
-const indexMetaKey = "engine:index:v1"
+const (
+	indexMetaKeyV1 = "engine:index:v1"
+	indexMetaKeyV2 = "engine:index:v2"
+)
 
-// indexSnapshot is the serialized form of one collection's indexes.
-type indexSnapshot struct {
+// indexSnapshotV1 is the original serialized form of one collection's
+// indexes: posting lists of document names.
+type indexSnapshotV1 struct {
 	Postings map[string][]string
 	Elements map[string][]string
 }
 
+// indexSnapshotV2 is the compact form: the doc-name table ("" marks a
+// recycled docID slot) plus posting lists of table offsets.
+type indexSnapshotV2 struct {
+	Docs     []string
+	Postings map[string][]uint32
+	Elements map[string][]uint32
+}
+
 func (db *DB) saveIndexSnapshot() error {
 	db.mu.RLock()
-	snap := make(map[string]indexSnapshot, len(db.idx))
+	indexes := make(map[string]*textIndex, len(db.idx))
 	for col, ix := range db.idx {
-		snap[col] = indexSnapshot{
-			Postings: setsToLists(ix.postings),
-			Elements: setsToLists(ix.elements),
-		}
+		indexes[col] = ix
 	}
 	db.mu.RUnlock()
 
+	snap := make(map[string]indexSnapshotV2, len(indexes))
+	for col, ix := range indexes {
+		snap[col] = ix.snapshot()
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		return err
 	}
-	return db.store.PutMeta(indexMetaKey, buf.Bytes())
+	if err := db.store.PutMeta(indexMetaKeyV2, buf.Bytes()); err != nil {
+		return err
+	}
+	// Drop any stale v1 record so a failed v2 decode can never resurrect
+	// an older index state.
+	return db.store.PutMeta(indexMetaKeyV1, nil)
+}
+
+// snapshot captures one index's serializable state under its lock.
+func (ix *textIndex) snapshot() indexSnapshotV2 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	s := indexSnapshotV2{
+		Docs:     append([]string(nil), ix.names...),
+		Postings: make(map[string][]uint32, len(ix.postings)),
+		Elements: make(map[string][]uint32, len(ix.elements)),
+	}
+	for tok, list := range ix.postings {
+		s.Postings[tok] = idsToUint32(list)
+	}
+	for name, list := range ix.elements {
+		s.Elements[name] = idsToUint32(list)
+	}
+	return s
 }
 
 // loadIndexSnapshot restores the indexes from the persisted snapshot;
 // it reports false (leaving db.idx empty) when none exists or it cannot
 // be decoded, in which case the caller rebuilds by scanning.
 func (db *DB) loadIndexSnapshot() bool {
-	data, ok, err := db.store.GetMeta(indexMetaKey)
-	if err != nil || !ok {
-		return false
+	loaded := db.loadIndexSnapshotV2()
+	if loaded == nil {
+		loaded = db.loadIndexSnapshotV1()
 	}
-	var snap map[string]indexSnapshot
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+	if loaded == nil {
 		return false
 	}
 	// Every cataloged collection must be covered, or the snapshot is
 	// stale (e.g. a collection created without a later Sync).
 	for _, col := range db.store.Collections() {
-		if _, covered := snap[col]; !covered {
+		if _, covered := loaded[col]; !covered {
 			return false
 		}
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for col, s := range snap {
+	for col, ix := range loaded {
 		if !db.store.HasCollection(col) {
 			continue // dropped after the snapshot was taken
 		}
-		ix := newTextIndex()
-		ix.postings = listsToSets(s.Postings)
-		ix.elements = listsToSets(s.Elements)
 		db.idx[col] = ix
 	}
 	return true
 }
 
-func setsToLists(in map[string]map[string]bool) map[string][]string {
-	out := make(map[string][]string, len(in))
-	for k, set := range in {
-		list := make([]string, 0, len(set))
-		for doc := range set {
-			list = append(list, doc)
+func (db *DB) loadIndexSnapshotV2() map[string]*textIndex {
+	data, ok, err := db.store.GetMeta(indexMetaKeyV2)
+	if err != nil || !ok {
+		return nil
+	}
+	var snap map[string]indexSnapshotV2
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil
+	}
+	out := make(map[string]*textIndex, len(snap))
+	for col, s := range snap {
+		ix, ok := indexFromSnapshotV2(s)
+		if !ok {
+			return nil // corrupt references: rebuild everything
 		}
-		sort.Strings(list)
-		out[k] = list
+		out[col] = ix
 	}
 	return out
 }
 
-func listsToSets(in map[string][]string) map[string]map[string]bool {
-	out := make(map[string]map[string]bool, len(in))
-	for k, list := range in {
-		set := make(map[string]bool, len(list))
-		for _, doc := range list {
-			set[doc] = true
+func indexFromSnapshotV2(s indexSnapshotV2) (*textIndex, bool) {
+	ix := newTextIndex()
+	ix.names = append([]string(nil), s.Docs...)
+	for id, name := range ix.names {
+		if name == "" {
+			ix.free = append(ix.free, docID(id))
+			continue
 		}
-		out[k] = set
+		ix.ids[name] = docID(id)
+	}
+	restore := func(src map[string][]uint32, dst map[string][]docID, reverse map[docID][]string) bool {
+		for key, list := range src {
+			ids := make([]docID, len(list))
+			for i, raw := range list {
+				if int(raw) >= len(ix.names) || ix.names[raw] == "" {
+					return false
+				}
+				ids[i] = docID(raw)
+				reverse[docID(raw)] = append(reverse[docID(raw)], key)
+			}
+			dst[key] = ids
+		}
+		return true
+	}
+	if !restore(s.Postings, ix.postings, ix.docTokens) {
+		return nil, false
+	}
+	if !restore(s.Elements, ix.elements, ix.docElements) {
+		return nil, false
+	}
+	return ix, true
+}
+
+// loadIndexSnapshotV1 decodes the original name-list format written by
+// older engines into the compact representation.
+func (db *DB) loadIndexSnapshotV1() map[string]*textIndex {
+	data, ok, err := db.store.GetMeta(indexMetaKeyV1)
+	if err != nil || !ok {
+		return nil
+	}
+	var snap map[string]indexSnapshotV1
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil
+	}
+	out := make(map[string]*textIndex, len(snap))
+	for col, s := range snap {
+		ix := newTextIndex()
+		for tok, names := range s.Postings {
+			for _, name := range names {
+				id := ix.intern(name)
+				ix.postings[tok] = insertSorted(ix.postings[tok], id)
+				ix.docTokens[id] = append(ix.docTokens[id], tok)
+			}
+		}
+		for el, names := range s.Elements {
+			for _, name := range names {
+				id := ix.intern(name)
+				ix.elements[el] = insertSorted(ix.elements[el], id)
+				ix.docElements[id] = append(ix.docElements[id], el)
+			}
+		}
+		out[col] = ix
+	}
+	return out
+}
+
+func idsToUint32(in []docID) []uint32 {
+	out := make([]uint32, len(in))
+	for i, id := range in {
+		out[i] = uint32(id)
 	}
 	return out
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"bytes"
+	"encoding/gob"
 	"path/filepath"
 	"testing"
 
@@ -80,6 +82,147 @@ func TestIndexSnapshotConsistentAfterMutations(t *testing.T) {
 	}
 	if len(res) != 0 {
 		t.Fatalf("deleted doc still indexed: %d", len(res))
+	}
+}
+
+// TestSnapshotRoundTripAfterDelete: a delete between Sync and Close must
+// be reflected by the snapshot the reopen loads — the deleted document's
+// postings are gone, so queries for it prune to nothing without decoding.
+func TestSnapshotRoundTripAfterDelete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, db)
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteDocument("items", "i2"); err != nil { // the only DVD
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	db2.ResetStats()
+	res, err := db2.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("deleted doc resurrected: %d results", len(res))
+	}
+	if st := db2.Stats(); st.DocsDecoded != 0 {
+		t.Fatalf("decoded %d docs for an empty candidate set", st.DocsDecoded)
+	}
+	res, err = db2.Query(`collection("items")/Item/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d docs after reopen, want 3", len(res))
+	}
+}
+
+// TestV1SnapshotBackwardCompatible: a store written by the original
+// engine carries the v1 name-list snapshot; the compact engine must load
+// it without error and without falling back to a rebuild scan. The v1
+// record is deliberately doctored (document i3 is stripped from it): a
+// rebuild would find i3, so the query results prove which path ran.
+func TestV1SnapshotBackwardCompatible(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, db)
+
+	// Build the v1 snapshot from the live index, omitting i3.
+	db.mu.RLock()
+	ix := db.idx["items"]
+	db.mu.RUnlock()
+	v1 := indexSnapshotV1{Postings: map[string][]string{}, Elements: map[string][]string{}}
+	ix.mu.Lock()
+	for tok, list := range ix.postings {
+		for _, id := range list {
+			if name := ix.names[id]; name != "i3" {
+				v1.Postings[tok] = append(v1.Postings[tok], name)
+			}
+		}
+	}
+	for el, list := range ix.elements {
+		for _, id := range list {
+			if name := ix.names[id]; name != "i3" {
+				v1.Elements[el] = append(v1.Elements[el], name)
+			}
+		}
+	}
+	ix.mu.Unlock()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the store's snapshot to look like an old engine wrote it.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(map[string]indexSnapshotV1{"items": v1}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutMeta(indexMetaKeyV1, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutMeta(indexMetaKeyV2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pruning works off the converted index...
+	res, err := db2.Query(`for $i in collection("items")/Item where $i/Section = "DVD" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("DVD results via v1 index = %d, want 1", len(res))
+	}
+	// ...and the doctored v1 content is authoritative: the only Book item
+	// (i3) is invisible, which a rebuild scan would have restored.
+	res, err = db2.Query(`for $i in collection("items")/Item where $i/Section = "Book" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("Book query found %d results: index was rebuilt, not loaded from v1", len(res))
+	}
+	if err := db2.Close(); err != nil { // upgrades the snapshot to v2
+		t.Fatal(err)
+	}
+
+	// The close rewrote the snapshot in v2 form and dropped the v1 record.
+	st, err = storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, ok, _ := st.GetMeta(indexMetaKeyV1); ok {
+		t.Fatal("v1 snapshot record survived the upgrade")
+	}
+	if _, ok, _ := st.GetMeta(indexMetaKeyV2); !ok {
+		t.Fatal("no v2 snapshot written on close")
 	}
 }
 

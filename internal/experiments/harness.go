@@ -46,12 +46,28 @@ type Panel struct {
 	Title   string
 	Queries []workload.Query
 	Series  []Series
+	// Engine sums the node engines' counters over every deployment the
+	// panel ran (collected just before each teardown), so drivers can
+	// report decode/prune/cache work alongside the timings.
+	Engine engine.Stats
 }
 
 // Deployment is a runnable system plus its teardown.
 type Deployment struct {
 	System  *partix.System
 	cleanup []func() error
+}
+
+// EngineStats sums the engine counters of every local node in the
+// deployment.
+func (d *Deployment) EngineStats() engine.Stats {
+	var total engine.Stats
+	for _, name := range d.System.Nodes() {
+		if node, ok := d.System.Node(name).(*cluster.LocalNode); ok {
+			total.Add(node.DB().Stats())
+		}
+	}
+	return total
 }
 
 // Close releases the deployment's engines.
@@ -75,6 +91,16 @@ type Options struct {
 	// (the 2005-era eXist baseline benefits less from value indexes than
 	// this engine does; see EXPERIMENTS.md).
 	DisableIndexes bool
+	// DecodeWorkers sets the engine's decode worker pool on every node.
+	// It defaults to 1 — the paper-faithful sequential path — unlike the
+	// engine's own default of GOMAXPROCS, because published series must
+	// keep the per-document decode cost on the measured critical path.
+	DecodeWorkers int
+	// TreeCacheBytes enables each node's decoded-tree cache with the
+	// given byte budget; 0 keeps it off, which every published series
+	// requires (a warm cache would hide the parse cost the paper
+	// measures).
+	TreeCacheBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +109,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Cost == nil {
 		o.Cost = &cluster.GigabitEthernet
+	}
+	if o.DecodeWorkers == 0 {
+		o.DecodeWorkers = 1
 	}
 	return o
 }
@@ -119,7 +148,11 @@ func Deploy(label string, c *xmltree.Collection, scheme *fragmentation.Scheme,
 		nodes = len(scheme.Fragments)
 	}
 	for i := 0; i < nodes; i++ {
-		db, err := engine.Open(filepath.Join(dir, fmt.Sprintf("node%d.db", i)), engine.Options{DisableIndexes: opts.DisableIndexes})
+		db, err := engine.Open(filepath.Join(dir, fmt.Sprintf("node%d.db", i)), engine.Options{
+			DisableIndexes: opts.DisableIndexes,
+			DecodeWorkers:  opts.DecodeWorkers,
+			TreeCacheBytes: opts.TreeCacheBytes,
+		})
 		if err != nil {
 			d.Close()
 			return nil, err

@@ -77,6 +77,7 @@ func runHorizontal(id, title string, large bool, docs int, scale Scale, opts Opt
 			return nil, err
 		}
 		series, err := MeasureWorkload(dep.System, name, queries, opts.Repeats)
+		panel.Engine.Add(dep.EngineStats())
 		dep.Close()
 		if err != nil {
 			return nil, err
@@ -106,6 +107,7 @@ func RunFig7c(scale Scale, opts Options) (*Panel, error) {
 			return nil, err
 		}
 		series, err := MeasureWorkload(dep.System, name, queries, opts.Repeats)
+		panel.Engine.Add(dep.EngineStats())
 		dep.Close()
 		if err != nil {
 			return nil, err
@@ -144,6 +146,7 @@ func RunFig7d(scale Scale, opts Options) (*Panel, error) {
 		// All eleven queries are routable or unionable, so FragMode1 (which
 		// cannot reconstruct) runs the same set — matching the paper.
 		series, err := MeasureWorkload(dep.System, cfg.name, queries, opts.Repeats)
+		panel.Engine.Add(dep.EngineStats())
 		dep.Close()
 		if err != nil {
 			return nil, err

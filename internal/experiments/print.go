@@ -65,6 +65,15 @@ func printSeries(w io.Writer, p *Panel, view func(Measurement) time.Duration) {
 	}
 }
 
+// PrintEngineStats writes the panel's aggregated engine counters — the
+// decode/prune/cache work all node engines did across every deployment
+// the panel measured.
+func PrintEngineStats(w io.Writer, p *Panel) {
+	e := p.Engine
+	fmt.Fprintf(w, "engine stats: queries=%d docs-decoded=%d docs-pruned=%d bytes-decoded=%d cache-hits=%d cache-misses=%d\n\n",
+		e.Queries, e.DocsDecoded, e.DocsPruned, e.BytesDecoded, e.CacheHits, e.CacheMisses)
+}
+
 // PrintCSV writes a panel as machine-readable CSV: one row per (query,
 // series) pair with the full timing decomposition, ready for plotting.
 func PrintCSV(w io.Writer, p *Panel) {

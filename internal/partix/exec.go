@@ -47,7 +47,9 @@ func (s *System) execute(fqs []fragQuery) (*execution, error) {
 	}
 	run := cluster.Execute
 	if s.Concurrent() {
-		run = cluster.ExecuteConcurrent
+		run = func(subs []cluster.SubQuery, cost cluster.CostModel) (*cluster.ExecResult, error) {
+			return cluster.ExecuteConcurrentN(subs, cost, s.MaxConcurrent())
+		}
 	}
 	res, err := run(subs, s.cost)
 	if err != nil {

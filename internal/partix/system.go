@@ -13,11 +13,12 @@ import (
 // System is a running PartiX deployment: a set of DBMS nodes behind
 // drivers, the catalogs, and the query service configuration.
 type System struct {
-	mu         sync.RWMutex
-	nodes      map[string]cluster.Driver
-	catalog    *Catalog
-	cost       cluster.CostModel
-	concurrent bool
+	mu            sync.RWMutex
+	nodes         map[string]cluster.Driver
+	catalog       *Catalog
+	cost          cluster.CostModel
+	concurrent    bool
+	maxConcurrent int
 }
 
 // SetConcurrent switches sub-query execution between the paper's
@@ -35,6 +36,22 @@ func (s *System) Concurrent() bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.concurrent
+}
+
+// SetMaxConcurrent caps how many sub-queries run at once in concurrent
+// mode; 0 (the default) means unlimited. The cap bounds coordinator
+// resources when a query decomposes into many sub-queries.
+func (s *System) SetMaxConcurrent(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxConcurrent = n
+}
+
+// MaxConcurrent reports the concurrent sub-query cap.
+func (s *System) MaxConcurrent() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maxConcurrent
 }
 
 // NewSystem returns a system with the given communication cost model.

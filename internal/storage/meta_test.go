@@ -88,11 +88,12 @@ func TestSyncDurability(t *testing.T) {
 
 func TestReadPageOutOfRange(t *testing.T) {
 	s, _ := tempStore(t)
-	if _, err := s.pager.readPage(999); err == nil {
+	buf := make([]byte, PageSize)
+	if err := s.pager.readPageInto(999, buf); err == nil {
 		t.Fatal("out-of-range read succeeded")
 	}
-	if _, err := s.pager.readPage(0); err == nil {
-		t.Fatal("header page read via readPage succeeded")
+	if err := s.pager.readPageInto(0, buf); err == nil {
+		t.Fatal("header page read via readPageInto succeeded")
 	}
 }
 

@@ -169,7 +169,7 @@ func (s *Store) GetDocumentRaw(collection, name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.pager.readRecord(e.Page)
+	return s.pager.readRecordSized(e.Page, int(e.Size))
 }
 
 func (s *Store) lookupLocked(collection, name string) (docEntry, error) {
