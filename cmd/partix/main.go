@@ -84,24 +84,33 @@ func main() {
 	var (
 		configPath = flag.String("config", "deploy.json", "deployment description")
 		timeout    = flag.Duration("timeout", 5*time.Second, "node dial timeout")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-operation deadline on node requests (0 = none)")
+		retries    = flag.Int("retries", 0, "reconnect retries for retry-safe node operations (0 = default of 2, negative = off)")
+		pool       = flag.Int("pool", 0, "connections per node (0 = default of 4)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: partix -config deploy.json publish|query|stats [args]")
 		os.Exit(2)
 	}
-	if err := run(*configPath, *timeout, flag.Args()); err != nil {
+	opts := wire.ClientOptions{
+		DialTimeout:    *timeout,
+		RequestTimeout: *reqTimeout,
+		MaxRetries:     *retries,
+		PoolSize:       *pool,
+	}
+	if err := run(*configPath, opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "partix:", err)
 		os.Exit(1)
 	}
 }
 
-func run(configPath string, timeout time.Duration, args []string) error {
+func run(configPath string, opts wire.ClientOptions, args []string) error {
 	cfg, err := loadConfig(configPath)
 	if err != nil {
 		return err
 	}
-	sys, closeAll, err := connect(cfg, timeout)
+	sys, closeAll, err := connect(cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -280,7 +289,7 @@ func (cfg *deployConfig) scheme() (*fragmentation.Scheme, fragmentation.Material
 	return scheme, mode, nil
 }
 
-func connect(cfg *deployConfig, timeout time.Duration) (*partix.System, func(), error) {
+func connect(cfg *deployConfig, opts wire.ClientOptions) (*partix.System, func(), error) {
 	sys := partix.NewSystem(cluster.GigabitEthernet)
 	sys.SetConcurrent(cfg.Concurrent)
 	var clients []*wire.Client
@@ -290,7 +299,7 @@ func connect(cfg *deployConfig, timeout time.Duration) (*partix.System, func(), 
 		}
 	}
 	for _, n := range cfg.Nodes {
-		client, err := wire.Dial(n.Name, n.Addr, timeout)
+		client, err := wire.DialWith(n.Name, n.Addr, opts)
 		if err != nil {
 			closeAll()
 			return nil, nil, err

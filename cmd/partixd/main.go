@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"partix/internal/engine"
 	"partix/internal/wire"
@@ -28,6 +29,8 @@ func main() {
 		noIndexes  = flag.Bool("disable-indexes", false, "disable index-assisted candidate pruning")
 		workers    = flag.Int("decode-workers", 0, "decode worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		cacheBytes = flag.Int64("tree-cache-bytes", 0, "decoded-tree cache budget in bytes (0 = off)")
+		idle       = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle for this long (0 = never)")
+		drain      = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests")
 		quiet      = flag.Bool("quiet", false, "suppress request logging")
 	)
 	flag.Parse()
@@ -53,7 +56,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	srv := wire.NewServer(db, logger)
+	srv := wire.NewServerWith(db, logger, wire.ServerOptions{
+		IdleTimeout:  *idle,
+		DrainTimeout: *drain,
+	})
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

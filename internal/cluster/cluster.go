@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -37,6 +38,14 @@ type Driver interface {
 	CollectionStats(collection string) (storage.Stats, error)
 	// HasCollection reports whether the node holds the collection.
 	HasCollection(collection string) bool
+}
+
+// Pinger is an optional Driver extension for liveness checks. Remote
+// drivers implement it with a protocol round trip; in-process nodes are
+// always reachable and need not implement it.
+type Pinger interface {
+	// Ping verifies the node answers.
+	Ping() error
 }
 
 // LocalNode is an in-process driver backed by an engine.DB, used by the
@@ -125,7 +134,9 @@ type SubQuery struct {
 
 // SubResult is the measured outcome of one sub-query.
 type SubResult struct {
-	Fragment    string
+	Fragment string
+	// Node names the node that actually served the sub-query — a replica,
+	// after failover, rather than the primary.
 	Node        string
 	Items       xquery.Seq
 	Elapsed     time.Duration // site processing time, measured
@@ -227,35 +238,37 @@ func ExecuteConcurrentN(subs []SubQuery, cost CostModel, maxConcurrent int) (*Ex
 
 func runSub(sq SubQuery) (SubResult, error) {
 	start := time.Now()
-	items, err := executeWithFailover(sq)
+	items, servedBy, err := executeWithFailover(sq)
 	elapsed := time.Since(start)
 	if err != nil {
 		return SubResult{}, err
 	}
 	return SubResult{
 		Fragment:    sq.Fragment,
-		Node:        sq.Node.Name(),
+		Node:        servedBy,
 		Items:       items,
 		Elapsed:     elapsed,
 		ResultBytes: SeqBytes(items),
 	}, nil
 }
 
-// executeWithFailover tries the primary node, then each replica in turn.
-// Only the last error is reported when every copy fails.
-func executeWithFailover(sq SubQuery) (xquery.Seq, error) {
-	items, err := sq.Node.ExecuteQuery(sq.Query)
-	if err == nil {
-		return items, nil
-	}
-	for _, replica := range sq.Replicas {
-		items, rerr := replica.ExecuteQuery(sq.Query)
-		if rerr == nil {
-			return items, nil
+// executeWithFailover tries the primary node, then each replica in turn,
+// reporting the name of the node that actually answered. When every copy
+// fails, the error names each node tried with its own failure.
+func executeWithFailover(sq SubQuery) (xquery.Seq, string, error) {
+	nodes := make([]Driver, 0, 1+len(sq.Replicas))
+	nodes = append(nodes, sq.Node)
+	nodes = append(nodes, sq.Replicas...)
+	var errs []error
+	for _, node := range nodes {
+		items, err := node.ExecuteQuery(sq.Query)
+		if err == nil {
+			return items, node.Name(), nil
 		}
-		err = rerr
+		errs = append(errs, fmt.Errorf("node %s: %w", node.Name(), err))
 	}
-	return nil, fmt.Errorf("cluster: sub-query on %s (%s): %w", sq.Node.Name(), sq.Fragment, err)
+	return nil, "", fmt.Errorf("cluster: sub-query on fragment %q failed on all %d copies: %w",
+		sq.Fragment, len(nodes), errors.Join(errs...))
 }
 
 func (r *ExecResult) add(sub SubResult, cost CostModel, queryBytes int) {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -204,6 +205,47 @@ func TestExecuteConcurrentBounded(t *testing.T) {
 	}
 	if seen := d.maxSeen.Load(); seen < 2 {
 		t.Fatalf("observed %d concurrent sub-queries, expected overlap under a cap of %d", seen, limit)
+	}
+}
+
+// downDriver fails every query with its own message, so failover errors
+// can be checked for per-node attribution.
+type downDriver struct {
+	countingDriver
+}
+
+func (d *downDriver) ExecuteQuery(string) (xquery.Seq, error) {
+	return nil, fmt.Errorf("%s is down", d.name)
+}
+
+func TestFailoverErrorNamesEveryNodeTried(t *testing.T) {
+	primary := &downDriver{countingDriver{name: "n0"}}
+	r1 := &downDriver{countingDriver{name: "n1"}}
+	r2 := &downDriver{countingDriver{name: "n2"}}
+	_, err := Execute([]SubQuery{{
+		Fragment: "f", Node: primary, Replicas: []Driver{r1, r2}, Query: "q",
+	}}, NoNetwork)
+	if err == nil {
+		t.Fatal("all-copies-down sub-query succeeded")
+	}
+	for _, name := range []string{"n0", "n1", "n2"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error does not name %s: %v", name, err)
+		}
+	}
+}
+
+func TestFailoverReportsServingReplica(t *testing.T) {
+	primary := &downDriver{countingDriver{name: "n0"}}
+	replica := &countingDriver{name: "n1"}
+	res, err := Execute([]SubQuery{{
+		Fragment: "f", Node: primary, Replicas: []Driver{replica}, Query: "q",
+	}}, NoNetwork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sub[0].Node != "n1" {
+		t.Fatalf("SubResult.Node = %q, want the serving replica n1", res.Sub[0].Node)
 	}
 }
 

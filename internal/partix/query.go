@@ -1,6 +1,7 @@
 package partix
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -471,23 +472,25 @@ func (s *System) reconstructFragments(e xquery.Expr, meta *CollectionMeta, touch
 }
 
 // fetchWithFailover retrieves a fragment's collection from its primary
-// node, falling back to replicas when the primary fails.
+// node, falling back to replicas when the primary fails. When every copy
+// fails, the error names each node tried with its own failure.
 func (s *System) fetchWithFailover(meta *CollectionMeta, fragment string) (cluster.Driver, *xmltree.Collection, error) {
 	names := append([]string{meta.Placement[fragment]}, meta.Replicas[fragment]...)
-	var lastErr error
+	var errs []error
 	for _, name := range names {
 		node := s.Node(name)
 		if node == nil {
-			lastErr = fmt.Errorf("partix: unknown node %q", name)
+			errs = append(errs, fmt.Errorf("unknown node %q", name))
 			continue
 		}
 		col, err := node.FetchCollection(meta.NodeCollection(fragment))
 		if err == nil {
 			return node, col, nil
 		}
-		lastErr = err
+		errs = append(errs, fmt.Errorf("node %s: %w", name, err))
 	}
-	return nil, nil, lastErr
+	return nil, nil, fmt.Errorf("partix: fetch of fragment %q failed on all %d copies: %w",
+		fragment, len(names), errors.Join(errs...))
 }
 
 // reconstructAndEval handles multi-collection queries: every referenced

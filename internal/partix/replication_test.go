@@ -2,6 +2,7 @@ package partix
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"partix/internal/cluster"
@@ -105,6 +106,52 @@ func TestFailoverExhaustedReportsError(t *testing.T) {
 	s.Catalog().Lookup("items").Replicas = nil
 	if _, err := s.Query(`for $i in collection("items")/Item where $i/Section = "CD" return $i`); err == nil {
 		t.Fatal("query over a dead, unreplicated node succeeded")
+	}
+}
+
+// pingCloseDriver wraps a driver with the optional liveness and closing
+// extensions remote drivers implement.
+type pingCloseDriver struct {
+	cluster.Driver
+	pingErr error
+	closed  bool
+}
+
+func (d *pingCloseDriver) Ping() error  { return d.pingErr }
+func (d *pingCloseDriver) Close() error { d.closed = true; return nil }
+
+func TestCheckNodesAndCloseNodes(t *testing.T) {
+	s := newTestSystem(t, 2)
+	healthy := &pingCloseDriver{Driver: s.Node("node0")}
+	down := &pingCloseDriver{Driver: s.Node("node1"), pingErr: fmt.Errorf("link down")}
+	s.AddNode(healthy)
+	s.AddNode(down)
+
+	hc := s.CheckNodes()
+	if hc["node0"] != nil {
+		t.Fatalf("healthy node reported %v", hc["node0"])
+	}
+	if hc["node1"] == nil {
+		t.Fatal("dead node reported healthy")
+	}
+	if err := s.CloseNodes(); err != nil {
+		t.Fatal(err)
+	}
+	if !healthy.closed || !down.closed {
+		t.Fatal("CloseNodes skipped a closable driver")
+	}
+}
+
+func TestFailoverErrorNamesFailedNode(t *testing.T) {
+	s, failer := replicatedSystem(t)
+	failer.down = true
+	s.Catalog().Lookup("items").Replicas = nil
+	_, err := s.Query(`for $i in collection("items")/Item where $i/Section = "CD" return $i`)
+	if err == nil {
+		t.Fatal("query over a dead, unreplicated node succeeded")
+	}
+	if !strings.Contains(err.Error(), "node0") {
+		t.Fatalf("error does not name the failed node: %v", err)
 	}
 }
 

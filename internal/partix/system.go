@@ -1,7 +1,9 @@
 package partix
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -87,6 +89,49 @@ func (s *System) Nodes() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// CheckNodes verifies connectivity to every registered node, returning
+// node name → error (nil when healthy). Remote drivers are probed with a
+// protocol round trip (cluster.Pinger); in-process drivers are always
+// reachable and report nil.
+func (s *System) CheckNodes() map[string]error {
+	s.mu.RLock()
+	nodes := make(map[string]cluster.Driver, len(s.nodes))
+	for name, d := range s.nodes {
+		nodes[name] = d
+	}
+	s.mu.RUnlock()
+	out := make(map[string]error, len(nodes))
+	for name, d := range nodes {
+		if p, ok := d.(cluster.Pinger); ok {
+			out[name] = p.Ping()
+		} else {
+			out[name] = nil
+		}
+	}
+	return out
+}
+
+// CloseNodes closes every driver holding external resources (remote
+// connections), joining any close errors. In-process drivers are left
+// untouched — their engine's lifecycle belongs to the caller.
+func (s *System) CloseNodes() error {
+	s.mu.RLock()
+	drivers := make([]cluster.Driver, 0, len(s.nodes))
+	for _, d := range s.nodes {
+		drivers = append(drivers, d)
+	}
+	s.mu.RUnlock()
+	var errs []error
+	for _, d := range drivers {
+		if c, ok := d.(io.Closer); ok {
+			if err := c.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("node %s: %w", d.Name(), err))
+			}
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Catalog exposes the metadata catalog.

@@ -2,9 +2,12 @@ package wire
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"partix/internal/storage"
@@ -12,73 +15,297 @@ import (
 	"partix/internal/xquery"
 )
 
-// Client is a remote node driver: it satisfies cluster.Driver over a TCP
-// connection to a partixd server.
-type Client struct {
-	name string
-	addr string
+// ClientOptions tune the remote driver's transport behaviour. The zero
+// value gives sensible production defaults (see the field comments); use
+// an explicit negative value where documented to disable a mechanism.
+type ClientOptions struct {
+	// DialTimeout bounds each TCP connect. 0 means 5s.
+	DialTimeout time.Duration
+	// RequestTimeout is the per-operation deadline covering the full
+	// round trip (send + receive). 0 means no deadline — a hung node
+	// blocks the calling goroutine, as a plain TCP client would.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a retry-safe operation (OpPing,
+	// OpQuery, OpFetchCollection, OpStats, OpHasCollection) is re-issued
+	// on a fresh connection after a transport failure. 0 means 2;
+	// negative disables retries. Mutating operations never retry: a lost
+	// response leaves their outcome unknown.
+	MaxRetries int
+	// RetryBackoff is the wait before the first retry, doubled on each
+	// subsequent one. 0 means 50ms.
+	RetryBackoff time.Duration
+	// PoolSize caps concurrent connections to the node, so parallel
+	// sub-queries no longer serialize behind a single gob stream.
+	// 0 means 4.
+	PoolSize int
+	// Logger receives transport events (reconnects, swallowed
+	// HasCollection failures). nil disables logging.
+	Logger *log.Logger
+}
 
-	mu   sync.Mutex
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	return o
+}
+
+// ClientStats counts transport events on one client, exposing the
+// reconnect and error paths that HasCollection and the retry machinery
+// otherwise absorb.
+type ClientStats struct {
+	// Dials is how many TCP connections were established.
+	Dials int64
+	// Retries is how many operations were re-issued after a transport
+	// failure.
+	Retries int64
+	// TransportErrors counts failed round trips (encode, decode, or
+	// deadline), each of which discards its connection.
+	TransportErrors int64
+	// NodeErrors counts application-level failures reported by the node
+	// itself (the connection stays healthy and pooled).
+	NodeErrors int64
+}
+
+// NodeError is a failure the node itself reported in a Response. The
+// connection is intact and the operation was delivered, so it is never
+// retried.
+type NodeError struct {
+	Node string
+	Msg  string
+}
+
+func (e *NodeError) Error() string { return fmt.Sprintf("wire: node %s: %s", e.Node, e.Msg) }
+
+var errClientClosed = errors.New("wire: client is closed")
+
+// poolConn is one pooled gob stream. Encoder/decoder state is bound to
+// the connection, so a conn that saw any transport error is discarded
+// whole — the stream may be desynced.
+type poolConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 }
 
-// Dial connects to a node server. name is the node's logical name in the
-// PartiX system.
-func Dial(name, addr string, timeout time.Duration) (*Client, error) {
-	c := &Client{name: name, addr: addr}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+func (pc *poolConn) do(req *Request, timeout time.Duration) (*Response, error) {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
 	}
-	c.setConn(conn)
-	if _, err := c.roundTrip(&Request{Op: OpPing}); err != nil {
-		conn.Close()
+	if err := pc.conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := pc.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	var resp Response
+	if err := pc.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("receive: %w", err)
+	}
+	return &resp, nil
+}
+
+// Client is a remote node driver: it satisfies cluster.Driver over a
+// pool of TCP connections to a partixd server. All methods are safe for
+// concurrent use; a transport failure on one connection never poisons
+// the others, and retry-safe operations transparently reconnect.
+type Client struct {
+	name string
+	addr string
+	opts ClientOptions
+
+	// slots bounds live connections at opts.PoolSize: one token is held
+	// for the duration of every round trip and while dialing.
+	slots chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	idle   []*poolConn
+
+	dials, retries, transportErrs, nodeErrs atomic.Int64
+}
+
+// Dial connects to a node server with default options; timeout bounds
+// the TCP connect. name is the node's logical name in the PartiX system.
+func Dial(name, addr string, timeout time.Duration) (*Client, error) {
+	return DialWith(name, addr, ClientOptions{DialTimeout: timeout})
+}
+
+// DialWith connects to a node server and verifies it answers a ping.
+func DialWith(name, addr string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	c := &Client{
+		name:  name,
+		addr:  addr,
+		opts:  opts,
+		slots: make(chan struct{}, opts.PoolSize),
+	}
+	if err := c.Ping(); err != nil {
+		c.Close()
 		return nil, err
 	}
 	return c, nil
 }
 
-func (c *Client) setConn(conn net.Conn) {
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
+// Options reports the client's effective (defaulted) options.
+func (c *Client) Options() ClientOptions { return c.opts }
+
+// Stats reports cumulative transport counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Dials:           c.dials.Load(),
+		Retries:         c.retries.Load(),
+		TransportErrors: c.transportErrs.Load(),
+		NodeErrors:      c.nodeErrs.Load(),
+	}
 }
 
-// Close terminates the connection.
+// Close terminates all pooled connections. Connections checked out by
+// in-flight operations are closed as they are returned. Close is
+// idempotent.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
+	if c.closed {
+		return nil
 	}
-	return nil
+	c.closed = true
+	var err error
+	for _, pc := range c.idle {
+		if cerr := pc.conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	c.idle = nil
+	return err
 }
 
-func (c *Client) roundTrip(req *Request) (*Response, error) {
+// get checks out a connection, dialing a new one when the pool has no
+// idle stream, and blocking when PoolSize round trips are in flight.
+func (c *Client) get() (*poolConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil, fmt.Errorf("wire: client %s is closed", c.name)
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errClientClosed
 	}
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("wire: send to %s: %w", c.addr, err)
+	c.mu.Unlock()
+	c.slots <- struct{}{}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.slots
+		return nil, errClientClosed
 	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("wire: receive from %s: %w", c.addr, err)
+	if n := len(c.idle); n > 0 {
+		pc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return pc, nil
 	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		<-c.slots
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	c.dials.Add(1)
+	return &poolConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// put returns a healthy connection to the pool.
+func (c *Client) put(pc *poolConn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		pc.conn.Close()
+	} else {
+		c.idle = append(c.idle, pc)
+		c.mu.Unlock()
+	}
+	<-c.slots
+}
+
+// discard drops a connection whose gob stream can no longer be trusted.
+func (c *Client) discard(pc *poolConn) {
+	pc.conn.Close()
+	<-c.slots
+	c.transportErrs.Add(1)
+}
+
+// once performs a single round trip on one pooled connection.
+func (c *Client) once(req *Request) (*Response, error) {
+	pc, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := pc.do(req, c.opts.RequestTimeout)
+	if err != nil {
+		c.discard(pc)
+		return nil, fmt.Errorf("wire: %s: %w", c.addr, err)
+	}
+	c.put(pc)
 	if resp.Err != "" {
-		return nil, fmt.Errorf("wire: node %s: %s", c.name, resp.Err)
+		c.nodeErrs.Add(1)
+		return nil, &NodeError{Node: c.name, Msg: resp.Err}
 	}
-	return &resp, nil
+	return resp, nil
+}
+
+// roundTrip performs the request, transparently redialing and retrying
+// retry-safe operations (with exponential backoff) after transport
+// failures. Application errors from the node and operations on a closed
+// client are never retried.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	attempts := 1
+	if retrySafe[req.Op] {
+		attempts += c.opts.MaxRetries
+	}
+	backoff := c.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if c.opts.Logger != nil {
+				c.opts.Logger.Printf("wire: retrying op %d on %s after %v (attempt %d/%d): %v",
+					req.Op, c.name, backoff, attempt+1, attempts, lastErr)
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, err := c.once(req)
+		if err == nil {
+			return resp, nil
+		}
+		var ne *NodeError
+		if errors.Is(err, errClientClosed) || errors.As(err, &ne) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // Name implements cluster.Driver.
 func (c *Client) Name() string { return c.name }
+
+// Ping implements cluster.Pinger with a protocol round trip.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: OpPing})
+	return err
+}
 
 // CreateCollection implements cluster.Driver.
 func (c *Client) CreateCollection(name string) error {
@@ -133,8 +360,26 @@ func (c *Client) CollectionStats(collection string) (storage.Stats, error) {
 	return resp.Stats, nil
 }
 
-// HasCollection implements cluster.Driver.
-func (c *Client) HasCollection(collection string) bool {
+// CheckCollection reports whether the node holds the collection,
+// distinguishing "node said no" (false, nil) from "node unreachable"
+// (false, err).
+func (c *Client) CheckCollection(collection string) (bool, error) {
 	resp, err := c.roundTrip(&Request{Op: OpHasCollection, Collection: collection})
-	return err == nil && resp.Bool
+	if err != nil {
+		return false, err
+	}
+	return resp.Bool, nil
+}
+
+// HasCollection implements cluster.Driver. A transport failure that
+// survives the retry policy cannot be surfaced through this boolean
+// interface; it is logged, counted in Stats, and reported as false.
+// Callers that must tell absence from unreachability use CheckCollection.
+func (c *Client) HasCollection(collection string) bool {
+	ok, err := c.CheckCollection(collection)
+	if err != nil && c.opts.Logger != nil {
+		c.opts.Logger.Printf("wire: HasCollection(%q) on %s unreachable, reporting false: %v",
+			collection, c.name, err)
+	}
+	return ok
 }

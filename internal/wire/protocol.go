@@ -1,8 +1,10 @@
 // Package wire implements the network protocol between the PartiX
 // middleware and remote DBMS nodes: a length-free gob stream over TCP with
 // one request/response exchange at a time per connection. The remote
-// driver (Client) implements cluster.Driver, so a PartiX system can mix
-// in-process and networked nodes freely.
+// driver (Client) implements cluster.Driver over a small connection pool
+// with per-operation deadlines and automatic reconnect for retry-safe
+// operations, so a PartiX system can mix in-process and networked nodes
+// freely and survive transient link failures.
 package wire
 
 import (
@@ -26,6 +28,18 @@ const (
 	OpStats
 	OpHasCollection
 )
+
+// retrySafe marks the operations a client may transparently re-issue on
+// a fresh connection after a transport failure: reads plus the liveness
+// ping. Mutations (OpCreateCollection, OpStoreDocument) are excluded
+// because a lost response leaves their outcome on the node unknown.
+var retrySafe = map[Op]bool{
+	OpPing:            true,
+	OpQuery:           true,
+	OpFetchCollection: true,
+	OpStats:           true,
+	OpHasCollection:   true,
+}
 
 // Request is one client → server message.
 type Request struct {

@@ -3,19 +3,51 @@ package wire
 import (
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"partix/internal/engine"
 	"partix/internal/storage"
 )
 
-// Server exposes one engine.DB over the wire protocol.
+// ServerOptions tune a node server's connection hygiene. The zero value
+// gives production defaults; see the field comments.
+type ServerOptions struct {
+	// IdleTimeout closes a connection that sends no request for this
+	// long, so dead peers cannot pin server resources forever. Clients
+	// reconnect transparently. 0 disables the idle deadline.
+	IdleTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for in-flight requests to
+	// finish before forcing their connections closed. 0 means 5s;
+	// negative closes immediately.
+	DrainTimeout time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Server exposes one engine.DB over the wire protocol. A panic while
+// serving a request is confined to that request: the client receives an
+// error Response and the server keeps serving.
 type Server struct {
-	db  *engine.DB
-	log *log.Logger
+	db   *engine.DB
+	log  *log.Logger
+	opts ServerOptions
+
+	// hook is a test seam invoked before each dispatch; fault-injection
+	// tests use it to simulate evaluator panics and slow requests.
+	hook func(*Request)
+
+	handlers sync.WaitGroup
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -23,9 +55,15 @@ type Server struct {
 	closed   bool
 }
 
-// NewServer wraps db. logger may be nil to disable logging.
+// NewServer wraps db with default options. logger may be nil to disable
+// logging.
 func NewServer(db *engine.DB, logger *log.Logger) *Server {
-	return &Server{db: db, log: logger, conns: map[net.Conn]struct{}{}}
+	return NewServerWith(db, logger, ServerOptions{})
+}
+
+// NewServerWith wraps db with explicit connection-hygiene options.
+func NewServerWith(db *engine.DB, logger *log.Logger, opts ServerOptions) *Server {
+	return &Server{db: db, log: logger, opts: opts.withDefaults(), conns: map[net.Conn]struct{}{}}
 }
 
 // Serve accepts connections until the listener is closed. It blocks.
@@ -45,29 +83,73 @@ func (s *Server) Serve(l net.Listener) error {
 			return err
 		}
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
 		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
 		s.mu.Unlock()
 		go s.handle(conn)
 	}
 }
 
-// Close stops the listener and all active connections.
+// Close stops the listener, lets in-flight requests drain for up to
+// DrainTimeout (their responses are still delivered), then closes every
+// remaining connection. Close is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
 	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	// A read deadline in the past aborts handlers idling in Decode while
+	// leaving writes — in-flight responses — unaffected.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	if s.opts.DrainTimeout > 0 {
+		done := make(chan struct{})
+		go func() {
+			s.handlers.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(s.opts.DrainTimeout):
+			if s.log != nil {
+				s.log.Printf("wire: drain timeout after %v, forcing connections closed", s.opts.DrainTimeout)
+			}
+		}
+	}
+	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
+	s.mu.Unlock()
 	return err
 }
 
 func (s *Server) handle(conn net.Conn) {
+	defer s.handlers.Done()
 	defer func() {
+		// A panic outside dispatch (protocol decode internals) must not
+		// take the whole process down; drop just this connection.
+		if r := recover(); r != nil && s.log != nil {
+			s.log.Printf("wire: connection %s panicked: %v\n%s", conn.RemoteAddr(), r, debug.Stack())
+		}
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -76,8 +158,17 @@ func (s *Server) handle(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				// Idle deadline expired or Close is draining: a quiet,
+				// expected disconnect either way.
+				return
+			}
 			if !errors.Is(err, io.EOF) && s.log != nil {
 				s.log.Printf("wire: decode from %s: %v", conn.RemoteAddr(), err)
 			}
@@ -90,11 +181,31 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
 	}
 }
 
-func (s *Server) dispatch(req *Request) *Response {
-	resp := &Response{}
+// dispatch serves one request. A panic anywhere below (a malformed query
+// tripping an evaluator edge case, say) is recovered into an error
+// Response so one bad request cannot crash the node.
+func (s *Server) dispatch(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			if s.log != nil {
+				s.log.Printf("wire: panic serving op %d: %v\n%s", req.Op, r, debug.Stack())
+			}
+			resp = &Response{Err: fmt.Sprintf("wire: internal error serving request: %v", r)}
+		}
+	}()
+	if s.hook != nil {
+		s.hook(req)
+	}
+	resp = &Response{}
 	fail := func(err error) *Response {
 		resp.Err = err.Error()
 		return resp

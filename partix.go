@@ -105,8 +105,15 @@ type (
 	LocalNode = icluster.LocalNode
 	// RemoteNode is a TCP node driver.
 	RemoteNode = iwire.Client
+	// NodeClientOptions tune a remote driver's deadlines, reconnect
+	// retries and connection pool.
+	NodeClientOptions = iwire.ClientOptions
+	// NodeClientStats count a remote driver's transport events.
+	NodeClientStats = iwire.ClientStats
 	// NodeServer serves an engine over TCP.
 	NodeServer = iwire.Server
+	// NodeServerOptions tune a node server's idle and drain behaviour.
+	NodeServerOptions = iwire.ServerOptions
 	// Seq is an XQuery result sequence.
 	Seq = ixquery.Seq
 	// Item is one result item: *Node, string, float64 or bool.
@@ -153,14 +160,29 @@ func OpenEngineWith(path string, opts EngineOptions) (*Engine, error) {
 // NewLocalNode wraps an engine as an in-process node named name.
 func NewLocalNode(name string, db *Engine) *LocalNode { return icluster.NewLocalNode(name, db) }
 
-// DialNode connects to a remote partixd node.
+// DialNode connects to a remote partixd node with default transport
+// options; timeout bounds the TCP connect.
 func DialNode(name, addr string, timeout time.Duration) (*RemoteNode, error) {
 	return iwire.Dial(name, addr, timeout)
+}
+
+// DialNodeWith connects to a remote partixd node with explicit deadline,
+// retry and pool options.
+func DialNodeWith(name, addr string, opts NodeClientOptions) (*RemoteNode, error) {
+	return iwire.DialWith(name, addr, opts)
 }
 
 // ServeNode serves db over the listener until it is closed.
 func ServeNode(db *Engine, l net.Listener, logger *log.Logger) (*NodeServer, error) {
 	srv := iwire.NewServer(db, logger)
+	go srv.Serve(l)
+	return srv, nil
+}
+
+// ServeNodeWith serves db over the listener with explicit idle-timeout
+// and drain options.
+func ServeNodeWith(db *Engine, l net.Listener, logger *log.Logger, opts NodeServerOptions) (*NodeServer, error) {
+	srv := iwire.NewServerWith(db, logger, opts)
 	go srv.Serve(l)
 	return srv, nil
 }

@@ -1,11 +1,15 @@
 #!/bin/sh
 # verify.sh — the checks a change must pass before it lands:
-# vet, build, the full test suite, and the race detector over the
-# packages with real concurrency (decode pipeline, bounded sub-query
-# execution, coordinator).
+# formatting, vet, build, the full test suite, and the race detector over
+# the packages with real concurrency (decode pipeline, bounded sub-query
+# execution, coordinator, wire transport). Test runs carry a timeout so a
+# hung network test fails fast instead of wedging CI.
 set -eux
+
+unformatted="$(gofmt -l .)"
+test -z "$unformatted"
 
 go vet ./...
 go build ./...
-go test ./...
-go test -race ./internal/engine/... ./internal/cluster/... ./internal/partix/...
+go test -timeout 5m ./...
+go test -race -timeout 5m ./internal/engine/... ./internal/cluster/... ./internal/partix/... ./internal/wire/...
