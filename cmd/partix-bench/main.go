@@ -8,8 +8,13 @@
 //	partix-bench -exp all
 //	partix-bench -exp fig7a -scale 4 -repeats 10
 //	partix-bench -exp fig7d               # prints both -T and -NT views
+//	partix-bench -exp stream -json BENCH_PR3.json
 //
-// Experiments: fig7a, fig7b, fig7c, fig7d, headline, smalldb, all.
+// Experiments: fig7a, fig7b, fig7c, fig7d, headline, smalldb, stream, all.
+// The stream experiment contrasts the framed wire protocol against the
+// monolithic one over real TCP node servers. With -json the measured
+// panels are also written machine-readable (durations in nanoseconds) so
+// the perf trajectory is tracked across changes.
 package main
 
 import (
@@ -23,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | all")
+		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | all")
 		scaleF     = flag.Int("scale", 1, "multiply the default database sizes")
 		repeats    = flag.Int("repeats", 3, "timed executions per query (after one discarded warm-up)")
 		dir        = flag.String("dir", "", "working directory for node stores (default: temp)")
@@ -31,6 +36,7 @@ func main() {
 		workers    = flag.Int("decode-workers", 1, "engine decode workers per node (1 = paper-faithful sequential; 0 = GOMAXPROCS)")
 		cacheBytes = flag.Int64("tree-cache-bytes", 0, "decoded-tree cache budget per node in bytes (0 = off, paper-faithful)")
 		format     = flag.String("format", "table", "table | csv")
+		jsonPath   = flag.String("json", "", "also write the measurements to this file as JSON (e.g. BENCH_PR3.json)")
 	)
 	flag.Parse()
 
@@ -45,9 +51,17 @@ func main() {
 		printPanel = experiments.PrintCSV
 		printPanelNT = func(io.Writer, *experiments.Panel) {} // rows carry both views
 	}
-	if err := run(*exp, scale, opts); err != nil {
+	col := &collector{}
+	if err := run(*exp, scale, opts, col); err != nil {
 		fmt.Fprintln(os.Stderr, "partix-bench:", err)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, opts.Repeats, col); err != nil {
+			fmt.Fprintln(os.Stderr, "partix-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 
@@ -57,13 +71,33 @@ var (
 	printPanelNT = experiments.PrintPanelNT
 )
 
-func run(exp string, scale experiments.Scale, opts experiments.Options) error {
+// collector gathers every panel the run produced for the JSON report.
+type collector struct {
+	panels []*experiments.Panel
+	stream *experiments.StreamCompare
+}
+
+func writeJSON(path string, repeats int, col *collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	report := experiments.NewReport(repeats, col.panels, col.stream)
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(exp string, scale experiments.Scale, opts experiments.Options, col *collector) error {
 	out := os.Stdout
 	runPanel := func(f func(experiments.Scale, experiments.Options) (*experiments.Panel, error), nt bool) error {
 		p, err := f(scale, opts)
 		if err != nil {
 			return err
 		}
+		col.panels = append(col.panels, p)
 		printPanel(out, p)
 		if nt {
 			printPanelNT(out, p)
@@ -82,18 +116,27 @@ func run(exp string, scale experiments.Scale, opts experiments.Options) error {
 	case "fig7d":
 		return runPanel(experiments.RunFig7d, true)
 	case "headline":
-		return headline(scale, opts)
+		return headline(scale, opts, col)
 	case "smalldb":
 		p, err := experiments.RunSmallDB(opts)
 		if err != nil {
 			return err
 		}
+		col.panels = append(col.panels, p)
 		printPanel(out, p)
 		experiments.PrintEngineStats(out, p)
 		return nil
+	case "stream":
+		c, err := experiments.RunStream(scale, opts)
+		if err != nil {
+			return err
+		}
+		col.stream = c
+		experiments.PrintStream(out, c)
+		return nil
 	case "all":
-		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "headline"} {
-			if err := run(name, scale, opts); err != nil {
+		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "headline"} {
+			if err := run(name, scale, opts, col); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
@@ -103,12 +146,13 @@ func run(exp string, scale experiments.Scale, opts experiments.Options) error {
 	}
 }
 
-func headline(scale experiments.Scale, opts experiments.Options) error {
+func headline(scale experiments.Scale, opts experiments.Options, col *collector) error {
 	best, panels, err := experiments.RunHeadline(scale, opts)
 	if err != nil {
 		return err
 	}
 	for _, p := range panels {
+		col.panels = append(col.panels, p)
 		printPanel(os.Stdout, p)
 		experiments.PrintEngineStats(os.Stdout, p)
 	}

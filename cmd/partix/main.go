@@ -87,6 +87,9 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 0, "per-operation deadline on node requests (0 = none)")
 		retries    = flag.Int("retries", 0, "reconnect retries for retry-safe node operations (0 = default of 2, negative = off)")
 		pool       = flag.Int("pool", 0, "connections per node (0 = default of 4)")
+		batch      = flag.Int("batch-items", 0, "ask nodes to cap streamed frames at this many items (0 = node default)")
+		maxMsg     = flag.Int64("max-message-bytes", 0, "reject node messages larger than this (0 = built-in default)")
+		noStream   = flag.Bool("no-stream", false, "force monolithic responses even against streaming-capable nodes")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -94,10 +97,13 @@ func main() {
 		os.Exit(2)
 	}
 	opts := wire.ClientOptions{
-		DialTimeout:    *timeout,
-		RequestTimeout: *reqTimeout,
-		MaxRetries:     *retries,
-		PoolSize:       *pool,
+		DialTimeout:      *timeout,
+		RequestTimeout:   *reqTimeout,
+		MaxRetries:       *retries,
+		PoolSize:         *pool,
+		BatchItems:       *batch,
+		MaxMessageBytes:  *maxMsg,
+		DisableStreaming: *noStream,
 	}
 	if err := run(*configPath, opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "partix:", err)
@@ -158,6 +164,12 @@ func run(configPath string, opts wire.ClientOptions, args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "strategy=%s fragments=%v response=%v (parallel=%v transmission=%v compose=%v)\n",
 			res.Strategy, res.Fragments, res.ResponseTime(), res.ParallelTime, res.TransmissionTime, res.ComposeTime)
+		// res.Streamed also covers incremental composition of monolithic
+		// responses; only report it when the wire protocol could stream.
+		if res.Streamed && !opts.DisableStreaming {
+			fmt.Fprintf(os.Stderr, "streamed: first-item=%v frames=%d bytes=%d\n",
+				res.FirstItemLatency, res.Frames, res.StreamedBytes)
+		}
 		return nil
 
 	case "explain":

@@ -31,6 +31,9 @@ func main() {
 		cacheBytes = flag.Int64("tree-cache-bytes", 0, "decoded-tree cache budget in bytes (0 = off)")
 		idle       = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle for this long (0 = never)")
 		drain      = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests")
+		batch      = flag.Int("batch-items", 0, "default items/documents per streamed result frame (0 = built-in default)")
+		frameBytes = flag.Int("max-frame-bytes", 0, "flush a streamed frame once it holds this many payload bytes (0 = built-in default)")
+		maxMsg     = flag.Int64("max-message-bytes", 0, "reject incoming messages larger than this (0 = built-in default)")
 		quiet      = flag.Bool("quiet", false, "suppress request logging")
 	)
 	flag.Parse()
@@ -57,8 +60,11 @@ func main() {
 		os.Exit(1)
 	}
 	srv := wire.NewServerWith(db, logger, wire.ServerOptions{
-		IdleTimeout:  *idle,
-		DrainTimeout: *drain,
+		IdleTimeout:     *idle,
+		DrainTimeout:    *drain,
+		BatchItems:      *batch,
+		MaxFrameBytes:   *frameBytes,
+		MaxMessageBytes: *maxMsg,
 	})
 
 	sig := make(chan os.Signal, 1)

@@ -137,10 +137,22 @@ type SubResult struct {
 	Fragment string
 	// Node names the node that actually served the sub-query — a replica,
 	// after failover, rather than the primary.
-	Node        string
+	Node string
+	// Items holds the materialized partial result. Streamed executions
+	// leave it nil — the StreamSink consumed the items — and report
+	// ItemCount instead.
 	Items       xquery.Seq
+	ItemCount   int           // items produced (also set when Items is nil)
 	Elapsed     time.Duration // site processing time, measured
 	ResultBytes int           // serialized size of the partial result
+	// FirstFrame is the time from sub-query start to its first result
+	// batch; zero for monolithic executions.
+	FirstFrame time.Duration
+	// Frames counts the result batches delivered; zero for monolithic.
+	Frames int
+	// Cancelled marks a sub-query stopped early because the sink had
+	// already decided the global result (or skipped before starting).
+	Cancelled bool
 }
 
 // ExecResult aggregates sub-query executions under the paper's
@@ -155,6 +167,15 @@ type ExecResult struct {
 	// TransmissionTime models shipping every sub-query and partial result
 	// over the coordinator's link.
 	TransmissionTime time.Duration
+	// Streamed marks an execution whose results were composed
+	// incrementally by a StreamSink (ExecuteStreamN).
+	Streamed bool
+	// FirstItem is the time from execution start until the first result
+	// item reached the sink — the streamed time-to-first-item. Zero for
+	// monolithic executions and empty results.
+	FirstItem time.Duration
+	// Frames is the total number of result batches delivered.
+	Frames int
 }
 
 // ResponseTime is the simulated end-to-end time before result composition.
@@ -247,6 +268,7 @@ func runSub(sq SubQuery) (SubResult, error) {
 		Fragment:    sq.Fragment,
 		Node:        servedBy,
 		Items:       items,
+		ItemCount:   len(items),
 		Elapsed:     elapsed,
 		ResultBytes: SeqBytes(items),
 	}, nil

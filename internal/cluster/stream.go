@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partix/internal/xquery"
+)
+
+// Streamer is an optional Driver extension: the node delivers a query's
+// result incrementally, one batch at a time, instead of as one
+// materialized sequence. Remote drivers implement it with the chunked
+// frame protocol; LocalNode implements it natively. yield is called from
+// the streaming goroutine in result order; its error aborts the stream
+// and is returned from StreamQuery (drivers may give specific errors a
+// cancellation meaning, as the wire client does with its ErrStop).
+type Streamer interface {
+	StreamQuery(query string, yield func(xquery.Seq) error) error
+}
+
+// StreamSink consumes partial results during a streamed execution.
+// Batch is never called concurrently — the executor serializes delivery
+// across sub-queries — so implementations need no locking of their own.
+type StreamSink interface {
+	// Batch receives one batch of sub-query sub's result items, in the
+	// node's result order. Returning stop cancels every remaining stream
+	// (early-terminating compositions: an exists() that has seen its
+	// witness); returning an error aborts the whole execution.
+	Batch(sub int, items xquery.Seq) (stop bool, err error)
+	// Reset discards everything delivered for sub-query sub. It is
+	// called when a stream fails mid-flight and the executor fails over
+	// to a replica, which re-delivers the sub-query from the start.
+	Reset(sub int)
+}
+
+// errStreamStop aborts a node stream whose output is no longer needed.
+var errStreamStop = errors.New("cluster: stream stopped by sink")
+
+// sinkFailure wraps an error returned by the sink itself, so the
+// executor can tell "the consumer is broken" (abort everything) from
+// "the node failed" (fail over to a replica).
+type sinkFailure struct{ cause error }
+
+func (e *sinkFailure) Error() string { return e.cause.Error() }
+func (e *sinkFailure) Unwrap() error { return e.cause }
+
+// streamState is the shared consumer side of one streamed execution.
+type streamState struct {
+	sink    StreamSink
+	start   time.Time
+	stopped atomic.Bool
+
+	mu        sync.Mutex
+	firstItem time.Duration // time to the first non-empty batch overall
+}
+
+func (st *streamState) deliver(sub int, items xquery.Seq) (bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.firstItem == 0 && len(items) > 0 {
+		st.firstItem = time.Since(st.start)
+	}
+	stop, err := st.sink.Batch(sub, items)
+	if stop {
+		st.stopped.Store(true)
+	}
+	return stop, err
+}
+
+func (st *streamState) reset(sub int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sink.Reset(sub)
+}
+
+// ExecuteStreamN is ExecuteConcurrentN with incremental composition:
+// instead of materializing every sub-result and concatenating afterwards,
+// each sub-query's batches are handed to sink as they arrive, so the
+// coordinator composes while slower nodes are still transmitting. Items
+// are not retained in the SubResults (the sink owns the data);
+// ResultBytes, ItemCount and the frame counters are still accounted.
+// When sink signals stop, in-flight streams are cancelled (streaming
+// drivers stop their node producing) and queued sub-queries are skipped,
+// their SubResults marked Cancelled.
+func ExecuteStreamN(subs []SubQuery, cost CostModel, maxConcurrent int, sink StreamSink) (*ExecResult, error) {
+	type outcome struct {
+		sub SubResult
+		err error
+	}
+	outcomes := make([]outcome, len(subs))
+	var sem chan struct{}
+	if maxConcurrent > 0 {
+		sem = make(chan struct{}, maxConcurrent)
+	}
+	st := &streamState{sink: sink, start: time.Now()}
+	var wg sync.WaitGroup
+	for i, sq := range subs {
+		wg.Add(1)
+		go func(i int, sq SubQuery) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			if st.stopped.Load() {
+				outcomes[i] = outcome{sub: SubResult{Fragment: sq.Fragment, Cancelled: true}}
+				return
+			}
+			sub, err := runSubStream(i, sq, st)
+			outcomes[i] = outcome{sub: sub, err: err}
+		}(i, sq)
+	}
+	wg.Wait()
+	res := &ExecResult{Streamed: true}
+	for i, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.add(o.sub, cost, len(subs[i].Query))
+		res.Frames += o.sub.Frames
+	}
+	st.mu.Lock()
+	res.FirstItem = st.firstItem
+	st.mu.Unlock()
+	return res, nil
+}
+
+// runSubStream streams one sub-query into the shared sink, failing over
+// to replicas like runSub. A failover after partial delivery resets the
+// sink's state for this sub-query first, so the replica's re-delivery
+// starts from a clean slate and nothing is seen twice.
+func runSubStream(i int, sq SubQuery, st *streamState) (SubResult, error) {
+	nodes := make([]Driver, 0, 1+len(sq.Replicas))
+	nodes = append(nodes, sq.Node)
+	nodes = append(nodes, sq.Replicas...)
+	var errs []error
+	for _, node := range nodes {
+		if st.stopped.Load() {
+			return SubResult{Fragment: sq.Fragment, Node: node.Name(), Cancelled: true}, nil
+		}
+		start := time.Now()
+		var firstFrame time.Duration
+		frames, bytes, count := 0, 0, 0
+		yield := func(items xquery.Seq) error {
+			if st.stopped.Load() {
+				return errStreamStop
+			}
+			if frames == 0 {
+				firstFrame = time.Since(start)
+			}
+			frames++
+			bytes += SeqBytes(items)
+			count += len(items)
+			stop, err := st.deliver(i, items)
+			if err != nil {
+				return &sinkFailure{cause: err}
+			}
+			if stop {
+				return errStreamStop
+			}
+			return nil
+		}
+		var err error
+		if str, ok := node.(Streamer); ok {
+			err = str.StreamQuery(sq.Query, yield)
+		} else {
+			// Driver without streaming support: one monolithic batch.
+			var items xquery.Seq
+			items, err = node.ExecuteQuery(sq.Query)
+			if err == nil {
+				err = yield(items)
+			}
+		}
+		sub := SubResult{
+			Fragment: sq.Fragment, Node: node.Name(), Elapsed: time.Since(start),
+			ResultBytes: bytes, ItemCount: count, FirstFrame: firstFrame, Frames: frames,
+		}
+		if err == nil {
+			return sub, nil
+		}
+		if errors.Is(err, errStreamStop) {
+			sub.Cancelled = true
+			return sub, nil
+		}
+		var sf *sinkFailure
+		if errors.As(err, &sf) {
+			// The consumer failed, not the node: aborting, not failing over
+			// (a replica would only re-deliver into the same broken sink).
+			return SubResult{}, sf.cause
+		}
+		if frames > 0 {
+			st.reset(i)
+		}
+		errs = append(errs, fmt.Errorf("node %s: %w", node.Name(), err))
+	}
+	return SubResult{}, fmt.Errorf("cluster: sub-query on fragment %q failed on all %d copies: %w",
+		sq.Fragment, len(nodes), errors.Join(errs...))
+}
+
+// localStreamBatch is the batch granularity of LocalNode.StreamQuery,
+// matching the wire server's default frame size.
+const localStreamBatch = 256
+
+// StreamQuery implements Streamer for in-process nodes: the engine's
+// materialized result is delivered in bounded batches so local and
+// remote nodes exercise the same incremental composition path. yield's
+// error aborts the delivery and is returned.
+func (n *LocalNode) StreamQuery(query string, yield func(xquery.Seq) error) error {
+	items, err := n.db.Query(query)
+	if err != nil {
+		return err
+	}
+	for len(items) > 0 {
+		b := localStreamBatch
+		if b > len(items) {
+			b = len(items)
+		}
+		if err := yield(items[:b:b]); err != nil {
+			return err
+		}
+		items = items[b:]
+	}
+	return nil
+}

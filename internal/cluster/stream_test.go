@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"partix/internal/xquery"
+)
+
+// recordSink buffers batches per sub-query like the coordinator's union
+// sink, optionally stopping after a target item count.
+type recordSink struct {
+	parts   []xquery.Seq
+	batches int
+	stopAt  int // stop once this many items arrived; 0 = never
+	total   int
+}
+
+func (r *recordSink) Batch(sub int, items xquery.Seq) (bool, error) {
+	r.batches++
+	r.total += len(items)
+	r.parts[sub] = append(r.parts[sub], items...)
+	return r.stopAt > 0 && r.total >= r.stopAt, nil
+}
+
+func (r *recordSink) Reset(sub int) { r.parts[sub] = nil }
+
+func (r *recordSink) concat() xquery.Seq {
+	var out xquery.Seq
+	for _, p := range r.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Streamed execution composes the same items in the same order as the
+// monolithic path, with frame accounting on top.
+func TestExecuteStreamMatchesExecute(t *testing.T) {
+	n0, n1 := testNode(t, "n0"), testNode(t, "n1")
+	loadDocs(t, n0, "a", 30)
+	loadDocs(t, n1, "b", 7)
+	subs := []SubQuery{
+		{Fragment: "fa", Node: n0, Query: `collection("a")/Item/Code`},
+		{Fragment: "fb", Node: n1, Query: `collection("b")/Item/Code`},
+	}
+	mono, err := Execute(subs, NoNetwork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordSink{parts: make([]xquery.Seq, len(subs))}
+	res, err := ExecuteStreamN(subs, NoNetwork, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := mono.Items(), sink.concat()
+	if len(want) != len(got) {
+		t.Fatalf("streamed %d items, monolithic %d", len(got), len(want))
+	}
+	for i := range want {
+		if xquery.ItemString(want[i]) != xquery.ItemString(got[i]) {
+			t.Fatalf("item %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if !res.Streamed {
+		t.Fatal("result not marked streamed")
+	}
+	if res.Frames < 2 {
+		t.Fatalf("frames = %d, want one per sub at least", res.Frames)
+	}
+	for i, sub := range res.Sub {
+		if sub.Items != nil {
+			t.Fatalf("sub %d retained items in streamed mode", i)
+		}
+		if sub.ItemCount != len(mono.Sub[i].Items) {
+			t.Fatalf("sub %d ItemCount = %d, want %d", i, sub.ItemCount, len(mono.Sub[i].Items))
+		}
+		if sub.ResultBytes != mono.Sub[i].ResultBytes {
+			t.Fatalf("sub %d ResultBytes = %d, want %d", i, sub.ResultBytes, mono.Sub[i].ResultBytes)
+		}
+	}
+}
+
+// batchDriver streams a fixed result in single-item batches and records
+// how many batches it got to deliver before cancellation.
+type batchDriver struct {
+	countingDriver
+	items     xquery.Seq
+	delivered atomic.Int32
+}
+
+func (d *batchDriver) StreamQuery(query string, yield func(xquery.Seq) error) error {
+	for _, it := range d.items {
+		if err := yield(xquery.Seq{it}); err != nil {
+			return err
+		}
+		d.delivered.Add(1)
+	}
+	return nil
+}
+
+// A sink that stops mid-stream cancels the in-flight streams: drivers
+// stop producing and the cancelled sub-results are marked.
+func TestExecuteStreamEarlyStop(t *testing.T) {
+	mkItems := func(n int) xquery.Seq {
+		s := make(xquery.Seq, n)
+		for i := range s {
+			s[i] = fmt.Sprintf("item-%d", i)
+		}
+		return s
+	}
+	d0 := &batchDriver{countingDriver: countingDriver{name: "n0"}, items: mkItems(100)}
+	subs := []SubQuery{{Fragment: "f0", Node: d0, Query: "q0"}}
+	sink := &recordSink{parts: make([]xquery.Seq, 1), stopAt: 3}
+	res, err := ExecuteStreamN(subs, NoNetwork, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d0.delivered.Load(); got >= 100 {
+		t.Fatalf("driver delivered all %d batches despite stop", got)
+	}
+	if !res.Sub[0].Cancelled {
+		t.Fatal("cancelled sub-query not marked")
+	}
+}
+
+// Queued sub-queries behind the concurrency cap are skipped entirely
+// once the sink has decided.
+func TestExecuteStreamStopSkipsQueued(t *testing.T) {
+	const n = 8
+	subs := make([]SubQuery, n)
+	drivers := make([]*batchDriver, n)
+	for i := range subs {
+		drivers[i] = &batchDriver{
+			countingDriver: countingDriver{name: fmt.Sprintf("n%d", i)},
+			items:          xquery.Seq{true},
+		}
+		subs[i] = SubQuery{Fragment: fmt.Sprintf("f%d", i), Node: drivers[i], Query: "q"}
+	}
+	sink := &recordSink{parts: make([]xquery.Seq, n), stopAt: 1}
+	res, err := ExecuteStreamN(subs, NoNetwork, 1, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := 0
+	for _, sub := range res.Sub {
+		if sub.Cancelled {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no queued sub-query was skipped")
+	}
+	if sink.total != 1 {
+		t.Fatalf("sink received %d items after deciding at 1", sink.total)
+	}
+}
+
+// failingStreamer delivers some batches, then dies — forcing a failover
+// that must reset the sink's partial state first.
+type failingStreamer struct {
+	countingDriver
+	items     xquery.Seq
+	failAfter int
+}
+
+func (d *failingStreamer) StreamQuery(query string, yield func(xquery.Seq) error) error {
+	for i, it := range d.items {
+		if i == d.failAfter {
+			return fmt.Errorf("%s: link died mid-stream", d.name)
+		}
+		if err := yield(xquery.Seq{it}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestExecuteStreamFailoverResetsPartialDelivery(t *testing.T) {
+	items := xquery.Seq{"a", "b", "c", "d"}
+	primary := &failingStreamer{countingDriver: countingDriver{name: "n0"}, items: items, failAfter: 2}
+	replica := &batchDriver{countingDriver: countingDriver{name: "n1"}, items: items}
+	subs := []SubQuery{{Fragment: "f", Node: primary, Replicas: []Driver{replica}, Query: "q"}}
+	sink := &recordSink{parts: make([]xquery.Seq, 1)}
+	res, err := ExecuteStreamN(subs, NoNetwork, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sink.concat()
+	if len(got) != len(items) {
+		t.Fatalf("after failover sink holds %d items, want %d (no double delivery)", len(got), len(items))
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("item %d = %v, want %v", i, got[i], items[i])
+		}
+	}
+	if res.Sub[0].Node != "n1" {
+		t.Fatalf("served by %q, want replica n1", res.Sub[0].Node)
+	}
+}
+
+// A sink error aborts the execution without failover: a replica would
+// only re-deliver into the same broken consumer.
+func TestExecuteStreamSinkErrorAborts(t *testing.T) {
+	primary := &batchDriver{countingDriver: countingDriver{name: "n0"}, items: xquery.Seq{"a"}}
+	replica := &batchDriver{countingDriver: countingDriver{name: "n1"}, items: xquery.Seq{"a"}}
+	subs := []SubQuery{{Fragment: "f", Node: primary, Replicas: []Driver{replica}, Query: "q"}}
+	_, err := ExecuteStreamN(subs, NoNetwork, 0, errorSink{})
+	if err == nil || err.Error() != "sink rejected" {
+		t.Fatalf("err = %v, want the sink's own error", err)
+	}
+	if replica.delivered.Load() != 0 {
+		t.Fatal("sink failure triggered failover")
+	}
+}
+
+type errorSink struct{}
+
+func (errorSink) Batch(int, xquery.Seq) (bool, error) { return false, fmt.Errorf("sink rejected") }
+func (errorSink) Reset(int)                           {}
+
+// Drivers without streaming support deliver one monolithic batch, so
+// mixed fleets compose correctly.
+func TestExecuteStreamAdaptsNonStreamer(t *testing.T) {
+	d := &countingDriver{name: "n0"} // no StreamQuery method
+	subs := []SubQuery{{Fragment: "f", Node: d, Query: "the-query"}}
+	sink := &recordSink{parts: make([]xquery.Seq, 1)}
+	res, err := ExecuteStreamN(subs, NoNetwork, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.batches != 1 || len(sink.concat()) != 1 {
+		t.Fatalf("non-streamer adapted into %d batches, want 1", sink.batches)
+	}
+	if res.Sub[0].Frames != 1 || res.Sub[0].ItemCount != 1 {
+		t.Fatalf("accounting wrong: %+v", res.Sub[0])
+	}
+}
+
+// LocalNode streams natively in bounded batches.
+func TestLocalNodeStreams(t *testing.T) {
+	n := testNode(t, "n0")
+	loadDocs(t, n, "c", localStreamBatch+10)
+	var got xquery.Seq
+	batches := 0
+	err := n.StreamQuery(`collection("c")/Item/Code`, func(s xquery.Seq) error {
+		if len(s) > localStreamBatch {
+			t.Fatalf("batch of %d items exceeds %d", len(s), localStreamBatch)
+		}
+		batches++
+		got = append(got, s...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != localStreamBatch+10 || batches != 2 {
+		t.Fatalf("streamed %d items in %d batches", len(got), batches)
+	}
+}

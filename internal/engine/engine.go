@@ -308,6 +308,28 @@ func (db *DB) Docs(collection string, hint *xquery.Hint, fn func(*xmltree.Docume
 	return nil
 }
 
+// RawDocuments streams the stored (encoded) documents of a collection to
+// fn in document-name order without materializing the whole collection:
+// each record is read, handed over, and released before the next one is
+// touched. The wire server's streaming fetch path batches these into
+// bounded frames; fn returning an error stops the iteration.
+func (db *DB) RawDocuments(collection string, fn func(name string, data []byte) error) error {
+	names, err := db.store.Documents(collection)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		raw, err := db.store.GetDocumentRaw(collection, name)
+		if err != nil {
+			return err
+		}
+		if err := fn(name, raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Doc implements xquery.Source for doc("name"): the document is located in
 // whichever collection holds it.
 func (db *DB) Doc(name string) (*xmltree.Document, error) {

@@ -28,6 +28,14 @@ type Measurement struct {
 	Compose      time.Duration
 	Strategy     partix.Strategy
 	Items        int
+	// Bytes is the serialized size of the partial results shipped to the
+	// coordinator (the "bytes on wire" of the cost model).
+	Bytes int
+	// FirstItem is the time until the first result item reached the
+	// coordinator; zero for monolithic (non-streamed) executions.
+	FirstItem time.Duration
+	// Frames is the number of result batches received (streamed runs).
+	Frames int
 }
 
 // NoTransmission is the "-NT" view of a measurement (Figure 7(d) reports
@@ -185,6 +193,7 @@ func MeasureQuery(sys *partix.System, query string, repeats int) (Measurement, e
 	var m Measurement
 	m.Strategy = warm.Strategy
 	m.Items = len(warm.Items)
+	frames := 0
 	for i := 0; i < repeats; i++ {
 		res, err := sys.Query(query)
 		if err != nil {
@@ -194,13 +203,32 @@ func MeasureQuery(sys *partix.System, query string, repeats int) (Measurement, e
 		m.Parallel += res.ParallelTime
 		m.Transmission += res.TransmissionTime
 		m.Compose += res.ComposeTime
+		m.FirstItem += res.FirstItemLatency
+		m.Bytes += resultBytes(res)
+		frames += res.Frames
 	}
 	n := time.Duration(repeats)
 	m.Response /= n
 	m.Parallel /= n
 	m.Transmission /= n
 	m.Compose /= n
+	m.FirstItem /= n
+	m.Bytes /= repeats
+	m.Frames = frames / repeats
 	return m, nil
+}
+
+// resultBytes is the serialized size of the partial results a query
+// shipped, whichever path produced them.
+func resultBytes(res *partix.QueryResult) int {
+	if res.StreamedBytes > 0 {
+		return res.StreamedBytes
+	}
+	total := 0
+	for _, sub := range res.Sub {
+		total += sub.ResultBytes
+	}
+	return total
 }
 
 // MeasureWorkload runs a whole query set against a deployment.

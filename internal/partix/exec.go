@@ -21,10 +21,8 @@ type execution struct {
 	res *cluster.ExecResult
 }
 
-// execute ships the sub-queries through the cluster layer: sequentially
-// with slowest-site accounting by default (the paper's methodology), or
-// in parallel goroutines when the system runs in concurrent mode.
-func (s *System) execute(fqs []fragQuery) (*execution, error) {
+// buildSubs resolves fragment queries to cluster sub-queries.
+func (s *System) buildSubs(fqs []fragQuery) ([]cluster.SubQuery, error) {
 	subs := make([]cluster.SubQuery, 0, len(fqs))
 	for _, fq := range fqs {
 		node := s.Node(fq.node)
@@ -44,6 +42,17 @@ func (s *System) execute(fqs []fragQuery) (*execution, error) {
 			sub.Replicas = append(sub.Replicas, replica)
 		}
 		subs = append(subs, sub)
+	}
+	return subs, nil
+}
+
+// execute ships the sub-queries through the cluster layer: sequentially
+// with slowest-site accounting by default (the paper's methodology), or
+// in parallel goroutines when the system runs in concurrent mode.
+func (s *System) execute(fqs []fragQuery) (*execution, error) {
+	subs, err := s.buildSubs(fqs)
+	if err != nil {
+		return nil, err
 	}
 	run := cluster.Execute
 	if s.Concurrent() {
@@ -65,15 +74,23 @@ func (x *execution) result(strategy Strategy) *QueryResult {
 		Strategy:         strategy,
 		ParallelTime:     x.res.ParallelTime,
 		TransmissionTime: x.res.TransmissionTime,
+		Streamed:         x.res.Streamed,
+		FirstItemLatency: x.res.FirstItem,
+		Frames:           x.res.Frames,
 	}
 	for _, sub := range x.res.Sub {
 		out.Fragments = append(out.Fragments, sub.Fragment)
+		if x.res.Streamed {
+			out.StreamedBytes += sub.ResultBytes
+		}
 		out.Sub = append(out.Sub, SubTiming{
 			Fragment:    sub.Fragment,
 			Node:        sub.Node,
 			Elapsed:     sub.Elapsed,
 			ResultBytes: sub.ResultBytes,
-			Items:       len(sub.Items),
+			Items:       sub.ItemCount,
+			FirstFrame:  sub.FirstFrame,
+			Cancelled:   sub.Cancelled,
 		})
 	}
 	return out
@@ -82,17 +99,31 @@ func (x *execution) result(strategy Strategy) *QueryResult {
 // compose combines partial results per the planned strategy: centralized
 // and routed plans pass through; an aggregate plan composes the
 // per-fragment values (sum for count/sum, min/max for min/max, a
-// sum-and-count division for avg); a union plan concatenates (the ∪
-// reconstruction).
+// sum-and-count division for avg, a boolean fold for exists/empty); a
+// union plan concatenates (the ∪ reconstruction).
 func (s *System) compose(e xquery.Expr, exec *execution, strategy Strategy) (*QueryResult, error) {
 	if strategy == StrategyCentralized || strategy == StrategyRouted {
 		res := exec.result(strategy)
 		res.Items = exec.items()
 		return res, nil
 	}
+	parts := make([]xquery.Seq, len(exec.res.Sub))
+	for i, sub := range exec.res.Sub {
+		parts[i] = sub.Items
+	}
 	start := time.Now()
+	if name, ok := topLevelDecider(e); ok {
+		verdict, err := composeDecider(name, parts)
+		if err != nil {
+			return nil, err
+		}
+		res := exec.result(StrategyAggregate)
+		res.Items = xquery.Seq{verdict}
+		res.ComposeTime = time.Since(start)
+		return res, nil
+	}
 	if name, ok := topLevelAggregate(e); ok {
-		items, err := composeAggregate(name, exec)
+		items, err := composeAggregateSeqs(name, parts)
 		if err != nil {
 			return nil, err
 		}
@@ -107,12 +138,14 @@ func (s *System) compose(e xquery.Expr, exec *execution, strategy Strategy) (*Qu
 	return res, nil
 }
 
-func composeAggregate(name string, exec *execution) (xquery.Seq, error) {
+// composeAggregateSeqs folds the per-fragment partial sequences of a
+// decomposable aggregate into the global value.
+func composeAggregateSeqs(name string, parts []xquery.Seq) (xquery.Seq, error) {
 	switch name {
 	case "count", "sum":
 		total := 0.0
-		for _, sub := range exec.res.Sub {
-			for _, it := range sub.Items {
+		for _, part := range parts {
+			for _, it := range part {
 				v, err := itemFloat(it)
 				if err != nil {
 					return nil, fmt.Errorf("partix: composing %s(): %w", name, err)
@@ -123,8 +156,8 @@ func composeAggregate(name string, exec *execution) (xquery.Seq, error) {
 		return xquery.Seq{total}, nil
 	case "min", "max":
 		var best *float64
-		for _, sub := range exec.res.Sub {
-			for _, it := range sub.Items {
+		for _, part := range parts {
+			for _, it := range part {
 				v, err := itemFloat(it)
 				if err != nil {
 					return nil, fmt.Errorf("partix: composing %s(): %w", name, err)
@@ -142,15 +175,15 @@ func composeAggregate(name string, exec *execution) (xquery.Seq, error) {
 	case "avg":
 		// Sub-queries were rewritten to (sum(X), count(X)) pairs.
 		sum, count := 0.0, 0.0
-		for _, sub := range exec.res.Sub {
-			if len(sub.Items) != 2 {
-				return nil, fmt.Errorf("partix: avg() sub-result has %d items, want (sum, count)", len(sub.Items))
+		for _, part := range parts {
+			if len(part) != 2 {
+				return nil, fmt.Errorf("partix: avg() sub-result has %d items, want (sum, count)", len(part))
 			}
-			sv, err := itemFloat(sub.Items[0])
+			sv, err := itemFloat(part[0])
 			if err != nil {
 				return nil, err
 			}
-			cv, err := itemFloat(sub.Items[1])
+			cv, err := itemFloat(part[1])
 			if err != nil {
 				return nil, err
 			}
@@ -166,6 +199,27 @@ func composeAggregate(name string, exec *execution) (xquery.Seq, error) {
 	}
 }
 
+// composeDecider folds per-fragment boolean verdicts: a global exists()
+// is the OR of the fragments' exists(), a global empty() the AND of
+// their empty().
+func composeDecider(name string, parts []xquery.Seq) (bool, error) {
+	verdict := name == "empty" // identity element: OR starts false, AND starts true
+	for _, part := range parts {
+		for _, it := range part {
+			v, ok := it.(bool)
+			if !ok {
+				return false, fmt.Errorf("partix: composing %s(): sub-result is %T, want boolean", name, it)
+			}
+			if name == "exists" {
+				verdict = verdict || v
+			} else {
+				verdict = verdict && v
+			}
+		}
+	}
+	return verdict, nil
+}
+
 // topLevelAggregate recognizes queries whose outermost expression is a
 // decomposable aggregate.
 func topLevelAggregate(e xquery.Expr) (string, bool) {
@@ -175,6 +229,25 @@ func topLevelAggregate(e xquery.Expr) (string, bool) {
 	}
 	switch f.Name {
 	case "count", "sum", "min", "max", "avg":
+		return f.Name, true
+	}
+	return "", false
+}
+
+// topLevelDecider recognizes queries whose outermost expression is a
+// boolean quantifier over one sequence. They compose by folding the
+// per-fragment verdicts — exists() is the OR of the fragments'
+// exists(), empty() the AND of their empty() — and, under streaming,
+// terminate early: the first decisive verdict cancels the remaining
+// sub-queries. (Composed as a plain union they would concatenate
+// booleans, diverging from the centralized answer.)
+func topLevelDecider(e xquery.Expr) (string, bool) {
+	f, ok := e.(*xquery.FuncCall)
+	if !ok || len(f.Args) != 1 {
+		return "", false
+	}
+	switch f.Name {
+	case "exists", "empty":
 		return f.Name, true
 	}
 	return "", false

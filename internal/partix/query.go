@@ -49,6 +49,18 @@ type QueryResult struct {
 	// ComposeTime is coordinator-side composition (union, sum, or the
 	// reconstruction join plus local evaluation).
 	ComposeTime time.Duration
+	// Streamed marks a result composed incrementally from chunked frames
+	// (concurrent mode against streaming-capable nodes).
+	Streamed bool
+	// FirstItemLatency is the time from execution start until the first
+	// result item reached the coordinator; zero when not streamed or for
+	// empty results.
+	FirstItemLatency time.Duration
+	// Frames is the total number of result batches received.
+	Frames int
+	// StreamedBytes is the serialized size of all streamed partial
+	// results.
+	StreamedBytes int
 }
 
 // SubTiming is one site's measured execution.
@@ -58,6 +70,12 @@ type SubTiming struct {
 	Elapsed     time.Duration
 	ResultBytes int
 	Items       int
+	// FirstFrame is the time to the site's first result batch; zero for
+	// monolithic executions.
+	FirstFrame time.Duration
+	// Cancelled marks a sub-query stopped early because the coordinator
+	// had already decided the global result.
+	Cancelled bool
 }
 
 // ResponseTime is the simulated end-to-end response time: slowest site +
@@ -269,6 +287,9 @@ func unionOrAggregate(e xquery.Expr, fragments int) Strategy {
 	if _, ok := topLevelAggregate(e); ok {
 		return StrategyAggregate
 	}
+	if _, ok := topLevelDecider(e); ok {
+		return StrategyAggregate
+	}
 	return StrategyUnion
 }
 
@@ -283,6 +304,13 @@ func (s *System) executePlan(e xquery.Expr, p *queryPlan) (*QueryResult, error) 
 	case len(p.reconstruct) > 0:
 		return s.reconstructFragments(e, p.meta, p.reconstruct)
 	default:
+		if s.Concurrent() {
+			// Concurrent mode composes incrementally: batches merge into
+			// the result as frames arrive, overlapping composition with
+			// transmission. The sequential mode below stays monolithic —
+			// it is the paper's measured methodology.
+			return s.executeStreaming(e, p.subQueries, p.strategy)
+		}
 		exec, err := s.execute(p.subQueries)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,122 @@
+package partix
+
+import (
+	"fmt"
+	"time"
+
+	"partix/internal/cluster"
+	"partix/internal/xquery"
+)
+
+// executeStreaming runs a sub-query plan through the streaming executor:
+// result batches merge into the composition as they arrive, so the
+// coordinator overlaps composing with the nodes' transmission instead of
+// waiting for every materialized sub-result. Early-terminating
+// compositions (exists/empty) cancel the remaining streams as soon as
+// one fragment's verdict decides the global answer. The composed items
+// are identical to the monolithic path's at every batch size.
+func (s *System) executeStreaming(e xquery.Expr, fqs []fragQuery, strategy Strategy) (*QueryResult, error) {
+	subs, err := s.buildSubs(fqs)
+	if err != nil {
+		return nil, err
+	}
+	multi := len(subs) > 1
+	var sink cluster.StreamSink
+	var finish func() (xquery.Seq, error)
+	if name, ok := topLevelDecider(e); ok && multi {
+		d := &deciderSink{name: name, values: make([]xquery.Seq, len(subs))}
+		sink = d
+		finish = d.finish
+	} else if name, ok := topLevelAggregate(e); ok && multi {
+		b := newBufferSink(len(subs))
+		sink = b
+		finish = func() (xquery.Seq, error) { return composeAggregateSeqs(name, b.parts) }
+	} else {
+		b := newBufferSink(len(subs))
+		sink = b
+		finish = func() (xquery.Seq, error) { return b.concat(), nil }
+	}
+	res, err := cluster.ExecuteStreamN(subs, s.cost, s.MaxConcurrent(), sink)
+	if err != nil {
+		return nil, err
+	}
+	// Only the final fold is charged as ComposeTime: the per-batch merges
+	// happened while other nodes were still transmitting, which is the
+	// point of streaming.
+	start := time.Now()
+	items, err := finish()
+	if err != nil {
+		return nil, err
+	}
+	out := (&execution{res: res}).result(strategy)
+	out.Items = items
+	out.ComposeTime = time.Since(start)
+	return out, nil
+}
+
+// bufferSink accumulates batches per sub-query, preserving sub-query
+// order for the ∪ reconstruction regardless of arrival interleaving.
+type bufferSink struct {
+	parts []xquery.Seq
+}
+
+func newBufferSink(n int) *bufferSink {
+	return &bufferSink{parts: make([]xquery.Seq, n)}
+}
+
+// Batch implements cluster.StreamSink.
+func (b *bufferSink) Batch(sub int, items xquery.Seq) (bool, error) {
+	b.parts[sub] = append(b.parts[sub], items...)
+	return false, nil
+}
+
+// Reset implements cluster.StreamSink (replica failover re-delivery).
+func (b *bufferSink) Reset(sub int) { b.parts[sub] = nil }
+
+func (b *bufferSink) concat() xquery.Seq {
+	n := 0
+	for _, p := range b.parts {
+		n += len(p)
+	}
+	out := make(xquery.Seq, 0, n)
+	for _, p := range b.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// deciderSink composes exists()/empty() incrementally and stops the
+// execution the moment one fragment's verdict is decisive: a true from
+// any fragment decides exists(), a false decides empty(). Undecided
+// streams keep their per-fragment verdicts for the final fold.
+type deciderSink struct {
+	name   string
+	values []xquery.Seq
+}
+
+// Batch implements cluster.StreamSink.
+func (d *deciderSink) Batch(sub int, items xquery.Seq) (bool, error) {
+	d.values[sub] = append(d.values[sub], items...)
+	for _, it := range items {
+		v, ok := it.(bool)
+		if !ok {
+			return false, fmt.Errorf("partix: composing %s(): sub-result is %T, want boolean", d.name, it)
+		}
+		if (d.name == "exists") == v {
+			// exists saw a true, or empty saw a false: decided.
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Reset implements cluster.StreamSink.
+func (d *deciderSink) Reset(sub int) { d.values[sub] = nil }
+
+func (d *deciderSink) finish() (xquery.Seq, error) {
+	verdict, err := composeDecider(d.name, d.values)
+	if err != nil {
+		return nil, err
+	}
+	return xquery.Seq{verdict}, nil
+}

@@ -1,0 +1,193 @@
+package partix
+
+import (
+	"fmt"
+	"testing"
+
+	"partix/internal/cluster"
+	"partix/internal/xquery"
+)
+
+// StreamQuery keeps failingNode honest in streaming mode: without this
+// override the embedded driver's StreamQuery would be promoted and
+// bypass the down flag entirely.
+func (f *failingNode) StreamQuery(q string, yield func(xquery.Seq) error) error {
+	if f.down {
+		return fmt.Errorf("node %s is down", f.Name())
+	}
+	if st, ok := f.Driver.(cluster.Streamer); ok {
+		return st.StreamQuery(q, yield)
+	}
+	items, err := f.Driver.ExecuteQuery(q)
+	if err != nil {
+		return err
+	}
+	return yield(items)
+}
+
+// streamedPair builds two identical fragmented deployments, one in the
+// paper's sequential mode and one in concurrent (streaming) mode.
+func streamedPair(t *testing.T, docs int) (seq, stream *System) {
+	t.Helper()
+	seq = newTestSystem(t, 3)
+	publishHorizontal(t, seq, docs)
+	stream = newTestSystem(t, 3)
+	publishHorizontal(t, stream, docs)
+	stream.SetConcurrent(true)
+	return seq, stream
+}
+
+// Streamed composition produces exactly the monolithic result — same
+// items, same order — for union and for every decomposable aggregate.
+func TestStreamedCompositionMatchesMonolithic(t *testing.T) {
+	seqSys, streamSys := streamedPair(t, 24)
+	queries := []string{
+		`for $i in collection("items")/Item where contains($i/Description, "good") return $i/Code`,
+		`collection("items")/Item/Code`,
+		`count(collection("items")/Item)`,
+		`sum(collection("items")/Item/@id)`,
+		`min(collection("items")/Item/@id)`,
+		`max(collection("items")/Item/@id)`,
+		`avg(collection("items")/Item/@id)`,
+	}
+	for _, q := range queries {
+		want, err := seqSys.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got, err := streamSys.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		ws, gs := itemsAsStrings(want.Items), itemsAsStrings(got.Items)
+		if fmt.Sprint(ws) != fmt.Sprint(gs) {
+			t.Fatalf("%s:\nstreamed:   %v\nmonolithic: %v", q, gs, ws)
+		}
+		if want.Strategy != got.Strategy {
+			t.Fatalf("%s: strategy %s vs %s", q, got.Strategy, want.Strategy)
+		}
+		if !got.Streamed {
+			t.Fatalf("%s: concurrent result not marked streamed", q)
+		}
+		if want.Streamed {
+			t.Fatalf("%s: sequential result marked streamed", q)
+		}
+		if len(got.Items) > 0 && got.FirstItemLatency == 0 {
+			t.Fatalf("%s: first-item latency not measured", q)
+		}
+		if got.Frames == 0 || got.StreamedBytes == 0 {
+			t.Fatalf("%s: frame accounting missing: frames=%d bytes=%d", q, got.Frames, got.StreamedBytes)
+		}
+	}
+}
+
+// exists()/empty() over fragments compose as a boolean fold (the OR/AND
+// of the per-fragment verdicts), matching the centralized answer in both
+// execution modes. A union composition would concatenate the booleans.
+func TestDeciderComposition(t *testing.T) {
+	central := newTestSystem(t, 1)
+	if err := central.Publish(itemsCollection(24), nil, map[string]string{"": "node0"}, PublishOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	seqSys, streamSys := streamedPair(t, 24)
+
+	queries := []string{
+		`exists(collection("items")/Item)`,
+		`exists(for $i in collection("items")/Item where contains($i/Description, "nosuchtext") return $i)`,
+		`empty(collection("items")/Item)`,
+		`empty(for $i in collection("items")/Item where contains($i/Description, "nosuchtext") return $i)`,
+	}
+	for _, q := range queries {
+		want, err := central.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for name, sys := range map[string]*System{"sequential": seqSys, "streamed": streamSys} {
+			got, err := sys.Query(q)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", q, name, err)
+			}
+			if len(got.Items) != 1 {
+				t.Fatalf("%s (%s): %d items, want a single boolean (union leak?)", q, name, len(got.Items))
+			}
+			if got.Items[0] != want.Items[0] {
+				t.Fatalf("%s (%s): %v, centralized says %v", q, name, got.Items[0], want.Items[0])
+			}
+			if got.Strategy != StrategyAggregate {
+				t.Fatalf("%s (%s): strategy = %s, want aggregate", q, name, got.Strategy)
+			}
+		}
+	}
+}
+
+// A decisive verdict cancels the remaining sub-queries: with the
+// concurrency cap at 1, the first fragment's true decides exists() and
+// the queued fragments never run.
+func TestDeciderEarlyTermination(t *testing.T) {
+	_, streamSys := streamedPair(t, 24)
+	streamSys.SetMaxConcurrent(1)
+	res, err := streamSys.Query(`exists(collection("items")/Item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || res.Items[0] != true {
+		t.Fatalf("items = %v, want [true]", res.Items)
+	}
+	cancelled := 0
+	for _, sub := range res.Sub {
+		if sub.Cancelled {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatalf("no sub-query cancelled after the verdict: %+v", res.Sub)
+	}
+}
+
+// Sub-timings carry the streaming measurements.
+func TestStreamedSubTimings(t *testing.T) {
+	_, streamSys := streamedPair(t, 24)
+	res, err := streamSys.Query(`collection("items")/Item/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sub) != 3 {
+		t.Fatalf("sub-queries = %d", len(res.Sub))
+	}
+	totalItems := 0
+	for _, sub := range res.Sub {
+		if sub.FirstFrame == 0 && sub.Items > 0 {
+			t.Fatalf("sub %s: no first-frame latency", sub.Fragment)
+		}
+		totalItems += sub.Items
+	}
+	if totalItems != len(res.Items) {
+		t.Fatalf("sub item counts sum to %d, result has %d", totalItems, len(res.Items))
+	}
+}
+
+// A dead primary fails over to its replica mid-plan: the streamed union
+// still matches the healthy sequential answer, with nothing delivered
+// twice after the sink reset.
+func TestStreamedFailoverNoDoubleDelivery(t *testing.T) {
+	s, failer := replicatedSystem(t)
+	q := `collection("items")/Item/Code`
+	base, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := itemsAsStrings(base.Items)
+	if len(want) == 0 {
+		t.Fatal("no items in fixture")
+	}
+
+	failer.down = true
+	s.SetConcurrent(true)
+	got, err := s.Query(q)
+	if err != nil {
+		t.Fatalf("streamed failover did not kick in: %v", err)
+	}
+	if fmt.Sprint(itemsAsStrings(got.Items)) != fmt.Sprint(want) {
+		t.Fatalf("failover union differs:\nstreamed: %v\nhealthy:  %v", itemsAsStrings(got.Items), want)
+	}
+}

@@ -38,6 +38,18 @@ type ClientOptions struct {
 	// sub-queries no longer serialize behind a single gob stream.
 	// 0 means 4.
 	PoolSize int
+	// BatchItems asks servers to cap streamed frames at this many items
+	// or documents each; 0 accepts the server's default batch size. The
+	// server clamps requests against its own limits.
+	BatchItems int
+	// MaxMessageBytes bounds one incoming gob message (response or
+	// frame). A peer declaring a larger message surfaces as a NodeError
+	// — never an unbounded allocation — and its connection is dropped.
+	// 0 means DefaultMaxMessageBytes (64 MiB).
+	MaxMessageBytes int64
+	// DisableStreaming forces the monolithic request/response paths even
+	// against protocol-v2 servers (ablation and paper-fidelity runs).
+	DisableStreaming bool
 	// Logger receives transport events (reconnects, swallowed
 	// HasCollection failures). nil disables logging.
 	Logger *log.Logger
@@ -77,6 +89,17 @@ type ClientStats struct {
 	// NodeErrors counts application-level failures reported by the node
 	// itself (the connection stays healthy and pooled).
 	NodeErrors int64
+	// Streams is how many framed result streams were started.
+	Streams int64
+	// Frames is how many result frames were received across all streams.
+	Frames int64
+	// StreamCancels counts streams abandoned mid-flight because the
+	// consumer stopped early (early-terminating queries); each cancel
+	// closes its connection so the node stops producing frames.
+	StreamCancels int64
+	// Fallbacks counts streaming operations served via the monolithic
+	// path because the peer only speaks protocol version 1.
+	Fallbacks int64
 }
 
 // NodeError is a failure the node itself reported in a Response. The
@@ -100,20 +123,44 @@ type poolConn struct {
 	dec  *gob.Decoder
 }
 
-func (pc *poolConn) do(req *Request, timeout time.Duration) (*Response, error) {
-	deadline := time.Time{}
+func (pc *poolConn) deadline(timeout time.Duration) error {
+	d := time.Time{}
 	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
+		d = time.Now().Add(timeout)
 	}
-	if err := pc.conn.SetDeadline(deadline); err != nil {
-		return nil, err
+	return pc.conn.SetDeadline(d)
+}
+
+func (pc *poolConn) send(req *Request, timeout time.Duration) error {
+	if err := pc.deadline(timeout); err != nil {
+		return err
 	}
 	if err := pc.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("send: %w", err)
+		return fmt.Errorf("send: %w", err)
+	}
+	return nil
+}
+
+// recv decodes one message, refreshing the deadline first — on a frame
+// stream the timeout therefore bounds each frame gap, not the whole
+// stream.
+func (pc *poolConn) recv(v any, timeout time.Duration) error {
+	if err := pc.deadline(timeout); err != nil {
+		return err
+	}
+	if err := pc.dec.Decode(v); err != nil {
+		return fmt.Errorf("receive: %w", err)
+	}
+	return nil
+}
+
+func (pc *poolConn) do(req *Request, timeout time.Duration) (*Response, error) {
+	if err := pc.send(req, timeout); err != nil {
+		return nil, err
 	}
 	var resp Response
-	if err := pc.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("receive: %w", err)
+	if err := pc.recv(&resp, timeout); err != nil {
+		return nil, err
 	}
 	return &resp, nil
 }
@@ -135,7 +182,14 @@ type Client struct {
 	closed bool
 	idle   []*poolConn
 
-	dials, retries, transportErrs, nodeErrs atomic.Int64
+	// peer is the protocol version the server last announced in a
+	// response. Legacy servers never announce one, so it stays 0 and the
+	// client keeps to the monolithic paths; DialWith's ping performs the
+	// first exchange, completing negotiation before any user operation.
+	peer atomic.Int32
+
+	dials, retries, transportErrs, nodeErrs   atomic.Int64
+	streams, frames, streamCancels, fallbacks atomic.Int64
 }
 
 // Dial connects to a node server with default options; timeout bounds
@@ -170,6 +224,10 @@ func (c *Client) Stats() ClientStats {
 		Retries:         c.retries.Load(),
 		TransportErrors: c.transportErrs.Load(),
 		NodeErrors:      c.nodeErrs.Load(),
+		Streams:         c.streams.Load(),
+		Frames:          c.frames.Load(),
+		StreamCancels:   c.streamCancels.Load(),
+		Fallbacks:       c.fallbacks.Load(),
 	}
 }
 
@@ -222,7 +280,11 @@ func (c *Client) get() (*poolConn, error) {
 		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
 	c.dials.Add(1)
-	return &poolConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return &poolConn{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(newLimitReader(conn, c.opts.MaxMessageBytes)),
+	}, nil
 }
 
 // put returns a healthy connection to the pool.
@@ -238,11 +300,28 @@ func (c *Client) put(pc *poolConn) {
 	<-c.slots
 }
 
-// discard drops a connection whose gob stream can no longer be trusted.
-func (c *Client) discard(pc *poolConn) {
+// drop closes a connection and releases its pool slot without touching
+// the error counters — used when the consumer abandons a healthy stream
+// on purpose (the server's next frame write then fails, which is what
+// stops it producing).
+func (c *Client) drop(pc *poolConn) {
 	pc.conn.Close()
 	<-c.slots
+}
+
+// discard drops a connection whose gob stream can no longer be trusted.
+func (c *Client) discard(pc *poolConn) {
+	c.drop(pc)
 	c.transportErrs.Add(1)
+}
+
+// noteProto records the protocol version a response announced.
+func (c *Client) noteProto(v uint8) { c.peer.Store(int32(v)) }
+
+// peerStreams reports whether streaming operations may be issued: the
+// peer has announced protocol ≥ 2 and streaming is not disabled.
+func (c *Client) peerStreams() bool {
+	return !c.opts.DisableStreaming && c.peer.Load() >= 2
 }
 
 // once performs a single round trip on one pooled connection.
@@ -251,12 +330,24 @@ func (c *Client) once(req *Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	req.Proto = ProtocolVersion
 	resp, err := pc.do(req, c.opts.RequestTimeout)
 	if err != nil {
+		var tooBig *ErrMessageTooBig
+		if errors.As(err, &tooBig) {
+			// The node answered, but with a message over the size limit.
+			// That is the node's failure, not the link's: surface it as a
+			// NodeError (never retried — a retry would fetch the same
+			// oversize response) and drop the now-desynced connection.
+			c.drop(pc)
+			c.nodeErrs.Add(1)
+			return nil, &NodeError{Node: c.name, Msg: tooBig.Error()}
+		}
 		c.discard(pc)
 		return nil, fmt.Errorf("wire: %s: %w", c.addr, err)
 	}
 	c.put(pc)
+	c.noteProto(resp.Proto)
 	if resp.Err != "" {
 		c.nodeErrs.Add(1)
 		return nil, &NodeError{Node: c.name, Msg: resp.Err}
@@ -298,6 +389,139 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	return nil, lastErr
 }
 
+// ErrStop is returned by a stream consumer to cancel the remainder of a
+// stream. The client abandons the stream, closes its connection (which
+// makes the server's next frame write fail, stopping production), and
+// reports success to the caller.
+var ErrStop = errors.New("wire: stop streaming")
+
+// errStreamDowngrade signals that a streaming request was answered with
+// a legacy monolithic Response: the peer no longer speaks protocol v2
+// (e.g. it was replaced mid-life). The caller re-learns the peer version
+// and falls back to the monolithic path.
+var errStreamDowngrade = errors.New("wire: peer downgraded to legacy protocol")
+
+// deliverError wraps an error returned by the stream consumer, so the
+// retry machinery can tell "the consumer refused the data" from "the
+// transport failed".
+type deliverError struct{ cause error }
+
+func (e *deliverError) Error() string { return e.cause.Error() }
+func (e *deliverError) Unwrap() error { return e.cause }
+
+// streamOnce issues one streaming request on one pooled connection and
+// feeds each payload frame to deliver in arrival order. It returns the
+// number of frames handed to the consumer — a transparent retry is only
+// safe while that is zero, unless the caller can roll its state back.
+func (c *Client) streamOnce(req *Request, deliver func(*Frame) error) (int, error) {
+	pc, err := c.get()
+	if err != nil {
+		return 0, err
+	}
+	req.Proto = ProtocolVersion
+	req.BatchItems = c.opts.BatchItems
+	if err := pc.send(req, c.opts.RequestTimeout); err != nil {
+		c.discard(pc)
+		return 0, fmt.Errorf("wire: %s: %w", c.addr, err)
+	}
+	c.streams.Add(1)
+	delivered, total := 0, 0
+	for {
+		var f Frame
+		if err := pc.recv(&f, c.opts.RequestTimeout); err != nil {
+			var tooBig *ErrMessageTooBig
+			if errors.As(err, &tooBig) {
+				c.drop(pc)
+				c.nodeErrs.Add(1)
+				return delivered, &NodeError{Node: c.name, Msg: tooBig.Error()}
+			}
+			c.discard(pc)
+			return delivered, fmt.Errorf("wire: %s: %w", c.addr, err)
+		}
+		c.frames.Add(1)
+		switch f.Kind {
+		case FrameItems, FrameDocs:
+			delivered++
+			total += len(f.Items) + len(f.Docs)
+			if err := deliver(&f); err != nil {
+				c.drop(pc)
+				c.streamCancels.Add(1)
+				return delivered, &deliverError{cause: err}
+			}
+		case FrameEnd:
+			if f.Total != total {
+				c.discard(pc)
+				return delivered, fmt.Errorf("wire: %s: stream integrity: node sent %d items, frames carried %d",
+					c.addr, f.Total, total)
+			}
+			c.put(pc)
+			return delivered, nil
+		case FrameErr:
+			c.put(pc)
+			c.nodeErrs.Add(1)
+			return delivered, &NodeError{Node: c.name, Msg: f.Err}
+		default:
+			// Kind 0 means the message had no Kind field at all: a legacy
+			// monolithic Response decoded as a Frame. The response was
+			// consumed whole, so the stream is still in sync, but nothing
+			// framed will ever arrive — drop the connection quietly and
+			// let the caller downgrade. Mid-stream this cannot be mapped
+			// onto the monolithic path without double delivery, so it
+			// degrades to a transport error instead.
+			c.drop(pc)
+			if delivered == 0 {
+				return 0, errStreamDowngrade
+			}
+			return delivered, fmt.Errorf("wire: %s: peer stopped framing mid-stream", c.addr)
+		}
+	}
+}
+
+// stream runs a streaming request under the retry policy. After a
+// transport failure the operation is re-issued on a fresh connection
+// only if no frame reached the consumer yet, or if reset (rolling the
+// consumer's accumulated state back to empty) is provided. Node errors,
+// downgrades and consumer cancellation are never retried.
+func (c *Client) stream(req *Request, deliver func(*Frame) error, reset func()) error {
+	attempts := 1 + c.opts.MaxRetries
+	backoff := c.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if c.opts.Logger != nil {
+				c.opts.Logger.Printf("wire: retrying stream op %d on %s after %v (attempt %d/%d): %v",
+					req.Op, c.name, backoff, attempt+1, attempts, lastErr)
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		delivered, err := c.streamOnce(req, deliver)
+		if err == nil {
+			return nil
+		}
+		var de *deliverError
+		if errors.As(err, &de) {
+			if errors.Is(de.cause, ErrStop) {
+				return nil
+			}
+			return de.cause
+		}
+		var ne *NodeError
+		if errors.Is(err, errClientClosed) || errors.As(err, &ne) || errors.Is(err, errStreamDowngrade) {
+			return err
+		}
+		if delivered > 0 {
+			if reset == nil {
+				return err
+			}
+			reset()
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
 // Name implements cluster.Driver.
 func (c *Client) Name() string { return c.name }
 
@@ -325,8 +549,34 @@ func (c *Client) StoreDocument(collection string, doc *xmltree.Document) error {
 	return err
 }
 
-// ExecuteQuery implements cluster.Driver.
+// ExecuteQuery implements cluster.Driver. Against a protocol-v2 peer
+// the result arrives as bounded frames that are decoded and accumulated
+// incrementally (the client never holds the full wire encoding in
+// memory); against a legacy peer it is one monolithic response. The
+// returned sequence is byte-identical either way.
 func (c *Client) ExecuteQuery(query string) (xquery.Seq, error) {
+	if c.peerStreams() {
+		var out xquery.Seq
+		deliver := func(f *Frame) error {
+			for _, it := range f.Items {
+				v, err := DecodeItem(it)
+				if err != nil {
+					return err
+				}
+				out = append(out, v)
+			}
+			return nil
+		}
+		err := c.stream(&Request{Op: OpQueryStream, Query: query}, deliver, func() { out = nil })
+		if err == nil {
+			return out, nil
+		}
+		if !errors.Is(err, errStreamDowngrade) {
+			return nil, err
+		}
+		c.noteProto(0)
+		c.fallbacks.Add(1)
+	}
 	resp, err := c.roundTrip(&Request{Op: OpQuery, Query: query})
 	if err != nil {
 		return nil, err
@@ -334,8 +584,71 @@ func (c *Client) ExecuteQuery(query string) (xquery.Seq, error) {
 	return DecodeSeq(resp.Items)
 }
 
-// FetchCollection implements cluster.Driver.
+// StreamQuery executes a query with incremental result delivery: yield
+// is called once per received frame batch, in arrival order, from the
+// calling goroutine. Returning ErrStop from yield cancels the remaining
+// frames (the node stops producing) and StreamQuery returns nil; any
+// other error cancels the stream and is returned. Against a legacy
+// (protocol v1) peer, or with DisableStreaming set, the query runs
+// monolithically and yield is called once with the full result — so
+// callers need no protocol awareness.
+func (c *Client) StreamQuery(query string, yield func(xquery.Seq) error) error {
+	if c.peerStreams() {
+		deliver := func(f *Frame) error {
+			seq, err := DecodeSeq(f.Items)
+			if err != nil {
+				return err
+			}
+			return yield(seq)
+		}
+		err := c.stream(&Request{Op: OpQueryStream, Query: query}, deliver, nil)
+		if !errors.Is(err, errStreamDowngrade) {
+			return err
+		}
+		c.noteProto(0)
+	}
+	c.fallbacks.Add(1)
+	seq, err := c.ExecuteQuery(query)
+	if err != nil {
+		return err
+	}
+	if err := yield(seq); err != nil && !errors.Is(err, ErrStop) {
+		return err
+	}
+	return nil
+}
+
+// FetchCollection implements cluster.Driver. Like ExecuteQuery, it
+// streams from protocol-v2 peers (documents decode as frames arrive,
+// bounding transfer memory to one frame) and falls back to the
+// monolithic exchange against legacy peers.
 func (c *Client) FetchCollection(collection string) (*xmltree.Collection, error) {
+	if c.peerStreams() {
+		col := xmltree.NewCollection(collection)
+		deliver := func(f *Frame) error {
+			if len(f.DocNames) != len(f.Docs) {
+				return fmt.Errorf("wire: frame carries %d names for %d documents", len(f.DocNames), len(f.Docs))
+			}
+			for i, raw := range f.Docs {
+				doc, err := storage.DecodeDocument(f.DocNames[i], raw)
+				if err != nil {
+					return err
+				}
+				col.Add(doc)
+			}
+			return nil
+		}
+		reset := func() { col = xmltree.NewCollection(collection) }
+		err := c.stream(&Request{Op: OpFetchStream, Collection: collection}, deliver, reset)
+		if err == nil {
+			return col, nil
+		}
+		if !errors.Is(err, errStreamDowngrade) {
+			return nil, err
+		}
+		c.noteProto(0)
+		c.fallbacks.Add(1)
+	}
 	resp, err := c.roundTrip(&Request{Op: OpFetchCollection, Collection: collection})
 	if err != nil {
 		return nil, err

@@ -301,7 +301,7 @@ func TestPanickingRequestKeepsServing(t *testing.T) {
 	}
 	srv := NewServerWith(db, nil, ServerOptions{})
 	srv.hook = func(req *Request) {
-		if req.Op == OpQuery && req.Query == "boom" {
+		if (req.Op == OpQuery || req.Op == OpQueryStream) && req.Query == "boom" {
 			panic("injected evaluator panic")
 		}
 	}
@@ -482,7 +482,7 @@ func TestPoolOverlapsConcurrentRequests(t *testing.T) {
 	}
 	srv := NewServerWith(db, nil, ServerOptions{})
 	srv.hook = func(req *Request) {
-		if req.Op == OpQuery {
+		if req.Op == OpQuery || req.Op == OpQueryStream {
 			time.Sleep(100 * time.Millisecond)
 		}
 	}

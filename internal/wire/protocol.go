@@ -5,15 +5,33 @@
 // with per-operation deadlines and automatic reconnect for retry-safe
 // operations, so a PartiX system can mix in-process and networked nodes
 // freely and survive transient link failures.
+//
+// Protocol version 2 adds chunked result streaming: query and fetch
+// results are shipped as bounded Frames (FrameItems/FrameDocs … FrameEnd
+// or FrameErr) so the coordinator can compose partial results while the
+// node is still transmitting, and cancel a stream it no longer needs.
+// Versions are negotiated on the first exchange; legacy peers keep the
+// monolithic path on both sides.
 package wire
 
 import (
 	"fmt"
+	"sync"
 
 	"partix/internal/storage"
 	"partix/internal/xmltree"
 	"partix/internal/xquery"
 )
+
+// ProtocolVersion is the wire protocol generation this build speaks.
+// Version 1 (implicit — legacy peers never announce one) is the
+// monolithic request/response protocol; version 2 adds the chunked
+// result-frame streaming operations. Peers negotiate on the first
+// exchange of a client: requests carry the client's version, responses
+// echo the server's, and a client only issues streaming operations to a
+// peer that has announced version 2 — against anything older it falls
+// back to the monolithic path transparently.
+const ProtocolVersion = 2
 
 // Op identifies a request type.
 type Op uint8
@@ -27,18 +45,27 @@ const (
 	OpFetchCollection
 	OpStats
 	OpHasCollection
+	// OpQueryStream is OpQuery answered as a sequence of Frames instead
+	// of one Response. Protocol version 2; never sent to a legacy peer.
+	OpQueryStream
+	// OpFetchStream is OpFetchCollection answered as Frames. Version 2.
+	OpFetchStream
 )
 
 // retrySafe marks the operations a client may transparently re-issue on
 // a fresh connection after a transport failure: reads plus the liveness
 // ping. Mutations (OpCreateCollection, OpStoreDocument) are excluded
 // because a lost response leaves their outcome on the node unknown.
+// Streaming ops are retry-safe only until their first frame has been
+// delivered to the consumer; the client enforces that separately.
 var retrySafe = map[Op]bool{
 	OpPing:            true,
 	OpQuery:           true,
 	OpFetchCollection: true,
 	OpStats:           true,
 	OpHasCollection:   true,
+	OpQueryStream:     true,
+	OpFetchStream:     true,
 }
 
 // Request is one client → server message.
@@ -48,6 +75,13 @@ type Request struct {
 	DocName    string
 	DocData    []byte // binary-encoded document (storage format)
 	Query      string
+	// Proto announces the client's protocol version. Legacy servers
+	// ignore the field (gob skips fields the receiver lacks).
+	Proto uint8
+	// BatchItems asks the server to cap streamed frames at this many
+	// items/documents each; 0 accepts the server's default. The server
+	// clamps it against its own limits.
+	BatchItems int
 }
 
 // Response is one server → client message.
@@ -58,6 +92,70 @@ type Response struct {
 	Docs     [][]byte // binary-encoded documents
 	Stats    storage.Stats
 	Bool     bool
+	// Proto announces the server's protocol version; zero on responses
+	// from legacy servers, which is how a client learns it must stay on
+	// the monolithic path.
+	Proto uint8
+}
+
+// FrameKind tags one message of a streamed result. The zero value is
+// deliberately invalid: a legacy Response mis-decoded as a Frame (or any
+// stray message) yields kind 0 and is rejected instead of being
+// mistaken for an empty items frame.
+type FrameKind uint8
+
+// Streamed-result frame kinds.
+const (
+	frameInvalid FrameKind = iota
+	// FrameItems carries one batch of result items (OpQueryStream).
+	FrameItems
+	// FrameDocs carries one batch of documents (OpFetchStream).
+	FrameDocs
+	// FrameEnd terminates a successful stream; Total carries the item
+	// (or document) count for an end-to-end integrity check.
+	FrameEnd
+	// FrameErr terminates a failed stream with the node's error.
+	FrameErr
+)
+
+// Frame is one server → client message of a streamed result. A stream
+// is zero or more FrameItems/FrameDocs followed by exactly one FrameEnd
+// or FrameErr; anything else (including a connection that dies first)
+// is a transport error, never a truncated-but-successful result.
+type Frame struct {
+	Kind     FrameKind
+	Items    []Item
+	DocNames []string
+	Docs     [][]byte
+	Err      string
+	// Total is the stream's full item/doc count, set on FrameEnd.
+	Total int
+}
+
+// itemBatchPool recycles the []Item scratch slices the server encodes
+// frames into (the storage page-buffer pooling pattern): a streaming
+// query emits many short-lived batches, and pooling them keeps the
+// per-frame allocation count flat. Buffers are handed to gob for
+// encoding and reused only after Encode returns, so sharing is safe.
+var itemBatchPool = sync.Pool{
+	New: func() any { b := make([]Item, 0, 256); return &b },
+}
+
+func getItemBatch() *[]Item {
+	return itemBatchPool.Get().(*[]Item)
+}
+
+func putItemBatch(b *[]Item) {
+	resetItemBatch(b)
+	itemBatchPool.Put(b)
+}
+
+// resetItemBatch empties the batch in place for the next frame.
+func resetItemBatch(b *[]Item) {
+	for i := range *b {
+		(*b)[i] = Item{} // drop references so pooled frames don't pin node data
+	}
+	*b = (*b)[:0]
 }
 
 // ItemKind tags a serialized result item.
@@ -80,26 +178,61 @@ type Item struct {
 	Node []byte // binary-encoded subtree for ItemNode
 }
 
+// EncodeItem converts one evaluation result item into wire form.
+func EncodeItem(it xquery.Item) (Item, error) {
+	switch v := it.(type) {
+	case *xmltree.Node:
+		data, err := storage.EncodeDocument(&xmltree.Document{Name: "item", Root: v})
+		if err != nil {
+			return Item{}, err
+		}
+		return Item{Kind: ItemNode, Node: data}, nil
+	case string:
+		return Item{Kind: ItemString, Str: v}, nil
+	case float64:
+		return Item{Kind: ItemNumber, Num: v}, nil
+	case bool:
+		return Item{Kind: ItemBool, Bool: v}, nil
+	default:
+		return Item{}, fmt.Errorf("wire: cannot encode item of type %T", it)
+	}
+}
+
+// DecodeItem converts one wire item back to an evaluation result item.
+func DecodeItem(it Item) (xquery.Item, error) {
+	switch it.Kind {
+	case ItemNode:
+		doc, err := storage.DecodeDocument("item", it.Node)
+		if err != nil {
+			return nil, err
+		}
+		return doc.Root, nil
+	case ItemString:
+		return it.Str, nil
+	case ItemNumber:
+		return it.Num, nil
+	case ItemBool:
+		return it.Bool, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown item kind %d", it.Kind)
+	}
+}
+
+// wireBytes approximates the item's on-wire size, used to cap frames at
+// the server's byte budget.
+func (it Item) wireBytes() int {
+	return len(it.Node) + len(it.Str) + 16
+}
+
 // EncodeSeq converts an evaluation result into wire items.
 func EncodeSeq(s xquery.Seq) ([]Item, error) {
 	out := make([]Item, 0, len(s))
 	for _, it := range s {
-		switch v := it.(type) {
-		case *xmltree.Node:
-			data, err := storage.EncodeDocument(&xmltree.Document{Name: "item", Root: v})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Item{Kind: ItemNode, Node: data})
-		case string:
-			out = append(out, Item{Kind: ItemString, Str: v})
-		case float64:
-			out = append(out, Item{Kind: ItemNumber, Num: v})
-		case bool:
-			out = append(out, Item{Kind: ItemBool, Bool: v})
-		default:
-			return nil, fmt.Errorf("wire: cannot encode item of type %T", it)
+		wi, err := EncodeItem(it)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, wi)
 	}
 	return out, nil
 }
@@ -108,22 +241,11 @@ func EncodeSeq(s xquery.Seq) ([]Item, error) {
 func DecodeSeq(items []Item) (xquery.Seq, error) {
 	out := make(xquery.Seq, 0, len(items))
 	for _, it := range items {
-		switch it.Kind {
-		case ItemNode:
-			doc, err := storage.DecodeDocument("item", it.Node)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, doc.Root)
-		case ItemString:
-			out = append(out, it.Str)
-		case ItemNumber:
-			out = append(out, it.Num)
-		case ItemBool:
-			out = append(out, it.Bool)
-		default:
-			return nil, fmt.Errorf("wire: unknown item kind %d", it.Kind)
+		v, err := DecodeItem(it)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, v)
 	}
 	return out, nil
 }

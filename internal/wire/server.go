@@ -13,26 +13,63 @@ import (
 
 	"partix/internal/engine"
 	"partix/internal/storage"
+	"partix/internal/xquery"
 )
 
-// ServerOptions tune a node server's connection hygiene. The zero value
-// gives production defaults; see the field comments.
+// ServerOptions tune a node server's connection hygiene and streaming
+// behaviour. The zero value gives production defaults; see the field
+// comments.
 type ServerOptions struct {
 	// IdleTimeout closes a connection that sends no request for this
 	// long, so dead peers cannot pin server resources forever. Clients
-	// reconnect transparently. 0 disables the idle deadline.
+	// reconnect transparently. 0 disables the idle deadline. While a
+	// result stream is being written it also bounds each frame write, so
+	// a peer that stops reading cannot pin a handler goroutine.
 	IdleTimeout time.Duration
 	// DrainTimeout bounds how long Close waits for in-flight requests to
 	// finish before forcing their connections closed. 0 means 5s;
 	// negative closes immediately.
 	DrainTimeout time.Duration
+	// BatchItems caps how many items (or documents) one streamed frame
+	// carries when the client does not ask for a smaller batch. 0 means
+	// 256.
+	BatchItems int
+	// MaxFrameBytes flushes a streamed frame early once its payload
+	// reaches this many bytes, bounding per-frame memory on both peers
+	// regardless of item sizes. 0 means 1 MiB.
+	MaxFrameBytes int
+	// MaxMessageBytes bounds one incoming gob message. A peer declaring
+	// a larger message is answered with an error response and
+	// disconnected before the decoder allocates for it. 0 means
+	// DefaultMaxMessageBytes (64 MiB).
+	MaxMessageBytes int64
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
 	if o.DrainTimeout == 0 {
 		o.DrainTimeout = 5 * time.Second
 	}
+	if o.BatchItems <= 0 {
+		o.BatchItems = 256
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = 1 << 20
+	}
 	return o
+}
+
+// batchFor resolves the effective frame batch size for one request: the
+// client may ask for a smaller batch than the server default, never a
+// larger one than 4× it (a huge request would defeat frame bounding).
+func (o ServerOptions) batchFor(req *Request) int {
+	b := o.BatchItems
+	if req.BatchItems > 0 {
+		b = req.BatchItems
+		if max := o.BatchItems * 4; b > max {
+			b = max
+		}
+	}
+	return b
 }
 
 // Server exposes one engine.DB over the wire protocol. A panic while
@@ -155,7 +192,7 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(newLimitReader(conn, s.opts.MaxMessageBytes))
 	enc := gob.NewEncoder(conn)
 	for {
 		if s.opts.IdleTimeout > 0 {
@@ -169,13 +206,31 @@ func (s *Server) handle(conn net.Conn) {
 				// expected disconnect either way.
 				return
 			}
+			var tooBig *ErrMessageTooBig
+			if errors.As(err, &tooBig) {
+				// The oversize message was never consumed, so the stream
+				// is desynced: answer the pending request with an error
+				// (best effort) and drop the connection.
+				if s.log != nil {
+					s.log.Printf("wire: oversize message from %s: %v", conn.RemoteAddr(), err)
+				}
+				enc.Encode(&Response{Err: err.Error(), Proto: ProtocolVersion})
+				return
+			}
 			if !errors.Is(err, io.EOF) && s.log != nil {
 				s.log.Printf("wire: decode from %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		resp := s.dispatch(&req)
-		if err := enc.Encode(resp); err != nil {
+		var err error
+		if req.Op == OpQueryStream || req.Op == OpFetchStream {
+			err = s.serveStream(enc, conn, &req)
+		} else {
+			resp := s.dispatch(&req)
+			resp.Proto = ProtocolVersion
+			err = enc.Encode(resp)
+		}
+		if err != nil {
 			if s.log != nil {
 				s.log.Printf("wire: encode to %s: %v", conn.RemoteAddr(), err)
 			}
@@ -188,6 +243,132 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// sendFrame writes one frame, bounding the write by the idle timeout so
+// a peer that stopped reading cannot pin the handler forever.
+func (s *Server) sendFrame(enc *gob.Encoder, conn net.Conn, f *Frame) error {
+	if s.opts.IdleTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.IdleTimeout))
+	}
+	return enc.Encode(f)
+}
+
+// serveStream answers OpQueryStream/OpFetchStream with a frame sequence.
+// Application failures terminate the stream with FrameErr (the
+// connection stays usable); a returned error is a transport failure and
+// drops the connection. A client that abandons the stream closes its
+// connection, which surfaces here as a frame write error — the node
+// stops producing frames nobody will read.
+func (s *Server) serveStream(enc *gob.Encoder, conn net.Conn, req *Request) error {
+	batch := s.opts.batchFor(req)
+	switch req.Op {
+	case OpQueryStream:
+		return s.streamQuery(enc, conn, req, batch)
+	default:
+		return s.streamFetch(enc, conn, req, batch)
+	}
+}
+
+// streamQuery evaluates the query and ships the result sequence as
+// bounded FrameItems batches. The evaluator still materializes its
+// result (it is not lazy); frames bound the wire transfer and the
+// decode-side memory, and let the coordinator compose while later
+// frames are still in flight.
+func (s *Server) streamQuery(enc *gob.Encoder, conn net.Conn, req *Request, batch int) error {
+	items, err := func() (items xquery.Seq, err error) {
+		// A panic in the hook or evaluator is confined to this stream,
+		// mirroring dispatch: the client sees FrameErr, not a dead node.
+		defer func() {
+			if r := recover(); r != nil {
+				if s.log != nil {
+					s.log.Printf("wire: panic serving stream: %v\n%s", r, debug.Stack())
+				}
+				err = fmt.Errorf("wire: internal error serving request: %v", r)
+			}
+		}()
+		if s.hook != nil {
+			s.hook(req)
+		}
+		return s.db.Query(req.Query)
+	}()
+	if err != nil {
+		return s.sendFrame(enc, conn, &Frame{Kind: FrameErr, Err: err.Error()})
+	}
+	// One pooled buffer per stream, reset in place between frames: the
+	// put/get pair it replaced could double-insert the buffer into the
+	// pool (the deferred put re-pooled the pointer a concurrent stream
+	// had already drawn), corrupting frames under concurrency.
+	buf := getItemBatch()
+	defer putItemBatch(buf)
+	bytes := 0
+	for _, it := range items {
+		wi, encErr := EncodeItem(it)
+		if encErr != nil {
+			return s.sendFrame(enc, conn, &Frame{Kind: FrameErr, Err: encErr.Error()})
+		}
+		*buf = append(*buf, wi)
+		bytes += wi.wireBytes()
+		if len(*buf) >= batch || bytes >= s.opts.MaxFrameBytes {
+			if err := s.sendFrame(enc, conn, &Frame{Kind: FrameItems, Items: *buf}); err != nil {
+				return err
+			}
+			resetItemBatch(buf)
+			bytes = 0
+		}
+	}
+	if len(*buf) > 0 {
+		if err := s.sendFrame(enc, conn, &Frame{Kind: FrameItems, Items: *buf}); err != nil {
+			return err
+		}
+	}
+	return s.sendFrame(enc, conn, &Frame{Kind: FrameEnd, Total: len(items)})
+}
+
+// streamFetch ships a collection's documents as bounded FrameDocs
+// batches, reading them from the store one at a time (engine.RawDocuments)
+// so the node never materializes the whole collection either.
+func (s *Server) streamFetch(enc *gob.Encoder, conn net.Conn, req *Request, batch int) error {
+	if s.hook != nil {
+		s.hook(req)
+	}
+	names := make([]string, 0, batch)
+	docs := make([][]byte, 0, batch)
+	bytes, total := 0, 0
+	flush := func() error {
+		if len(docs) == 0 {
+			return nil
+		}
+		err := s.sendFrame(enc, conn, &Frame{Kind: FrameDocs, DocNames: names, Docs: docs})
+		names = names[:0]
+		docs = docs[:0]
+		bytes = 0
+		return err
+	}
+	var sendErr error
+	err := s.db.RawDocuments(req.Collection, func(name string, raw []byte) error {
+		names = append(names, name)
+		docs = append(docs, raw)
+		bytes += len(raw)
+		total++
+		if len(docs) >= batch || bytes >= s.opts.MaxFrameBytes {
+			if err := flush(); err != nil {
+				sendErr = err
+				return err
+			}
+		}
+		return nil
+	})
+	if sendErr != nil {
+		return sendErr // transport failure: drop the connection
+	}
+	if err != nil {
+		return s.sendFrame(enc, conn, &Frame{Kind: FrameErr, Err: err.Error()})
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return s.sendFrame(enc, conn, &Frame{Kind: FrameEnd, Total: total})
 }
 
 // dispatch serves one request. A panic anywhere below (a malformed query

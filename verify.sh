@@ -13,3 +13,6 @@ go vet ./...
 go build ./...
 go test -timeout 5m ./...
 go test -race -timeout 5m ./internal/engine/... ./internal/cluster/... ./internal/partix/... ./internal/wire/...
+# streaming smoke benchmark: one iteration proves the framed and
+# monolithic wire paths agree and the alloc assertions hold
+go test -timeout 5m -run '^$' -bench BenchmarkStreamVsMonolithic -benchtime 1x ./internal/wire/
