@@ -9,12 +9,14 @@
 //	partix-bench -exp fig7a -scale 4 -repeats 10
 //	partix-bench -exp fig7d               # prints both -T and -NT views
 //	partix-bench -exp stream -json BENCH_PR3.json
+//	partix-bench -exp obs -json BENCH_PR4.json
 //
-// Experiments: fig7a, fig7b, fig7c, fig7d, headline, smalldb, stream, all.
-// The stream experiment contrasts the framed wire protocol against the
-// monolithic one over real TCP node servers. With -json the measured
-// panels are also written machine-readable (durations in nanoseconds) so
-// the perf trajectory is tracked across changes.
+// Experiments: fig7a, fig7b, fig7c, fig7d, headline, smalldb, stream,
+// obs, all. The stream experiment contrasts the framed wire protocol
+// against the monolithic one over real TCP node servers; obs measures
+// the observability layer's overhead (metrics off vs on vs traced). With
+// -json the measured panels are also written machine-readable (durations
+// in nanoseconds) so the perf trajectory is tracked across changes.
 package main
 
 import (
@@ -28,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | all")
+		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | all")
 		scaleF     = flag.Int("scale", 1, "multiply the default database sizes")
 		repeats    = flag.Int("repeats", 3, "timed executions per query (after one discarded warm-up)")
 		dir        = flag.String("dir", "", "working directory for node stores (default: temp)")
@@ -75,6 +77,7 @@ var (
 type collector struct {
 	panels []*experiments.Panel
 	stream *experiments.StreamCompare
+	obs    *experiments.ObsCompare
 }
 
 func writeJSON(path string, repeats int, col *collector) error {
@@ -83,6 +86,7 @@ func writeJSON(path string, repeats int, col *collector) error {
 		return err
 	}
 	report := experiments.NewReport(repeats, col.panels, col.stream)
+	report.Obs = col.obs
 	if err := report.WriteJSON(f); err != nil {
 		f.Close()
 		return err
@@ -134,8 +138,16 @@ func run(exp string, scale experiments.Scale, opts experiments.Options, col *col
 		col.stream = c
 		experiments.PrintStream(out, c)
 		return nil
+	case "obs":
+		c, err := experiments.RunObs(scale, opts)
+		if err != nil {
+			return err
+		}
+		col.obs = c
+		experiments.PrintObs(out, c)
+		return nil
 	case "all":
-		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "headline"} {
+		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "headline"} {
 			if err := run(name, scale, opts, col); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

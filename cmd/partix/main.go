@@ -41,6 +41,7 @@ import (
 
 	"partix/internal/cluster"
 	"partix/internal/fragmentation"
+	"partix/internal/obs"
 	"partix/internal/partix"
 	"partix/internal/wire"
 	"partix/internal/xmlschema"
@@ -90,6 +91,8 @@ func main() {
 		batch      = flag.Int("batch-items", 0, "ask nodes to cap streamed frames at this many items (0 = node default)")
 		maxMsg     = flag.Int64("max-message-bytes", 0, "reject node messages larger than this (0 = built-in default)")
 		noStream   = flag.Bool("no-stream", false, "force monolithic responses even against streaming-capable nodes")
+		trace      = flag.Bool("trace", false, "trace the query across the deployment and print the span tree")
+		slowQuery  = flag.Duration("slow-query", 0, "log queries slower than this threshold (0 = off)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -105,13 +108,19 @@ func main() {
 		MaxMessageBytes:  *maxMsg,
 		DisableStreaming: *noStream,
 	}
-	if err := run(*configPath, opts, flag.Args()); err != nil {
+	if err := run(*configPath, opts, queryOptions{trace: *trace, slowQuery: *slowQuery}, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "partix:", err)
 		os.Exit(1)
 	}
 }
 
-func run(configPath string, opts wire.ClientOptions, args []string) error {
+// queryOptions are the coordinator-side observability switches.
+type queryOptions struct {
+	trace     bool
+	slowQuery time.Duration
+}
+
+func run(configPath string, opts wire.ClientOptions, qopts queryOptions, args []string) error {
 	cfg, err := loadConfig(configPath)
 	if err != nil {
 		return err
@@ -121,6 +130,11 @@ func run(configPath string, opts wire.ClientOptions, args []string) error {
 		return err
 	}
 	defer closeAll()
+	sys.SetTracing(qopts.trace)
+	if qopts.slowQuery > 0 {
+		sys.SetSlowQueryThreshold(qopts.slowQuery)
+		sys.SetLogger(obs.NewTextLogger(os.Stderr, obs.LevelInfo))
+	}
 
 	scheme, mode, err := cfg.scheme()
 	if err != nil {
@@ -169,6 +183,9 @@ func run(configPath string, opts wire.ClientOptions, args []string) error {
 		if res.Streamed && !opts.DisableStreaming {
 			fmt.Fprintf(os.Stderr, "streamed: first-item=%v frames=%d bytes=%d\n",
 				res.FirstItemLatency, res.Frames, res.StreamedBytes)
+		}
+		if res.Trace != nil {
+			fmt.Fprintf(os.Stderr, "trace %s\n%s", res.TraceID, res.Trace.Format())
 		}
 		return nil
 

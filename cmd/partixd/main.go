@@ -6,6 +6,11 @@
 // Usage:
 //
 //	partixd -addr :7001 -db node1.db
+//
+// With -debug-addr the node additionally serves an operational HTTP
+// endpoint: Prometheus metrics on /metrics, liveness on /healthz, a JSON
+// metrics snapshot on /debug/vars and the Go profiler under
+// /debug/pprof/.
 package main
 
 import (
@@ -13,12 +18,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"partix/internal/engine"
+	"partix/internal/obs"
 	"partix/internal/wire"
 )
 
@@ -34,6 +41,7 @@ func main() {
 		batch      = flag.Int("batch-items", 0, "default items/documents per streamed result frame (0 = built-in default)")
 		frameBytes = flag.Int("max-frame-bytes", 0, "flush a streamed frame once it holds this many payload bytes (0 = built-in default)")
 		maxMsg     = flag.Int64("max-message-bytes", 0, "reject incoming messages larger than this (0 = built-in default)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (empty = off)")
 		quiet      = flag.Bool("quiet", false, "suppress request logging")
 	)
 	flag.Parse()
@@ -66,6 +74,28 @@ func main() {
 		MaxFrameBytes:   *frameBytes,
 		MaxMessageBytes: *maxMsg,
 	})
+
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		health := func() error {
+			// The engine answers a stats snapshot iff it is open and
+			// serving — the same liveness a wire ping would establish.
+			_ = db.Stats()
+			return nil
+		}
+		go func() {
+			if err := http.Serve(dl, obs.Handler(obs.Default, health)); err != nil && logger != nil {
+				logger.Printf("debug endpoint: %v", err)
+			}
+		}()
+		if logger != nil {
+			logger.Printf("debug endpoint on http://%s/metrics", dl.Addr())
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

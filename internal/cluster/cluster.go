@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"partix/internal/engine"
+	"partix/internal/obs"
 	"partix/internal/storage"
 	"partix/internal/xmltree"
 	"partix/internal/xquery"
@@ -48,6 +49,16 @@ type Pinger interface {
 	Ping() error
 }
 
+// TracedDriver is an optional Driver extension for distributed query
+// tracing: the node runs the query under the given trace ID and returns
+// its per-step spans (parse, plan, execute, …) alongside the result.
+// Remote drivers carry the ID in the protocol-v3 header; LocalNode
+// times the steps in-process. A driver without this extension is
+// queried via plain ExecuteQuery and contributes no spans.
+type TracedDriver interface {
+	ExecuteQueryTraced(traceID, query string) (xquery.Seq, []obs.Span, error)
+}
+
 // LocalNode is an in-process driver backed by an engine.DB, used by the
 // simulated cluster and by tests.
 type LocalNode struct {
@@ -80,6 +91,30 @@ func (n *LocalNode) StoreDocument(collection string, doc *xmltree.Document) erro
 // ExecuteQuery implements Driver.
 func (n *LocalNode) ExecuteQuery(query string) (xquery.Seq, error) {
 	return n.db.Query(query)
+}
+
+// ExecuteQueryTraced implements TracedDriver in-process, timing the
+// same steps a remote node reports (minus serialize — nothing crosses
+// a wire) so traces over mixed local/remote deployments stay uniform.
+func (n *LocalNode) ExecuteQueryTraced(traceID, query string) (xquery.Seq, []obs.Span, error) {
+	parseSpan, endParse := obs.StartSpan("parse", "")
+	expr, err := xquery.Parse(query)
+	endParse()
+	if err != nil {
+		return nil, nil, err
+	}
+	planSpan, endPlan := obs.StartSpan("plan", "")
+	hints := xquery.ExtractHints(expr)
+	endPlan()
+	planSpan.Detail = fmt.Sprintf("hints=%d", len(hints))
+	execSpan, endExec := obs.StartSpan("execute", "")
+	items, err := n.db.QueryExpr(expr)
+	endExec()
+	if err != nil {
+		return nil, nil, err
+	}
+	execSpan.Detail = fmt.Sprintf("items=%d", len(items))
+	return items, []obs.Span{*parseSpan, *planSpan, *execSpan}, nil
 }
 
 // FetchCollection implements Driver.
@@ -130,6 +165,10 @@ type SubQuery struct {
 	// are tried in order when the primary fails.
 	Replicas []Driver
 	Query    string
+	// TraceID, when set, asks nodes implementing TracedDriver to time
+	// the sub-query's processing steps; the spans land in
+	// SubResult.Spans.
+	TraceID string
 }
 
 // SubResult is the measured outcome of one sub-query.
@@ -153,6 +192,10 @@ type SubResult struct {
 	// Cancelled marks a sub-query stopped early because the sink had
 	// already decided the global result (or skipped before starting).
 	Cancelled bool
+	// Spans are the node's processing-step timings for a traced
+	// sub-query (SubQuery.TraceID set and the serving node implements
+	// TracedDriver); nil otherwise.
+	Spans []obs.Span
 }
 
 // ExecResult aggregates sub-query executions under the paper's
@@ -258,8 +301,9 @@ func ExecuteConcurrentN(subs []SubQuery, cost CostModel, maxConcurrent int) (*Ex
 }
 
 func runSub(sq SubQuery) (SubResult, error) {
+	obs.ClusterSubQueries.Inc()
 	start := time.Now()
-	items, servedBy, err := executeWithFailover(sq)
+	items, spans, servedBy, err := executeWithFailover(sq)
 	elapsed := time.Since(start)
 	if err != nil {
 		return SubResult{}, err
@@ -271,25 +315,36 @@ func runSub(sq SubQuery) (SubResult, error) {
 		ItemCount:   len(items),
 		Elapsed:     elapsed,
 		ResultBytes: SeqBytes(items),
+		Spans:       spans,
 	}, nil
 }
 
 // executeWithFailover tries the primary node, then each replica in turn,
 // reporting the name of the node that actually answered. When every copy
 // fails, the error names each node tried with its own failure.
-func executeWithFailover(sq SubQuery) (xquery.Seq, string, error) {
+func executeWithFailover(sq SubQuery) (xquery.Seq, []obs.Span, string, error) {
 	nodes := make([]Driver, 0, 1+len(sq.Replicas))
 	nodes = append(nodes, sq.Node)
 	nodes = append(nodes, sq.Replicas...)
 	var errs []error
-	for _, node := range nodes {
-		items, err := node.ExecuteQuery(sq.Query)
+	for i, node := range nodes {
+		if i > 0 {
+			obs.ClusterFailovers.Inc()
+		}
+		var items xquery.Seq
+		var spans []obs.Span
+		var err error
+		if td, ok := node.(TracedDriver); ok && sq.TraceID != "" {
+			items, spans, err = td.ExecuteQueryTraced(sq.TraceID, sq.Query)
+		} else {
+			items, err = node.ExecuteQuery(sq.Query)
+		}
 		if err == nil {
-			return items, node.Name(), nil
+			return items, spans, node.Name(), nil
 		}
 		errs = append(errs, fmt.Errorf("node %s: %w", node.Name(), err))
 	}
-	return nil, "", fmt.Errorf("cluster: sub-query on fragment %q failed on all %d copies: %w",
+	return nil, nil, "", fmt.Errorf("cluster: sub-query on fragment %q failed on all %d copies: %w",
 		sq.Fragment, len(nodes), errors.Join(errs...))
 }
 

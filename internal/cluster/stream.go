@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"partix/internal/obs"
 	"partix/internal/xquery"
 )
 
@@ -133,12 +134,17 @@ func ExecuteStreamN(subs []SubQuery, cost CostModel, maxConcurrent int, sink Str
 // sink's state for this sub-query first, so the replica's re-delivery
 // starts from a clean slate and nothing is seen twice.
 func runSubStream(i int, sq SubQuery, st *streamState) (SubResult, error) {
+	obs.ClusterSubQueries.Inc()
 	nodes := make([]Driver, 0, 1+len(sq.Replicas))
 	nodes = append(nodes, sq.Node)
 	nodes = append(nodes, sq.Replicas...)
 	var errs []error
-	for _, node := range nodes {
+	for attempt, node := range nodes {
+		if attempt > 0 {
+			obs.ClusterFailovers.Inc()
+		}
 		if st.stopped.Load() {
+			obs.ClusterStreamCancels.Inc()
 			return SubResult{Fragment: sq.Fragment, Node: node.Name(), Cancelled: true}, nil
 		}
 		start := time.Now()
@@ -183,6 +189,7 @@ func runSubStream(i int, sq SubQuery, st *streamState) (SubResult, error) {
 		}
 		if errors.Is(err, errStreamStop) {
 			sub.Cancelled = true
+			obs.ClusterStreamCancels.Inc()
 			return sub, nil
 		}
 		var sf *sinkFailure

@@ -18,7 +18,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"partix/internal/obs"
 	"partix/internal/storage"
 	"partix/internal/xmltree"
 	"partix/internal/xquery"
@@ -55,8 +58,19 @@ type DB struct {
 	idx  map[string]*textIndex // collection → inverted index
 	gens map[string]uint64     // collection → mutation generation (cache keys)
 
-	statsMu sync.Mutex
-	stats   Stats
+	stats liveStats
+}
+
+// liveStats holds the engine counters as atomics so concurrent queries
+// (and the decode pipeline workers flushing into them) never race with
+// Stats()/ResetStats() snapshots.
+type liveStats struct {
+	queries      atomic.Int64
+	docsDecoded  atomic.Int64
+	docsPruned   atomic.Int64
+	bytesDecoded atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
 }
 
 // Stats counts the engine's work, for tests and ablation benchmarks.
@@ -221,24 +235,36 @@ func (db *DB) Query(query string) (xquery.Seq, error) {
 
 // QueryExpr executes a parsed query.
 func (db *DB) QueryExpr(e xquery.Expr) (xquery.Seq, error) {
-	db.statsMu.Lock()
-	db.stats.Queries++
-	db.statsMu.Unlock()
-	return xquery.Eval(e, db)
+	db.stats.queries.Add(1)
+	obs.EngineQueries.Inc()
+	start := time.Now()
+	seq, err := xquery.Eval(e, db)
+	obs.EngineQuerySeconds.Observe(time.Since(start).Seconds())
+	return seq, err
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. Each field is read
+// atomically; the snapshot as a whole is not a single linearization
+// point, which is fine for the monitoring and benchmark uses it has.
 func (db *DB) Stats() Stats {
-	db.statsMu.Lock()
-	defer db.statsMu.Unlock()
-	return db.stats
+	return Stats{
+		Queries:      db.stats.queries.Load(),
+		DocsDecoded:  db.stats.docsDecoded.Load(),
+		DocsPruned:   db.stats.docsPruned.Load(),
+		BytesDecoded: db.stats.bytesDecoded.Load(),
+		CacheHits:    db.stats.cacheHits.Load(),
+		CacheMisses:  db.stats.cacheMisses.Load(),
+	}
 }
 
 // ResetStats zeroes the counters.
 func (db *DB) ResetStats() {
-	db.statsMu.Lock()
-	db.stats = Stats{}
-	db.statsMu.Unlock()
+	db.stats.queries.Store(0)
+	db.stats.docsDecoded.Store(0)
+	db.stats.docsPruned.Store(0)
+	db.stats.bytesDecoded.Store(0)
+	db.stats.cacheHits.Store(0)
+	db.stats.cacheMisses.Store(0)
 }
 
 // decodeWorkers resolves Options.DecodeWorkers to an effective pool size.
@@ -298,13 +324,16 @@ func (db *DB) Docs(collection string, hint *xquery.Hint, fn func(*xmltree.Docume
 	if err != nil {
 		return err
 	}
-	db.statsMu.Lock()
-	db.stats.DocsDecoded += c.decoded
-	db.stats.DocsPruned += int64(pruned)
-	db.stats.BytesDecoded += c.bytes
-	db.stats.CacheHits += c.hits
-	db.stats.CacheMisses += c.misses
-	db.statsMu.Unlock()
+	db.stats.docsDecoded.Add(c.decoded)
+	db.stats.docsPruned.Add(int64(pruned))
+	db.stats.bytesDecoded.Add(c.bytes)
+	db.stats.cacheHits.Add(c.hits)
+	db.stats.cacheMisses.Add(c.misses)
+	obs.EngineDocsDecoded.Add(c.decoded)
+	obs.EngineDocsPruned.Add(int64(pruned))
+	obs.EngineBytesDecoded.Add(c.bytes)
+	obs.EngineCacheHits.Add(c.hits)
+	obs.EngineCacheMisses.Add(c.misses)
 	return nil
 }
 

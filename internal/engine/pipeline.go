@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"partix/internal/obs"
 	"partix/internal/storage"
 	"partix/internal/xmltree"
 )
@@ -48,6 +49,8 @@ func (c *docCounters) account(db *DB, f fetched) {
 // fetchDecode loads one candidate document, consulting the decoded-tree
 // cache when enabled.
 func (db *DB) fetchDecode(collection, name string, gen uint64) fetched {
+	obs.EngineDecodeInflight.Add(1)
+	defer obs.EngineDecodeInflight.Add(-1)
 	key := treeKey{collection: collection, name: name, gen: gen}
 	if db.cache != nil {
 		if doc, ok := db.cache.get(key); ok {

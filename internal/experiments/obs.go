@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"partix/internal/fragmentation"
+	"partix/internal/obs"
+	"partix/internal/toxgene"
+	"partix/internal/workload"
+)
+
+// ObsCompare quantifies what the observability layer costs on the query
+// hot path: the same broadcast query measured with the metrics registry
+// disabled, enabled (the default), and enabled with distributed tracing.
+// Durations are averaged wall-clock nanoseconds per query; the overhead
+// percentages are relative to the disabled baseline. The counters are
+// atomic increments, so EnabledPct should be ~0–2%; tracing adds the
+// span bookkeeping and trace-tree assembly on top.
+type ObsCompare struct {
+	Query      string  `json:"query"`
+	Docs       int     `json:"docs"`
+	Fragments  int     `json:"fragments"`
+	Repeats    int     `json:"repeats"`
+	DisabledNs int64   `json:"disabledNs"`
+	EnabledNs  int64   `json:"enabledNs"`
+	TracedNs   int64   `json:"tracedNs"`
+	EnabledPct float64 `json:"enabledPct"`
+	TracedPct  float64 `json:"tracedPct"`
+}
+
+// RunObs measures the instrumentation overhead on an in-process
+// horizontal deployment: every sub-query crosses the engine, storage and
+// cluster instrumentation points, so the comparison covers the whole
+// coordinator-side hot path.
+func RunObs(scale Scale, opts Options) (*ObsCompare, error) {
+	opts = opts.withDefaults()
+	const fragments = 3
+	docs := scale.SmallItems
+
+	scheme, err := workload.HorizontalScheme("items", fragments)
+	if err != nil {
+		return nil, err
+	}
+	items := toxgene.GenerateItems(toxgene.ItemsConfig{Docs: docs, Seed: scale.Seed})
+	d, err := Deploy("obs", items, scheme, fragmentation.FragModeSD, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	cmp := &ObsCompare{
+		Query:     `for $i in collection("items")/Item where contains($i/Description, "good") return $i/Code`,
+		Docs:      docs,
+		Fragments: fragments,
+		Repeats:   opts.Repeats,
+	}
+	measure := func() (int64, error) {
+		if _, err := d.System.Query(cmp.Query); err != nil { // discarded warm-up
+			return 0, err
+		}
+		var total time.Duration
+		for i := 0; i < opts.Repeats; i++ {
+			start := time.Now()
+			if _, err := d.System.Query(cmp.Query); err != nil {
+				return 0, err
+			}
+			total += time.Since(start)
+		}
+		return (total / time.Duration(opts.Repeats)).Nanoseconds(), nil
+	}
+
+	obs.SetEnabled(false)
+	cmp.DisabledNs, err = measure()
+	obs.SetEnabled(true) // restore the default before any error return
+	if err != nil {
+		return nil, err
+	}
+	if cmp.EnabledNs, err = measure(); err != nil {
+		return nil, err
+	}
+	d.System.SetTracing(true)
+	cmp.TracedNs, err = measure()
+	d.System.SetTracing(false)
+	if err != nil {
+		return nil, err
+	}
+	cmp.EnabledPct = overheadPct(cmp.DisabledNs, cmp.EnabledNs)
+	cmp.TracedPct = overheadPct(cmp.DisabledNs, cmp.TracedNs)
+	return cmp, nil
+}
+
+// overheadPct is the relative cost of v over the baseline, in percent.
+func overheadPct(base, v int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return float64(v-base) / float64(base) * 100
+}
+
+// PrintObs renders the comparison for the terminal run.
+func PrintObs(w io.Writer, c *ObsCompare) {
+	fmt.Fprintf(w, "\nObservability overhead — %d docs, %d fragments, %d repeats\n",
+		c.Docs, c.Fragments, c.Repeats)
+	fmt.Fprintf(w, "  query: %s\n", c.Query)
+	fmt.Fprintf(w, "  metrics off      %12v\n", time.Duration(c.DisabledNs))
+	fmt.Fprintf(w, "  metrics on       %12v  (%+.2f%%)\n", time.Duration(c.EnabledNs), c.EnabledPct)
+	fmt.Fprintf(w, "  metrics + trace  %12v  (%+.2f%%)\n", time.Duration(c.TracedNs), c.TracedPct)
+}

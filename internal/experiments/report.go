@@ -25,6 +25,7 @@ type Report struct {
 	Repeats   int            `json:"repeats"`
 	Panels    []PanelReport  `json:"panels,omitempty"`
 	Stream    *StreamCompare `json:"stream,omitempty"`
+	Obs       *ObsCompare    `json:"obs,omitempty"`
 }
 
 // PanelReport is one figure panel's measurements.

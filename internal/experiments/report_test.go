@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"partix/internal/partix"
+	"partix/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden report file")
+
+// sampleReport builds a fully populated report with fixed values, so the
+// JSON shape the BENCH files commit to is pinned by the golden file.
+func sampleReport() *Report {
+	r := NewReport(3, []*Panel{samplePanel()}, &StreamCompare{
+		Query: `for $i in collection("items")/Item return $i`, Docs: 240, Fragments: 4,
+		Items: 240, BatchItems: 8,
+		Stream: StreamSide{ResponseNs: 1500000, FirstItemNs: 200000, Frames: 30, WireBytes: 19000000, AllocsPerOp: 52000, AllocBytesPer: 21000000, PeakHeapBytes: 9000000},
+		Mono:   StreamSide{ResponseNs: 1800000, FirstItemNs: 1700000, Frames: 4, WireBytes: 19000000, AllocsPerOp: 48000, AllocBytesPer: 20000000, PeakHeapBytes: 64000000},
+	})
+	r.Generated = "2026-01-01T00:00:00Z" // pinned: golden files cannot carry wall time
+	r.Obs = &ObsCompare{
+		Query: `count(collection("items")/Item)`, Docs: 1500, Fragments: 3, Repeats: 3,
+		DisabledNs: 1000000, EnabledNs: 1010000, TracedNs: 1050000,
+		EnabledPct: 1, TracedPct: 5,
+	}
+	return r
+}
+
+func TestReportGoldenRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/experiments -run Golden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report JSON drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// The schema must round-trip: decoding the JSON yields the identical
+	// report, so nothing is lost between a BENCH file and its reader.
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*r, back) {
+		t.Errorf("round-trip mismatch:\ngot  %+v\nwant %+v", back, *r)
+	}
+}
+
+func samplePanel() *Panel {
+	p := &Panel{ID: "fig7a", Title: "Figure 7(a) — sample"}
+	p.Queries = []workload.Query{{ID: "Q1", Text: `count(collection("items")/Item)`, Class: workload.ClassAggregation}}
+	p.Series = []Series{
+		{Name: "centralized", Times: map[string]Measurement{
+			"Q1": {Response: 4 * time.Millisecond, Parallel: 3 * time.Millisecond,
+				Transmission: 500 * time.Microsecond, Compose: 500 * time.Microsecond,
+				Strategy: partix.StrategyCentralized, Items: 12, Bytes: 4096},
+		}},
+		{Name: "fragmented", Times: map[string]Measurement{
+			"Q1": {Response: 2 * time.Millisecond, Parallel: 1 * time.Millisecond,
+				Transmission: 500 * time.Microsecond, Compose: 500 * time.Microsecond,
+				Strategy: partix.StrategyUnion, Items: 12, Bytes: 4096,
+				FirstItem: 100 * time.Microsecond, Frames: 2},
+		}},
+	}
+	return p
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dbg_ops_total", "Ops.").Add(9)
+	healthy := true
+	srv := httptest.NewServer(Handler(r, func() error {
+		if !healthy {
+			return errors.New("node down")
+		}
+		return nil
+	}))
+	defer srv.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != 200 || !strings.Contains(body, "dbg_ops_total 9") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+
+	if code, body, _ := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, body, _ := get("/healthz"); code != 503 || !strings.Contains(body, "node down") {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/vars")
+	var vars map[string]float64
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v (%q)", err, body)
+	}
+	if code != 200 || vars["dbg_ops_total"] != 9 {
+		t.Fatalf("/debug/vars = %d %v", code, vars)
+	}
+
+	if code, body, _ := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d %q", code, body)
+	}
+}
+
+func TestDebugHandlerNilHealth(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz with nil health = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Logger is the minimal leveled structured-logging interface the wire
+// and coordinator layers log through. keyvals is an alternating
+// key/value list, like log/slog's loosest form.
+type Logger interface {
+	Log(level Level, msg string, keyvals ...any)
+}
+
+type nopLogger struct{}
+
+func (nopLogger) Log(Level, string, ...any) {}
+
+// Nop returns a Logger that discards everything. It is the default
+// wherever a Logger option is left nil.
+func Nop() Logger { return nopLogger{} }
+
+// IsNop reports whether l is nil or the Nop logger, letting callers
+// skip formatting work entirely.
+func IsNop(l Logger) bool {
+	if l == nil {
+		return true
+	}
+	_, ok := l.(nopLogger)
+	return ok
+}
+
+type textLogger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	now func() time.Time
+}
+
+// NewTextLogger returns a Logger writing "ts=... level=... msg=...
+// k=v ..." lines to w, dropping records below min.
+func NewTextLogger(w io.Writer, min Level) Logger {
+	return &textLogger{w: w, min: min, now: time.Now}
+}
+
+func (t *textLogger) Log(level Level, msg string, keyvals ...any) {
+	if level < t.min {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(t.now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	writeKeyvals(&b, keyvals)
+	b.WriteByte('\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	io.WriteString(t.w, b.String())
+}
+
+type stdLogger struct {
+	l   *log.Logger
+	min Level
+}
+
+// FromStd adapts a *log.Logger to the Logger interface so existing
+// callers and CLI flags keep working. A nil std logger yields Nop.
+// Records below min are dropped (pass LevelDebug to keep everything).
+func FromStd(l *log.Logger, min Level) Logger {
+	if l == nil {
+		return Nop()
+	}
+	return &stdLogger{l: l, min: min}
+}
+
+func (s *stdLogger) Log(level Level, msg string, keyvals ...any) {
+	if level < s.min {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	writeKeyvals(&b, keyvals)
+	s.l.Print(b.String())
+}
+
+func writeKeyvals(b *strings.Builder, keyvals []any) {
+	for i := 0; i < len(keyvals); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprint(keyvals[i]))
+		b.WriteByte('=')
+		if i+1 < len(keyvals) {
+			b.WriteString(quoteValue(fmt.Sprint(keyvals[i+1])))
+		} else {
+			b.WriteString("MISSING")
+		}
+	}
+}
+
+func quoteValue(s string) string {
+	if strings.ContainsAny(s, " \t\n\"=") || s == "" {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

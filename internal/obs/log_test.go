@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTextLoggerFormatAndLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewTextLogger(&buf, LevelInfo).(*textLogger)
+	l.now = func() time.Time { return time.Date(2006, 3, 28, 12, 0, 0, 0, time.UTC) }
+	l.Log(LevelDebug, "dropped")
+	l.Log(LevelWarn, "slow query", "elapsed", 250*time.Millisecond, "strategy", "union")
+	got := buf.String()
+	want := `ts=2006-03-28T12:00:00Z level=warn msg="slow query" elapsed=250ms strategy=union` + "\n"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestTextLoggerQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewTextLogger(&buf, LevelDebug)
+	l.Log(LevelInfo, "msg", "k", `a "b" c`, "empty", "", "odd")
+	got := buf.String()
+	for _, want := range []string{`k="a \"b\" c"`, `empty=""`, "odd=MISSING"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q: %q", want, got)
+		}
+	}
+}
+
+func TestFromStdAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	std := log.New(&buf, "node ", 0)
+	l := FromStd(std, LevelInfo)
+	l.Log(LevelDebug, "dropped")
+	l.Log(LevelError, "dial failed", "addr", ":7001")
+	got := buf.String()
+	want := `node level=error msg="dial failed" addr=:7001` + "\n"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	if !IsNop(nil) || !IsNop(Nop()) {
+		t.Fatal("nil and Nop() must be nop")
+	}
+	if IsNop(NewTextLogger(&bytes.Buffer{}, LevelDebug)) {
+		t.Fatal("text logger must not be nop")
+	}
+	if !IsNop(FromStd(nil, LevelDebug)) {
+		t.Fatal("FromStd(nil) must be nop")
+	}
+	Nop().Log(LevelError, "discarded", "k", "v")
+}

@@ -1,0 +1,294 @@
+// Package obs is PartiX's stdlib-only observability layer: a metrics
+// registry with Prometheus text exposition, a leveled key=value logger,
+// distributed query tracing spans, and the node debug HTTP handler.
+//
+// Instrument hot paths through the package-level metric variables in
+// series.go. Every mutation is a single atomic op and is gated on a
+// global enable flag so a disabled build pays only one atomic load.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates every Counter.Add / Gauge set / Histogram.Observe. It
+// defaults to on; SetEnabled(false) turns the hot-path mutations into a
+// single atomic load + branch, which is what the bench's "disabled"
+// overhead column measures.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns metric collection on or off globally. Off does not
+// reset accumulated values; it only stops new observations.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// A Counter is a monotonically increasing metric.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0).
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// A Gauge is a metric that can go up and down.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Add moves the gauge by n (may be negative). Gauges that track
+// in-flight work must pair every Add(1) with an Add(-1) regardless of
+// the enable flag flipping mid-flight, so Add is not gated.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// A Histogram counts observations into fixed upper-bound buckets and
+// tracks the running sum, Prometheus-style (cumulative on exposition).
+type Histogram struct {
+	name    string
+	help    string
+	bounds  []float64 // ascending upper bounds, implicit +Inf last
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // scaled: value * histScale, see Observe
+}
+
+// histScale preserves sub-unit precision in the integer sum; the
+// exposition divides it back out.
+const histScale = 1e6
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	// Buckets are few (≲16); linear scan beats binary search here.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(v * histScale))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return float64(h.sum.Load()) / histScale }
+
+// A Registry holds named metrics and renders them in Prometheus text
+// exposition format. The zero value is not usable; use NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   []*Counter
+	gauges     []*Gauge
+	histograms []*Histogram
+	byName     map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+// Default is the registry all the package-level partix_* series in
+// series.go register with; the partixd debug endpoint serves it.
+var Default = NewRegistry()
+
+func (r *Registry) claim(name string) {
+	if !validMetricName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	if r.byName[name] {
+		panic("obs: duplicate metric " + name)
+	}
+	r.byName[name] = true
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	c := &Counter{name: name, help: help}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	g := &Gauge{name: name, help: help}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// NewHistogram registers and returns a histogram with the given
+// ascending upper bucket bounds (+Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			panic("obs: histogram bounds not ascending for " + name)
+		}
+	}
+	h := &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  bs,
+		buckets: make([]atomic.Int64, len(bs)+1),
+	}
+	r.histograms = append(r.histograms, h)
+	return h
+}
+
+type metricRow struct {
+	name string
+	emit func(w io.Writer)
+}
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format (sorted by name, # HELP / # TYPE headers,
+// cumulative histogram buckets with _bucket/_sum/_count).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	rows := make([]metricRow, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for _, c := range r.counters {
+		c := c
+		rows = append(rows, metricRow{c.name, func(w io.Writer) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
+		}})
+	}
+	for _, g := range r.gauges {
+		g := g
+		rows = append(rows, metricRow{g.name, func(w io.Writer) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.Value())
+		}})
+	}
+	for _, h := range r.histograms {
+		h := h
+		rows = append(rows, metricRow{h.name, func(w io.Writer) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+			var cum int64
+			for i, b := range h.bounds {
+				cum += h.buckets[i].Load()
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(b), cum)
+			}
+			cum += h.buckets[len(h.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+			fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+			fmt.Fprintf(w, "%s_count %d\n", h.name, h.Count())
+		}})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	var b strings.Builder
+	for _, row := range rows {
+		row.emit(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot returns every scalar series value keyed by exposition name.
+// Histograms contribute <name>_sum and <name>_count entries.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := make(map[string]float64, len(r.counters)+len(r.gauges)+2*len(r.histograms))
+	for _, c := range r.counters {
+		m[c.name] = float64(c.Value())
+	}
+	for _, g := range r.gauges {
+		m[g.name] = float64(g.Value())
+	}
+	for _, h := range r.histograms {
+		m[h.name+"_sum"] = h.Sum()
+		m[h.name+"_count"] = float64(h.Count())
+	}
+	return m
+}
+
+// Reset zeroes every registered metric. Intended for tests and the
+// overhead benchmark, not for production scraping.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

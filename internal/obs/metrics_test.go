@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "Ops.")
+	g := r.NewGauge("test_inflight", "In flight.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after Set = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.605; got < want-1e-6 || got > want+1e-6 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.01"} 1`,
+		`test_seconds_bucket{le="0.1"} 3`,
+		`test_seconds_bucket{le="1"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_count 5",
+		"# TYPE test_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextFormatAndOrder(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("zz_gauge", "Last.").Set(1)
+	r.NewCounter("aa_counter", "First.").Add(2)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	ia, iz := strings.Index(out, "aa_counter"), strings.Index(out, "zz_gauge")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("series not sorted by name:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP aa_counter First.\n# TYPE aa_counter counter\naa_counter 2\n") {
+		t.Fatalf("counter exposition malformed:\n%s", out)
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("snap_total", "C.")
+	h := r.NewHistogram("snap_seconds", "H.", []float64{1})
+	c.Add(3)
+	h.Observe(0.5)
+	s := r.Snapshot()
+	if s["snap_total"] != 3 || s["snap_seconds_count"] != 1 || s["snap_seconds_sum"] != 0.5 {
+		t.Fatalf("snapshot = %v", s)
+	}
+	r.Reset()
+	s = r.Snapshot()
+	if s["snap_total"] != 0 || s["snap_seconds_count"] != 0 {
+		t.Fatalf("snapshot after reset = %v", s)
+	}
+}
+
+func TestSetEnabledGatesObservations(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.NewCounter("gated_total", "C.")
+	h := r.NewHistogram("gated_seconds", "H.", []float64{1})
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(0.5)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled metrics still moved: counter=%d hist=%d", c.Value(), h.Count())
+	}
+	SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("re-enabled counter = %d, want 1", c.Value())
+	}
+}
+
+func TestInvalidAndDuplicateNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, func() { r.NewCounter("bad name", "x") })
+	mustPanic(t, func() { r.NewCounter("1leading", "x") })
+	r.NewCounter("once_total", "x")
+	mustPanic(t, func() { r.NewGauge("once_total", "x") })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+// TestConcurrentMutation is the -race workout: many goroutines hammer
+// one counter, gauge, and histogram while a reader scrapes.
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_total", "C.")
+	g := r.NewGauge("conc_inflight", "G.")
+	h := r.NewHistogram("conc_seconds", "H.", []float64{0.01, 0.1, 1})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 100)
+				g.Add(-1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WriteText(&b)
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*per)
+	}
+}

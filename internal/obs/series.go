@@ -1,0 +1,86 @@
+package obs
+
+// Every partix_* series lives here, on the Default registry, rather
+// than scattered next to its instrumentation site. That keeps the full
+// metric surface in one reviewable table (mirrored in DESIGN.md §6)
+// and — because importing any instrumented layer links this file — a
+// partixd node exposes the complete series set on /metrics even for
+// layers it never exercises (cluster series idle at zero on a pure
+// node, coordinator series idle on a node, and so on).
+var (
+	// engine: the sequential/pipelined decode hot path.
+	EngineQueries = Default.NewCounter("partix_engine_queries_total",
+		"Queries evaluated by the local engine.")
+	EngineDocsDecoded = Default.NewCounter("partix_engine_docs_decoded_total",
+		"Documents decoded from storage (cache misses included).")
+	EngineDocsPruned = Default.NewCounter("partix_engine_docs_pruned_total",
+		"Documents skipped by index-assisted candidate pruning.")
+	EngineBytesDecoded = Default.NewCounter("partix_engine_decode_bytes_total",
+		"Stored bytes decoded into trees.")
+	EngineCacheHits = Default.NewCounter("partix_engine_tree_cache_hits_total",
+		"Decoded-tree cache hits.")
+	EngineCacheMisses = Default.NewCounter("partix_engine_tree_cache_misses_total",
+		"Decoded-tree cache misses.")
+	EngineDecodeInflight = Default.NewGauge("partix_engine_decode_inflight",
+		"Documents currently in the decode pipeline.")
+	EngineQuerySeconds = Default.NewHistogram("partix_engine_query_seconds",
+		"Local engine query latency in seconds.",
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
+
+	// storage: the paged single-file store.
+	StoragePagesRead = Default.NewCounter("partix_storage_pages_read_total",
+		"Pages read from the store file.")
+	StoragePagesWritten = Default.NewCounter("partix_storage_pages_written_total",
+		"Pages written to the store file.")
+	StorageBytesRead = Default.NewCounter("partix_storage_read_bytes_total",
+		"Bytes read from the store file.")
+	StorageBytesWritten = Default.NewCounter("partix_storage_written_bytes_total",
+		"Bytes written to the store file.")
+
+	// wire client: coordinator-side remote-node transport.
+	WireClientRequests = Default.NewCounter("partix_wire_client_requests_total",
+		"Requests sent to remote nodes.")
+	WireClientRetries = Default.NewCounter("partix_wire_client_retries_total",
+		"Request attempts retried after a transport error.")
+	WireClientReconnects = Default.NewCounter("partix_wire_client_reconnects_total",
+		"New connections dialed to remote nodes.")
+	WireClientFrames = Default.NewCounter("partix_wire_client_frames_total",
+		"Streamed result frames received.")
+	WireClientBytesIn = Default.NewCounter("partix_wire_client_in_bytes_total",
+		"Bytes received from remote nodes.")
+	WireClientBytesOut = Default.NewCounter("partix_wire_client_out_bytes_total",
+		"Bytes sent to remote nodes.")
+	WireClientInflight = Default.NewGauge("partix_wire_client_inflight",
+		"Remote-node requests currently in flight.")
+
+	// wire server: node-side transport.
+	WireServerRequests = Default.NewCounter("partix_wire_server_requests_total",
+		"Requests handled by the node server.")
+	WireServerFrames = Default.NewCounter("partix_wire_server_frames_total",
+		"Streamed result frames sent.")
+	WireServerBytesIn = Default.NewCounter("partix_wire_server_in_bytes_total",
+		"Bytes received from clients.")
+	WireServerBytesOut = Default.NewCounter("partix_wire_server_out_bytes_total",
+		"Bytes sent to clients.")
+	WireServerPanics = Default.NewCounter("partix_wire_server_panics_total",
+		"Request handlers recovered from a panic.")
+	WireServerConns = Default.NewGauge("partix_wire_server_conns",
+		"Open client connections.")
+
+	// cluster: sub-query fan-out and failover.
+	ClusterSubQueries = Default.NewCounter("partix_cluster_subqueries_total",
+		"Sub-queries dispatched to nodes (including local).")
+	ClusterFailovers = Default.NewCounter("partix_cluster_failovers_total",
+		"Sub-queries that fell over to a replica after a node error.")
+	ClusterStreamCancels = Default.NewCounter("partix_cluster_stream_cancels_total",
+		"Streamed sub-queries cancelled early by the sink.")
+
+	// coordinator: the partix.System query path.
+	CoordQueries = Default.NewCounter("partix_coord_queries_total",
+		"Queries executed by the coordinator.")
+	CoordSlowQueries = Default.NewCounter("partix_coord_slow_queries_total",
+		"Coordinator queries that exceeded the slow-query threshold.")
+	CoordQuerySeconds = Default.NewHistogram("partix_coord_query_seconds",
+		"End-to-end coordinator query latency in seconds.",
+		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+)

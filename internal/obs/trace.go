@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// A Span is one timed step of a traced query. Spans carry only a
+// duration, never absolute timestamps: node clocks are not assumed to
+// be synchronized with the coordinator, and relative durations are all
+// the paper's accounting (sub-query time vs coordination time) needs.
+// Spans cross the wire by value inside Response, so every field is
+// exported and gob-friendly.
+type Span struct {
+	Name     string        // step name: query, plan, subquery, parse, execute, serialize, compose, ...
+	Detail   string        // free-form context: node address, fragment name, item counts
+	Duration time.Duration // wall time of this step, inclusive of children
+	Children []Span
+}
+
+// NewTraceID returns a random 16-hex-char trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a
+		// constant here only degrades trace labeling, not queries.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// StartSpan begins timing a span; call the returned finish function to
+// set its duration.
+func StartSpan(name, detail string) (*Span, func()) {
+	s := &Span{Name: name, Detail: detail}
+	start := time.Now()
+	return s, func() { s.Duration = time.Since(start) }
+}
+
+// Add appends a child span and returns it.
+func (s *Span) Add(child Span) *Span {
+	s.Children = append(s.Children, child)
+	return s
+}
+
+// Sum returns the total duration of the direct children, useful for
+// checking that a parent's accounting is consistent.
+func (s *Span) Sum() time.Duration {
+	var d time.Duration
+	for _, c := range s.Children {
+		d += c.Duration
+	}
+	return d
+}
+
+// Format renders the span tree with box-drawing guides, one line per
+// span:
+//
+//	query 12.3ms trace=ab12...
+//	├─ plan 0.1ms
+//	├─ subquery 10.2ms node=:7001 fragment=items_1
+//	│  ├─ parse 0.2ms
+//	│  └─ execute 9.9ms
+//	└─ compose 1.1ms
+func (s *Span) Format() string {
+	var b strings.Builder
+	writeSpan(&b, s, "", "", "")
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s *Span, lead, branch, childLead string) {
+	b.WriteString(lead)
+	b.WriteString(branch)
+	b.WriteString(s.Name)
+	fmt.Fprintf(b, " %s", formatDuration(s.Duration))
+	if s.Detail != "" {
+		b.WriteByte(' ')
+		b.WriteString(s.Detail)
+	}
+	b.WriteByte('\n')
+	for i := range s.Children {
+		last := i == len(s.Children)-1
+		br, cl := "├─ ", "│  "
+		if last {
+			br, cl = "└─ ", "   "
+		}
+		writeSpan(b, &s.Children[i], lead+childLead, br, cl)
+	}
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}

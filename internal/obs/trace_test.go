@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(a) {
+		t.Fatalf("trace id %q not 16 hex chars", a)
+	}
+	if a == b {
+		t.Fatalf("trace ids collided: %q", a)
+	}
+}
+
+func TestStartSpan(t *testing.T) {
+	s, finish := StartSpan("execute", "fragment=items_1")
+	time.Sleep(time.Millisecond)
+	finish()
+	if s.Name != "execute" || s.Detail != "fragment=items_1" {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Duration <= 0 {
+		t.Fatalf("duration = %v, want > 0", s.Duration)
+	}
+}
+
+func TestSpanSum(t *testing.T) {
+	root := &Span{Name: "query", Duration: 10 * time.Millisecond}
+	root.Add(Span{Name: "plan", Duration: 2 * time.Millisecond})
+	root.Add(Span{Name: "execute", Duration: 7 * time.Millisecond})
+	if got := root.Sum(); got != 9*time.Millisecond {
+		t.Fatalf("sum = %v, want 9ms", got)
+	}
+}
+
+func TestSpanFormat(t *testing.T) {
+	root := &Span{Name: "query", Detail: "trace=abc", Duration: 12 * time.Millisecond}
+	sub := Span{Name: "subquery", Detail: "node=:7001", Duration: 10 * time.Millisecond}
+	sub.Children = []Span{
+		{Name: "parse", Duration: 200 * time.Microsecond},
+		{Name: "execute", Duration: 9 * time.Millisecond},
+	}
+	root.Add(sub)
+	root.Add(Span{Name: "compose", Duration: time.Millisecond})
+	got := root.Format()
+	want := strings.Join([]string{
+		"query 12.00ms trace=abc",
+		"├─ subquery 10.00ms node=:7001",
+		"│  ├─ parse 200µs",
+		"│  └─ execute 9.00ms",
+		"└─ compose 1.00ms",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("format:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -21,8 +21,10 @@ type execution struct {
 	res *cluster.ExecResult
 }
 
-// buildSubs resolves fragment queries to cluster sub-queries.
-func (s *System) buildSubs(fqs []fragQuery) ([]cluster.SubQuery, error) {
+// buildSubs resolves fragment queries to cluster sub-queries. A
+// non-empty traceID rides along on every sub-query so nodes can record
+// spans against it.
+func (s *System) buildSubs(fqs []fragQuery, traceID string) ([]cluster.SubQuery, error) {
 	subs := make([]cluster.SubQuery, 0, len(fqs))
 	for _, fq := range fqs {
 		node := s.Node(fq.node)
@@ -33,6 +35,7 @@ func (s *System) buildSubs(fqs []fragQuery) ([]cluster.SubQuery, error) {
 			Fragment: fq.fragment,
 			Node:     node,
 			Query:    xquery.Format(fq.expr),
+			TraceID:  traceID,
 		}
 		for _, r := range fq.replicas {
 			replica := s.Node(r)
@@ -49,8 +52,8 @@ func (s *System) buildSubs(fqs []fragQuery) ([]cluster.SubQuery, error) {
 // execute ships the sub-queries through the cluster layer: sequentially
 // with slowest-site accounting by default (the paper's methodology), or
 // in parallel goroutines when the system runs in concurrent mode.
-func (s *System) execute(fqs []fragQuery) (*execution, error) {
-	subs, err := s.buildSubs(fqs)
+func (s *System) execute(fqs []fragQuery, traceID string) (*execution, error) {
+	subs, err := s.buildSubs(fqs, traceID)
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +94,7 @@ func (x *execution) result(strategy Strategy) *QueryResult {
 			Items:       sub.ItemCount,
 			FirstFrame:  sub.FirstFrame,
 			Cancelled:   sub.Cancelled,
+			Spans:       sub.Spans,
 		})
 	}
 	return out

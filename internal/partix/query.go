@@ -7,6 +7,7 @@ import (
 
 	"partix/internal/cluster"
 	"partix/internal/fragmentation"
+	"partix/internal/obs"
 	"partix/internal/xmltree"
 	"partix/internal/xquery"
 )
@@ -61,6 +62,14 @@ type QueryResult struct {
 	// StreamedBytes is the serialized size of all streamed partial
 	// results.
 	StreamedBytes int
+	// TraceID identifies this query across the deployment when tracing
+	// is enabled; it is the ID the nodes saw in the wire header.
+	TraceID string
+	// Trace is the assembled span tree of a traced execution: the root
+	// "query" span with planning, per-fragment sub-query (each carrying
+	// the node's own spans as children) and composition below it. Nil
+	// unless tracing was enabled.
+	Trace *obs.Span
 }
 
 // SubTiming is one site's measured execution.
@@ -76,6 +85,10 @@ type SubTiming struct {
 	// Cancelled marks a sub-query stopped early because the coordinator
 	// had already decided the global result.
 	Cancelled bool
+	// Spans holds the node's own execution breakdown (parse, plan,
+	// execute, serialize) when the query was traced and the node speaks
+	// protocol v3 or runs in-process; empty otherwise.
+	Spans []obs.Span
 }
 
 // ResponseTime is the simulated end-to-end response time: slowest site +
@@ -97,11 +110,71 @@ func (s *System) Query(q string) (*QueryResult, error) {
 // selection, fragment pruning, sub-query rewriting) and the plan is then
 // executed. Explain returns the plan without executing it.
 func (s *System) QueryExpr(e xquery.Expr) (*QueryResult, error) {
+	start := time.Now()
+	traceID := ""
+	if s.Tracing() {
+		traceID = obs.NewTraceID()
+	}
+	planStart := time.Now()
 	p, err := s.planQuery(e)
+	planTime := time.Since(planStart)
 	if err != nil {
 		return nil, err
 	}
-	return s.executePlan(e, p)
+	res, err := s.executePlan(e, p, traceID)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	obs.CoordQueries.Inc()
+	obs.CoordQuerySeconds.Observe(elapsed.Seconds())
+	if traceID != "" {
+		res.TraceID = traceID
+		res.Trace = assembleTrace(res, planTime, elapsed)
+	}
+	if thr := s.SlowQueryThreshold(); thr > 0 && elapsed >= thr {
+		obs.CoordSlowQueries.Inc()
+		s.Logger().Log(obs.LevelWarn, "partix: slow query",
+			"trace_id", res.TraceID,
+			"strategy", string(res.Strategy),
+			"elapsed", elapsed,
+			"threshold", thr,
+			"fragments", len(res.Fragments),
+			"items", len(res.Items),
+		)
+	}
+	return res, nil
+}
+
+// assembleTrace builds the coordinator's span tree for a traced query:
+// the root "query" span covers the whole execution, with planning, one
+// span per sub-query (each adopting the node's own spans as children)
+// and the composition below it. Spans carry only durations, so clock
+// skew between coordinator and nodes cannot corrupt the tree.
+func assembleTrace(res *QueryResult, planTime, elapsed time.Duration) *obs.Span {
+	root := &obs.Span{
+		Name:     "query",
+		Detail:   fmt.Sprintf("strategy=%s", res.Strategy),
+		Duration: elapsed,
+	}
+	root.Add(obs.Span{Name: "plan", Duration: planTime})
+	for _, st := range res.Sub {
+		detail := "node=" + st.Node
+		if st.Fragment != "" {
+			detail = fmt.Sprintf("fragment=%s node=%s", st.Fragment, st.Node)
+		}
+		if st.Cancelled {
+			detail += " cancelled"
+		}
+		root.Add(obs.Span{
+			Name:     "subquery",
+			Detail:   detail,
+			Duration: st.Elapsed,
+			Children: st.Spans,
+		})
+	}
+	root.Add(obs.Span{Name: "compose", Duration: res.ComposeTime})
+	return root
 }
 
 // queryPlan is the outcome of planning: what runs where.
@@ -293,8 +366,10 @@ func unionOrAggregate(e xquery.Expr, fragments int) Strategy {
 	return StrategyUnion
 }
 
-// executePlan runs a plan and assembles the measured result.
-func (s *System) executePlan(e xquery.Expr, p *queryPlan) (*QueryResult, error) {
+// executePlan runs a plan and assembles the measured result. A non-empty
+// traceID forces the monolithic sub-query path: node spans describe a
+// whole sub-query, which framed streaming delivery would split.
+func (s *System) executePlan(e xquery.Expr, p *queryPlan, traceID string) (*QueryResult, error) {
 	switch {
 	case p.emptyRoute:
 		return s.evalLocal(e, StrategyRouted, nil,
@@ -304,14 +379,14 @@ func (s *System) executePlan(e xquery.Expr, p *queryPlan) (*QueryResult, error) 
 	case len(p.reconstruct) > 0:
 		return s.reconstructFragments(e, p.meta, p.reconstruct)
 	default:
-		if s.Concurrent() {
+		if s.Concurrent() && traceID == "" {
 			// Concurrent mode composes incrementally: batches merge into
 			// the result as frames arrive, overlapping composition with
 			// transmission. The sequential mode below stays monolithic —
 			// it is the paper's measured methodology.
 			return s.executeStreaming(e, p.subQueries, p.strategy)
 		}
-		exec, err := s.execute(p.subQueries)
+		exec, err := s.execute(p.subQueries, traceID)
 		if err != nil {
 			return nil, err
 		}

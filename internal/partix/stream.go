@@ -16,7 +16,7 @@ import (
 // one fragment's verdict decides the global answer. The composed items
 // are identical to the monolithic path's at every batch size.
 func (s *System) executeStreaming(e xquery.Expr, fqs []fragQuery, strategy Strategy) (*QueryResult, error) {
-	subs, err := s.buildSubs(fqs)
+	subs, err := s.buildSubs(fqs, "")
 	if err != nil {
 		return nil, err
 	}

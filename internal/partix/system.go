@@ -6,9 +6,11 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"partix/internal/cluster"
 	"partix/internal/fragmentation"
+	"partix/internal/obs"
 	"partix/internal/xmltree"
 )
 
@@ -21,6 +23,9 @@ type System struct {
 	cost          cluster.CostModel
 	concurrent    bool
 	maxConcurrent int
+	tracing       bool
+	slowQuery     time.Duration
+	logger        obs.Logger
 }
 
 // SetConcurrent switches sub-query execution between the paper's
@@ -56,12 +61,72 @@ func (s *System) MaxConcurrent() int {
 	return s.maxConcurrent
 }
 
+// SetTracing enables distributed query tracing: every query gets a trace
+// ID that is propagated to the nodes (protocol v3 peers return per-step
+// spans) and the result carries the assembled span tree. Tracing forces
+// the monolithic sub-query path — spans describe whole sub-queries, which
+// framed delivery would split.
+func (s *System) SetTracing(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracing = on
+}
+
+// Tracing reports whether distributed query tracing is enabled.
+func (s *System) Tracing() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tracing
+}
+
+// SetSlowQueryThreshold makes queries slower than d emit a structured
+// warning through the system logger (and count in the slow-query metric).
+// Zero, the default, disables the log.
+func (s *System) SetSlowQueryThreshold(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slowQuery = d
+}
+
+// SlowQueryThreshold reports the slow-query log threshold.
+func (s *System) SlowQueryThreshold() time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.slowQuery
+}
+
+// SetLogger installs the structured logger the query service uses for
+// slow-query warnings. nil restores the default no-op logger.
+func (s *System) SetLogger(l obs.Logger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l == nil {
+		l = obs.Nop()
+	}
+	s.logger = l
+}
+
+// Logger returns the system's structured logger (never nil).
+func (s *System) Logger() obs.Logger {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.logger
+}
+
+// Metrics snapshots the process-wide observability registry: every
+// partix_* series with its current value (histograms as _sum/_count
+// pairs). The map is a copy; mutating it changes nothing.
+func (s *System) Metrics() map[string]float64 {
+	return obs.Default.Snapshot()
+}
+
 // NewSystem returns a system with the given communication cost model.
 func NewSystem(cost cluster.CostModel) *System {
 	return &System{
 		nodes:   map[string]cluster.Driver{},
 		catalog: NewCatalog(),
 		cost:    cost,
+		logger:  obs.Nop(),
 	}
 }
 

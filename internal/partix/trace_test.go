@@ -1,0 +1,249 @@
+package partix
+
+// Coordinator-side tracing: span-tree assembly, consistency with the
+// QueryResult timings, the slow-query log, and the remote path where
+// node spans travel back in the protocol-v3 response.
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"partix/internal/cluster"
+	"partix/internal/engine"
+	"partix/internal/obs"
+	"partix/internal/wire"
+)
+
+// captureLogger records structured log calls for assertions.
+type captureLogger struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+func (c *captureLogger) Log(level obs.Level, msg string, keyvals ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	line := level.String() + " " + msg
+	for i := 0; i+1 < len(keyvals); i += 2 {
+		line += fmt.Sprintf(" %v=%v", keyvals[i], keyvals[i+1])
+	}
+	c.entries = append(c.entries, line)
+}
+
+func (c *captureLogger) all() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.entries...)
+}
+
+func TestTracedQueryAssemblesSpanTree(t *testing.T) {
+	s := newTestSystem(t, 3)
+	publishHorizontal(t, s, 12)
+	s.SetTracing(true)
+	res, err := s.Query(`for $i in collection("items")/Item where contains($i/Description, "good") return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyUnion {
+		t.Fatalf("strategy = %s, want union", res.Strategy)
+	}
+	if len(res.TraceID) != 16 {
+		t.Fatalf("trace ID = %q, want 16 hex chars", res.TraceID)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("traced query has nil Trace")
+	}
+	if tr.Name != "query" || !strings.Contains(tr.Detail, "strategy=union") {
+		t.Fatalf("root span = %q detail %q", tr.Name, tr.Detail)
+	}
+	// plan + one subquery per site + compose.
+	if want := 2 + len(res.Sub); len(tr.Children) != want {
+		t.Fatalf("root has %d children (%v), want %d", len(tr.Children), tr.Children, want)
+	}
+	if tr.Children[0].Name != "plan" || tr.Children[len(tr.Children)-1].Name != "compose" {
+		t.Fatalf("children bracket = %q..%q, want plan..compose", tr.Children[0].Name, tr.Children[len(tr.Children)-1].Name)
+	}
+	for i, st := range res.Sub {
+		sq := tr.Children[1+i]
+		if sq.Name != "subquery" {
+			t.Fatalf("child %d = %q, want subquery", 1+i, sq.Name)
+		}
+		// The subquery span IS the SubTiming, re-expressed as a span.
+		if sq.Duration != st.Elapsed {
+			t.Errorf("subquery span %d duration %v != SubTiming.Elapsed %v", i, sq.Duration, st.Elapsed)
+		}
+		if !strings.Contains(sq.Detail, "fragment="+st.Fragment) || !strings.Contains(sq.Detail, "node="+st.Node) {
+			t.Errorf("subquery span detail %q misses fragment/node of %+v", sq.Detail, st)
+		}
+		// Local nodes report parse/plan/execute; their sum is measured
+		// inside the driver call, so it cannot exceed the coordinator's
+		// outer measurement.
+		names := make([]string, len(sq.Children))
+		for j, c := range sq.Children {
+			names[j] = c.Name
+		}
+		if fmt.Sprint(names) != "[parse plan execute]" {
+			t.Errorf("node spans of sub %d = %v, want [parse plan execute]", i, names)
+		}
+		if sum := sq.Sum(); sum > st.Elapsed {
+			t.Errorf("node spans of sub %d sum to %v > elapsed %v", i, sum, st.Elapsed)
+		}
+		if len(st.Spans) != len(sq.Children) {
+			t.Errorf("SubTiming %d carries %d spans, tree has %d", i, len(st.Spans), len(sq.Children))
+		}
+	}
+	if tr.Children[len(tr.Children)-1].Duration != res.ComposeTime {
+		t.Errorf("compose span %v != ComposeTime %v", tr.Children[len(tr.Children)-1].Duration, res.ComposeTime)
+	}
+	if sum := tr.Sum(); sum > tr.Duration {
+		t.Errorf("direct children sum %v exceeds root duration %v (sequential mode)", sum, tr.Duration)
+	}
+	out := tr.Format()
+	for _, want := range []string{"query", "plan", "subquery", "compose", "├─", "└─"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted tree misses %q:\n%s", want, out)
+		}
+	}
+}
+
+// Traced results must be identical to untraced ones — tracing observes,
+// never changes, the execution.
+func TestTracedResultsMatchUntraced(t *testing.T) {
+	s := newTestSystem(t, 3)
+	publishHorizontal(t, s, 12)
+	q := `for $i in collection("items")/Item return $i/Code`
+	plain, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil || plain.TraceID != "" {
+		t.Fatalf("untraced query carries trace: id=%q trace=%v", plain.TraceID, plain.Trace)
+	}
+	s.SetTracing(true)
+	traced, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := itemsAsStrings(traced.Items), itemsAsStrings(plain.Items)
+	if len(got) != len(want) {
+		t.Fatalf("traced %d items, untraced %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: traced %q, untraced %q", i, got[i], want[i])
+		}
+	}
+}
+
+// A traced query over a wire-backed node carries the server's four spans
+// (parse/plan/execute/serialize) home in the v3 response.
+func TestTracedQueryOverRemoteNode(t *testing.T) {
+	db, err := engine.Open(filepath.Join(t.TempDir(), "remote.db"), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := wire.NewServerLogger(db, nil, wire.ServerOptions{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	client, err := wire.DialWith("node0", l.Addr().String(), wire.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	s := NewSystem(cluster.GigabitEthernet)
+	s.AddNode(client)
+	if err := s.Publish(itemsCollection(8), nil, map[string]string{"": "node0"}, PublishOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetTracing(true)
+	res, err := s.Query(`count(collection("items")/Item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || res.Items[0].(float64) != 8 {
+		t.Fatalf("count = %v", res.Items)
+	}
+	if len(res.Sub) != 1 {
+		t.Fatalf("sub timings: %+v", res.Sub)
+	}
+	names := make([]string, len(res.Sub[0].Spans))
+	for i, sp := range res.Sub[0].Spans {
+		names[i] = sp.Name
+	}
+	if fmt.Sprint(names) != "[parse plan execute serialize]" {
+		t.Fatalf("remote node spans = %v", names)
+	}
+	var sum time.Duration
+	for _, sp := range res.Sub[0].Spans {
+		sum += sp.Duration
+	}
+	if sum > res.Sub[0].Elapsed {
+		t.Fatalf("node spans sum %v exceeds wire round-trip %v", sum, res.Sub[0].Elapsed)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	s := newTestSystem(t, 3)
+	publishHorizontal(t, s, 12)
+	logger := &captureLogger{}
+	s.SetLogger(logger)
+	s.SetSlowQueryThreshold(time.Nanosecond) // everything is slow
+	s.SetTracing(true)
+	before := obs.CoordSlowQueries.Value()
+	if _, err := s.Query(`count(collection("items")/Item)`); err != nil {
+		t.Fatal(err)
+	}
+	entries := logger.all()
+	if len(entries) != 1 || !strings.Contains(entries[0], "slow query") {
+		t.Fatalf("slow-query log entries = %v", entries)
+	}
+	if !strings.Contains(entries[0], "trace_id=") || !strings.Contains(entries[0], "strategy=aggregate") {
+		t.Fatalf("slow-query entry misses fields: %q", entries[0])
+	}
+	if got := obs.CoordSlowQueries.Value(); got != before+1 {
+		t.Fatalf("slow-query counter went %d -> %d, want +1", before, got)
+	}
+
+	// Above-threshold only: with a generous threshold nothing is logged.
+	s.SetSlowQueryThreshold(time.Hour)
+	if _, err := s.Query(`count(collection("items")/Item)`); err != nil {
+		t.Fatal(err)
+	}
+	if got := logger.all(); len(got) != 1 {
+		t.Fatalf("fast query logged as slow: %v", got)
+	}
+}
+
+func TestSystemMetricsSnapshot(t *testing.T) {
+	s := newTestSystem(t, 3)
+	publishHorizontal(t, s, 12)
+	before := s.Metrics()["partix_coord_queries_total"]
+	if _, err := s.Query(`count(collection("items")/Item)`); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if got := m["partix_coord_queries_total"]; got != before+1 {
+		t.Fatalf("coord queries went %v -> %v, want +1", before, got)
+	}
+	for _, name := range []string{
+		"partix_engine_queries_total",
+		"partix_cluster_subqueries_total",
+		"partix_coord_query_seconds_count",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("snapshot misses %s", name)
+		}
+	}
+}

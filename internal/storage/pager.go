@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"partix/internal/obs"
 )
 
 // PageSize is the fixed page size of a store file.
@@ -154,6 +156,8 @@ func (p *pager) writePage(id int64, buf []byte) error {
 	if _, err := p.f.WriteAt(buf, id*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
+	obs.StoragePagesWritten.Inc()
+	obs.StorageBytesWritten.Add(PageSize)
 	return nil
 }
 
@@ -165,6 +169,8 @@ func (p *pager) readPageInto(id int64, buf []byte) error {
 	if _, err := p.f.ReadAt(buf, id*PageSize); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
+	obs.StoragePagesRead.Inc()
+	obs.StorageBytesRead.Add(PageSize)
 	return nil
 }
 

@@ -4,12 +4,12 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"partix/internal/obs"
 	"partix/internal/storage"
 	"partix/internal/xmltree"
 	"partix/internal/xquery"
@@ -51,8 +51,10 @@ type ClientOptions struct {
 	// against protocol-v2 servers (ablation and paper-fidelity runs).
 	DisableStreaming bool
 	// Logger receives transport events (reconnects, swallowed
-	// HasCollection failures). nil disables logging.
-	Logger *log.Logger
+	// HasCollection failures) as leveled key=value records. nil
+	// disables logging; wrap a *log.Logger with obs.FromStd to keep an
+	// existing standard logger.
+	Logger obs.Logger
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -70,6 +72,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.PoolSize <= 0 {
 		o.PoolSize = 4
+	}
+	if o.Logger == nil {
+		o.Logger = obs.Nop()
 	}
 	return o
 }
@@ -274,12 +279,14 @@ func (c *Client) get() (*poolConn, error) {
 		return pc, nil
 	}
 	c.mu.Unlock()
-	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	raw, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	if err != nil {
 		<-c.slots
 		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
 	c.dials.Add(1)
+	obs.WireClientReconnects.Inc()
+	conn := &countingConn{Conn: raw, in: obs.WireClientBytesIn, out: obs.WireClientBytesOut}
 	return &poolConn{
 		conn: conn,
 		enc:  gob.NewEncoder(conn),
@@ -330,6 +337,9 @@ func (c *Client) once(req *Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	obs.WireClientRequests.Inc()
+	obs.WireClientInflight.Add(1)
+	defer obs.WireClientInflight.Add(-1)
 	req.Proto = ProtocolVersion
 	resp, err := pc.do(req, c.opts.RequestTimeout)
 	if err != nil {
@@ -369,10 +379,10 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
-			if c.opts.Logger != nil {
-				c.opts.Logger.Printf("wire: retrying op %d on %s after %v (attempt %d/%d): %v",
-					req.Op, c.name, backoff, attempt+1, attempts, lastErr)
-			}
+			obs.WireClientRetries.Inc()
+			c.opts.Logger.Log(obs.LevelWarn, "wire: retrying request",
+				"op", req.Op, "node", c.name, "backoff", backoff,
+				"attempt", attempt+1, "attempts", attempts, "err", lastErr)
 			time.Sleep(backoff)
 			backoff *= 2
 		}
@@ -418,6 +428,9 @@ func (c *Client) streamOnce(req *Request, deliver func(*Frame) error) (int, erro
 	if err != nil {
 		return 0, err
 	}
+	obs.WireClientRequests.Inc()
+	obs.WireClientInflight.Add(1)
+	defer obs.WireClientInflight.Add(-1)
 	req.Proto = ProtocolVersion
 	req.BatchItems = c.opts.BatchItems
 	if err := pc.send(req, c.opts.RequestTimeout); err != nil {
@@ -439,6 +452,7 @@ func (c *Client) streamOnce(req *Request, deliver func(*Frame) error) (int, erro
 			return delivered, fmt.Errorf("wire: %s: %w", c.addr, err)
 		}
 		c.frames.Add(1)
+		obs.WireClientFrames.Inc()
 		switch f.Kind {
 		case FrameItems, FrameDocs:
 			delivered++
@@ -489,10 +503,10 @@ func (c *Client) stream(req *Request, deliver func(*Frame) error, reset func()) 
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
-			if c.opts.Logger != nil {
-				c.opts.Logger.Printf("wire: retrying stream op %d on %s after %v (attempt %d/%d): %v",
-					req.Op, c.name, backoff, attempt+1, attempts, lastErr)
-			}
+			obs.WireClientRetries.Inc()
+			c.opts.Logger.Log(obs.LevelWarn, "wire: retrying stream",
+				"op", req.Op, "node", c.name, "backoff", backoff,
+				"attempt", attempt+1, "attempts", attempts, "err", lastErr)
 			time.Sleep(backoff)
 			backoff *= 2
 		}
@@ -582,6 +596,30 @@ func (c *Client) ExecuteQuery(query string) (xquery.Seq, error) {
 		return nil, err
 	}
 	return DecodeSeq(resp.Items)
+}
+
+// ExecuteQueryTraced runs a query with distributed tracing: the trace
+// ID travels in the protocol-v3 request header and the node returns
+// per-step spans (parse, plan, execute, serialize) with the result.
+// Tracing always uses the monolithic exchange — spans describe a whole
+// sub-query, which framed delivery would split — so the result path
+// matches ExecuteQuery against a legacy peer. A peer older than
+// protocol v3 is queried without the header and yields no spans;
+// tracing never stops a query from running.
+func (c *Client) ExecuteQueryTraced(traceID, query string) (xquery.Seq, []obs.Span, error) {
+	req := &Request{Op: OpQuery, Query: query}
+	if c.peer.Load() >= 3 {
+		req.TraceID = traceID
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	seq, err := DecodeSeq(resp.Items)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seq, resp.Spans, nil
 }
 
 // StreamQuery executes a query with incremental result delivery: yield
@@ -690,9 +728,9 @@ func (c *Client) CheckCollection(collection string) (bool, error) {
 // Callers that must tell absence from unreachability use CheckCollection.
 func (c *Client) HasCollection(collection string) bool {
 	ok, err := c.CheckCollection(collection)
-	if err != nil && c.opts.Logger != nil {
-		c.opts.Logger.Printf("wire: HasCollection(%q) on %s unreachable, reporting false: %v",
-			collection, c.name, err)
+	if err != nil {
+		c.opts.Logger.Log(obs.LevelWarn, "wire: HasCollection unreachable, reporting false",
+			"collection", collection, "node", c.name, "err", err)
 	}
 	return ok
 }

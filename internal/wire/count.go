@@ -1,0 +1,32 @@
+package wire
+
+import (
+	"net"
+
+	"partix/internal/obs"
+)
+
+// countingConn wraps a net.Conn and accounts transferred bytes to a
+// pair of obs counters, giving the /metrics byte totals without
+// touching the gob encode/decode paths.
+type countingConn struct {
+	net.Conn
+	in  *obs.Counter // bytes read from the peer
+	out *obs.Counter // bytes written to the peer
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.in.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.out.Add(int64(n))
+	}
+	return n, err
+}

@@ -10,6 +10,8 @@
 // results are shipped as bounded Frames (FrameItems/FrameDocs … FrameEnd
 // or FrameErr) so the coordinator can compose partial results while the
 // node is still transmitting, and cancel a stream it no longer needs.
+// Version 3 adds the distributed-tracing header: requests may carry a
+// coordinator trace ID and query responses return per-step spans.
 // Versions are negotiated on the first exchange; legacy peers keep the
 // monolithic path on both sides.
 package wire
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"partix/internal/obs"
 	"partix/internal/storage"
 	"partix/internal/xmltree"
 	"partix/internal/xquery"
@@ -26,12 +29,17 @@ import (
 // ProtocolVersion is the wire protocol generation this build speaks.
 // Version 1 (implicit — legacy peers never announce one) is the
 // monolithic request/response protocol; version 2 adds the chunked
-// result-frame streaming operations. Peers negotiate on the first
-// exchange of a client: requests carry the client's version, responses
-// echo the server's, and a client only issues streaming operations to a
-// peer that has announced version 2 — against anything older it falls
-// back to the monolithic path transparently.
-const ProtocolVersion = 2
+// result-frame streaming operations; version 3 adds the optional trace
+// header (Request.TraceID) and span reporting (Response.Spans). Peers
+// negotiate on the first exchange of a client: requests carry the
+// client's version, responses echo the server's, and a client only
+// issues streaming operations to a peer that has announced version 2 —
+// against anything older it falls back to the monolithic path
+// transparently. Likewise a trace ID is only sent to a peer that has
+// announced version 3; against anything older the query still runs,
+// just without node-side spans (gob drops fields a legacy decoder
+// lacks, so even an unexpectedly sent header is harmless).
+const ProtocolVersion = 3
 
 // Op identifies a request type.
 type Op uint8
@@ -82,6 +90,12 @@ type Request struct {
 	// items/documents each; 0 accepts the server's default. The server
 	// clamps it against its own limits.
 	BatchItems int
+	// TraceID is the coordinator's distributed-tracing identifier for
+	// OpQuery. When set, the node times each processing step and returns
+	// the spans in Response.Spans. Protocol version 3; empty (and so
+	// omitted from the gob stream) when the query is not traced or the
+	// peer is older.
+	TraceID string
 }
 
 // Response is one server → client message.
@@ -96,6 +110,10 @@ type Response struct {
 	// from legacy servers, which is how a client learns it must stay on
 	// the monolithic path.
 	Proto uint8
+	// Spans carries the node's per-step trace spans (parse, plan,
+	// execute, serialize) for a traced OpQuery. Protocol version 3; nil
+	// otherwise.
+	Spans []obs.Span
 }
 
 // FrameKind tags one message of a streamed result. The zero value is

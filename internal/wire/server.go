@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"partix/internal/engine"
+	"partix/internal/obs"
 	"partix/internal/storage"
 	"partix/internal/xquery"
 )
@@ -77,7 +78,7 @@ func (o ServerOptions) batchFor(req *Request) int {
 // error Response and the server keeps serving.
 type Server struct {
 	db   *engine.DB
-	log  *log.Logger
+	log  obs.Logger
 	opts ServerOptions
 
 	// hook is a test seam invoked before each dispatch; fault-injection
@@ -98,8 +99,19 @@ func NewServer(db *engine.DB, logger *log.Logger) *Server {
 	return NewServerWith(db, logger, ServerOptions{})
 }
 
-// NewServerWith wraps db with explicit connection-hygiene options.
+// NewServerWith wraps db with explicit connection-hygiene options. The
+// *log.Logger signature is kept for existing callers and CLI flags; it
+// is adapted to the leveled obs.Logger internally (nil disables
+// logging). Servers wanting structured output use NewServerLogger.
 func NewServerWith(db *engine.DB, logger *log.Logger, opts ServerOptions) *Server {
+	return NewServerLogger(db, obs.FromStd(logger, obs.LevelDebug), opts)
+}
+
+// NewServerLogger wraps db logging through any obs.Logger.
+func NewServerLogger(db *engine.DB, logger obs.Logger, opts ServerOptions) *Server {
+	if logger == nil {
+		logger = obs.Nop()
+	}
 	return &Server{db: db, log: logger, opts: opts.withDefaults(), conns: map[net.Conn]struct{}{}}
 }
 
@@ -109,7 +121,7 @@ func (s *Server) Serve(l net.Listener) error {
 	s.listener = l
 	s.mu.Unlock()
 	for {
-		conn, err := l.Accept()
+		raw, err := l.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
@@ -119,6 +131,7 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		conn := net.Conn(&countingConn{Conn: raw, in: obs.WireServerBytesIn, out: obs.WireServerBytesOut})
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -128,6 +141,7 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.handlers.Add(1)
 		s.mu.Unlock()
+		obs.WireServerConns.Add(1)
 		go s.handle(conn)
 	}
 }
@@ -166,9 +180,8 @@ func (s *Server) Close() error {
 		select {
 		case <-done:
 		case <-time.After(s.opts.DrainTimeout):
-			if s.log != nil {
-				s.log.Printf("wire: drain timeout after %v, forcing connections closed", s.opts.DrainTimeout)
-			}
+			s.log.Log(obs.LevelWarn, "wire: drain timeout, forcing connections closed",
+				"timeout", s.opts.DrainTimeout)
 		}
 	}
 	s.mu.Lock()
@@ -184,13 +197,16 @@ func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		// A panic outside dispatch (protocol decode internals) must not
 		// take the whole process down; drop just this connection.
-		if r := recover(); r != nil && s.log != nil {
-			s.log.Printf("wire: connection %s panicked: %v\n%s", conn.RemoteAddr(), r, debug.Stack())
+		if r := recover(); r != nil {
+			obs.WireServerPanics.Inc()
+			s.log.Log(obs.LevelError, "wire: connection panicked",
+				"remote", conn.RemoteAddr(), "panic", r, "stack", string(debug.Stack()))
 		}
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		obs.WireServerConns.Add(-1)
 	}()
 	dec := gob.NewDecoder(newLimitReader(conn, s.opts.MaxMessageBytes))
 	enc := gob.NewEncoder(conn)
@@ -211,17 +227,18 @@ func (s *Server) handle(conn net.Conn) {
 				// The oversize message was never consumed, so the stream
 				// is desynced: answer the pending request with an error
 				// (best effort) and drop the connection.
-				if s.log != nil {
-					s.log.Printf("wire: oversize message from %s: %v", conn.RemoteAddr(), err)
-				}
+				s.log.Log(obs.LevelWarn, "wire: oversize message",
+					"remote", conn.RemoteAddr(), "err", err)
 				enc.Encode(&Response{Err: err.Error(), Proto: ProtocolVersion})
 				return
 			}
-			if !errors.Is(err, io.EOF) && s.log != nil {
-				s.log.Printf("wire: decode from %s: %v", conn.RemoteAddr(), err)
+			if !errors.Is(err, io.EOF) {
+				s.log.Log(obs.LevelWarn, "wire: decode failed",
+					"remote", conn.RemoteAddr(), "err", err)
 			}
 			return
 		}
+		obs.WireServerRequests.Inc()
 		var err error
 		if req.Op == OpQueryStream || req.Op == OpFetchStream {
 			err = s.serveStream(enc, conn, &req)
@@ -231,9 +248,8 @@ func (s *Server) handle(conn net.Conn) {
 			err = enc.Encode(resp)
 		}
 		if err != nil {
-			if s.log != nil {
-				s.log.Printf("wire: encode to %s: %v", conn.RemoteAddr(), err)
-			}
+			s.log.Log(obs.LevelWarn, "wire: encode failed",
+				"remote", conn.RemoteAddr(), "err", err)
 			return
 		}
 		s.mu.Lock()
@@ -251,7 +267,11 @@ func (s *Server) sendFrame(enc *gob.Encoder, conn net.Conn, f *Frame) error {
 	if s.opts.IdleTimeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(s.opts.IdleTimeout))
 	}
-	return enc.Encode(f)
+	if err := enc.Encode(f); err != nil {
+		return err
+	}
+	obs.WireServerFrames.Inc()
+	return nil
 }
 
 // serveStream answers OpQueryStream/OpFetchStream with a frame sequence.
@@ -281,9 +301,9 @@ func (s *Server) streamQuery(enc *gob.Encoder, conn net.Conn, req *Request, batc
 		// mirroring dispatch: the client sees FrameErr, not a dead node.
 		defer func() {
 			if r := recover(); r != nil {
-				if s.log != nil {
-					s.log.Printf("wire: panic serving stream: %v\n%s", r, debug.Stack())
-				}
+				obs.WireServerPanics.Inc()
+				s.log.Log(obs.LevelError, "wire: panic serving stream",
+					"panic", r, "stack", string(debug.Stack()))
 				err = fmt.Errorf("wire: internal error serving request: %v", r)
 			}
 		}()
@@ -377,9 +397,9 @@ func (s *Server) streamFetch(enc *gob.Encoder, conn net.Conn, req *Request, batc
 func (s *Server) dispatch(req *Request) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
-			if s.log != nil {
-				s.log.Printf("wire: panic serving op %d: %v\n%s", req.Op, r, debug.Stack())
-			}
+			obs.WireServerPanics.Inc()
+			s.log.Log(obs.LevelError, "wire: panic serving request",
+				"op", req.Op, "panic", r, "stack", string(debug.Stack()))
 			resp = &Response{Err: fmt.Sprintf("wire: internal error serving request: %v", r)}
 		}
 	}()
@@ -405,6 +425,9 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 			return fail(err)
 		}
 	case OpQuery:
+		if req.TraceID != "" {
+			return s.tracedQuery(req, resp)
+		}
 		items, err := s.db.Query(req.Query)
 		if err != nil {
 			return fail(err)
@@ -439,5 +462,44 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 	default:
 		resp.Err = "wire: unknown operation"
 	}
+	return resp
+}
+
+// tracedQuery serves an OpQuery that carries a trace ID, timing each
+// processing step the way the coordinator's span tree expects: parse
+// (query text → AST), plan (index-hint extraction — the node-local
+// planning the engine repeats inside evaluation), execute (the
+// evaluator), serialize (result → wire items). Span durations are
+// relative, so node clock skew never corrupts the tree.
+func (s *Server) tracedQuery(req *Request, resp *Response) *Response {
+	fail := func(err error) *Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	parseSpan, endParse := obs.StartSpan("parse", "")
+	expr, err := xquery.Parse(req.Query)
+	endParse()
+	if err != nil {
+		return fail(err)
+	}
+	planSpan, endPlan := obs.StartSpan("plan", "")
+	hints := xquery.ExtractHints(expr)
+	endPlan()
+	planSpan.Detail = fmt.Sprintf("hints=%d", len(hints))
+	execSpan, endExec := obs.StartSpan("execute", "")
+	items, err := s.db.QueryExpr(expr)
+	endExec()
+	if err != nil {
+		return fail(err)
+	}
+	execSpan.Detail = fmt.Sprintf("items=%d", len(items))
+	serSpan, endSer := obs.StartSpan("serialize", "")
+	wi, err := EncodeSeq(items)
+	endSer()
+	if err != nil {
+		return fail(err)
+	}
+	resp.Items = wi
+	resp.Spans = []obs.Span{*parseSpan, *planSpan, *execSpan, *serSpan}
 	return resp
 }

@@ -40,6 +40,7 @@
 package partix
 
 import (
+	"io"
 	"log"
 	"net"
 	"time"
@@ -48,6 +49,7 @@ import (
 	idesign "partix/internal/design"
 	iengine "partix/internal/engine"
 	ifrag "partix/internal/fragmentation"
+	iobs "partix/internal/obs"
 	ipartix "partix/internal/partix"
 	iwire "partix/internal/wire"
 	ixmlschema "partix/internal/xmlschema"
@@ -119,6 +121,45 @@ type (
 	// Item is one result item: *Node, string, float64 or bool.
 	Item = ixquery.Item
 )
+
+// Observability (metrics, tracing, structured logging — internal/obs).
+type (
+	// TraceSpan is one node of an assembled query trace
+	// (QueryResult.Trace); Format renders the tree.
+	TraceSpan = iobs.Span
+	// Logger is the leveled structured-logging interface the wire layer
+	// and the slow-query log write to.
+	Logger = iobs.Logger
+	// LogLevel orders log severities.
+	LogLevel = iobs.Level
+)
+
+// Log levels.
+const (
+	LogDebug = iobs.LevelDebug
+	LogInfo  = iobs.LevelInfo
+	LogWarn  = iobs.LevelWarn
+	LogError = iobs.LevelError
+)
+
+// NopLogger returns the default do-nothing logger.
+func NopLogger() Logger { return iobs.Nop() }
+
+// NewTextLogger writes key=value lines at or above min to w.
+func NewTextLogger(w io.Writer, min LogLevel) Logger { return iobs.NewTextLogger(w, min) }
+
+// LoggerFromStd adapts a *log.Logger to the structured interface (nil
+// yields the no-op logger).
+func LoggerFromStd(l *log.Logger, min LogLevel) Logger { return iobs.FromStd(l, min) }
+
+// MetricsText renders every partix_* metric series of this process in
+// Prometheus text exposition format (what partixd serves on /metrics).
+func MetricsText(w io.Writer) error { return iobs.Default.WriteText(w) }
+
+// SetMetricsEnabled toggles counter/histogram updates process-wide
+// (gauges always track, so paired increments stay balanced). Metrics
+// are enabled by default; disabling is an ablation/benchmark switch.
+func SetMetricsEnabled(on bool) { iobs.SetEnabled(on) }
 
 // Execution strategies.
 const (

@@ -12,7 +12,33 @@ test -z "$unformatted"
 go vet ./...
 go build ./...
 go test -timeout 5m ./...
-go test -race -timeout 5m ./internal/engine/... ./internal/cluster/... ./internal/partix/... ./internal/wire/...
+go test -race -timeout 5m ./internal/obs/... ./internal/engine/... ./internal/cluster/... ./internal/partix/... ./internal/wire/...
 # streaming smoke benchmark: one iteration proves the framed and
 # monolithic wire paths agree and the alloc assertions hold
 go test -timeout 5m -run '^$' -bench BenchmarkStreamVsMonolithic -benchtime 1x ./internal/wire/
+
+# observability smoke test: a node started with -debug-addr must serve
+# valid Prometheus text carrying series from every instrumented layer,
+# answer /healthz, and expose the JSON snapshot.
+smokedir="$(mktemp -d)"
+trap 'kill $partixd_pid 2>/dev/null || true; rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/partixd" ./cmd/partixd
+"$smokedir/partixd" -addr 127.0.0.1:7481 -db "$smokedir/smoke.db" -debug-addr 127.0.0.1:8481 -quiet &
+partixd_pid=$!
+for i in $(seq 1 50); do
+  if curl -sf http://127.0.0.1:8481/healthz >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf http://127.0.0.1:8481/healthz | grep -q '^ok$'
+metrics="$(curl -sf http://127.0.0.1:8481/metrics)"
+for series in \
+  partix_engine_queries_total \
+  partix_storage_pages_read_total \
+  partix_wire_server_requests_total \
+  partix_cluster_subqueries_total \
+  partix_coord_queries_total \
+  partix_engine_query_seconds_bucket; do
+  echo "$metrics" | grep -q "$series"
+done
+curl -sf http://127.0.0.1:8481/debug/vars | grep -q partix_engine_queries_total
+kill $partixd_pid
