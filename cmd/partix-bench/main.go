@@ -10,13 +10,17 @@
 //	partix-bench -exp fig7d               # prints both -T and -NT views
 //	partix-bench -exp stream -json BENCH_PR3.json
 //	partix-bench -exp obs -json BENCH_PR4.json
+//	partix-bench -exp valueindex -json BENCH_PR5.json
 //
 // Experiments: fig7a, fig7b, fig7c, fig7d, headline, smalldb, stream,
-// obs, all. The stream experiment contrasts the framed wire protocol
-// against the monolithic one over real TCP node servers; obs measures
-// the observability layer's overhead (metrics off vs on vs traced). With
-// -json the measured panels are also written machine-readable (durations
-// in nanoseconds) so the perf trajectory is tracked across changes.
+// obs, valueindex, all. The stream experiment contrasts the framed wire
+// protocol against the monolithic one over real TCP node servers; obs
+// measures the observability layer's overhead (metrics off vs on vs
+// traced); valueindex sweeps a range predicate's selectivity with the
+// path/value index on vs off and checks the index-only count()/exists()
+// deciders. With -json the measured panels are also written
+// machine-readable (durations in nanoseconds) so the perf trajectory is
+// tracked across changes.
 package main
 
 import (
@@ -30,11 +34,12 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | all")
+		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | all")
 		scaleF     = flag.Int("scale", 1, "multiply the default database sizes")
 		repeats    = flag.Int("repeats", 3, "timed executions per query (after one discarded warm-up)")
 		dir        = flag.String("dir", "", "working directory for node stores (default: temp)")
 		noIdx      = flag.Bool("no-indexes", false, "disable index-assisted pruning on the nodes (scan-bound baseline)")
+		noVIdx     = flag.Bool("no-value-index", false, "disable only the path/value index (text indexes stay on)")
 		workers    = flag.Int("decode-workers", 1, "engine decode workers per node (1 = paper-faithful sequential; 0 = GOMAXPROCS)")
 		cacheBytes = flag.Int64("tree-cache-bytes", 0, "decoded-tree cache budget per node in bytes (0 = off, paper-faithful)")
 		format     = flag.String("format", "table", "table | csv")
@@ -44,7 +49,7 @@ func main() {
 
 	scale := experiments.DefaultScale.Multiply(*scaleF)
 	opts := experiments.Options{Dir: *dir, Repeats: *repeats, DisableIndexes: *noIdx,
-		DecodeWorkers: *workers, TreeCacheBytes: *cacheBytes}
+		DisableValueIndex: *noVIdx, DecodeWorkers: *workers, TreeCacheBytes: *cacheBytes}
 	if *workers != 1 || *cacheBytes != 0 {
 		fmt.Println("note: decode-workers != 1 or tree-cache-bytes > 0 departs from the published paper-fidelity series (see EXPERIMENTS.md)")
 	}
@@ -75,9 +80,10 @@ var (
 
 // collector gathers every panel the run produced for the JSON report.
 type collector struct {
-	panels []*experiments.Panel
-	stream *experiments.StreamCompare
-	obs    *experiments.ObsCompare
+	panels     []*experiments.Panel
+	stream     *experiments.StreamCompare
+	obs        *experiments.ObsCompare
+	valueIndex *experiments.ValueIndexCompare
 }
 
 func writeJSON(path string, repeats int, col *collector) error {
@@ -87,6 +93,7 @@ func writeJSON(path string, repeats int, col *collector) error {
 	}
 	report := experiments.NewReport(repeats, col.panels, col.stream)
 	report.Obs = col.obs
+	report.ValueIndex = col.valueIndex
 	if err := report.WriteJSON(f); err != nil {
 		f.Close()
 		return err
@@ -146,8 +153,16 @@ func run(exp string, scale experiments.Scale, opts experiments.Options, col *col
 		col.obs = c
 		experiments.PrintObs(out, c)
 		return nil
+	case "valueindex":
+		c, err := experiments.RunValueIndex(scale, opts)
+		if err != nil {
+			return err
+		}
+		col.valueIndex = c
+		experiments.PrintValueIndex(out, c)
+		return nil
 	case "all":
-		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "headline"} {
+		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "headline"} {
 			if err := run(name, scale, opts, col); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -15,8 +15,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +35,13 @@ type Options struct {
 	// query then scans all documents of its collections. Used by the
 	// index ablation benchmarks.
 	DisableIndexes bool
+
+	// DisableValueIndex turns off just the path summary and typed value
+	// index: path-qualified and range constraints stop pruning and
+	// exists()/count() queries are no longer answered index-only, while
+	// the token/element pruning stays on. Used to isolate the value
+	// index's contribution in ablation benchmarks.
+	DisableValueIndex bool
 
 	// DecodeWorkers bounds the worker pool that fetches and decodes
 	// candidate documents during queries. 0 defaults to GOMAXPROCS;
@@ -54,9 +63,10 @@ type DB struct {
 	store *storage.Store
 	cache *treeCache // nil when TreeCacheBytes is 0
 
-	mu   sync.RWMutex
-	idx  map[string]*textIndex // collection → inverted index
-	gens map[string]uint64     // collection → mutation generation (cache keys)
+	mu      sync.RWMutex
+	idx     map[string]*docIndex       // collection → indexes
+	gens    map[string]uint64          // collection → mutation generation (cache keys)
+	docCols map[string]map[string]bool // doc name → collections holding it
 
 	stats liveStats
 }
@@ -65,22 +75,26 @@ type DB struct {
 // (and the decode pipeline workers flushing into them) never race with
 // Stats()/ResetStats() snapshots.
 type liveStats struct {
-	queries      atomic.Int64
-	docsDecoded  atomic.Int64
-	docsPruned   atomic.Int64
-	bytesDecoded atomic.Int64
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
+	queries       atomic.Int64
+	docsDecoded   atomic.Int64
+	docsPruned    atomic.Int64
+	rangePruned   atomic.Int64
+	indexOnlyHits atomic.Int64
+	bytesDecoded  atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
 }
 
 // Stats counts the engine's work, for tests and ablation benchmarks.
 type Stats struct {
-	Queries      int64 // queries executed
-	DocsDecoded  int64 // documents decoded (parsed) during queries
-	DocsPruned   int64 // documents skipped thanks to index hints
-	BytesDecoded int64 // encoded bytes decoded during queries
-	CacheHits    int64 // candidate documents served from the tree cache
-	CacheMisses  int64 // candidate documents decoded despite an enabled cache
+	Queries       int64 // queries executed
+	DocsDecoded   int64 // documents decoded (parsed) during queries
+	DocsPruned    int64 // documents skipped thanks to index hints
+	RangePruned   int64 // of DocsPruned, documents eliminated by value-index comparisons
+	IndexOnlyHits int64 // count()/exists() deciders answered from indexes alone
+	BytesDecoded  int64 // encoded bytes decoded during queries
+	CacheHits     int64 // candidate documents served from the tree cache
+	CacheMisses   int64 // candidate documents decoded despite an enabled cache
 }
 
 // Add accumulates o into s (for aggregating counters across nodes).
@@ -88,6 +102,8 @@ func (s *Stats) Add(o Stats) {
 	s.Queries += o.Queries
 	s.DocsDecoded += o.DocsDecoded
 	s.DocsPruned += o.DocsPruned
+	s.RangePruned += o.RangePruned
+	s.IndexOnlyHits += o.IndexOnlyHits
 	s.BytesDecoded += o.BytesDecoded
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
@@ -103,9 +119,25 @@ func Open(path string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{opts: opts, store: st, idx: map[string]*textIndex{}, gens: map[string]uint64{}}
+	db := &DB{
+		opts: opts, store: st,
+		idx: map[string]*docIndex{}, gens: map[string]uint64{},
+		docCols: map[string]map[string]bool{},
+	}
 	if opts.TreeCacheBytes > 0 {
 		db.cache = newTreeCache(opts.TreeCacheBytes)
+	}
+	// The doc → collection map is rebuilt from the catalog on every open
+	// (names only, no document decoding).
+	for _, col := range st.Collections() {
+		names, err := st.Documents(col)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		for _, name := range names {
+			db.noteDocLocked(name, col)
+		}
 	}
 	if db.loadIndexSnapshot() {
 		return db, nil
@@ -116,18 +148,51 @@ func Open(path string, opts Options) (*DB, error) {
 			st.Close()
 			return nil, err
 		}
-		ix := newTextIndex()
+		ix := newDocIndex()
+		batch := make([]*xmltree.Document, 0, rebuildBatch)
 		for _, name := range names {
 			doc, err := st.GetDocument(col, name)
 			if err != nil {
 				st.Close()
 				return nil, fmt.Errorf("engine: rebuild index for %s/%s: %w", col, name, err)
 			}
-			ix.add(doc)
+			batch = append(batch, doc)
+			if len(batch) == rebuildBatch {
+				ix.bulkAdd(batch)
+				batch = batch[:0]
+			}
 		}
+		ix.bulkAdd(batch)
 		db.idx[col] = ix
 	}
 	return db, nil
+}
+
+// rebuildBatch bounds how many decoded documents a rebuild scan holds in
+// memory between bulkAdd calls.
+const rebuildBatch = 256
+
+// noteDocLocked records that a collection holds a document. Callers hold
+// db.mu (or, during Open, exclusive access).
+func (db *DB) noteDocLocked(name, collection string) {
+	cols := db.docCols[name]
+	if cols == nil {
+		cols = map[string]bool{}
+		db.docCols[name] = cols
+	}
+	cols[collection] = true
+}
+
+// dropDocLocked removes one doc → collection record.
+func (db *DB) dropDocLocked(name, collection string) {
+	cols := db.docCols[name]
+	if cols == nil {
+		return
+	}
+	delete(cols, collection)
+	if len(cols) == 0 {
+		delete(db.docCols, name)
+	}
 }
 
 // Close persists the index snapshot and closes the store.
@@ -160,31 +225,48 @@ func (db *DB) PutDocument(collection string, doc *xmltree.Document) error {
 	defer db.mu.Unlock()
 	ix := db.idx[collection]
 	if ix == nil {
-		ix = newTextIndex()
+		ix = newDocIndex()
 		db.idx[collection] = ix
 	}
 	db.gens[collection]++ // invalidate cached trees of the old version
-	ix.remove(doc.Name)   // replace semantics
-	ix.add(doc)
+	db.noteDocLocked(doc.Name, collection)
+	ix.replace(doc)
 	return nil
 }
 
 // LoadCollection stores and indexes every document of c. The collection
 // is created first, so a load of an empty collection (or one interrupted
-// mid-way) still leaves the collection cataloged.
+// mid-way) still leaves the collection cataloged. Indexing goes through
+// the batch path: one lock acquisition and one sort per touched posting
+// list, instead of a per-document sorted insert. On a store error the
+// documents already stored are still indexed before the error returns, so
+// index and store never disagree.
 func (db *DB) LoadCollection(c *xmltree.Collection) error {
 	db.store.CreateCollection(c.Name)
 	db.mu.Lock()
-	if db.idx[c.Name] == nil {
-		db.idx[c.Name] = newTextIndex()
+	ix := db.idx[c.Name]
+	if ix == nil {
+		ix = newDocIndex()
+		db.idx[c.Name] = ix
 	}
 	db.mu.Unlock()
+	stored := make([]*xmltree.Document, 0, len(c.Docs))
+	var putErr error
 	for _, d := range c.Docs {
-		if err := db.PutDocument(c.Name, d); err != nil {
-			return err
+		if err := db.store.PutDocument(c.Name, d); err != nil {
+			putErr = err
+			break
 		}
+		stored = append(stored, d)
 	}
-	return nil
+	db.mu.Lock()
+	db.gens[c.Name]++
+	for _, d := range stored {
+		db.noteDocLocked(d.Name, c.Name)
+	}
+	db.mu.Unlock()
+	ix.bulkAdd(stored)
+	return putErr
 }
 
 // DeleteDocument removes a document from store and index.
@@ -195,6 +277,7 @@ func (db *DB) DeleteDocument(collection, name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.gens[collection]++
+	db.dropDocLocked(name, collection)
 	if ix := db.idx[collection]; ix != nil {
 		ix.remove(name)
 	}
@@ -210,6 +293,14 @@ func (db *DB) DropCollection(name string) error {
 	defer db.mu.Unlock()
 	delete(db.idx, name)
 	db.gens[name]++
+	for doc, cols := range db.docCols {
+		if cols[name] {
+			delete(cols, name)
+			if len(cols) == 0 {
+				delete(db.docCols, doc)
+			}
+		}
+	}
 	return nil
 }
 
@@ -248,12 +339,14 @@ func (db *DB) QueryExpr(e xquery.Expr) (xquery.Seq, error) {
 // point, which is fine for the monitoring and benchmark uses it has.
 func (db *DB) Stats() Stats {
 	return Stats{
-		Queries:      db.stats.queries.Load(),
-		DocsDecoded:  db.stats.docsDecoded.Load(),
-		DocsPruned:   db.stats.docsPruned.Load(),
-		BytesDecoded: db.stats.bytesDecoded.Load(),
-		CacheHits:    db.stats.cacheHits.Load(),
-		CacheMisses:  db.stats.cacheMisses.Load(),
+		Queries:       db.stats.queries.Load(),
+		DocsDecoded:   db.stats.docsDecoded.Load(),
+		DocsPruned:    db.stats.docsPruned.Load(),
+		RangePruned:   db.stats.rangePruned.Load(),
+		IndexOnlyHits: db.stats.indexOnlyHits.Load(),
+		BytesDecoded:  db.stats.bytesDecoded.Load(),
+		CacheHits:     db.stats.cacheHits.Load(),
+		CacheMisses:   db.stats.cacheMisses.Load(),
 	}
 }
 
@@ -262,6 +355,8 @@ func (db *DB) ResetStats() {
 	db.stats.queries.Store(0)
 	db.stats.docsDecoded.Store(0)
 	db.stats.docsPruned.Store(0)
+	db.stats.rangePruned.Store(0)
+	db.stats.indexOnlyHits.Store(0)
 	db.stats.bytesDecoded.Store(0)
 	db.stats.cacheHits.Store(0)
 	db.stats.cacheMisses.Store(0)
@@ -295,9 +390,16 @@ func (db *DB) Docs(collection string, hint *xquery.Hint, fn func(*xmltree.Docume
 	db.mu.RUnlock()
 
 	var candidates []string
-	pruned := 0
+	pruned, rangePruned := 0, 0
 	if hint != nil && len(hint.Constraints) > 0 && !db.opts.DisableIndexes && ix != nil {
-		set := ix.candidates(hint)
+		usePaths := !db.opts.DisableValueIndex && hintNeedsPaths(hint)
+		if usePaths {
+			// Pre-v3 snapshots lack the path structures; build them now
+			// (or, if that fails, fall back to pruning without them).
+			usePaths = db.ensurePathIndex(collection, ix)
+		}
+		set, rp := ix.candidates(hint, usePaths)
+		rangePruned = rp
 		candidates = make([]string, 0, len(set))
 		for _, name := range names {
 			if set[name] {
@@ -326,15 +428,120 @@ func (db *DB) Docs(collection string, hint *xquery.Hint, fn func(*xmltree.Docume
 	}
 	db.stats.docsDecoded.Add(c.decoded)
 	db.stats.docsPruned.Add(int64(pruned))
+	db.stats.rangePruned.Add(int64(rangePruned))
 	db.stats.bytesDecoded.Add(c.bytes)
 	db.stats.cacheHits.Add(c.hits)
 	db.stats.cacheMisses.Add(c.misses)
 	obs.EngineDocsDecoded.Add(c.decoded)
 	obs.EngineDocsPruned.Add(int64(pruned))
+	obs.EngineRangePruned.Add(int64(rangePruned))
 	obs.EngineBytesDecoded.Add(c.bytes)
 	obs.EngineCacheHits.Add(c.hits)
 	obs.EngineCacheMisses.Add(c.misses)
 	return nil
+}
+
+// hintNeedsPaths reports whether any constraint is path-qualified.
+func hintNeedsPaths(hint *xquery.Hint) bool {
+	for _, c := range hint.Constraints {
+		if c.Path != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ensurePathIndex makes the collection's path summary and value index
+// available, lazily rebuilding them by scanning the store when the index
+// was restored from a pre-v3 snapshot. Returns false when the rebuild
+// fails (queries then proceed without path constraints, which is sound).
+func (db *DB) ensurePathIndex(collection string, ix *docIndex) bool {
+	ix.mu.Lock()
+	built := ix.pathsBuilt
+	ix.mu.Unlock()
+	if built {
+		return true
+	}
+	ix.rebuildMu.Lock()
+	defer ix.rebuildMu.Unlock()
+	ix.mu.Lock()
+	built = ix.pathsBuilt
+	ix.mu.Unlock()
+	if built {
+		return true
+	}
+	names, err := db.store.Documents(collection)
+	if err != nil {
+		return false
+	}
+	contribs := make(map[string]*docContrib, len(names))
+	for _, name := range names {
+		doc, err := db.store.GetDocument(collection, name)
+		if err != nil {
+			return false
+		}
+		contribs[name] = collectDocPaths(doc)
+	}
+	// Mutations that arrived while scanning are in ix.pathPending and
+	// override the scan inside installPaths.
+	ix.installPaths(contribs)
+	return true
+}
+
+// probeIndex resolves the index a probe runs against, nil when probing is
+// unavailable (disabled, unknown collection, or failed rebuild).
+func (db *DB) probeIndex(collection string) *docIndex {
+	if db.opts.DisableIndexes || db.opts.DisableValueIndex {
+		return nil
+	}
+	db.mu.RLock()
+	ix := db.idx[collection]
+	db.mu.RUnlock()
+	if ix == nil || !db.ensurePathIndex(collection, ix) {
+		return nil
+	}
+	return ix
+}
+
+// ProbeCount implements xquery.IndexProber: count()-shaped queries over
+// predicate-free collection-rooted paths are answered from the path
+// summary's node counts without decoding any document.
+func (db *DB) ProbeCount(p *xquery.PathProbe) (int64, bool) {
+	if p.Value != nil {
+		return 0, false // counting value-qualified nodes needs node-granular postings
+	}
+	ix := db.probeIndex(p.Collection)
+	if ix == nil {
+		return 0, false
+	}
+	ix.mu.Lock()
+	n := ix.countLocked(p.Steps)
+	ix.mu.Unlock()
+	db.noteIndexOnly()
+	return n, true
+}
+
+// ProbeExists implements xquery.IndexProber: exists()/empty()-shaped
+// queries are answered from the path summary and value index. A probe is
+// declined (ok=false) when an over-cap value at a matched path could hide
+// a match.
+func (db *DB) ProbeExists(p *xquery.PathProbe) (bool, bool) {
+	ix := db.probeIndex(p.Collection)
+	if ix == nil {
+		return false, false
+	}
+	ix.mu.Lock()
+	exists, ok := ix.existsLocked(p)
+	ix.mu.Unlock()
+	if ok {
+		db.noteIndexOnly()
+	}
+	return exists, ok
+}
+
+func (db *DB) noteIndexOnly() {
+	db.stats.indexOnlyHits.Add(1)
+	obs.EngineIndexOnly.Inc()
 }
 
 // RawDocuments streams the stored (encoded) documents of a collection to
@@ -359,13 +566,28 @@ func (db *DB) RawDocuments(collection string, fn func(name string, data []byte) 
 	return nil
 }
 
-// Doc implements xquery.Source for doc("name"): the document is located in
-// whichever collection holds it.
+// Doc implements xquery.Source for doc("name"): the document is located
+// through the doc → collection map instead of probing every collection,
+// and a real store error surfaces instead of reading as "not found". When
+// several collections hold the name, the lexicographically first wins
+// (the order the old collection scan observed).
 func (db *DB) Doc(name string) (*xmltree.Document, error) {
-	for _, col := range db.store.Collections() {
-		if d, err := db.store.GetDocument(col, name); err == nil {
+	db.mu.RLock()
+	cols := make([]string, 0, len(db.docCols[name]))
+	for col := range db.docCols[name] {
+		cols = append(cols, col)
+	}
+	db.mu.RUnlock()
+	sort.Strings(cols)
+	for _, col := range cols {
+		d, err := db.store.GetDocument(col, name)
+		if err == nil {
 			return d, nil
 		}
+		if !errors.Is(err, storage.ErrNotFound) {
+			return nil, fmt.Errorf("engine: doc %q: %w", name, err)
+		}
+		// Raced with a concurrent delete; try the remaining collections.
 	}
 	return nil, fmt.Errorf("engine: document %q not found in any collection", name)
 }

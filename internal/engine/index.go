@@ -14,19 +14,25 @@ import (
 // slices instead of the map-of-maps the first engine version used.
 type docID uint32
 
-// textIndex is an inverted index: text token → sorted posting list of
-// docIDs (with a sorted vocabulary for substring constraints) plus a
-// structural index element name → sorted posting list. Tokenization
-// matches xquery.Tokenize, which is what makes hints sound.
+// docIndex holds one collection's indexes:
 //
-// The reverse maps (docID → the tokens/elements it contributed) make
-// remove proportional to the document's own vocabulary instead of the
-// whole index's.
+//   - an inverted text index (token → sorted posting list, with a sorted
+//     vocabulary for substring constraints) and a structural index
+//     (element name → sorted posting list) — tokenization matches
+//     xquery.Tokenize, which is what makes hints sound;
+//   - a DataGuide-style path summary: every distinct root-to-node label
+//     path → the docs containing it, with per-doc node counts (pathindex.go);
+//   - a typed value index: label path → sorted node values → postings,
+//     answering equality and range constraints by binary search.
+//
+// The reverse maps (docID → what the doc contributed) make remove
+// proportional to the document's own vocabulary instead of the whole
+// index's.
 //
 // All methods lock ix.mu, so an index is safe for concurrent readers and
 // writers regardless of which engine lock the caller holds; the engine's
 // db.mu only guards the collection → index map itself.
-type textIndex struct {
+type docIndex struct {
 	mu sync.Mutex
 
 	names []string         // docID → name; "" marks a recycled slot
@@ -39,23 +45,42 @@ type textIndex struct {
 	docTokens   map[docID][]string // reverse: tokens a doc contributed
 	docElements map[docID][]string // reverse: element names a doc contributed
 
-	vocab []string // sorted tokens; rebuilt lazily
+	vocab []string // sorted tokens; rebuilt lazily, immutable once built
 	dirty bool
+
+	paths    map[string]*pathPosting // label path key → docs + node counts
+	values   map[string]*valueList   // label path key → value index
+	docPaths map[docID][]docPathRef  // reverse: paths/values a doc contributed
+
+	// pathsBuilt is false only for indexes restored from a pre-v3
+	// snapshot: the path structures are then rebuilt lazily on first use
+	// (engine.ensurePathIndex). Mutations arriving before that land in
+	// pathPending (nil marks a removal) and are replayed by the rebuild.
+	pathsBuilt  bool
+	pathPending map[string]*docContrib
+
+	// rebuildMu serializes the lazy path rebuild; it is never taken while
+	// holding ix.mu.
+	rebuildMu sync.Mutex
 }
 
-func newTextIndex() *textIndex {
-	return &textIndex{
+func newDocIndex() *docIndex {
+	return &docIndex{
 		ids:         map[string]docID{},
 		postings:    map[string][]docID{},
 		elements:    map[string][]docID{},
 		docTokens:   map[docID][]string{},
 		docElements: map[docID][]string{},
+		paths:       map[string]*pathPosting{},
+		values:      map[string]*valueList{},
+		docPaths:    map[docID][]docPathRef{},
+		pathsBuilt:  true, // a fresh index is trivially in sync
 	}
 }
 
 // intern returns the docID for name, assigning one if needed. Callers
 // hold ix.mu.
-func (ix *textIndex) intern(name string) docID {
+func (ix *docIndex) intern(name string) docID {
 	if id, ok := ix.ids[name]; ok {
 		return id
 	}
@@ -93,7 +118,16 @@ func removeSorted(list []docID, id docID) []docID {
 	return append(list[:i], list[i+1:]...)
 }
 
-func (ix *textIndex) add(doc *xmltree.Document) {
+// docPrep is everything a document contributes to the indexes, computed
+// outside any lock.
+type docPrep struct {
+	name     string
+	tokens   []string
+	elements []string
+	contrib  *docContrib
+}
+
+func prepDoc(doc *xmltree.Document) docPrep {
 	tokens := map[string]bool{}
 	elements := map[string]bool{}
 	doc.Root.Walk(func(n *xmltree.Node) bool {
@@ -107,26 +141,63 @@ func (ix *textIndex) add(doc *xmltree.Document) {
 		}
 		return true
 	})
+	p := docPrep{name: doc.Name, contrib: collectDocPaths(doc)}
+	for tok := range tokens {
+		p.tokens = append(p.tokens, tok)
+	}
+	for name := range elements {
+		p.elements = append(p.elements, name)
+	}
+	return p
+}
 
+func (ix *docIndex) add(doc *xmltree.Document) {
+	p := prepDoc(doc)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	id := ix.intern(doc.Name)
-	for tok := range tokens {
+	ix.addPrepLocked(p)
+}
+
+// replace removes any previous version of doc and adds the new one under
+// a single lock acquisition.
+func (ix *docIndex) replace(doc *xmltree.Document) {
+	p := prepDoc(doc)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(doc.Name)
+	ix.addPrepLocked(p)
+}
+
+func (ix *docIndex) addPrepLocked(p docPrep) {
+	id := ix.intern(p.name)
+	for _, tok := range p.tokens {
 		if _, known := ix.postings[tok]; !known {
 			ix.dirty = true
 		}
 		ix.postings[tok] = insertSorted(ix.postings[tok], id)
 		ix.docTokens[id] = append(ix.docTokens[id], tok)
 	}
-	for name := range elements {
+	for _, name := range p.elements {
 		ix.elements[name] = insertSorted(ix.elements[name], id)
 		ix.docElements[id] = append(ix.docElements[id], name)
 	}
+	if ix.pathsBuilt {
+		ix.addPathsLocked(id, p.contrib)
+	} else {
+		ix.pendPathLocked(p.name, p.contrib)
+	}
 }
 
-func (ix *textIndex) remove(docName string) {
+func (ix *docIndex) remove(docName string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.removeLocked(docName)
+}
+
+func (ix *docIndex) removeLocked(docName string) {
+	if !ix.pathsBuilt {
+		ix.pendPathLocked(docName, nil)
+	}
 	id, ok := ix.ids[docName]
 	if !ok {
 		return
@@ -146,6 +217,9 @@ func (ix *textIndex) remove(docName string) {
 			ix.elements[name] = list
 		}
 	}
+	if ix.pathsBuilt {
+		ix.removePathsLocked(id)
+	}
 	delete(ix.docTokens, id)
 	delete(ix.docElements, id)
 	delete(ix.ids, docName)
@@ -153,8 +227,10 @@ func (ix *textIndex) remove(docName string) {
 	ix.free = append(ix.free, id)
 }
 
-// vocabulary returns the sorted token list. Callers hold ix.mu.
-func (ix *textIndex) vocabulary() []string {
+// vocabulary returns the sorted token list. Callers hold ix.mu, but the
+// returned slice is immutable once built (a later mutation builds a NEW
+// slice), so callers may release the lock and keep scanning it.
+func (ix *docIndex) vocabulary() []string {
 	if ix.dirty || ix.vocab == nil {
 		ix.vocab = make([]string, 0, len(ix.postings))
 		for tok := range ix.postings {
@@ -186,8 +262,41 @@ func intersectSorted(a, b []docID) []docID {
 }
 
 // candidates evaluates the hint's conjunction and returns the documents
-// that may satisfy it.
-func (ix *textIndex) candidates(hint *xquery.Hint) map[string]bool {
+// that may satisfy it, plus the number of documents eliminated by value
+// comparisons specifically (beyond the token/element/path-existence
+// pruning). usePaths gates the path-qualified constraints — false when
+// the path structures are unavailable (disabled, or a lazy rebuild
+// failed), in which case those constraints are simply not applied, which
+// is always sound.
+func (ix *docIndex) candidates(hint *xquery.Hint, usePaths bool) (map[string]bool, int) {
+	// Substring constraints scan the whole vocabulary; do that outside the
+	// lock against the immutable vocab slice so a long scan never blocks
+	// writers. Only the token → posting lookups below need the lock.
+	var subMatches map[string][]string // substring → matching tokens
+	for _, c := range hint.Constraints {
+		if c.Substring == "" {
+			continue
+		}
+		if subMatches == nil {
+			subMatches = map[string][]string{}
+		}
+		subMatches[c.Substring] = nil
+	}
+	if subMatches != nil {
+		ix.mu.Lock()
+		vocab := ix.vocabulary()
+		ix.mu.Unlock()
+		for sub := range subMatches {
+			var toks []string
+			for _, tok := range vocab {
+				if strings.Contains(tok, sub) {
+					toks = append(toks, tok)
+				}
+			}
+			subMatches[sub] = toks
+		}
+	}
+
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	var result []docID
@@ -200,6 +309,14 @@ func (ix *textIndex) candidates(hint *xquery.Hint) map[string]bool {
 		}
 		result = intersectSorted(result, list)
 	}
+	union := func(set map[docID]bool) {
+		list := make([]docID, 0, len(set))
+		for id := range set {
+			list = append(list, id)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		intersect(list)
+	}
 	for _, c := range hint.Constraints {
 		for _, tok := range c.Tokens {
 			intersect(ix.postings[tok])
@@ -208,25 +325,35 @@ func (ix *textIndex) candidates(hint *xquery.Hint) map[string]bool {
 			intersect(ix.elements[name])
 		}
 		if c.Substring != "" {
-			union := map[docID]bool{}
-			for _, tok := range ix.vocabulary() {
-				if strings.Contains(tok, c.Substring) {
-					for _, id := range ix.postings[tok] {
-						union[id] = true
-					}
+			set := map[docID]bool{}
+			for _, tok := range subMatches[c.Substring] {
+				for _, id := range ix.postings[tok] {
+					set[id] = true
 				}
 			}
-			list := make([]docID, 0, len(union))
-			for id := range union {
-				list = append(list, id)
+			union(set)
+		}
+		if usePaths && c.Path != nil && c.Path.Op == xquery.CmpExists {
+			union(ix.pathExistsLocked(c.Path.Steps))
+		}
+	}
+	rangePruned := 0
+	if usePaths {
+		for _, c := range hint.Constraints {
+			if c.Path == nil || c.Path.Op == xquery.CmpExists {
+				continue
 			}
-			sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
-			intersect(list)
+			base := len(result)
+			if first {
+				base = len(ix.ids)
+			}
+			union(ix.valueMatchesLocked(c.Path))
+			rangePruned += base - len(result)
 		}
 	}
 	out := make(map[string]bool, len(result))
 	for _, id := range result {
 		out[ix.names[id]] = true
 	}
-	return out
+	return out, rangePruned
 }

@@ -1,0 +1,591 @@
+package engine
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// Path summary + value index (the DataGuide half of the docIndex).
+//
+// Every distinct root-to-node label path of a collection — e.g.
+// "Item/Price" or "Item/@id"; components joined with "/", attributes
+// prefixed "@" (both characters are illegal in XML names, so the encoding
+// is unambiguous) — maps to the documents containing a node at that path
+// plus per-doc node counts (pathPosting). Separately, each path maps to
+// the distinct node string-values occurring at it, sorted, with typed
+// (numeric) ordering maintained on the side (valueList), so equality and
+// range constraints resolve to doc sets by binary search.
+//
+// Values are the XPath string value of the node (xmltree.Node.Text), the
+// exact operand the evaluator's atomicCompare sees. Values longer than
+// valueCap bytes are not stored; the doc instead lands on the path's
+// overflow list, which every comparison result includes — pruning stays a
+// sound superset, and index-only "false" answers are refused when an
+// overflow doc might hold a match.
+
+// valueCap bounds stored node values. Typical comparison operands (codes,
+// dates, prices) are far below it; whole-subtree concatenations of large
+// elements fall to the overflow list instead of bloating the index.
+const valueCap = 128
+
+// pathComp is one parsed component of a label path key.
+type pathComp struct {
+	name string
+	attr bool
+}
+
+// pathPosting is the summary entry of one label path: the docs containing
+// it (sorted) and, parallel to ids, how many nodes each doc has at the
+// path — what makes count() probes answerable without decoding.
+type pathPosting struct {
+	comps  []pathComp
+	ids    []docID
+	counts []uint32
+}
+
+func (p *pathPosting) insert(id docID, count uint32) {
+	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+	if i < len(p.ids) && p.ids[i] == id {
+		p.counts[i] = count
+		return
+	}
+	p.ids = append(p.ids, 0)
+	copy(p.ids[i+1:], p.ids[i:])
+	p.ids[i] = id
+	p.counts = append(p.counts, 0)
+	copy(p.counts[i+1:], p.counts[i:])
+	p.counts[i] = count
+}
+
+func (p *pathPosting) remove(id docID) {
+	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+	if i >= len(p.ids) || p.ids[i] != id {
+		return
+	}
+	p.ids = append(p.ids[:i], p.ids[i+1:]...)
+	p.counts = append(p.counts[:i], p.counts[i+1:]...)
+}
+
+// sortByID co-sorts ids and counts after bulk appends.
+func (p *pathPosting) sortByID() { sort.Sort((*postingByID)(p)) }
+
+type postingByID pathPosting
+
+func (s *postingByID) Len() int           { return len(s.ids) }
+func (s *postingByID) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *postingByID) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.counts[i], s.counts[j] = s.counts[j], s.counts[i]
+}
+
+// valueEntry is one distinct node value at a path with its posting list.
+// num/isNum cache the numeric interpretation under the evaluator's rule
+// (ParseFloat of the space-trimmed string).
+type valueEntry struct {
+	raw   string
+	num   float64
+	isNum bool
+	ids   []docID
+}
+
+// valueList is the value index of one path. entries is sorted by raw
+// value (the string comparison order); numOrder indexes the numeric
+// entries sorted by num (NaN excluded: under the evaluator's semantics a
+// NaN never satisfies =, <, <=, > or >=) and is rebuilt lazily.
+type valueList struct {
+	entries  []valueEntry
+	numOrder []int32
+	numDirty bool
+	overflow []docID // docs with an over-cap value at this path, sorted
+}
+
+func parseNum(raw string) (float64, bool) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+	return f, err == nil
+}
+
+func newValueEntry(raw string) valueEntry {
+	e := valueEntry{raw: raw}
+	e.num, e.isNum = parseNum(raw)
+	return e
+}
+
+// find returns the index of raw in entries and whether it is present.
+func (vl *valueList) find(raw string) (int, bool) {
+	i := sort.Search(len(vl.entries), func(i int) bool { return vl.entries[i].raw >= raw })
+	return i, i < len(vl.entries) && vl.entries[i].raw == raw
+}
+
+func (vl *valueList) insert(raw string, id docID) {
+	i, ok := vl.find(raw)
+	if !ok {
+		vl.entries = append(vl.entries, valueEntry{})
+		copy(vl.entries[i+1:], vl.entries[i:])
+		vl.entries[i] = newValueEntry(raw)
+		vl.numDirty = true
+	}
+	vl.entries[i].ids = insertSorted(vl.entries[i].ids, id)
+}
+
+func (vl *valueList) remove(raw string, id docID) {
+	i, ok := vl.find(raw)
+	if !ok {
+		return
+	}
+	vl.entries[i].ids = removeSorted(vl.entries[i].ids, id)
+	if len(vl.entries[i].ids) == 0 {
+		vl.entries = append(vl.entries[:i], vl.entries[i+1:]...)
+		vl.numDirty = true
+	}
+}
+
+func (vl *valueList) empty() bool {
+	return len(vl.entries) == 0 && len(vl.overflow) == 0
+}
+
+// numeric returns numOrder, rebuilding it if stale.
+func (vl *valueList) numeric() []int32 {
+	if vl.numDirty || (vl.numOrder == nil && len(vl.entries) > 0) {
+		vl.numOrder = vl.numOrder[:0]
+		for i, e := range vl.entries {
+			if e.isNum && e.num == e.num { // exclude NaN
+				vl.numOrder = append(vl.numOrder, int32(i))
+			}
+		}
+		es := vl.entries
+		sort.Slice(vl.numOrder, func(a, b int) bool {
+			return es[vl.numOrder[a]].num < es[vl.numOrder[b]].num
+		})
+		vl.numDirty = false
+	}
+	return vl.numOrder
+}
+
+// matchEntries calls fn for every entry whose value satisfies `value OP
+// lit` under the evaluator's general-comparison semantics: numeric when
+// both sides parse as numbers, raw string comparison otherwise. The
+// matching sets resolve by binary search over the two sorted orders.
+func (vl *valueList) matchEntries(op xquery.CmpOp, lit string, fn func(*valueEntry)) {
+	litNum, litIsNum := parseNum(lit)
+	if litIsNum && litNum != litNum {
+		// A NaN literal: numeric values compare numerically against it and
+		// never satisfy =, <, <=, > or >=; only non-numeric values fall
+		// back to the string comparison.
+		for i := range vl.entries {
+			if !vl.entries[i].isNum && stringCmp(op, vl.entries[i].raw, lit) {
+				fn(&vl.entries[i])
+			}
+		}
+		return
+	}
+	if litIsNum {
+		// Numeric entries compare numerically against the literal…
+		num := vl.numeric()
+		lo := sort.Search(len(num), func(i int) bool { return vl.entries[num[i]].num >= litNum })
+		hi := sort.Search(len(num), func(i int) bool { return vl.entries[num[i]].num > litNum })
+		var from, to int
+		switch op {
+		case xquery.CmpEq:
+			from, to = lo, hi
+		case xquery.CmpLt:
+			from, to = 0, lo
+		case xquery.CmpLe:
+			from, to = 0, hi
+		case xquery.CmpGt:
+			from, to = hi, len(num)
+		case xquery.CmpGe:
+			from, to = lo, len(num)
+		}
+		for _, ei := range num[from:to] {
+			fn(&vl.entries[ei])
+		}
+		// …and non-numeric entries fall back to string comparison.
+		for i := range vl.entries {
+			if !vl.entries[i].isNum && stringCmp(op, vl.entries[i].raw, lit) {
+				fn(&vl.entries[i])
+			}
+		}
+		return
+	}
+	// Non-numeric literal (including "NaN"): every comparison is a string
+	// comparison, over the raw-sorted entries.
+	lo, _ := vl.find(lit)
+	hi := sort.Search(len(vl.entries), func(i int) bool { return vl.entries[i].raw > lit })
+	var from, to int
+	switch op {
+	case xquery.CmpEq:
+		from, to = lo, hi
+	case xquery.CmpLt:
+		from, to = 0, lo
+	case xquery.CmpLe:
+		from, to = 0, hi
+	case xquery.CmpGt:
+		from, to = hi, len(vl.entries)
+	case xquery.CmpGe:
+		from, to = lo, len(vl.entries)
+	}
+	for i := from; i < to; i++ {
+		fn(&vl.entries[i])
+	}
+}
+
+func stringCmp(op xquery.CmpOp, val, lit string) bool {
+	switch op {
+	case xquery.CmpEq:
+		return val == lit
+	case xquery.CmpLt:
+		return val < lit
+	case xquery.CmpLe:
+		return val <= lit
+	case xquery.CmpGt:
+		return val > lit
+	case xquery.CmpGe:
+		return val >= lit
+	}
+	return false
+}
+
+// docContrib is what one document contributes to the path structures,
+// collected without holding any lock.
+type docContrib struct {
+	counts   map[string]uint32   // path key → node count
+	values   map[string][]string // path key → distinct capped values
+	overflow map[string]bool     // path keys with an over-cap value
+}
+
+// docPathRef is the reverse-map record making path removal proportional
+// to the document's own paths.
+type docPathRef struct {
+	path     string
+	values   []string
+	overflow bool
+}
+
+// collectDocPaths walks a document and records, per label path, the node
+// count and the distinct node values (the node's XPath string value,
+// capped at valueCap).
+func collectDocPaths(doc *xmltree.Document) *docContrib {
+	c := &docContrib{
+		counts:   map[string]uint32{},
+		values:   map[string][]string{},
+		overflow: map[string]bool{},
+	}
+	var visit func(n *xmltree.Node, key string)
+	visit = func(n *xmltree.Node, key string) {
+		c.counts[key]++
+		if val, over := textCapped(n); over {
+			c.overflow[key] = true
+		} else {
+			c.addValue(key, val)
+		}
+		for _, ch := range n.Children {
+			switch ch.Kind {
+			case xmltree.ElementNode:
+				visit(ch, key+"/"+ch.Name)
+			case xmltree.AttributeNode:
+				akey := key + "/@" + ch.Name
+				c.counts[akey]++
+				if val, over := textCapped(ch); over {
+					c.overflow[akey] = true
+				} else {
+					c.addValue(akey, val)
+				}
+			}
+		}
+	}
+	visit(doc.Root, doc.Root.Name)
+	return c
+}
+
+func (c *docContrib) addValue(key, val string) {
+	for _, v := range c.values[key] {
+		if v == val {
+			return
+		}
+	}
+	c.values[key] = append(c.values[key], val)
+}
+
+// textCapped computes a node's XPath string value exactly as
+// xmltree.Node.Text does (text values in document order, attribute
+// subtrees excluded), bailing out once the value exceeds valueCap.
+func textCapped(n *xmltree.Node) (string, bool) {
+	var sb strings.Builder
+	over := appendTextCapped(n, &sb)
+	return sb.String(), over
+}
+
+func appendTextCapped(n *xmltree.Node, sb *strings.Builder) bool {
+	if n.Kind == xmltree.TextNode {
+		sb.WriteString(n.Value)
+		return sb.Len() > valueCap
+	}
+	for _, c := range n.Children {
+		if c.Kind == xmltree.AttributeNode {
+			continue // attribute values are not part of element content
+		}
+		if appendTextCapped(c, sb) {
+			return true
+		}
+	}
+	return false
+}
+
+// parsePathKey splits a stored key back into components ("/" join, "@"
+// attribute prefix).
+func parsePathKey(key string) []pathComp {
+	parts := strings.Split(key, "/")
+	comps := make([]pathComp, len(parts))
+	for i, p := range parts {
+		if strings.HasPrefix(p, "@") {
+			comps[i] = pathComp{name: p[1:], attr: true}
+		} else {
+			comps[i] = pathComp{name: p}
+		}
+	}
+	return comps
+}
+
+// matchLabelPath reports whether a root-to-node label path matches a
+// pattern. The pattern mirrors the evaluator's step semantics exactly: a
+// child step consumes one component; a descendant step (//) may match the
+// context node itself — evalStep's Walk starts at the context node — or
+// any deeper component. A node is selected by a predicate-free label path
+// iff its label path matches (each node has exactly one label path, so
+// summary counts count each node once).
+func matchLabelPath(steps []xquery.LabelStep, comps []pathComp) bool {
+	return matchFrom(steps, comps, 0, 0)
+}
+
+func matchFrom(steps []xquery.LabelStep, comps []pathComp, i, j int) bool {
+	if i == len(steps) {
+		return j == len(comps)
+	}
+	st := steps[i]
+	if st.Descendant {
+		// Self-match: at the query root the context is the virtual
+		// #document wrapper, which only a "*" step matches (probe
+		// extraction rejects that ambiguity; for pruning, accepting it is
+		// sound — it can only widen the candidate set).
+		if j == 0 {
+			if st.Name == "*" && !st.Attr && matchFrom(steps, comps, i+1, 0) {
+				return true
+			}
+		} else if compMatch(st, comps[j-1]) && matchFrom(steps, comps, i+1, j) {
+			return true
+		}
+		for k := j; k < len(comps); k++ {
+			if compMatch(st, comps[k]) && matchFrom(steps, comps, i+1, k+1) {
+				return true
+			}
+		}
+		return false
+	}
+	if j < len(comps) && compMatch(st, comps[j]) {
+		return matchFrom(steps, comps, i+1, j+1)
+	}
+	return false
+}
+
+func compMatch(st xquery.LabelStep, c pathComp) bool {
+	return st.Attr == c.attr && (st.Name == "*" || st.Name == c.name)
+}
+
+// --- mutation (callers hold ix.mu) ---
+
+func (ix *docIndex) pathOrCreate(key string) *pathPosting {
+	p := ix.paths[key]
+	if p == nil {
+		p = &pathPosting{comps: parsePathKey(key)}
+		ix.paths[key] = p
+	}
+	return p
+}
+
+func (ix *docIndex) valuesOrCreate(key string) *valueList {
+	vl := ix.values[key]
+	if vl == nil {
+		vl = &valueList{}
+		ix.values[key] = vl
+	}
+	return vl
+}
+
+func (ix *docIndex) addPathsLocked(id docID, c *docContrib) {
+	refs := make([]docPathRef, 0, len(c.counts))
+	for key, count := range c.counts {
+		ix.pathOrCreate(key).insert(id, count)
+		ref := docPathRef{path: key, values: c.values[key], overflow: c.overflow[key]}
+		if len(ref.values) > 0 || ref.overflow {
+			vl := ix.valuesOrCreate(key)
+			for _, raw := range ref.values {
+				vl.insert(raw, id)
+			}
+			if ref.overflow {
+				vl.overflow = insertSorted(vl.overflow, id)
+			}
+		}
+		refs = append(refs, ref)
+	}
+	ix.docPaths[id] = refs
+}
+
+func (ix *docIndex) removePathsLocked(id docID) {
+	for _, ref := range ix.docPaths[id] {
+		if p := ix.paths[ref.path]; p != nil {
+			p.remove(id)
+			if len(p.ids) == 0 {
+				delete(ix.paths, ref.path)
+			}
+		}
+		if len(ref.values) == 0 && !ref.overflow {
+			continue
+		}
+		vl := ix.values[ref.path]
+		if vl == nil {
+			continue
+		}
+		for _, raw := range ref.values {
+			vl.remove(raw, id)
+		}
+		if ref.overflow {
+			vl.overflow = removeSorted(vl.overflow, id)
+		}
+		if vl.empty() {
+			delete(ix.values, ref.path)
+		}
+	}
+	delete(ix.docPaths, id)
+}
+
+// pendPathLocked buffers a path mutation while the structures are not yet
+// built; the lazy rebuild replays the buffer (nil contrib = removal).
+func (ix *docIndex) pendPathLocked(name string, c *docContrib) {
+	if ix.pathPending == nil {
+		ix.pathPending = map[string]*docContrib{}
+	}
+	ix.pathPending[name] = c
+}
+
+// installPaths builds the path structures from per-document contributions
+// (store scan overridden by the pending buffer) and marks them live. The
+// caller holds rebuildMu but NOT ix.mu.
+func (ix *docIndex) installPaths(contribs map[string]*docContrib) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.pathsBuilt {
+		return
+	}
+	for name, c := range ix.pathPending {
+		if c == nil {
+			delete(contribs, name)
+		} else {
+			contribs[name] = c
+		}
+	}
+	ix.pathPending = nil
+	ix.pathsBuilt = true
+	for name, c := range contribs {
+		id, ok := ix.ids[name]
+		if !ok {
+			continue // raced with a remove after the scan; nothing to index
+		}
+		ix.addPathsLocked(id, c)
+	}
+}
+
+// --- queries (callers hold ix.mu) ---
+
+// pathExistsLocked returns the docs containing any node at a path
+// matching the pattern.
+func (ix *docIndex) pathExistsLocked(steps []xquery.LabelStep) map[docID]bool {
+	set := map[docID]bool{}
+	for _, p := range ix.paths {
+		if matchLabelPath(steps, p.comps) {
+			for _, id := range p.ids {
+				set[id] = true
+			}
+		}
+	}
+	return set
+}
+
+// valueMatchesLocked returns the docs that may contain a node at the
+// constraint's path whose value satisfies the comparison: the union of
+// the matching value entries' postings plus every overflow doc of the
+// matched paths (their values were not indexed, so they might match).
+func (ix *docIndex) valueMatchesLocked(pc *xquery.PathConstraint) map[docID]bool {
+	set := map[docID]bool{}
+	for key, vl := range ix.values {
+		p := ix.paths[key]
+		if p == nil || !matchLabelPath(pc.Steps, p.comps) {
+			continue
+		}
+		vl.matchEntries(pc.Op, pc.Literal, func(e *valueEntry) {
+			for _, id := range e.ids {
+				set[id] = true
+			}
+		})
+		for _, id := range vl.overflow {
+			set[id] = true
+		}
+	}
+	return set
+}
+
+// countLocked answers a count probe: total nodes at paths matching the
+// pattern; empty pattern counts whole documents.
+func (ix *docIndex) countLocked(steps []xquery.LabelStep) int64 {
+	if len(steps) == 0 {
+		return int64(len(ix.ids))
+	}
+	var total int64
+	for _, p := range ix.paths {
+		if matchLabelPath(steps, p.comps) {
+			for _, c := range p.counts {
+				total += int64(c)
+			}
+		}
+	}
+	return total
+}
+
+// existsLocked answers an exists probe. ok=false means the indexes cannot
+// decide: a matched path has overflow values that might satisfy the
+// comparison.
+func (ix *docIndex) existsLocked(p *xquery.PathProbe) (exists, ok bool) {
+	if p.Value == nil {
+		if len(p.Steps) == 0 {
+			return len(ix.ids) > 0, true
+		}
+		for _, pp := range ix.paths {
+			if matchLabelPath(p.Steps, pp.comps) && len(pp.ids) > 0 {
+				return true, true
+			}
+		}
+		return false, true
+	}
+	overflowSeen := false
+	for key, vl := range ix.values {
+		pp := ix.paths[key]
+		if pp == nil || !matchLabelPath(p.Value.Steps, pp.comps) {
+			continue
+		}
+		matched := false
+		vl.matchEntries(p.Value.Op, p.Value.Literal, func(*valueEntry) { matched = true })
+		if matched {
+			return true, true
+		}
+		if len(vl.overflow) > 0 {
+			overflowSeen = true
+		}
+	}
+	if overflowSeen {
+		return false, false
+	}
+	return false, true
+}

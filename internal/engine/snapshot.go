@@ -3,23 +3,27 @@ package engine
 import (
 	"bytes"
 	"encoding/gob"
+	"sort"
 )
 
-// Index snapshots: the in-memory inverted indexes are serialized into a
-// metadata record of the store on Sync/Close. Because the store's catalog
-// is persisted at the same moments, a snapshot read back at Open always
+// Index snapshots: the in-memory indexes are serialized into a metadata
+// record of the store on Sync/Close. Because the store's catalog is
+// persisted at the same moments, a snapshot read back at Open always
 // describes exactly the cataloged documents — a crash between syncs loses
 // the un-synced documents and their index entries together.
 //
-// The v2 format stores the interned doc-name table once and posting
-// lists as docID slices; the original v1 format (token → sorted doc-name
-// lists) is still decoded for stores written by older engines. A
-// snapshot in neither format, or one not covering every cataloged
+// The v3 format adds the path summary and value index on top of v2's
+// interned doc-name table; v2 (docID posting lists, no paths) and the
+// original v1 (token → sorted doc-name lists) are still decoded for
+// stores written by older engines — their indexes come up with
+// pathsBuilt=false and the path structures are rebuilt lazily on first
+// use. A snapshot in no known format, or one not covering every cataloged
 // collection, triggers a rebuild scan — loading never errors.
 
 const (
 	indexMetaKeyV1 = "engine:index:v1"
 	indexMetaKeyV2 = "engine:index:v2"
+	indexMetaKeyV3 = "engine:index:v3"
 )
 
 // indexSnapshotV1 is the original serialized form of one collection's
@@ -37,15 +41,39 @@ type indexSnapshotV2 struct {
 	Elements map[string][]uint32
 }
 
+// indexSnapshotV3 extends v2 with the path summary (per label path:
+// sorted doc list + parallel node counts) and the value index (per label
+// path: values with their doc lists, plus over-cap overflow docs).
+// PathsBuilt false records an index whose path half was never built (the
+// engine ran only pre-v3-style queries since a v1/v2 load); loading such
+// a snapshot schedules the same lazy rebuild.
+type indexSnapshotV3 struct {
+	Docs     []string
+	Postings map[string][]uint32
+	Elements map[string][]uint32
+
+	PathsBuilt bool
+	PathDocs   map[string][]uint32
+	PathCounts map[string][]uint32
+	Values     map[string][]valueSnapV3
+	Overflow   map[string][]uint32
+}
+
+// valueSnapV3 is one distinct value at a path with its doc list.
+type valueSnapV3 struct {
+	Value string
+	Docs  []uint32
+}
+
 func (db *DB) saveIndexSnapshot() error {
 	db.mu.RLock()
-	indexes := make(map[string]*textIndex, len(db.idx))
+	indexes := make(map[string]*docIndex, len(db.idx))
 	for col, ix := range db.idx {
 		indexes[col] = ix
 	}
 	db.mu.RUnlock()
 
-	snap := make(map[string]indexSnapshotV2, len(indexes))
+	snap := make(map[string]indexSnapshotV3, len(indexes))
 	for col, ix := range indexes {
 		snap[col] = ix.snapshot()
 	}
@@ -53,28 +81,57 @@ func (db *DB) saveIndexSnapshot() error {
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		return err
 	}
-	if err := db.store.PutMeta(indexMetaKeyV2, buf.Bytes()); err != nil {
+	if err := db.store.PutMeta(indexMetaKeyV3, buf.Bytes()); err != nil {
 		return err
 	}
-	// Drop any stale v1 record so a failed v2 decode can never resurrect
-	// an older index state.
+	// Drop any stale older records so a failed v3 decode can never
+	// resurrect an older index state.
+	if err := db.store.PutMeta(indexMetaKeyV2, nil); err != nil {
+		return err
+	}
 	return db.store.PutMeta(indexMetaKeyV1, nil)
 }
 
 // snapshot captures one index's serializable state under its lock.
-func (ix *textIndex) snapshot() indexSnapshotV2 {
+func (ix *docIndex) snapshot() indexSnapshotV3 {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	s := indexSnapshotV2{
-		Docs:     append([]string(nil), ix.names...),
-		Postings: make(map[string][]uint32, len(ix.postings)),
-		Elements: make(map[string][]uint32, len(ix.elements)),
+	s := indexSnapshotV3{
+		Docs:       append([]string(nil), ix.names...),
+		Postings:   make(map[string][]uint32, len(ix.postings)),
+		Elements:   make(map[string][]uint32, len(ix.elements)),
+		PathsBuilt: ix.pathsBuilt,
 	}
 	for tok, list := range ix.postings {
 		s.Postings[tok] = idsToUint32(list)
 	}
 	for name, list := range ix.elements {
 		s.Elements[name] = idsToUint32(list)
+	}
+	if !ix.pathsBuilt {
+		// The path half was never built; the loader will schedule the same
+		// lazy rebuild this index is still waiting for.
+		return s
+	}
+	s.PathDocs = make(map[string][]uint32, len(ix.paths))
+	s.PathCounts = make(map[string][]uint32, len(ix.paths))
+	s.Values = make(map[string][]valueSnapV3, len(ix.values))
+	s.Overflow = map[string][]uint32{}
+	for key, p := range ix.paths {
+		s.PathDocs[key] = idsToUint32(p.ids)
+		s.PathCounts[key] = append([]uint32(nil), p.counts...)
+	}
+	for key, vl := range ix.values {
+		vs := make([]valueSnapV3, 0, len(vl.entries))
+		for _, e := range vl.entries {
+			vs = append(vs, valueSnapV3{Value: e.raw, Docs: idsToUint32(e.ids)})
+		}
+		if len(vs) > 0 {
+			s.Values[key] = vs
+		}
+		if len(vl.overflow) > 0 {
+			s.Overflow[key] = idsToUint32(vl.overflow)
+		}
 	}
 	return s
 }
@@ -83,7 +140,10 @@ func (ix *textIndex) snapshot() indexSnapshotV2 {
 // it reports false (leaving db.idx empty) when none exists or it cannot
 // be decoded, in which case the caller rebuilds by scanning.
 func (db *DB) loadIndexSnapshot() bool {
-	loaded := db.loadIndexSnapshotV2()
+	loaded := db.loadIndexSnapshotV3()
+	if loaded == nil {
+		loaded = db.loadIndexSnapshotV2()
+	}
 	if loaded == nil {
 		loaded = db.loadIndexSnapshotV1()
 	}
@@ -108,18 +168,18 @@ func (db *DB) loadIndexSnapshot() bool {
 	return true
 }
 
-func (db *DB) loadIndexSnapshotV2() map[string]*textIndex {
-	data, ok, err := db.store.GetMeta(indexMetaKeyV2)
+func (db *DB) loadIndexSnapshotV3() map[string]*docIndex {
+	data, ok, err := db.store.GetMeta(indexMetaKeyV3)
 	if err != nil || !ok {
 		return nil
 	}
-	var snap map[string]indexSnapshotV2
+	var snap map[string]indexSnapshotV3
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return nil
 	}
-	out := make(map[string]*textIndex, len(snap))
+	out := make(map[string]*docIndex, len(snap))
 	for col, s := range snap {
-		ix, ok := indexFromSnapshotV2(s)
+		ix, ok := indexFromSnapshotV3(s)
 		if !ok {
 			return nil // corrupt references: rebuild everything
 		}
@@ -128,8 +188,145 @@ func (db *DB) loadIndexSnapshotV2() map[string]*textIndex {
 	return out
 }
 
-func indexFromSnapshotV2(s indexSnapshotV2) (*textIndex, bool) {
-	ix := newTextIndex()
+func indexFromSnapshotV3(s indexSnapshotV3) (*docIndex, bool) {
+	ix, ok := indexFromSnapshotV2(indexSnapshotV2{Docs: s.Docs, Postings: s.Postings, Elements: s.Elements})
+	if !ok {
+		return nil, false
+	}
+	if !s.PathsBuilt {
+		ix.pathsBuilt = false
+		return ix, true
+	}
+	checkIDs := func(list []uint32) ([]docID, bool) {
+		ids := make([]docID, len(list))
+		for i, raw := range list {
+			if int(raw) >= len(ix.names) || ix.names[raw] == "" {
+				return nil, false
+			}
+			ids[i] = docID(raw)
+		}
+		return ids, true
+	}
+	// refs[id][key] accumulates each doc's reverse record while the three
+	// path maps are decoded.
+	refs := map[docID]map[string]*docPathRef{}
+	ref := func(id docID, key string, create bool) *docPathRef {
+		m := refs[id]
+		if m == nil {
+			if !create {
+				return nil
+			}
+			m = map[string]*docPathRef{}
+			refs[id] = m
+		}
+		r := m[key]
+		if r == nil {
+			if !create {
+				return nil
+			}
+			r = &docPathRef{path: key}
+			m[key] = r
+		}
+		return r
+	}
+	for key, docs := range s.PathDocs {
+		counts := s.PathCounts[key]
+		if len(counts) != len(docs) {
+			return nil, false
+		}
+		ids, ok := checkIDs(docs)
+		if !ok {
+			return nil, false
+		}
+		p := &pathPosting{comps: parsePathKey(key), ids: ids, counts: append([]uint32(nil), counts...)}
+		p.sortByID() // defensive: stored sorted, but sortedness is an invariant
+		ix.paths[key] = p
+		for _, id := range ids {
+			ref(id, key, true)
+		}
+	}
+	for key, vs := range s.Values {
+		if _, known := s.PathDocs[key]; !known {
+			return nil, false // values at a path the summary does not know
+		}
+		vl := &valueList{entries: make([]valueEntry, 0, len(vs))}
+		for _, v := range vs {
+			ids, ok := checkIDs(v.Docs)
+			if !ok {
+				return nil, false
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			e := newValueEntry(v.Value)
+			e.ids = ids
+			vl.entries = append(vl.entries, e)
+			for _, id := range ids {
+				r := ref(id, key, false)
+				if r == nil {
+					return nil, false // a value for a doc the path summary lacks
+				}
+				r.values = append(r.values, v.Value)
+			}
+		}
+		sort.Slice(vl.entries, func(i, j int) bool { return vl.entries[i].raw < vl.entries[j].raw })
+		vl.numDirty = true
+		ix.values[key] = vl
+	}
+	for key, docs := range s.Overflow {
+		if _, known := s.PathDocs[key]; !known {
+			return nil, false
+		}
+		ids, ok := checkIDs(docs)
+		if !ok {
+			return nil, false
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		vl := ix.values[key]
+		if vl == nil {
+			vl = &valueList{}
+			ix.values[key] = vl
+		}
+		vl.overflow = ids
+		for _, id := range ids {
+			r := ref(id, key, false)
+			if r == nil {
+				return nil, false
+			}
+			r.overflow = true
+		}
+	}
+	for id, m := range refs {
+		list := make([]docPathRef, 0, len(m))
+		for _, r := range m {
+			list = append(list, *r)
+		}
+		ix.docPaths[id] = list
+	}
+	return ix, true
+}
+
+func (db *DB) loadIndexSnapshotV2() map[string]*docIndex {
+	data, ok, err := db.store.GetMeta(indexMetaKeyV2)
+	if err != nil || !ok {
+		return nil
+	}
+	var snap map[string]indexSnapshotV2
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil
+	}
+	out := make(map[string]*docIndex, len(snap))
+	for col, s := range snap {
+		ix, ok := indexFromSnapshotV2(s)
+		if !ok {
+			return nil // corrupt references: rebuild everything
+		}
+		ix.pathsBuilt = false // pre-v3: path structures rebuilt lazily
+		out[col] = ix
+	}
+	return out
+}
+
+func indexFromSnapshotV2(s indexSnapshotV2) (*docIndex, bool) {
+	ix := newDocIndex()
 	ix.names = append([]string(nil), s.Docs...)
 	for id, name := range ix.names {
 		if name == "" {
@@ -163,7 +360,7 @@ func indexFromSnapshotV2(s indexSnapshotV2) (*textIndex, bool) {
 
 // loadIndexSnapshotV1 decodes the original name-list format written by
 // older engines into the compact representation.
-func (db *DB) loadIndexSnapshotV1() map[string]*textIndex {
+func (db *DB) loadIndexSnapshotV1() map[string]*docIndex {
 	data, ok, err := db.store.GetMeta(indexMetaKeyV1)
 	if err != nil || !ok {
 		return nil
@@ -172,9 +369,10 @@ func (db *DB) loadIndexSnapshotV1() map[string]*textIndex {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return nil
 	}
-	out := make(map[string]*textIndex, len(snap))
+	out := make(map[string]*docIndex, len(snap))
 	for col, s := range snap {
-		ix := newTextIndex()
+		ix := newDocIndex()
+		ix.pathsBuilt = false // pre-v3: path structures rebuilt lazily
 		for tok, names := range s.Postings {
 			for _, name := range names {
 				id := ix.intern(name)

@@ -183,6 +183,9 @@ func TestV1SnapshotBackwardCompatible(t *testing.T) {
 	if err := st.PutMeta(indexMetaKeyV2, nil); err != nil {
 		t.Fatal(err)
 	}
+	if err := st.PutMeta(indexMetaKeyV3, nil); err != nil {
+		t.Fatal(err)
+	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +211,11 @@ func TestV1SnapshotBackwardCompatible(t *testing.T) {
 	if len(res) != 0 {
 		t.Fatalf("Book query found %d results: index was rebuilt, not loaded from v1", len(res))
 	}
-	if err := db2.Close(); err != nil { // upgrades the snapshot to v2
+	if err := db2.Close(); err != nil { // upgrades the snapshot to v3
 		t.Fatal(err)
 	}
 
-	// The close rewrote the snapshot in v2 form and dropped the v1 record.
+	// The close rewrote the snapshot in v3 form and dropped the old records.
 	st, err = storage.Open(path)
 	if err != nil {
 		t.Fatal(err)
@@ -221,8 +224,11 @@ func TestV1SnapshotBackwardCompatible(t *testing.T) {
 	if _, ok, _ := st.GetMeta(indexMetaKeyV1); ok {
 		t.Fatal("v1 snapshot record survived the upgrade")
 	}
-	if _, ok, _ := st.GetMeta(indexMetaKeyV2); !ok {
-		t.Fatal("no v2 snapshot written on close")
+	if _, ok, _ := st.GetMeta(indexMetaKeyV2); ok {
+		t.Fatal("v2 snapshot record survived the upgrade")
+	}
+	if _, ok, _ := st.GetMeta(indexMetaKeyV3); !ok {
+		t.Fatal("no v3 snapshot written on close")
 	}
 }
 
@@ -237,13 +243,15 @@ func TestCorruptSnapshotFallsBackToRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Corrupt the snapshot record through the raw store.
+	// Corrupt the snapshot records (every format key) through the raw store.
 	st, err := storage.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.PutMeta("engine:index:v1", []byte("not gob at all")); err != nil {
-		t.Fatal(err)
+	for _, key := range []string{indexMetaKeyV1, indexMetaKeyV2, indexMetaKeyV3} {
+		if err := st.PutMeta(key, []byte("not gob at all")); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)

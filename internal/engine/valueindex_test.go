@@ -1,0 +1,552 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"partix/internal/storage"
+	"partix/internal/toxgene"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+func TestValueIndexRangePruning(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	db.ResetStats()
+	// Item ids are 1..4; only i1 satisfies @id < 2. The token index cannot
+	// serve an inequality — pruning to one decode proves the value index ran.
+	res, err := db.Query(`for $i in collection("items")/Item where $i/@id < 2 return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || xquery.ItemString(res[0]) != "I1" {
+		t.Fatalf("results = %v", res)
+	}
+	st := db.Stats()
+	if st.DocsDecoded != 1 {
+		t.Fatalf("decoded %d docs, want 1: %+v", st.DocsDecoded, st)
+	}
+	if st.RangePruned == 0 {
+		t.Fatalf("no range pruning recorded: %+v", st)
+	}
+}
+
+func TestValueIndexStringRange(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	db.ResetStats()
+	// Sections are CD, DVD, Book, CD; only "Book" < "CC" in string order.
+	res, err := db.Query(`for $i in collection("items")/Item where $i/Section < "CC" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || xquery.ItemString(res[0]) != "I3" {
+		t.Fatalf("results = %v", res)
+	}
+	if st := db.Stats(); st.DocsDecoded != 1 {
+		t.Fatalf("decoded %d docs, want 1", st.DocsDecoded)
+	}
+}
+
+func TestValueIndexDisabled(t *testing.T) {
+	db := testDB(t, Options{DisableValueIndex: true})
+	loadItems(t, db)
+	db.ResetStats()
+	res, err := db.Query(`for $i in collection("items")/Item where $i/@id < 2 return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	st := db.Stats()
+	// Element hints still narrow to the 4 Item docs, but no range pruning
+	// and no index-only answers happen.
+	if st.DocsDecoded != 4 || st.RangePruned != 0 || st.IndexOnlyHits != 0 {
+		t.Fatalf("stats with value index disabled: %+v", st)
+	}
+}
+
+func TestIndexOnlyCount(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	db.ResetStats()
+	res, err := db.Query(`count(collection("items")/Item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.ItemString(res[0]) != "4" {
+		t.Fatalf("count = %v", res)
+	}
+	st := db.Stats()
+	if st.DocsDecoded != 0 || st.IndexOnlyHits != 1 {
+		t.Fatalf("count not index-only: %+v", st)
+	}
+	// Deeper paths count nodes, not documents.
+	res, err = db.Query(`count(collection("items")/Item/Code)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.ItemString(res[0]) != "4" {
+		t.Fatalf("node count = %v", res)
+	}
+	if st = db.Stats(); st.DocsDecoded != 0 {
+		t.Fatalf("node count decoded documents: %+v", st)
+	}
+}
+
+func TestIndexOnlyExists(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	db.ResetStats()
+	for _, tc := range []struct {
+		query, want string
+	}{
+		{`exists(collection("items")/Item/Section)`, "true"},
+		{`exists(collection("items")/Item/Missing)`, "false"},
+		{`exists(for $i in collection("items")/Item where $i/Section = "DVD" return $i)`, "true"},
+		{`exists(for $i in collection("items")/Item where $i/Section = "Vinyl" return $i)`, "false"},
+		{`empty(collection("items")/Item/Missing)`, "true"},
+	} {
+		res, err := db.Query(tc.query)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		if xquery.ItemString(res[0]) != tc.want {
+			t.Fatalf("%s = %v, want %s", tc.query, res, tc.want)
+		}
+	}
+	st := db.Stats()
+	if st.DocsDecoded != 0 {
+		t.Fatalf("exists deciders decoded %d docs: %+v", st.DocsDecoded, st)
+	}
+	if st.IndexOnlyHits != 5 {
+		t.Fatalf("index-only hits = %d, want 5: %+v", st.IndexOnlyHits, st)
+	}
+}
+
+// TestValueIndexEquivalence: randomized comparison, equality and existence
+// queries must produce identical results with full indexes, with only the
+// text indexes (value index off), and with no indexes at all.
+func TestValueIndexEquivalence(t *testing.T) {
+	const docs = 40
+	items := func() *xmltree.Collection {
+		return toxgene.GenerateItems(toxgene.ItemsConfig{Docs: docs, Seed: 11})
+	}
+	full := testDB(t, Options{})
+	noValue := testDB(t, Options{DisableValueIndex: true})
+	none := testDB(t, Options{DisableIndexes: true})
+	for _, db := range []*DB{full, noValue, none} {
+		if err := db.LoadCollection(items()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	var queries []string
+	for i := 0; i < 30; i++ {
+		k := rng.Intn(docs + 2)
+		op := []string{"<", "<=", ">", ">=", "="}[rng.Intn(5)]
+		section := toxgene.Sections[rng.Intn(len(toxgene.Sections))]
+		switch rng.Intn(5) {
+		case 0:
+			queries = append(queries, fmt.Sprintf(
+				`for $i in collection("items")/Item where $i/@id %s %d return $i/Code`, op, k))
+		case 1:
+			queries = append(queries, fmt.Sprintf(
+				`count(for $i in collection("items")/Item where $i/@id %s %d return $i)`, op, k))
+		case 2:
+			queries = append(queries, fmt.Sprintf(
+				`exists(for $i in collection("items")/Item where $i/Section = "%s" return $i)`, section))
+		case 3:
+			queries = append(queries, fmt.Sprintf(
+				`for $i in collection("items")/Item where $i/Section %s "%s" return $i/Code`, op, section))
+		case 4:
+			queries = append(queries, fmt.Sprintf(
+				`for $i in collection("items")/Item where $i/Section = "%s" and $i/@id %s %d return $i/Code`, section, op, k))
+		}
+	}
+	queries = append(queries,
+		`count(collection("items")/Item)`,
+		`exists(collection("items")/Item/NoSuchChild)`,
+		`for $i in collection("items")/Item where $i/@id < "not a number" return $i/Code`,
+	)
+	for _, q := range queries {
+		want, err := none.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for name, db := range map[string]*DB{"full": full, "noValue": noValue} {
+			got, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", q, name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s [%s]: %d items, want %d", q, name, len(got), len(want))
+			}
+			for i := range want {
+				if xquery.ItemString(got[i]) != xquery.ItemString(want[i]) {
+					t.Fatalf("%s [%s]: item %d = %s, want %s",
+						q, name, i, xquery.ItemString(got[i]), xquery.ItemString(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestV2SnapshotMigratesToV3: a store carrying only the v2 (pre-path)
+// snapshot must open with the token indexes live and the path structures
+// rebuilt lazily on the first path-qualified query; the next close
+// upgrades the record to v3, after which reopening serves index-only
+// answers with zero decodes and no rebuild.
+func TestV2SnapshotMigratesToV3(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "migrate.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, db)
+
+	// Capture the v2 form of the live index, then doctor the store so only
+	// the v2 record exists — exactly what a pre-path engine left behind.
+	db.mu.RLock()
+	ix := db.idx["items"]
+	db.mu.RUnlock()
+	ix.mu.Lock()
+	v2 := indexSnapshotV2{
+		Docs:     append([]string(nil), ix.names...),
+		Postings: map[string][]uint32{},
+		Elements: map[string][]uint32{},
+	}
+	for tok, list := range ix.postings {
+		v2.Postings[tok] = idsToUint32(list)
+	}
+	for el, list := range ix.elements {
+		v2.Elements[el] = idsToUint32(list)
+	}
+	ix.mu.Unlock()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(map[string]indexSnapshotV2{"items": v2}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutMeta(indexMetaKeyV2, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutMeta(indexMetaKeyV3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.ResetStats()
+	// The first path-qualified query triggers the lazy rebuild and answers
+	// correctly; the rebuild's own decodes are not query decodes.
+	res, err := db2.Query(`for $i in collection("items")/Item where $i/@id < 2 return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("range query over migrated index = %d results", len(res))
+	}
+	if stt := db2.Stats(); stt.DocsDecoded != 1 {
+		t.Fatalf("decoded %d docs after lazy rebuild, want 1", stt.DocsDecoded)
+	}
+	db2.ResetStats()
+	res, err = db2.Query(`count(collection("items")/Item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.ItemString(res[0]) != "4" {
+		t.Fatalf("count = %v", res)
+	}
+	if stt := db2.Stats(); stt.DocsDecoded != 0 || stt.IndexOnlyHits != 1 {
+		t.Fatalf("count after rebuild not index-only: %+v", stt)
+	}
+	if err := db2.Close(); err != nil { // upgrades the record to v3
+		t.Fatal(err)
+	}
+
+	st, err = storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st.GetMeta(indexMetaKeyV2); ok {
+		t.Fatal("v2 record survived the upgrade")
+	}
+	if _, ok, _ := st.GetMeta(indexMetaKeyV3); !ok {
+		t.Fatal("no v3 record written")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The v3 reopen needs no rebuild: index-only answers and range pruning
+	// work with zero non-candidate decodes.
+	db3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	db3.ResetStats()
+	if _, err := db3.Query(`count(collection("items")/Item)`); err != nil {
+		t.Fatal(err)
+	}
+	if stt := db3.Stats(); stt.DocsDecoded != 0 || stt.IndexOnlyHits != 1 {
+		t.Fatalf("count from v3 snapshot not index-only: %+v", stt)
+	}
+	res, err = db3.Query(`for $i in collection("items")/Item where $i/@id < 2 return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("range query from v3 snapshot = %d results", len(res))
+	}
+	if stt := db3.Stats(); stt.DocsDecoded != 1 {
+		t.Fatalf("decoded %d docs from v3 snapshot, want 1", stt.DocsDecoded)
+	}
+}
+
+// TestMutationsBeforeLazyRebuild: documents put or deleted while the path
+// structures are still pending (pre-v3 snapshot loaded, no path query yet)
+// must be reflected once the rebuild runs.
+func TestMutationsBeforeLazyRebuild(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	// Force the pre-v3 state on the live index.
+	db.mu.RLock()
+	ix := db.idx["items"]
+	db.mu.RUnlock()
+	ix.mu.Lock()
+	ix.pathsBuilt = false
+	ix.paths = map[string]*pathPosting{}
+	ix.values = map[string]*valueList{}
+	ix.docPaths = map[docID][]docPathRef{}
+	ix.mu.Unlock()
+
+	// Mutate before any path-qualified query: these land in the pending
+	// buffer and must survive the rebuild.
+	if err := db.DeleteDocument("items", "i1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutDocument("items", xmltree.MustParseString("i9",
+		`<Item id="9"><Code>I9</Code><Name>n9</Name><Description>late</Description><Section>Vinyl</Section></Item>`)); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := db.Query(`for $i in collection("items")/Item where $i/@id >= 9 return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || xquery.ItemString(res[0]) != "I9" {
+		t.Fatalf("new doc invisible after rebuild: %v", res)
+	}
+	res, err = db.Query(`for $i in collection("items")/Item where $i/@id < 2 return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("deleted doc resurrected by rebuild: %v", res)
+	}
+	db.ResetStats()
+	res, err = db.Query(`count(collection("items")/Item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.ItemString(res[0]) != "4" { // 4 docs: i2..i4 plus i9
+		t.Fatalf("count after rebuild = %v", res)
+	}
+	if stt := db.Stats(); stt.IndexOnlyHits != 1 {
+		t.Fatalf("count not index-only after rebuild: %+v", stt)
+	}
+}
+
+func TestValueOverflowStaysSound(t *testing.T) {
+	db := testDB(t, Options{})
+	c := xmltree.NewCollection("blobs")
+	long := make([]byte, valueCap+10)
+	for i := range long {
+		long[i] = 'z'
+	}
+	c.Add(xmltree.MustParseString("b1", `<Blob><V>`+string(long)+`</V></Blob>`))
+	c.Add(xmltree.MustParseString("b2", `<Blob><V>short</V></Blob>`))
+	if err := db.LoadCollection(c); err != nil {
+		t.Fatal(err)
+	}
+	// The over-cap value is not indexed, but comparisons must still reach
+	// the overflowing document: "zzz… > y" is true.
+	res, err := db.Query(`for $b in collection("blobs")/Blob where $b/V > "y" return $b/V`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("overflow doc not reached: %d results", len(res))
+	}
+	// exists() over an overflow path must not answer a false "false" from
+	// the index: the decider still runs (and may decode), but is correct.
+	res, err = db.Query(`exists(for $b in collection("blobs")/Blob where $b/V = "` + string(long) + `" return $b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.ItemString(res[0]) != "true" {
+		t.Fatalf("exists over overflow value = %v", res)
+	}
+}
+
+// TestIndexConcurrentMutationAndCandidates drives adds, removes, bulk
+// loads and candidate evaluation (substring + range constraints) against
+// one index from several goroutines; run under -race it checks the
+// locking discipline, including the lock-free vocabulary scan.
+func TestIndexConcurrentMutationAndCandidates(t *testing.T) {
+	ix := newDocIndex()
+	hint := &xquery.Hint{Constraints: []xquery.Constraint{
+		{Substring: "pay"},
+		{Path: &xquery.PathConstraint{
+			Steps: []xquery.LabelStep{{Descendant: true, Name: "Item"}, {Name: "N"}},
+			Op:    xquery.CmpLt, Literal: "100",
+		}},
+	}}
+	mkDoc := func(name string, n int) *xmltree.Document {
+		return xmltree.MustParseString(name, fmt.Sprintf(
+			`<Item id="%d"><N>%d</N><T>payload tok%d</T></Item>`, n, n, n))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				name := fmt.Sprintf("w%d-d%d", w, i%8)
+				switch i % 5 {
+				case 0:
+					ix.remove(name)
+				case 1:
+					ix.bulkAdd([]*xmltree.Document{mkDoc(name, i), mkDoc(name+"x", i+1)})
+				default:
+					ix.replace(mkDoc(name, i))
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 600; i++ {
+			set, _ := ix.candidates(hint, true)
+			_ = set
+		}
+	}()
+	wg.Wait()
+
+	// Converged state answers consistently: with a threshold above every
+	// written value, the hint matches every surviving document.
+	all := &xquery.Hint{Constraints: []xquery.Constraint{
+		{Substring: "pay"},
+		{Path: &xquery.PathConstraint{
+			Steps: []xquery.LabelStep{{Descendant: true, Name: "Item"}, {Name: "N"}},
+			Op:    xquery.CmpLt, Literal: "100000",
+		}},
+	}}
+	set, _ := ix.candidates(all, true)
+	ix.mu.Lock()
+	live := len(ix.ids)
+	ix.mu.Unlock()
+	if len(set) != live {
+		t.Fatalf("candidates = %d docs, index holds %d", len(set), live)
+	}
+}
+
+func TestDocLookupPrefersFirstCollectionAndFallsThrough(t *testing.T) {
+	db := testDB(t, Options{})
+	for _, col := range []string{"beta", "alpha"} {
+		doc := xmltree.MustParseString("dup", fmt.Sprintf(`<D><From>%s</From></D>`, col))
+		if err := db.PutDocument(col, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := db.Doc("dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Root.Child("From").Text(); got != "alpha" {
+		t.Fatalf("Doc resolved to %q, want the lexicographically first collection", got)
+	}
+	if err := db.DeleteDocument("alpha", "dup"); err != nil {
+		t.Fatal(err)
+	}
+	d, err = db.Doc("dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Root.Child("From").Text(); got != "beta" {
+		t.Fatalf("Doc after delete resolved to %q, want beta", got)
+	}
+	if err := db.DeleteDocument("beta", "dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Doc("dup"); err == nil {
+		t.Fatal("fully deleted doc still found")
+	}
+}
+
+// BenchmarkIndexReload measures re-indexing a collection whose docIDs come
+// back in descending order (the LIFO free list after a delete-all), the
+// case where per-document sorted insertion degrades to O(n²) and the bulk
+// path's sort-once merge wins.
+func BenchmarkIndexReload(b *testing.B) {
+	const n = 1500
+	shared := make([]string, 0, 32)
+	for w := 0; w < 32; w++ {
+		shared = append(shared, fmt.Sprintf("shared%02d", w))
+	}
+	desc := strings.Join(shared, " ")
+	docs := make([]*xmltree.Document, n)
+	for i := range docs {
+		docs[i] = xmltree.MustParseString(fmt.Sprintf("d%d", i), fmt.Sprintf(
+			`<Item id="%d"><Code>c%d</Code><Description>%s</Description></Item>`, i, i, desc))
+	}
+	prime := func() *docIndex {
+		ix := newDocIndex()
+		ix.bulkAdd(docs)
+		for _, d := range docs {
+			ix.remove(d.Name)
+		}
+		return ix
+	}
+	b.Run("perDoc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ix := prime()
+			b.StartTimer()
+			for _, d := range docs {
+				ix.add(d)
+			}
+		}
+	})
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ix := prime()
+			b.StartTimer()
+			ix.bulkAdd(docs)
+		}
+	})
+}

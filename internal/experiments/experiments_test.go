@@ -116,6 +116,44 @@ func TestRunHeadline(t *testing.T) {
 	}
 }
 
+func TestRunValueIndexShape(t *testing.T) {
+	c, err := RunValueIndex(testScale, testOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sweep) != 4 {
+		t.Fatalf("sweep points = %d, want 4", len(c.Sweep))
+	}
+	for _, p := range c.Sweep {
+		if p.Indexed.ResponseNs <= 0 || p.Baseline.ResponseNs <= 0 {
+			t.Fatalf("point %v lacks timings: %+v", p.SelectivityPct, p)
+		}
+		// The baseline has no value index: a numeric range predicate
+		// forces it to decode every document at every selectivity.
+		if p.Baseline.DocsDecoded != int64(c.Docs) {
+			t.Fatalf("baseline decoded %d of %d docs at %v%%", p.Baseline.DocsDecoded, c.Docs, p.SelectivityPct)
+		}
+		if p.Indexed.DocsDecoded > p.Baseline.DocsDecoded {
+			t.Fatalf("indexed decoded more than baseline at %v%%: %+v", p.SelectivityPct, p)
+		}
+	}
+	// At 1% selectivity the index must eliminate ≥5× the decodes.
+	if r := c.Sweep[0].DecodeRatio; r < 5 {
+		t.Fatalf("decode ratio at 1%% = %.1f, want ≥5", r)
+	}
+	if !c.CountIndexOnly {
+		t.Fatal("count() was not answered index-only")
+	}
+	if !c.ExistsIndexOnly || c.ExistsDocsDecoded != 0 {
+		t.Fatalf("exists() decoded %d docs (indexOnly=%v)", c.ExistsDocsDecoded, c.ExistsIndexOnly)
+	}
+	var sb strings.Builder
+	PrintValueIndex(&sb, c)
+	if !strings.Contains(sb.String(), "decode ratio") {
+		t.Fatalf("print output malformed:\n%s", sb.String())
+	}
+}
+
 func TestPrintPanel(t *testing.T) {
 	p, err := RunSmallDB(testOpts(t))
 	if err != nil {

@@ -99,6 +99,10 @@ type Options struct {
 	// (the 2005-era eXist baseline benefits less from value indexes than
 	// this engine does; see EXPERIMENTS.md).
 	DisableIndexes bool
+	// DisableValueIndex turns off only the path summary and typed value
+	// index, keeping the text/element indexes — the baseline the
+	// valueindex experiment compares against.
+	DisableValueIndex bool
 	// DecodeWorkers sets the engine's decode worker pool on every node.
 	// It defaults to 1 — the paper-faithful sequential path — unlike the
 	// engine's own default of GOMAXPROCS, because published series must
@@ -157,9 +161,10 @@ func Deploy(label string, c *xmltree.Collection, scheme *fragmentation.Scheme,
 	}
 	for i := 0; i < nodes; i++ {
 		db, err := engine.Open(filepath.Join(dir, fmt.Sprintf("node%d.db", i)), engine.Options{
-			DisableIndexes: opts.DisableIndexes,
-			DecodeWorkers:  opts.DecodeWorkers,
-			TreeCacheBytes: opts.TreeCacheBytes,
+			DisableIndexes:    opts.DisableIndexes,
+			DisableValueIndex: opts.DisableValueIndex,
+			DecodeWorkers:     opts.DecodeWorkers,
+			TreeCacheBytes:    opts.TreeCacheBytes,
 		})
 		if err != nil {
 			d.Close()

@@ -70,8 +70,8 @@ func printSeries(w io.Writer, p *Panel, view func(Measurement) time.Duration) {
 // the panel measured.
 func PrintEngineStats(w io.Writer, p *Panel) {
 	e := p.Engine
-	fmt.Fprintf(w, "engine stats: queries=%d docs-decoded=%d docs-pruned=%d bytes-decoded=%d cache-hits=%d cache-misses=%d\n\n",
-		e.Queries, e.DocsDecoded, e.DocsPruned, e.BytesDecoded, e.CacheHits, e.CacheMisses)
+	fmt.Fprintf(w, "engine stats: queries=%d docs-decoded=%d docs-pruned=%d range-pruned=%d index-only=%d bytes-decoded=%d cache-hits=%d cache-misses=%d\n\n",
+		e.Queries, e.DocsDecoded, e.DocsPruned, e.RangePruned, e.IndexOnlyHits, e.BytesDecoded, e.CacheHits, e.CacheMisses)
 }
 
 // PrintCSV writes a panel as machine-readable CSV: one row per (query,

@@ -26,6 +26,9 @@ type Report struct {
 	Panels    []PanelReport  `json:"panels,omitempty"`
 	Stream    *StreamCompare `json:"stream,omitempty"`
 	Obs       *ObsCompare    `json:"obs,omitempty"`
+	// ValueIndex is the value-index vs text-index-only comparison
+	// (partix-bench -exp valueindex).
+	ValueIndex *ValueIndexCompare `json:"valueindex,omitempty"`
 }
 
 // PanelReport is one figure panel's measurements.

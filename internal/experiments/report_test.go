@@ -31,6 +31,20 @@ func sampleReport() *Report {
 		DisabledNs: 1000000, EnabledNs: 1010000, TracedNs: 1050000,
 		EnabledPct: 1, TracedPct: 5,
 	}
+	r.ValueIndex = &ValueIndexCompare{
+		Docs: 1500, Repeats: 3,
+		Sweep: []ValueIndexPoint{{
+			Query:          `for $i in collection("items")/Item where $i/@id < 15 return $i/Code`,
+			SelectivityPct: 1,
+			Indexed:        ValueIndexSide{ResponseNs: 100000, DocsDecoded: 15, DocsPruned: 1485, RangePruned: 1485},
+			Baseline:       ValueIndexSide{ResponseNs: 900000, DocsDecoded: 1500},
+			DecodeRatio:    100,
+		}},
+		CountQuery: `count(collection("items")/Item)`, CountIndexOnly: true,
+		ExistsQuery:     `exists(for $i in collection("items")/Item where $i/Section = "CD" return $i)`,
+		ExistsIndexOnly: true, ExistsDocsDecoded: 0,
+		BestDecodeRatio: 100,
+	}
 	return r
 }
 

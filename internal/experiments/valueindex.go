@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"partix/internal/fragmentation"
+	"partix/internal/toxgene"
+)
+
+// ValueIndexCompare quantifies what the path/value index subsystem buys:
+// a selectivity sweep of a numeric range predicate measured with the
+// value index on versus off (the text and element indexes stay on in
+// both, so the delta isolates the new structures), plus the two
+// index-only deciders — count() and an exists()-shaped FLWOR — which the
+// indexed engine must answer without decoding a single document.
+type ValueIndexCompare struct {
+	Docs    int               `json:"docs"`
+	Repeats int               `json:"repeats"`
+	Sweep   []ValueIndexPoint `json:"sweep"`
+
+	CountQuery     string `json:"countQuery"`
+	CountIndexOnly bool   `json:"countIndexOnly"`
+
+	ExistsQuery       string `json:"existsQuery"`
+	ExistsIndexOnly   bool   `json:"existsIndexOnly"`
+	ExistsDocsDecoded int64  `json:"existsDocsDecoded"`
+
+	// BestDecodeRatio is the largest baseline/indexed decode ratio seen
+	// across the sweep (the most selective point).
+	BestDecodeRatio float64 `json:"bestDecodeRatio"`
+}
+
+// ValueIndexPoint is one selectivity level of the range sweep.
+type ValueIndexPoint struct {
+	Query          string         `json:"query"`
+	SelectivityPct float64        `json:"selectivityPct"`
+	Indexed        ValueIndexSide `json:"indexed"`
+	Baseline       ValueIndexSide `json:"baseline"`
+	// DecodeRatio is baseline decodes over indexed decodes for one
+	// execution of the query (how many fewer trees the index touched).
+	DecodeRatio float64 `json:"decodeRatio"`
+}
+
+// ValueIndexSide is one configuration's measurement of one query: the
+// averaged response time plus the engine-counter deltas of a single
+// execution.
+type ValueIndexSide struct {
+	ResponseNs    int64 `json:"responseNs"`
+	DocsDecoded   int64 `json:"docsDecoded"`
+	DocsPruned    int64 `json:"docsPruned"`
+	RangePruned   int64 `json:"rangePruned"`
+	IndexOnlyHits int64 `json:"indexOnlyHits"`
+}
+
+// RunValueIndex measures the value-index comparison on a centralized
+// items deployment (the index is a per-node engine structure, so one node
+// shows the effect without fragmentation noise).
+func RunValueIndex(scale Scale, opts Options) (*ValueIndexCompare, error) {
+	opts = opts.withDefaults()
+	docs := scale.SmallItems
+
+	items := toxgene.GenerateItems(toxgene.ItemsConfig{Docs: docs, Seed: scale.Seed})
+	indexed, err := Deploy("vidx-on", items.Clone(), nil, fragmentation.FragModeSD, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer indexed.Close()
+	baseOpts := opts
+	baseOpts.DisableValueIndex = true
+	baseline, err := Deploy("vidx-off", items.Clone(), nil, fragmentation.FragModeSD, baseOpts)
+	if err != nil {
+		return nil, err
+	}
+	defer baseline.Close()
+
+	cmp := &ValueIndexCompare{Docs: docs, Repeats: opts.Repeats}
+
+	// The sweep predicate compares the numeric @id attribute (0-based
+	// document sequence), so K documents match "@id < K". The baseline's
+	// token index cannot serve an inequality, making every point a full
+	// scan there; the value index prunes to the matching documents.
+	for _, pct := range []float64{1, 5, 25, 100} {
+		k := int(float64(docs) * pct / 100)
+		if k < 1 {
+			k = 1
+		}
+		query := fmt.Sprintf(`for $i in collection("items")/Item where $i/@id < %d return $i/Code`, k)
+		point := ValueIndexPoint{Query: query, SelectivityPct: pct}
+		if point.Indexed, err = measureValueIndexSide(indexed, query, opts.Repeats); err != nil {
+			return nil, err
+		}
+		if point.Baseline, err = measureValueIndexSide(baseline, query, opts.Repeats); err != nil {
+			return nil, err
+		}
+		if point.Indexed.DocsDecoded > 0 {
+			point.DecodeRatio = float64(point.Baseline.DocsDecoded) / float64(point.Indexed.DocsDecoded)
+		}
+		if point.DecodeRatio > cmp.BestDecodeRatio {
+			cmp.BestDecodeRatio = point.DecodeRatio
+		}
+		cmp.Sweep = append(cmp.Sweep, point)
+	}
+
+	// The deciders: with the path summary in place these never touch a
+	// document on the indexed deployment.
+	cmp.CountQuery = `count(collection("items")/Item)`
+	count, err := measureValueIndexSide(indexed, cmp.CountQuery, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	cmp.CountIndexOnly = count.DocsDecoded == 0 && count.IndexOnlyHits > 0
+
+	cmp.ExistsQuery = `exists(for $i in collection("items")/Item where $i/Section = "CD" return $i)`
+	exists, err := measureValueIndexSide(indexed, cmp.ExistsQuery, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	cmp.ExistsDocsDecoded = exists.DocsDecoded
+	cmp.ExistsIndexOnly = exists.DocsDecoded == 0 && exists.IndexOnlyHits > 0
+	return cmp, nil
+}
+
+// measureValueIndexSide times the query with the usual methodology and
+// captures the engine-counter delta of one further execution (the timed
+// repeats would multiply the counters by the repeat count).
+func measureValueIndexSide(d *Deployment, query string, repeats int) (ValueIndexSide, error) {
+	m, err := MeasureQuery(d.System, query, repeats)
+	if err != nil {
+		return ValueIndexSide{}, err
+	}
+	before := d.EngineStats()
+	if _, err := d.System.Query(query); err != nil {
+		return ValueIndexSide{}, err
+	}
+	after := d.EngineStats()
+	return ValueIndexSide{
+		ResponseNs:    m.Response.Nanoseconds(),
+		DocsDecoded:   after.DocsDecoded - before.DocsDecoded,
+		DocsPruned:    after.DocsPruned - before.DocsPruned,
+		RangePruned:   after.RangePruned - before.RangePruned,
+		IndexOnlyHits: after.IndexOnlyHits - before.IndexOnlyHits,
+	}, nil
+}
+
+// PrintValueIndex renders the comparison for the terminal run.
+func PrintValueIndex(w io.Writer, c *ValueIndexCompare) {
+	fmt.Fprintf(w, "\nValue index vs text-index baseline — %d docs, %d repeats\n", c.Docs, c.Repeats)
+	fmt.Fprintf(w, "  %-6s %-14s %-14s %-10s %-10s %s\n",
+		"sel%", "indexed", "baseline", "decoded", "decoded", "decode ratio")
+	for _, p := range c.Sweep {
+		fmt.Fprintf(w, "  %-6.0f %-14v %-14v %-10d %-10d %.1fx\n",
+			p.SelectivityPct,
+			time.Duration(p.Indexed.ResponseNs), time.Duration(p.Baseline.ResponseNs),
+			p.Indexed.DocsDecoded, p.Baseline.DocsDecoded, p.DecodeRatio)
+	}
+	fmt.Fprintf(w, "  count  index-only=%v  (%s)\n", c.CountIndexOnly, c.CountQuery)
+	fmt.Fprintf(w, "  exists index-only=%v decoded=%d  (%s)\n",
+		c.ExistsIndexOnly, c.ExistsDocsDecoded, c.ExistsQuery)
+	fmt.Fprintf(w, "  best decode ratio %.1fx fewer documents decoded\n", c.BestDecodeRatio)
+}

@@ -15,6 +15,10 @@ var (
 		"Documents decoded from storage (cache misses included).")
 	EngineDocsPruned = Default.NewCounter("partix_engine_docs_pruned_total",
 		"Documents skipped by index-assisted candidate pruning.")
+	EngineRangePruned = Default.NewCounter("partix_engine_range_pruned_total",
+		"Documents eliminated by value-index (equality/range) constraints.")
+	EngineIndexOnly = Default.NewCounter("partix_engine_index_only_total",
+		"count()/exists() deciders answered from indexes without decoding documents.")
 	EngineBytesDecoded = Default.NewCounter("partix_engine_decode_bytes_total",
 		"Stored bytes decoded into trees.")
 	EngineCacheHits = Default.NewCounter("partix_engine_tree_cache_hits_total",

@@ -3,12 +3,18 @@ package storage
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"partix/internal/xmltree"
 )
+
+// ErrNotFound marks lookups of collections or documents that do not
+// exist, so callers can tell "absent" from a real I/O or decode failure
+// with errors.Is instead of treating every error as absence.
+var ErrNotFound = errors.New("not found")
 
 // docEntry locates one stored document.
 type docEntry struct {
@@ -175,11 +181,11 @@ func (s *Store) GetDocumentRaw(collection, name string) ([]byte, error) {
 func (s *Store) lookupLocked(collection, name string) (docEntry, error) {
 	docs, ok := s.cat.Collections[collection]
 	if !ok {
-		return docEntry{}, fmt.Errorf("storage: collection %q does not exist", collection)
+		return docEntry{}, fmt.Errorf("storage: collection %q does not exist: %w", collection, ErrNotFound)
 	}
 	e, ok := docs[name]
 	if !ok {
-		return docEntry{}, fmt.Errorf("storage: document %q not in collection %q", name, collection)
+		return docEntry{}, fmt.Errorf("storage: document %q not in collection %q: %w", name, collection, ErrNotFound)
 	}
 	return e, nil
 }

@@ -2,13 +2,12 @@ package xquery
 
 import "strings"
 
-// Hint is a conjunction of text constraints a document must satisfy to
+// Hint is a conjunction of constraints a document must satisfy to
 // possibly contribute to a query's result. The engine evaluates hints
-// against its inverted text index to prune candidate documents before
-// decoding them (this is the "indexes … to speed up text search
-// operations" behaviour of eXist the paper relies on). Hints are always a
-// NECESSARY condition, never sufficient: surviving documents are still
-// fully evaluated.
+// against its indexes to prune candidate documents before decoding them
+// (this is the "indexes … to speed up text search operations" behaviour
+// of eXist the paper relies on). Hints are always a NECESSARY condition,
+// never sufficient: surviving documents are still fully evaluated.
 type Hint struct {
 	Constraints []Constraint
 }
@@ -30,6 +29,56 @@ type Constraint struct {
 	// output). This is the structural-index counterpart of eXist's
 	// "indexes … to speed up path expressions evaluation".
 	Elements []string
+	// Path non-nil: the document must contain a node whose root-to-node
+	// label path matches Path.Steps and — for the comparison ops — whose
+	// string value compares true against Path.Literal under the
+	// evaluator's general-comparison semantics. Derived from binding
+	// paths (CmpExists) and from equality/range terms; evaluated against
+	// the engine's path summary and typed value index.
+	Path *PathConstraint
+}
+
+// CmpOp is the comparison a PathConstraint (or ValueProbe) carries.
+type CmpOp uint8
+
+// Comparison operators of path constraints. CmpExists asserts the path
+// exists without testing its value.
+const (
+	CmpExists CmpOp = iota
+	CmpEq
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+var cmpNames = map[CmpOp]string{
+	CmpExists: "exists", CmpEq: "=", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">=",
+}
+
+// String returns the operator's surface syntax.
+func (o CmpOp) String() string { return cmpNames[o] }
+
+// LabelStep is one component of a label-path pattern: it matches a node
+// label (element or attribute name) on the root-to-node path. Descendant
+// mirrors the evaluator's // axis, which walks the subtree including the
+// context node itself, so a descendant step may also match without
+// consuming a new path component.
+type LabelStep struct {
+	Descendant bool
+	Name       string // "*" matches any name
+	Attr       bool
+}
+
+// PathConstraint qualifies a constraint by a root-to-node label path.
+// Soundness: a term `$v/p OP lit` being true for some binding requires
+// SOME node at the (binding + term) label path whose value satisfies OP —
+// the constraint never claims which node, so it stays a necessary
+// condition even when the binding path carries extra predicates.
+type PathConstraint struct {
+	Steps   []LabelStep
+	Op      CmpOp
+	Literal string // comparison operand; unused for CmpExists
 }
 
 // Tokenize splits text into lowercase alphanumeric tokens — the exact
@@ -76,15 +125,33 @@ func isAlphanumeric(s string) bool {
 // are necessary conditions for a document to contribute:
 //
 //   - conjunctive terms of a FLWOR where-clause comparing a path rooted at
-//     a for-variable bound to the collection against a string literal, and
+//     a for-variable bound to the collection against a literal (equality
+//     produces token + path constraints, the range operators <, <=, >, >=
+//     produce path constraints), and
 //   - the same shapes inside step predicates of the binding path itself
 //     (collection("c")/Item[Section = "CD"]).
 //
-// Terms under not(), or, and any other function are ignored.
+// Terms under not(), or, !=, and any other function are ignored.
 func ExtractHints(e Expr) map[string]*Hint {
 	hints := map[string]*Hint{}
 	collectFLWORs(e, hints)
 	return hints
+}
+
+// varBinding records what a for-variable ranges over: its collection and
+// the label-path pattern of the binding path (pathOK false when the path
+// contains a step — text() — that has no label).
+type varBinding struct {
+	coll   string
+	steps  []LabelStep
+	pathOK bool
+}
+
+// predCtx is the label-path prefix a step predicate's relative paths
+// extend: the path up to and including the step the predicate hangs off.
+type predCtx struct {
+	steps []LabelStep
+	ok    bool
 }
 
 func collectFLWORs(e Expr, hints map[string]*Hint) {
@@ -93,8 +160,8 @@ func collectFLWORs(e Expr, hints map[string]*Hint) {
 		if !ok {
 			return
 		}
-		// Map for-variables to their source collections.
-		varColl := map[string]string{}
+		// Map for-variables to their source collections and binding paths.
+		varColl := map[string]varBinding{}
 		for _, cl := range f.Clauses {
 			if cl.Let {
 				continue
@@ -103,18 +170,26 @@ func collectFLWORs(e Expr, hints map[string]*Hint) {
 			if !ok {
 				continue
 			}
-			varColl[cl.Var] = coll
+			ls, lsOK := toLabelSteps(steps)
+			varColl[cl.Var] = varBinding{coll: coll, steps: ls, pathOK: lsOK}
 			// The binding path must select something for the document to
-			// produce any output: its element names are required.
-			if els := stepElements(steps); len(els) > 0 {
-				appendConstraint(hints, coll, Constraint{Elements: els})
+			// produce any output: its element names (and label path) are
+			// required.
+			c := Constraint{Elements: stepElements(steps)}
+			if lsOK && len(ls) > 0 {
+				c.Path = &PathConstraint{Steps: ls, Op: CmpExists}
+			}
+			if len(c.Elements) > 0 || c.Path != nil {
+				appendConstraint(hints, coll, c)
 			}
 			// Step predicates of the binding path are conjunctive for this
 			// collection's documents.
-			for _, st := range steps {
+			for si, st := range steps {
+				ctxSteps, ctxOK := toLabelSteps(steps[: si+1 : si+1])
+				ctx := predCtx{steps: ctxSteps, ok: ctxOK}
 				for _, p := range st.Preds {
 					addConjuncts(p, func(term Expr) {
-						if c, ok := constraintFromTerm(term, nil, varColl); ok {
+						if c, ok := constraintFromTerm(term, nil, varColl, ctx); ok {
 							appendConstraint(hints, coll, c)
 						}
 					})
@@ -154,9 +229,9 @@ func addConjuncts(e Expr, fn func(Expr)) {
 
 // constraintWithVar recognizes a term touching exactly one for-variable
 // and returns the constraint plus its collection.
-func constraintWithVar(term Expr, varColl map[string]string) (string, Constraint, bool) {
+func constraintWithVar(term Expr, varColl map[string]varBinding) (string, Constraint, bool) {
 	var coll string
-	c, ok := constraintFromTerm(term, &coll, varColl)
+	c, ok := constraintFromTerm(term, &coll, varColl, predCtx{})
 	if !ok || coll == "" {
 		return "", Constraint{}, false
 	}
@@ -167,25 +242,38 @@ func constraintWithVar(term Expr, varColl map[string]string) (string, Constraint
 // collOut is non-nil the term must reference a for-variable (whose
 // collection is reported through collOut); when nil the term is a step
 // predicate whose context is already scoped to the collection, so relative
-// paths are accepted.
-func constraintFromTerm(term Expr, collOut *string, varColl map[string]string) (Constraint, bool) {
+// paths (and the context item) are accepted and extend ctx.
+func constraintFromTerm(term Expr, collOut *string, varColl map[string]varBinding, ctx predCtx) (Constraint, bool) {
 	switch x := term.(type) {
 	case *Binary:
-		if x.Op != OpEq {
+		cmp, isCmp := cmpOpFor(x.Op)
+		if !isCmp {
 			return Constraint{}, false
 		}
-		path, lit, ok := pathAndLiteral(x.Left, x.Right)
+		path, lit, flipped, ok := pathAndLiteral(x.Left, x.Right)
 		if !ok {
 			return Constraint{}, false
 		}
 		if !sourceMatches(path, collOut, varColl) {
 			return Constraint{}, false
 		}
-		tokens := Tokenize(lit)
-		if len(tokens) == 0 {
+		if flipped {
+			cmp = flipCmp(cmp)
+		}
+		var c Constraint
+		// Token witnesses only hold for string-literal equality: a numeric
+		// literal compares numerically, so "100" also matches "100.0" or
+		// "1e2", whose tokens differ.
+		if s, isStr := lit.(*StringLit); isStr && cmp == CmpEq {
+			c.Tokens = Tokenize(s.Value)
+		}
+		if ls, ok := termLabelSteps(path, varColl, ctx); ok && len(ls) > 0 {
+			c.Path = &PathConstraint{Steps: ls, Op: cmp, Literal: litString(lit)}
+		}
+		if len(c.Tokens) == 0 && c.Path == nil {
 			return Constraint{}, false
 		}
-		return Constraint{Tokens: tokens}, true
+		return c, true
 	case *FuncCall:
 		switch x.Name {
 		case "contains":
@@ -204,21 +292,21 @@ func constraintFromTerm(term Expr, collOut *string, varColl map[string]string) (
 			if len(x.Args) != 1 {
 				return Constraint{}, false
 			}
-			return existenceConstraint(x.Args[0], collOut, varColl)
+			return existenceConstraint(x.Args[0], collOut, varColl, ctx)
 		default:
 			return Constraint{}, false
 		}
 	case *PathExpr:
 		// A bare path as a conjunct is an existence test.
-		return existenceConstraint(x, collOut, varColl)
+		return existenceConstraint(x, collOut, varColl, ctx)
 	default:
 		return Constraint{}, false
 	}
 }
 
-// existenceConstraint derives a required-elements constraint from a
-// positive existence test over a path.
-func existenceConstraint(e Expr, collOut *string, varColl map[string]string) (Constraint, bool) {
+// existenceConstraint derives a required-elements (and required-path)
+// constraint from a positive existence test over a path.
+func existenceConstraint(e Expr, collOut *string, varColl map[string]varBinding, ctx predCtx) (Constraint, bool) {
 	pe, ok := e.(*PathExpr)
 	if !ok {
 		return Constraint{}, false
@@ -226,11 +314,14 @@ func existenceConstraint(e Expr, collOut *string, varColl map[string]string) (Co
 	if !sourceMatches(pe, collOut, varColl) {
 		return Constraint{}, false
 	}
-	els := stepElements(pe.Steps)
-	if len(els) == 0 {
+	c := Constraint{Elements: stepElements(pe.Steps)}
+	if ls, ok := termLabelSteps(pe, varColl, ctx); ok && len(ls) > 0 {
+		c.Path = &PathConstraint{Steps: ls, Op: CmpExists}
+	}
+	if len(c.Elements) == 0 && c.Path == nil {
 		return Constraint{}, false
 	}
-	return Constraint{Elements: els}, true
+	return c, true
 }
 
 // stepElements returns the concrete element names a path requires.
@@ -245,28 +336,141 @@ func stepElements(steps []PathStep) []string {
 	return out
 }
 
-func pathAndLiteral(a, b Expr) (path Expr, lit string, ok bool) {
-	if s, isLit := b.(*StringLit); isLit {
-		return a, s.Value, true
+// toLabelSteps converts location steps to a label-path pattern. Step
+// predicates are dropped — they only narrow the selected nodes, so the
+// labels stay necessary — but a text() step has no label and fails the
+// conversion.
+func toLabelSteps(steps []PathStep) ([]LabelStep, bool) {
+	out := make([]LabelStep, 0, len(steps))
+	for _, st := range steps {
+		if st.Text || st.Name == "" {
+			return nil, false
+		}
+		out = append(out, LabelStep{Descendant: st.Descendant, Name: st.Name, Attr: st.Attr})
 	}
-	if s, isLit := a.(*StringLit); isLit {
-		return b, s.Value, true
+	return out, true
+}
+
+// termLabelSteps resolves the full root-anchored label path of the path
+// side of a term: the binding path of its for-variable (or the predicate
+// context) plus the term's own steps. Step predicates on the term side
+// were already rejected by sourceMatches.
+func termLabelSteps(e Expr, varColl map[string]varBinding, ctx predCtx) ([]LabelStep, bool) {
+	switch x := e.(type) {
+	case *VarRef:
+		vb, known := varColl[x.Name]
+		if !known || !vb.pathOK {
+			return nil, false
+		}
+		return vb.steps, true
+	case *ContextItem:
+		if !ctx.ok {
+			return nil, false
+		}
+		return ctx.steps, true
+	case *PathExpr:
+		rel, ok := toLabelSteps(x.Steps)
+		if !ok {
+			return nil, false
+		}
+		var base []LabelStep
+		switch src := x.Source.(type) {
+		case *VarRef:
+			vb, known := varColl[src.Name]
+			if !known || !vb.pathOK {
+				return nil, false
+			}
+			base = vb.steps
+		case nil:
+			if !ctx.ok {
+				return nil, false
+			}
+			base = ctx.steps
+		default:
+			return nil, false
+		}
+		return append(append([]LabelStep(nil), base...), rel...), true
 	}
-	return nil, "", false
+	return nil, false
+}
+
+// cmpOpFor maps a general-comparison operator to its constraint form.
+// != is excluded: it is no witness (a doc may satisfy it through any
+// other node value).
+func cmpOpFor(op BinaryOp) (CmpOp, bool) {
+	switch op {
+	case OpEq:
+		return CmpEq, true
+	case OpLt:
+		return CmpLt, true
+	case OpLe:
+		return CmpLe, true
+	case OpGt:
+		return CmpGt, true
+	case OpGe:
+		return CmpGe, true
+	}
+	return 0, false
+}
+
+// flipCmp mirrors an operator across the literal-on-the-left form:
+// lit < path  ⟺  path > lit.
+func flipCmp(op CmpOp) CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLe:
+		return CmpGe
+	case CmpGt:
+		return CmpLt
+	case CmpGe:
+		return CmpLe
+	}
+	return op
+}
+
+// pathAndLiteral splits a comparison into its path side and literal side;
+// flipped reports that the literal was on the left.
+func pathAndLiteral(a, b Expr) (path, lit Expr, flipped, ok bool) {
+	switch b.(type) {
+	case *StringLit, *NumberLit:
+		return a, b, false, true
+	}
+	switch a.(type) {
+	case *StringLit, *NumberLit:
+		return b, a, true, true
+	}
+	return nil, nil, false, false
+}
+
+// litString renders a literal exactly as the evaluator atomizes it, so
+// the value index compares the same operand the evaluator would.
+func litString(e Expr) string {
+	switch x := e.(type) {
+	case *StringLit:
+		return x.Value
+	case *NumberLit:
+		return formatNumber(x.Value)
+	}
+	return ""
 }
 
 // sourceMatches checks the path side of a term: with collOut it must be a
 // path rooted at a known for-variable with no further step predicates (a
-// predicate could invert the match); without collOut, a relative path.
-func sourceMatches(e Expr, collOut *string, varColl map[string]string) bool {
+// predicate could invert the match); without collOut, a relative path or
+// the context item inside a step predicate.
+func sourceMatches(e Expr, collOut *string, varColl map[string]varBinding) bool {
 	p, ok := e.(*PathExpr)
 	if !ok {
 		if v, isVar := e.(*VarRef); isVar && collOut != nil {
 			coll, known := varColl[v.Name]
 			if known {
-				*collOut = coll
+				*collOut = coll.coll
 				return true
 			}
+		}
+		if _, isCtx := e.(*ContextItem); isCtx && collOut == nil {
+			return true
 		}
 		return false
 	}
@@ -282,10 +486,10 @@ func sourceMatches(e Expr, collOut *string, varColl map[string]string) bool {
 	if !isVar {
 		return false
 	}
-	coll, known := varColl[v.Name]
+	vb, known := varColl[v.Name]
 	if !known {
 		return false
 	}
-	*collOut = coll
+	*collOut = vb.coll
 	return true
 }

@@ -199,6 +199,157 @@ func TestExtractHintsElementsSkipUnsafe(t *testing.T) {
 	}
 }
 
+// pathConstraints filters a hint to its path-qualified conjuncts, skipping
+// the bare existence constraint every for-binding contributes.
+func pathConstraints(h *Hint) []*PathConstraint {
+	var out []*PathConstraint
+	for _, c := range h.Constraints {
+		if c.Path != nil && c.Path.Op != CmpExists {
+			out = append(out, c.Path)
+		}
+	}
+	return out
+}
+
+func TestExtractHintsRangeOps(t *testing.T) {
+	cases := map[string]CmpOp{"<": CmpLt, "<=": CmpLe, ">": CmpGt, ">=": CmpGe}
+	for op, want := range cases {
+		q := `for $i in collection("items")/Item where $i/@id ` + op + ` 15 return $i`
+		h := ExtractHints(MustParse(q))["items"]
+		if h == nil {
+			t.Fatalf("%s: no hints", q)
+		}
+		pcs := pathConstraints(h)
+		if len(pcs) != 1 {
+			t.Fatalf("%s: path constraints = %+v", q, pcs)
+		}
+		pc := pcs[0]
+		if pc.Op != want || pc.Literal != "15" {
+			t.Errorf("%s: constraint = %+v", q, pc)
+		}
+		wantSteps := []LabelStep{{Name: "Item"}, {Name: "id", Attr: true}}
+		if !reflect.DeepEqual(pc.Steps, wantSteps) {
+			t.Errorf("%s: steps = %+v, want %+v", q, pc.Steps, wantSteps)
+		}
+		// A numeric range term is no token witness.
+		if text := textConstraints(h); len(text) != 0 {
+			t.Errorf("%s: unexpected text constraints %+v", q, text)
+		}
+	}
+}
+
+func TestExtractHintsRangeLiteralOnLeft(t *testing.T) {
+	// 15 > $i/@id  ⟺  $i/@id < 15: the operator must mirror.
+	h := ExtractHints(MustParse(
+		`for $i in collection("items")/Item where 15 > $i/@id return $i`))["items"]
+	pcs := pathConstraints(h)
+	if len(pcs) != 1 || pcs[0].Op != CmpLt || pcs[0].Literal != "15" {
+		t.Fatalf("path constraints = %+v", pcs)
+	}
+}
+
+func TestExtractHintsNumericEqualityHasNoTokens(t *testing.T) {
+	// A numeric literal compares numerically ("100" also matches "100.0"),
+	// so equality on a NumberLit yields a path constraint but no tokens.
+	h := ExtractHints(MustParse(
+		`for $i in collection("items")/Item where $i/@id = 100 return $i`))["items"]
+	if text := textConstraints(h); len(text) != 0 {
+		t.Fatalf("numeric equality produced token constraints: %+v", text)
+	}
+	pcs := pathConstraints(h)
+	if len(pcs) != 1 || pcs[0].Op != CmpEq || pcs[0].Literal != "100" {
+		t.Fatalf("path constraints = %+v", pcs)
+	}
+}
+
+func TestExtractHintsStringEqualityCarriesPath(t *testing.T) {
+	// String equality keeps its token witness and gains the path-qualified
+	// form in the same conjunct.
+	h := ExtractHints(MustParse(
+		`for $i in collection("items")/Item where $i/Section = "CD" return $i`))["items"]
+	var found bool
+	for _, c := range h.Constraints {
+		if len(c.Tokens) == 0 {
+			continue
+		}
+		found = true
+		if c.Path == nil || c.Path.Op != CmpEq || c.Path.Literal != "CD" {
+			t.Fatalf("equality constraint lacks path form: %+v", c)
+		}
+		want := []LabelStep{{Name: "Item"}, {Name: "Section"}}
+		if !reflect.DeepEqual(c.Path.Steps, want) {
+			t.Fatalf("steps = %+v, want %+v", c.Path.Steps, want)
+		}
+	}
+	if !found {
+		t.Fatalf("no token constraint: %+v", h.Constraints)
+	}
+}
+
+func TestExtractHintsStepPredicateRange(t *testing.T) {
+	// A range term inside a binding-path predicate extends the context
+	// prefix: collection("items")/Item[@id >= 2] constrains Item/@id.
+	h := ExtractHints(MustParse(
+		`for $i in collection("items")/Item[@id >= 2] return $i`))["items"]
+	pcs := pathConstraints(h)
+	want := []LabelStep{{Name: "Item"}, {Name: "id", Attr: true}}
+	if len(pcs) != 1 || pcs[0].Op != CmpGe || pcs[0].Literal != "2" ||
+		!reflect.DeepEqual(pcs[0].Steps, want) {
+		t.Fatalf("path constraints = %+v", pcs)
+	}
+}
+
+func TestExtractHintsContextItemPredicate(t *testing.T) {
+	// [. = "lit"] compares the step's own value: the constraint path is the
+	// context prefix itself.
+	h := ExtractHints(MustParse(
+		`for $i in collection("items")/Item/Section[. = "CD"] return $i`))["items"]
+	pcs := pathConstraints(h)
+	want := []LabelStep{{Name: "Item"}, {Name: "Section"}}
+	if len(pcs) != 1 || pcs[0].Op != CmpEq || pcs[0].Literal != "CD" ||
+		!reflect.DeepEqual(pcs[0].Steps, want) {
+		t.Fatalf("path constraints = %+v", pcs)
+	}
+}
+
+func TestExtractHintsBindingPathExists(t *testing.T) {
+	// Every for-binding contributes a CmpExists constraint for its path.
+	h := ExtractHints(MustParse(
+		`for $i in collection("items")/Item/PictureList return $i`))["items"]
+	var exist []*PathConstraint
+	for _, c := range h.Constraints {
+		if c.Path != nil && c.Path.Op == CmpExists {
+			exist = append(exist, c.Path)
+		}
+	}
+	want := []LabelStep{{Name: "Item"}, {Name: "PictureList"}}
+	if len(exist) != 1 || !reflect.DeepEqual(exist[0].Steps, want) {
+		t.Fatalf("exists constraints = %+v", exist)
+	}
+}
+
+func TestExtractHintsRangeSkipsUnsafePositions(t *testing.T) {
+	queries := []string{
+		// Disjunction: neither side is necessary.
+		`for $i in collection("items")/Item where $i/@id < 2 or $i/@id > 5 return $i`,
+		// Negation.
+		`for $i in collection("items")/Item where not($i/@id < 2) return $i`,
+		// != is no witness.
+		`for $i in collection("items")/Item where $i/@id != 2 return $i`,
+		// Inner predicate on the path side could invert the match.
+		`for $i in collection("items")/Item where $i/PictureList[Picture]/Name = "x" return $i`,
+	}
+	for _, q := range queries {
+		h := ExtractHints(MustParse(q))["items"]
+		if h == nil {
+			continue
+		}
+		if pcs := pathConstraints(h); len(pcs) != 0 {
+			t.Errorf("%s: unsafe path constraints %+v", q, pcs)
+		}
+	}
+}
+
 func TestHintsAreSound(t *testing.T) {
 	// Evaluating with and without hint-based pruning must agree. The
 	// pruning source drops documents failing the constraints the way the

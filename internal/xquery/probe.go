@@ -1,0 +1,321 @@
+package xquery
+
+// Index-only probes: count()/exists()/empty() over pred-free collection-
+// rooted paths can be answered from a path summary and value index without
+// decoding a single document. The evaluator recognizes the eligible
+// shapes, and a Source implementing IndexProber answers them; any source
+// is free to decline (ok=false), in which case evaluation proceeds
+// normally. The probe must be EXACT — unlike hints, which are merely
+// necessary conditions — so the eligible shapes are deliberately narrow.
+
+// PathProbe asks a source a structural question about one collection: how
+// many nodes match Steps (ProbeCount), or whether any document has such a
+// node (ProbeExists). Empty Steps address whole documents. When Value is
+// set the question is instead whether any node matching Value.Steps has a
+// value satisfying the comparison (exists-shaped probes only).
+type PathProbe struct {
+	Collection string
+	Steps      []LabelStep
+	Value      *ValueProbe
+}
+
+// ValueProbe is the value half of an exists probe: some node at Steps
+// must compare true against Literal under the evaluator's general-
+// comparison semantics.
+type ValueProbe struct {
+	Steps   []LabelStep
+	Op      CmpOp
+	Literal string
+}
+
+// IndexProber is the optional Source extension answering probes from
+// indexes. ok=false means "cannot answer exactly; evaluate normally".
+type IndexProber interface {
+	ProbeCount(p *PathProbe) (n int64, ok bool)
+	ProbeExists(p *PathProbe) (exists bool, ok bool)
+}
+
+// ExtractCountProbe recognizes count() arguments answerable from the path
+// summary: collection("c"), a pred-free collection-rooted path, or the
+// FLWOR form `for $v in <those> return $v`. Predicates are rejected
+// outright — postings are document-granular, so the summary cannot count
+// qualifying nodes, only all nodes at a label path.
+func ExtractCountProbe(arg Expr) *PathProbe {
+	if f, isFLWOR := arg.(*FLWOR); isFLWOR {
+		in, ok := probeFLWORBody(f, false)
+		if !ok {
+			return nil
+		}
+		arg = in
+	}
+	coll, raw, ok := collectionRooted(arg)
+	if !ok {
+		return nil
+	}
+	for _, st := range raw {
+		if len(st.Preds) > 0 {
+			return nil
+		}
+	}
+	steps, ok := toLabelSteps(raw)
+	if !ok || wrapperAmbiguous(steps) {
+		return nil
+	}
+	return &PathProbe{Collection: coll, Steps: steps}
+}
+
+// ExtractExistsProbe recognizes exists()/empty() arguments answerable from
+// the indexes. On top of the count shapes, the final step may carry one
+// predicate (a relative existence path, or a comparison of a relative
+// path / the context item against a literal), and the FLWOR form may have
+// a where-clause of those same shapes over its variable — existence, being
+// a plain ∃ over (node, value), decomposes exactly onto the indexes where
+// a count would not.
+func ExtractExistsProbe(arg Expr) *PathProbe {
+	if f, isFLWOR := arg.(*FLWOR); isFLWOR {
+		return existsProbeFLWOR(f)
+	}
+	coll, raw, ok := collectionRooted(arg)
+	if !ok {
+		return nil
+	}
+	var pred Expr
+	for i, st := range raw {
+		if len(st.Preds) == 0 {
+			continue
+		}
+		if i != len(raw)-1 || len(st.Preds) != 1 {
+			return nil
+		}
+		pred = st.Preds[0]
+	}
+	steps, ok := toLabelSteps(raw) // drops the predicate, keeps labels
+	if !ok {
+		return nil
+	}
+	p := &PathProbe{Collection: coll, Steps: steps}
+	if pred != nil && !attachPredicate(p, pred) {
+		return nil
+	}
+	if wrapperAmbiguous(p.Steps) || (p.Value != nil && wrapperAmbiguous(p.Value.Steps)) {
+		return nil
+	}
+	return p
+}
+
+// probeFLWORBody unwraps `for $v in IN [where W] return $v` to IN,
+// requiring the trivial return so the binding count (or existence) equals
+// the result count (existence). withWhere permits a where-clause, handed
+// back to the caller for further analysis.
+func probeFLWORBody(f *FLWOR, withWhere bool) (Expr, bool) {
+	if len(f.Clauses) != 1 || f.Clauses[0].Let || len(f.OrderBy) != 0 {
+		return nil, false
+	}
+	if f.Where != nil && !withWhere {
+		return nil, false
+	}
+	v, ok := f.Return.(*VarRef)
+	if !ok || v.Name != f.Clauses[0].Var {
+		return nil, false
+	}
+	return f.Clauses[0].In, true
+}
+
+func existsProbeFLWOR(f *FLWOR) *PathProbe {
+	in, ok := probeFLWORBody(f, true)
+	if !ok {
+		return nil
+	}
+	coll, raw, ok := collectionRooted(in)
+	if !ok {
+		return nil
+	}
+	for _, st := range raw {
+		if len(st.Preds) > 0 {
+			return nil
+		}
+	}
+	steps, ok := toLabelSteps(raw)
+	if !ok {
+		return nil
+	}
+	p := &PathProbe{Collection: coll, Steps: steps}
+	if f.Where != nil && !attachWhere(p, f.Where, f.Clauses[0].Var) {
+		return nil
+	}
+	if wrapperAmbiguous(p.Steps) || (p.Value != nil && wrapperAmbiguous(p.Value.Steps)) {
+		return nil
+	}
+	return p
+}
+
+// attachPredicate folds a final-step predicate into the probe. The
+// predicate's context is the node at p.Steps, so relative paths extend it.
+// Soundness of the decomposition: a node exists at P with predicate true
+// iff a node exists at P·rel with the asked property, because every match
+// of the concatenated pattern passes through an ancestor matching P.
+func attachPredicate(p *PathProbe, pred Expr) bool {
+	switch x := pred.(type) {
+	case *PathExpr: // [Picture] — relative existence
+		if x.Source != nil {
+			return false
+		}
+		rel, ok := predFreeLabelSteps(x)
+		if !ok {
+			return false
+		}
+		p.Steps = append(p.Steps, rel...)
+		return true
+	case *Binary:
+		cmp, isCmp := cmpOpFor(x.Op)
+		if !isCmp {
+			return false
+		}
+		path, lit, flipped, ok := pathAndLiteral(x.Left, x.Right)
+		if !ok {
+			return false
+		}
+		if flipped {
+			cmp = flipCmp(cmp)
+		}
+		vsteps := append([]LabelStep(nil), p.Steps...)
+		switch pe := path.(type) {
+		case *ContextItem: // [. > 100]
+		case *PathExpr: // [Price > 100]
+			if pe.Source != nil {
+				return false
+			}
+			rel, ok := predFreeLabelSteps(pe)
+			if !ok {
+				return false
+			}
+			vsteps = append(vsteps, rel...)
+		default:
+			return false
+		}
+		if len(vsteps) == 0 {
+			return false // the value of the document wrapper is not indexed
+		}
+		p.Value = &ValueProbe{Steps: vsteps, Op: cmp, Literal: litString(lit)}
+		return true
+	}
+	return false
+}
+
+// attachWhere folds a FLWOR where-clause into the probe; the clause must
+// be a single term over the for-variable (conjunctions would need per-
+// binding correlation the indexes cannot express).
+func attachWhere(p *PathProbe, w Expr, varName string) bool {
+	switch x := w.(type) {
+	case *PathExpr: // where $v/Picture
+		rel, ok := varRelativeSteps(x, varName)
+		if !ok {
+			return false
+		}
+		p.Steps = append(p.Steps, rel...)
+		return true
+	case *FuncCall: // where exists($v/Picture)
+		if x.Name != "exists" || len(x.Args) != 1 {
+			return false
+		}
+		pe, isPath := x.Args[0].(*PathExpr)
+		if !isPath {
+			return false
+		}
+		rel, ok := varRelativeSteps(pe, varName)
+		if !ok {
+			return false
+		}
+		p.Steps = append(p.Steps, rel...)
+		return true
+	case *Binary:
+		cmp, isCmp := cmpOpFor(x.Op)
+		if !isCmp {
+			return false
+		}
+		path, lit, flipped, ok := pathAndLiteral(x.Left, x.Right)
+		if !ok {
+			return false
+		}
+		if flipped {
+			cmp = flipCmp(cmp)
+		}
+		vsteps := append([]LabelStep(nil), p.Steps...)
+		switch pe := path.(type) {
+		case *VarRef: // where $v = "x"
+			if pe.Name != varName {
+				return false
+			}
+		case *PathExpr: // where $v/Price > 100
+			rel, ok := varRelativeSteps(pe, varName)
+			if !ok {
+				return false
+			}
+			vsteps = append(vsteps, rel...)
+		default:
+			return false
+		}
+		if len(vsteps) == 0 {
+			return false
+		}
+		p.Value = &ValueProbe{Steps: vsteps, Op: cmp, Literal: litString(lit)}
+		return true
+	}
+	return false
+}
+
+// predFreeLabelSteps converts a relative path's steps, rejecting nested
+// predicates.
+func predFreeLabelSteps(p *PathExpr) ([]LabelStep, bool) {
+	for _, st := range p.Steps {
+		if len(st.Preds) > 0 {
+			return nil, false
+		}
+	}
+	return toLabelSteps(p.Steps)
+}
+
+// varRelativeSteps accepts $var/rel paths with pred-free steps.
+func varRelativeSteps(p *PathExpr, varName string) ([]LabelStep, bool) {
+	v, isVar := p.Source.(*VarRef)
+	if !isVar || v.Name != varName {
+		return nil, false
+	}
+	return predFreeLabelSteps(p)
+}
+
+// probeCount answers count(arg) from the source's indexes when both the
+// shape and the source allow it.
+func (c *context) probeCount(arg Expr) (int64, bool) {
+	prober, isProber := c.src.(IndexProber)
+	if !isProber {
+		return 0, false
+	}
+	p := ExtractCountProbe(arg)
+	if p == nil {
+		return 0, false
+	}
+	return prober.ProbeCount(p)
+}
+
+// probeExists answers exists(arg) (and, negated, empty(arg)) from the
+// source's indexes when both the shape and the source allow it.
+func (c *context) probeExists(arg Expr) (bool, bool) {
+	prober, isProber := c.src.(IndexProber)
+	if !isProber {
+		return false, false
+	}
+	p := ExtractExistsProbe(arg)
+	if p == nil {
+		return false, false
+	}
+	return prober.ProbeExists(p)
+}
+
+// wrapperAmbiguous reports patterns whose first step could match the
+// virtual #document wrapper itself (a leading //*): the wrapper is not a
+// real node, the summary has no entry for it, so such probes cannot be
+// answered exactly.
+func wrapperAmbiguous(steps []LabelStep) bool {
+	return len(steps) > 0 && steps[0].Descendant && steps[0].Name == "*" && !steps[0].Attr
+}

@@ -1,0 +1,229 @@
+package xquery
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtractCountProbeEligibleShapes(t *testing.T) {
+	cases := []struct {
+		query string
+		steps []LabelStep
+	}{
+		{`collection("items")`, []LabelStep{}},
+		{`collection("items")/Item/Code`, []LabelStep{{Name: "Item"}, {Name: "Code"}}},
+		{`collection("items")//Picture`, []LabelStep{{Descendant: true, Name: "Picture"}}},
+		{`collection("items")/Item/@id`, []LabelStep{{Name: "Item"}, {Name: "id", Attr: true}}},
+		{`for $i in collection("items")/Item return $i`, []LabelStep{{Name: "Item"}}},
+	}
+	for _, tc := range cases {
+		p := ExtractCountProbe(MustParse(tc.query))
+		if p == nil {
+			t.Errorf("%s: no probe extracted", tc.query)
+			continue
+		}
+		if p.Collection != "items" || p.Value != nil {
+			t.Errorf("%s: probe = %+v", tc.query, p)
+		}
+		if !reflect.DeepEqual(p.Steps, tc.steps) {
+			t.Errorf("%s: steps = %+v, want %+v", tc.query, p.Steps, tc.steps)
+		}
+	}
+}
+
+func TestExtractCountProbeRejectsInexactShapes(t *testing.T) {
+	queries := []string{
+		// Postings are document-granular: a predicate filters nodes, so the
+		// summary cannot count the qualifying ones.
+		`collection("items")/Item[Section = "CD"]`,
+		// A where-clause filters bindings the same way.
+		`for $i in collection("items")/Item where $i/Section = "CD" return $i`,
+		// Non-trivial return: the result count is not the binding count.
+		`for $i in collection("items")/Item return $i/Code`,
+		// Ordering clauses take the FLWOR off the recognized shape.
+		`for $i in collection("items")/Item order by $i/Code return $i`,
+		// Leading //* could match the virtual document wrapper.
+		`collection("items")//*`,
+		// text() has no label-path entry.
+		`collection("items")/Item/text()`,
+		// Not collection-rooted.
+		`$d/Item`,
+	}
+	for _, q := range queries {
+		if p := ExtractCountProbe(MustParse(q)); p != nil {
+			t.Errorf("%s: extracted %+v, want nil", q, p)
+		}
+	}
+}
+
+func TestExtractExistsProbeEligibleShapes(t *testing.T) {
+	item := []LabelStep{{Name: "Item"}}
+	cases := []struct {
+		query string
+		steps []LabelStep
+		value *ValueProbe
+	}{
+		// Count shapes are all exists-eligible too.
+		{`collection("items")/Item/Code`, []LabelStep{{Name: "Item"}, {Name: "Code"}}, nil},
+		// A relative existence predicate on the final step extends the path:
+		// an Item with a PictureList exists iff an Item/PictureList node does.
+		{`collection("items")/Item[PictureList]`,
+			[]LabelStep{{Name: "Item"}, {Name: "PictureList"}}, nil},
+		// A final-step comparison becomes a value probe.
+		{`collection("items")/Item[Section = "CD"]`, item,
+			&ValueProbe{Steps: []LabelStep{{Name: "Item"}, {Name: "Section"}}, Op: CmpEq, Literal: "CD"}},
+		{`collection("items")/Item[@id < 5]`, item,
+			&ValueProbe{Steps: []LabelStep{{Name: "Item"}, {Name: "id", Attr: true}}, Op: CmpLt, Literal: "5"}},
+		// Context-item comparison probes the value of the path itself.
+		{`collection("items")/Item/Section[. = "CD"]`,
+			[]LabelStep{{Name: "Item"}, {Name: "Section"}},
+			&ValueProbe{Steps: []LabelStep{{Name: "Item"}, {Name: "Section"}}, Op: CmpEq, Literal: "CD"}},
+		// Literal on the left mirrors the operator.
+		{`collection("items")/Item[5 >= @id]`, item,
+			&ValueProbe{Steps: []LabelStep{{Name: "Item"}, {Name: "id", Attr: true}}, Op: CmpLe, Literal: "5"}},
+		// FLWOR where-clauses of the same shapes.
+		{`for $i in collection("items")/Item where $i/Section = "CD" return $i`, item,
+			&ValueProbe{Steps: []LabelStep{{Name: "Item"}, {Name: "Section"}}, Op: CmpEq, Literal: "CD"}},
+		{`for $i in collection("items")/Item where $i/PictureList return $i`,
+			[]LabelStep{{Name: "Item"}, {Name: "PictureList"}}, nil},
+		{`for $i in collection("items")/Item where exists($i/PictureList/Picture) return $i`,
+			[]LabelStep{{Name: "Item"}, {Name: "PictureList"}, {Name: "Picture"}}, nil},
+		// where $v OP lit probes the binding path's own value.
+		{`for $s in collection("items")/Item/Section where $s = "CD" return $s`,
+			[]LabelStep{{Name: "Item"}, {Name: "Section"}},
+			&ValueProbe{Steps: []LabelStep{{Name: "Item"}, {Name: "Section"}}, Op: CmpEq, Literal: "CD"}},
+	}
+	for _, tc := range cases {
+		p := ExtractExistsProbe(MustParse(tc.query))
+		if p == nil {
+			t.Errorf("%s: no probe extracted", tc.query)
+			continue
+		}
+		if p.Collection != "items" || !reflect.DeepEqual(p.Steps, tc.steps) {
+			t.Errorf("%s: probe = %+v, want steps %+v", tc.query, p, tc.steps)
+		}
+		if !reflect.DeepEqual(p.Value, tc.value) {
+			t.Errorf("%s: value = %+v, want %+v", tc.query, p.Value, tc.value)
+		}
+	}
+}
+
+func TestExtractExistsProbeRejectsInexactShapes(t *testing.T) {
+	queries := []string{
+		// Predicate on a non-final step: the remaining steps apply only to
+		// nodes passing the predicate, which the decomposition loses.
+		`collection("items")/Item[Section = "CD"]/Code`,
+		// Conjunctive where would need per-binding correlation.
+		`for $i in collection("items")/Item where $i/Section = "CD" and $i/@id < 5 return $i`,
+		// != is not a recognized comparison.
+		`collection("items")/Item[Section != "CD"]`,
+		// Where-clause path carrying its own predicate.
+		`for $i in collection("items")/Item where $i/PictureList[Picture] return $i`,
+		// Path-to-path comparison has no literal operand.
+		`collection("items")/Item[Section = Code]`,
+		// Ordering, multiple clauses, non-trivial return.
+		`for $i in collection("items")/Item order by $i/Code return $i`,
+		`for $a in collection("items")/Item, $b in collection("items")/Item return $a`,
+		`for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`,
+		// Leading //* could match the virtual document wrapper.
+		`collection("items")//*`,
+		`collection("items")//*[Section = "CD"]`,
+		// Not collection-rooted.
+		`$d/Item`,
+	}
+	for _, q := range queries {
+		if p := ExtractExistsProbe(MustParse(q)); p != nil {
+			t.Errorf("%s: extracted %+v, want nil", q, p)
+		}
+	}
+}
+
+// proberSource wraps memSource with canned probe answers and records which
+// probes the evaluator asked.
+type proberSource struct {
+	*memSource
+	countAnswer  int64
+	existsAnswer bool
+	decline      bool
+	probes       []*PathProbe
+}
+
+func (p *proberSource) ProbeCount(q *PathProbe) (int64, bool) {
+	p.probes = append(p.probes, q)
+	return p.countAnswer, !p.decline
+}
+
+func (p *proberSource) ProbeExists(q *PathProbe) (bool, bool) {
+	p.probes = append(p.probes, q)
+	return p.existsAnswer, !p.decline
+}
+
+func TestEvalUsesIndexProber(t *testing.T) {
+	src := &proberSource{memSource: itemsSource(), countAnswer: 42, existsAnswer: false}
+	got, err := Eval(MustParse(`count(collection("items")/Item)`), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != float64(42) {
+		t.Fatalf("count = %v, want the probe answer 42", got)
+	}
+	// exists() takes the prober's word even when the documents disagree.
+	got, err = Eval(MustParse(`exists(collection("items")/Item)`), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != false {
+		t.Fatalf("exists = %v, want the probe answer false", got)
+	}
+	// empty() is the negation of the same probe.
+	got, err = Eval(MustParse(`empty(collection("items")/Item)`), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != true {
+		t.Fatalf("empty = %v, want true", got)
+	}
+	if len(src.probes) != 3 {
+		t.Fatalf("probes asked = %d, want 3", len(src.probes))
+	}
+}
+
+func TestEvalFallsBackWhenProberDeclines(t *testing.T) {
+	src := &proberSource{memSource: itemsSource(), countAnswer: 42, decline: true}
+	got, err := Eval(MustParse(`count(collection("items")/Item)`), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Eval(MustParse(`count(collection("items")/Item)`), src.memSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("declined probe: got %v, want normal evaluation %v", got, want)
+	}
+	if len(src.probes) == 0 {
+		t.Fatal("prober was never consulted")
+	}
+}
+
+func TestEvalIgnoresProbeForIneligibleShape(t *testing.T) {
+	// The shape is ineligible (predicate under count), so the prober must
+	// not be consulted and evaluation runs normally.
+	src := &proberSource{memSource: itemsSource(), countAnswer: 42}
+	got, err := Eval(MustParse(`count(collection("items")/Item[Section = "CD"])`), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src.probes) != 0 {
+		t.Fatalf("prober consulted for ineligible shape: %+v", src.probes)
+	}
+	want, err := Eval(MustParse(`count(collection("items")/Item[Section = "CD"])`), src.memSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+var _ IndexProber = (*proberSource)(nil)

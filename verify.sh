@@ -12,10 +12,24 @@ test -z "$unformatted"
 go vet ./...
 go build ./...
 go test -timeout 5m ./...
-go test -race -timeout 5m ./internal/obs/... ./internal/engine/... ./internal/cluster/... ./internal/partix/... ./internal/wire/...
+go test -race -timeout 5m ./internal/obs/... ./internal/engine/... ./internal/xquery/... ./internal/cluster/... ./internal/partix/... ./internal/wire/...
 # streaming smoke benchmark: one iteration proves the framed and
 # monolithic wire paths agree and the alloc assertions hold
 go test -timeout 5m -run '^$' -bench BenchmarkStreamVsMonolithic -benchtime 1x ./internal/wire/
+# the committed BENCH_*.json files must keep decoding: fail on golden
+# report schema drift
+go test -timeout 5m -run TestReportGoldenRoundTrip ./internal/experiments/
+
+# value-index smoke bench: the range sweep and the index-only deciders
+# must hold at a reduced scale, and the JSON report must carry the
+# valueindex section
+benchdir="$(mktemp -d)"
+go build -o "$benchdir/partix-bench" ./cmd/partix-bench
+"$benchdir/partix-bench" -exp valueindex -repeats 1 -json "$benchdir/vidx.json" >/dev/null
+grep -q '"valueindex"' "$benchdir/vidx.json"
+grep -q '"countIndexOnly": true' "$benchdir/vidx.json"
+grep -q '"existsIndexOnly": true' "$benchdir/vidx.json"
+rm -rf "$benchdir"
 
 # observability smoke test: a node started with -debug-addr must serve
 # valid Prometheus text carrying series from every instrumented layer,
