@@ -1,0 +1,26 @@
+package engine
+
+import "testing"
+
+// Reproduce: bulkMerge's find() over a partially-appended (unsorted) slice.
+func TestReviewBulkMergeDup(t *testing.T) {
+	vl := &valueList{}
+	vl.insert("c", 1) // existing sorted entries: ["c"]
+	// batch has a fresh value "a" and existing "c"; force iteration order
+	// by calling twice if needed — map order is random, so loop until the
+	// bad order happens.
+	for try := 0; try < 100; try++ {
+		v := &valueList{}
+		v.insert("c", 1)
+		v.bulkMerge(map[string][]docID{"a": {2}, "c": {3}})
+		count := 0
+		for _, e := range v.entries {
+			if e.raw == "c" {
+				count++
+			}
+		}
+		if count > 1 {
+			t.Fatalf("duplicate entries for %q after bulkMerge: %+v", "c", v.entries)
+		}
+	}
+}
