@@ -11,14 +11,17 @@
 //	partix-bench -exp stream -json BENCH_PR3.json
 //	partix-bench -exp obs -json BENCH_PR4.json
 //	partix-bench -exp valueindex -json BENCH_PR5.json
+//	partix-bench -exp planner -json BENCH_PR6.json
 //
 // Experiments: fig7a, fig7b, fig7c, fig7d, headline, smalldb, stream,
-// obs, valueindex, all. The stream experiment contrasts the framed wire
-// protocol against the monolithic one over real TCP node servers; obs
-// measures the observability layer's overhead (metrics off vs on vs
-// traced); valueindex sweeps a range predicate's selectivity with the
-// path/value index on vs off and checks the index-only count()/exists()
-// deciders. With -json the measured panels are also written
+// obs, valueindex, planner, all. The stream experiment contrasts the
+// framed wire protocol against the monolithic one over real TCP node
+// servers; obs measures the observability layer's overhead (metrics off
+// vs on vs traced); valueindex sweeps a range predicate's selectivity
+// with the path/value index on vs off and checks the index-only
+// count()/exists() deciders; planner contrasts the statistics-driven
+// coordinator (fragment skipping, plan cache) against the union-all
+// baseline. With -json the measured panels are also written
 // machine-readable (durations in nanoseconds) so the perf trajectory is
 // tracked across changes.
 package main
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | all")
+		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | planner | all")
 		scaleF     = flag.Int("scale", 1, "multiply the default database sizes")
 		repeats    = flag.Int("repeats", 3, "timed executions per query (after one discarded warm-up)")
 		dir        = flag.String("dir", "", "working directory for node stores (default: temp)")
@@ -84,6 +87,7 @@ type collector struct {
 	stream     *experiments.StreamCompare
 	obs        *experiments.ObsCompare
 	valueIndex *experiments.ValueIndexCompare
+	planner    *experiments.PlannerCompare
 }
 
 func writeJSON(path string, repeats int, col *collector) error {
@@ -94,6 +98,7 @@ func writeJSON(path string, repeats int, col *collector) error {
 	report := experiments.NewReport(repeats, col.panels, col.stream)
 	report.Obs = col.obs
 	report.ValueIndex = col.valueIndex
+	report.Planner = col.planner
 	if err := report.WriteJSON(f); err != nil {
 		f.Close()
 		return err
@@ -161,8 +166,16 @@ func run(exp string, scale experiments.Scale, opts experiments.Options, col *col
 		col.valueIndex = c
 		experiments.PrintValueIndex(out, c)
 		return nil
+	case "planner":
+		c, err := experiments.RunPlanner(scale, opts)
+		if err != nil {
+			return err
+		}
+		col.planner = c
+		experiments.PrintPlanner(out, c)
+		return nil
 	case "all":
-		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "headline"} {
+		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "planner", "headline"} {
 			if err := run(name, scale, opts, col); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -200,12 +200,31 @@ func run(configPath string, opts wire.ClientOptions, qopts queryOptions, args []
 		if err != nil {
 			return err
 		}
-		fmt.Printf("strategy: %s\ncollections: %v\n", plan.Strategy, plan.Collections)
+		planState := "computed"
+		if plan.Cached {
+			planState = "cached"
+		}
+		fmt.Printf("strategy: %s\ncollections: %v\nplan: %s\n", plan.Strategy, plan.Collections, planState)
+		if len(plan.Skipped) > 0 {
+			fmt.Printf("skipped: %v (proven empty from fragment statistics)\n", plan.Skipped)
+		}
+		// est renders the planner's per-step estimate; "?" when the step
+		// had no statistics to estimate from.
+		est := func(st partix.PlanStep) string {
+			if st.EstDocs < 0 {
+				return "est ?"
+			}
+			s := fmt.Sprintf("est≈%d docs, %.0f bytes", st.EstDocs, st.EstCost)
+			if st.IndexOnly {
+				s += ", index-only"
+			}
+			return s
+		}
 		for _, st := range plan.Steps {
 			if st.Query != "" {
-				fmt.Printf("  %s @ %s: %s\n", st.Fragment, st.Node, st.Query)
+				fmt.Printf("  %s @ %s [%s]: %s\n", st.Fragment, st.Node, est(st), st.Query)
 			} else {
-				fmt.Printf("  fetch %s @ %s (reconstruction)\n", st.Fragment, st.Node)
+				fmt.Printf("  fetch %s @ %s [%s] (reconstruction)\n", st.Fragment, st.Node, est(st))
 			}
 		}
 		return nil

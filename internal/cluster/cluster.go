@@ -59,6 +59,17 @@ type TracedDriver interface {
 	ExecuteQueryTraced(traceID, query string) (xquery.Seq, []obs.Span, error)
 }
 
+// StatisticsProvider is an optional Driver extension for cost-based
+// planning: the node returns its index-derived statistics snapshot for a
+// collection (doc/byte counts, per-path cardinalities and value ranges,
+// and the mutation generation the snapshot describes). (nil, nil) means
+// the node cannot provide statistics — a legacy peer or one running with
+// indexes disabled — and the planner falls back to union-all planning.
+// A driver without this extension is treated the same way.
+type StatisticsProvider interface {
+	CollectionStatistics(collection string) (*engine.CollectionStatistics, error)
+}
+
 // LocalNode is an in-process driver backed by an engine.DB, used by the
 // simulated cluster and by tests.
 type LocalNode struct {
@@ -125,6 +136,11 @@ func (n *LocalNode) FetchCollection(collection string) (*xmltree.Collection, err
 // CollectionStats implements Driver.
 func (n *LocalNode) CollectionStats(collection string) (storage.Stats, error) {
 	return n.db.CollectionStats(collection)
+}
+
+// CollectionStatistics implements StatisticsProvider.
+func (n *LocalNode) CollectionStatistics(collection string) (*engine.CollectionStatistics, error) {
+	return n.db.CollectionStatistics(collection)
 }
 
 // HasCollection implements Driver.

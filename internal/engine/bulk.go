@@ -104,7 +104,9 @@ func (ix *docIndex) bulkAdd(docs []*xmltree.Document) {
 // appended and the entries sorted once — not once per value, which would
 // re-shift the slice O(batch²) times on a load of mostly-distinct values.
 func (vl *valueList) bulkMerge(vals map[string][]docID) {
-	fresh := false
+	// New entries are collected aside and appended after the loop: find()
+	// binary-searches entries, which must stay sorted while lookups run.
+	var fresh []valueEntry
 	for raw, ids := range vals {
 		if i, ok := vl.find(raw); ok {
 			vl.entries[i].ids = mergeSortedIDs(vl.entries[i].ids, ids)
@@ -112,10 +114,10 @@ func (vl *valueList) bulkMerge(vals map[string][]docID) {
 		}
 		e := newValueEntry(raw)
 		e.ids = mergeSortedIDs(nil, ids)
-		vl.entries = append(vl.entries, e)
-		fresh = true
+		fresh = append(fresh, e)
 	}
-	if fresh {
+	if len(fresh) > 0 {
+		vl.entries = append(vl.entries, fresh...)
 		sort.Slice(vl.entries, func(i, j int) bool { return vl.entries[i].raw < vl.entries[j].raw })
 		vl.numDirty = true
 	}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"partix/internal/xquery"
+)
+
+// Planner-facing collection statistics. A coordinator asks each node for a
+// CollectionStatistics snapshot and uses it to prove fragments empty for a
+// query (skip them entirely), to estimate sub-query cardinalities, and to
+// order reconstruction joins. Everything here is derived from structures
+// PR 5 already maintains — the store's doc/byte counters, the path summary
+// and the typed value index — so producing a snapshot decodes nothing.
+//
+// Soundness contract: the statistics describe the collection exactly as of
+// Generation. Complete=true additionally promises that Paths covers every
+// label path of the collection, so a path pattern matching no key means no
+// document has such a node. When the value index is disabled, the rebuild
+// failed, or the path count exceeds statsPathCap, Complete is false and a
+// planner may use the snapshot only for estimates, never for exclusion.
+
+// statsPathCap bounds the per-path table shipped to coordinators. Real
+// DataGuides are tiny (tens of paths); a collection of wildly heterogeneous
+// documents could blow the snapshot up, so past the cap the table is
+// dropped and the snapshot degrades to doc/byte counts.
+const statsPathCap = 4096
+
+// PathStats summarizes one label path (key encoding as in the path
+// summary: components joined with "/", attributes prefixed "@").
+type PathStats struct {
+	Docs       int64   // documents containing the path
+	Nodes      int64   // total nodes at the path across all docs
+	Distinct   int64   // distinct indexed string-values at the path
+	NonNumeric int64   // distinct values that do not parse as numbers
+	Overflow   int64   // docs whose value at the path exceeded valueCap (unindexed)
+	HasNum     bool    // at least one indexed value parses as a number (and is not NaN)
+	MinNum     float64 // numeric value range, valid only when HasNum
+	MaxNum     float64
+	MinStr     string // raw string-value range over all indexed values
+	MaxStr     string // (valid when Distinct > 0)
+}
+
+// CollectionStatistics is one node's statistics snapshot for one
+// collection. All fields are exported and gob-encodable so the snapshot
+// travels over the wire Stats RPC unchanged.
+type CollectionStatistics struct {
+	Docs       int64
+	Bytes      int64
+	Generation uint64
+	Complete   bool
+	Paths      map[string]PathStats
+}
+
+// Generation returns the collection's mutation generation: it starts at
+// zero and every PutDocument/LoadCollection/DeleteDocument/DropCollection
+// bumps it. Coordinators key cached statistics and plans on it.
+func (db *DB) Generation(collection string) uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gens[collection]
+}
+
+// CollectionStatistics builds the planner statistics snapshot for a
+// collection. The error mirrors CollectionStats (unknown collection);
+// index unavailability is not an error — it degrades Complete instead.
+func (db *DB) CollectionStatistics(collection string) (*CollectionStatistics, error) {
+	st, err := db.store.CollectionStats(collection)
+	if err != nil {
+		return nil, err
+	}
+	// Generation is read before the index so a racing mutation can only
+	// make the snapshot look older than it is; a coordinator comparing
+	// generations then refetches, which is the safe direction.
+	db.mu.RLock()
+	gen := db.gens[collection]
+	ix := db.idx[collection]
+	db.mu.RUnlock()
+
+	cs := &CollectionStatistics{
+		Docs:       int64(st.Documents),
+		Bytes:      st.Bytes,
+		Generation: gen,
+	}
+	if db.opts.DisableIndexes || db.opts.DisableValueIndex || ix == nil {
+		return cs, nil
+	}
+	if !db.ensurePathIndex(collection, ix) {
+		return cs, nil
+	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.paths) > statsPathCap {
+		return cs, nil
+	}
+	cs.Complete = true
+	cs.Paths = make(map[string]PathStats, len(ix.paths))
+	for key, p := range ix.paths {
+		ps := PathStats{Docs: int64(len(p.ids))}
+		for _, n := range p.counts {
+			ps.Nodes += int64(n)
+		}
+		if vl := ix.values[key]; vl != nil {
+			ps.Distinct = int64(len(vl.entries))
+			ps.Overflow = int64(len(vl.overflow))
+			if len(vl.entries) > 0 {
+				ps.MinStr = vl.entries[0].raw
+				ps.MaxStr = vl.entries[len(vl.entries)-1].raw
+			}
+			for _, e := range vl.entries {
+				if !e.isNum {
+					ps.NonNumeric++
+				}
+			}
+			if ord := vl.numeric(); len(ord) > 0 {
+				ps.HasNum = true
+				ps.MinNum = vl.entries[ord[0]].num
+				ps.MaxNum = vl.entries[ord[len(ord)-1]].num
+			}
+		}
+		cs.Paths[key] = ps
+	}
+	return cs, nil
+}
+
+// PathKeyMatches reports whether a stored label-path key (the Paths map
+// key encoding) matches a query path pattern. Exported for planners that
+// evaluate constraints against a CollectionStatistics snapshot.
+func PathKeyMatches(steps []xquery.LabelStep, key string) bool {
+	return matchLabelPath(steps, parsePathKey(key))
+}

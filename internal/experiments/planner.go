@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"partix/internal/fragmentation"
+	"partix/internal/xmltree"
+)
+
+// PlannerCompare quantifies the cost-based planner: a horizontal
+// deployment where the fragmentation predicates (Section equality) say
+// nothing about the measured query's @id range, so a statistics-blind
+// coordinator must union-all every fragment while the planner proves all
+// but one empty from their value ranges — plus the plan cache's effect on
+// per-query planning time (cold parse+plan versus a validated cache hit).
+type PlannerCompare struct {
+	Docs    int    `json:"docs"`
+	Repeats int    `json:"repeats"`
+	Query   string `json:"query"`
+	Items   int    `json:"items"`
+
+	// Fragment pruning: how much of the union-all the statistics removed.
+	Fragments          int `json:"fragments"`
+	SkippedFragments   int `json:"skippedFragments"`
+	FragmentsContacted int `json:"fragmentsContacted"`
+
+	// Averaged response times (ParallelTime + TransmissionTime +
+	// ComposeTime; planning excluded on both sides).
+	PlannedResponseNs int64   `json:"plannedResponseNs"`
+	NaiveResponseNs   int64   `json:"naiveResponseNs"`
+	ResponseSpeedup   float64 `json:"responseSpeedup"`
+
+	// Plan-resolution time: best-of-N with the cache invalidated before
+	// every cold run, versus best-of-N cache hits for the same query.
+	ColdPlanNs       int64   `json:"coldPlanNs"`
+	CachedPlanNs     int64   `json:"cachedPlanNs"`
+	CachedPlanFaster bool    `json:"cachedPlanFaster"`
+	PlanSpeedup      float64 `json:"planSpeedup"`
+}
+
+// plannerDocs builds items whose Section tracks the @id quartile
+// (S0..S3). Fragmenting by Section then gives each fragment a disjoint
+// @id range that only the fragment statistics know about.
+func plannerDocs(n int) *xmltree.Collection {
+	c := xmltree.NewCollection("items")
+	q := n / 4
+	if q < 1 {
+		q = 1
+	}
+	for i := 0; i < n; i++ {
+		sec := i / q
+		if sec > 3 {
+			sec = 3
+		}
+		c.Add(xmltree.MustParseString(fmt.Sprintf("p%06d", i), fmt.Sprintf(
+			`<Item id="%d"><Code>P%06d</Code><Name>name%d</Name><Section>S%d</Section></Item>`,
+			i, i, i, sec)))
+	}
+	return c
+}
+
+func plannerScheme() *fragmentation.Scheme {
+	frags := make([]*fragmentation.Fragment, 4)
+	for i := range frags {
+		frags[i] = fragmentation.MustHorizontal(fmt.Sprintf("FS%d", i),
+			fmt.Sprintf(`/Item/Section = "S%d"`, i))
+	}
+	return &fragmentation.Scheme{Collection: "items", Fragments: frags}
+}
+
+// RunPlanner measures the planner comparison: the same query on the same
+// 4-fragment deployment with fragment statistics on versus off, then the
+// plan cache's cold-versus-hit planning time.
+func RunPlanner(scale Scale, opts Options) (*PlannerCompare, error) {
+	opts = opts.withDefaults()
+	docs := scale.SmallItems
+
+	planned, err := Deploy("planner-on", plannerDocs(docs), plannerScheme(), fragmentation.FragModeSD, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer planned.Close()
+	naive, err := Deploy("planner-off", plannerDocs(docs), plannerScheme(), fragmentation.FragModeSD, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer naive.Close()
+	naive.System.SetPlannerStats(false)
+
+	// The predicate selects the bottom eighth of @id — inside FS0's
+	// quartile, provably outside FS1..FS3's.
+	cmp := &PlannerCompare{Docs: docs, Repeats: opts.Repeats, Fragments: 4}
+	cmp.Query = fmt.Sprintf(`for $i in collection("items")/Item where $i/@id < %d return $i/Code`, docs/8)
+
+	pm, err := MeasureQuery(planned.System, cmp.Query, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	nm, err := MeasureQuery(naive.System, cmp.Query, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	cmp.Items = pm.Items
+	cmp.PlannedResponseNs = pm.Response.Nanoseconds()
+	cmp.NaiveResponseNs = nm.Response.Nanoseconds()
+	if pm.Response > 0 {
+		cmp.ResponseSpeedup = float64(nm.Response) / float64(pm.Response)
+	}
+
+	// One instrumented execution for the pruning counters.
+	res, err := planned.System.Query(cmp.Query)
+	if err != nil {
+		return nil, err
+	}
+	cmp.SkippedFragments = len(res.SkippedFragments)
+	cmp.FragmentsContacted = len(res.Sub)
+
+	// Plan-resolution time, best-of-N on both sides: the cold side pays
+	// normalize+parse+analyze+plan (the cache is invalidated before each
+	// run), the cached side normalize+lookup+validate only.
+	n := opts.Repeats
+	if n < 5 {
+		n = 5
+	}
+	for i := 0; i < n; i++ {
+		planned.System.InvalidatePlans()
+		r, err := planned.System.Query(cmp.Query)
+		if err != nil {
+			return nil, err
+		}
+		if r.PlanCached {
+			return nil, fmt.Errorf("planner bench: cold run served from cache")
+		}
+		if i == 0 || r.PlanTime.Nanoseconds() < cmp.ColdPlanNs {
+			cmp.ColdPlanNs = r.PlanTime.Nanoseconds()
+		}
+	}
+	for i := 0; i < n; i++ {
+		r, err := planned.System.Query(cmp.Query)
+		if err != nil {
+			return nil, err
+		}
+		if !r.PlanCached {
+			return nil, fmt.Errorf("planner bench: warm run missed the cache")
+		}
+		if i == 0 || r.PlanTime.Nanoseconds() < cmp.CachedPlanNs {
+			cmp.CachedPlanNs = r.PlanTime.Nanoseconds()
+		}
+	}
+	cmp.CachedPlanFaster = cmp.CachedPlanNs < cmp.ColdPlanNs
+	if cmp.CachedPlanNs > 0 {
+		cmp.PlanSpeedup = float64(cmp.ColdPlanNs) / float64(cmp.CachedPlanNs)
+	}
+	return cmp, nil
+}
+
+// PrintPlanner renders the comparison for the terminal run.
+func PrintPlanner(w io.Writer, c *PlannerCompare) {
+	fmt.Fprintf(w, "\nCost-based planner vs union-all — %d docs over %d fragments, %d repeats\n",
+		c.Docs, c.Fragments, c.Repeats)
+	fmt.Fprintf(w, "  query: %s\n", c.Query)
+	fmt.Fprintf(w, "  fragments contacted %d of %d (skipped %d), %d items\n",
+		c.FragmentsContacted, c.Fragments, c.SkippedFragments, c.Items)
+	fmt.Fprintf(w, "  response  planned %v  union-all %v  (%.1fx)\n",
+		time.Duration(c.PlannedResponseNs), time.Duration(c.NaiveResponseNs), c.ResponseSpeedup)
+	fmt.Fprintf(w, "  plan time cold %v  cached %v  (%.1fx, cached faster: %v)\n",
+		time.Duration(c.ColdPlanNs), time.Duration(c.CachedPlanNs), c.PlanSpeedup, c.CachedPlanFaster)
+}

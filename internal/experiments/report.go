@@ -29,6 +29,9 @@ type Report struct {
 	// ValueIndex is the value-index vs text-index-only comparison
 	// (partix-bench -exp valueindex).
 	ValueIndex *ValueIndexCompare `json:"valueindex,omitempty"`
+	// Planner is the cost-based planner vs union-all comparison
+	// (partix-bench -exp planner).
+	Planner *PlannerCompare `json:"planner,omitempty"`
 }
 
 // PanelReport is one figure panel's measurements.

@@ -87,4 +87,18 @@ var (
 	CoordQuerySeconds = Default.NewHistogram("partix_coord_query_seconds",
 		"End-to-end coordinator query latency in seconds.",
 		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+
+	// planner: cost-based planning and the plan cache.
+	CoordPlanCacheHits = Default.NewCounter("partix_coord_plan_cache_hits_total",
+		"Queries answered with a cached plan (parse and planning skipped).")
+	CoordPlanCacheMisses = Default.NewCounter("partix_coord_plan_cache_misses_total",
+		"Queries that had to be parsed and planned.")
+	CoordPlanCacheEvictions = Default.NewCounter("partix_coord_plan_cache_evictions_total",
+		"Cached plans evicted by the LRU capacity cap.")
+	CoordPlanCacheInvalidations = Default.NewCounter("partix_coord_plan_cache_invalidations_total",
+		"Cached plans discarded as stale (catalog or generation change).")
+	CoordFragmentsSkipped = Default.NewCounter("partix_coord_fragments_skipped_total",
+		"Fragments proven empty by statistics and skipped by the planner.")
+	CoordStatsFetches = Default.NewCounter("partix_coord_stats_fetches_total",
+		"Fragment statistics fetches issued to nodes (statistics-cache misses).")
 )

@@ -53,6 +53,7 @@ func (m *CollectionMeta) NodeCollection(fragment string) string {
 type Catalog struct {
 	mu          sync.RWMutex
 	collections map[string]*CollectionMeta
+	version     uint64
 }
 
 // NewCatalog returns an empty catalog.
@@ -82,7 +83,17 @@ func (c *Catalog) Register(meta *CollectionMeta) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.collections[meta.Name] = meta
+	c.version++ // every (re-)registration invalidates plans built against the old catalog
 	return nil
+}
+
+// Version is the catalog's registration generation: it starts at zero and
+// every Register bumps it. Compiled plans embed the version they were
+// built against and are discarded when it moves.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
 }
 
 // Lookup returns the metadata of a collection, or nil.

@@ -1,0 +1,406 @@
+package partix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"partix/internal/fragmentation"
+	"partix/internal/obs"
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// quartileDocs builds n items whose Section tracks the @id quartile
+// (S0..S3), so Section-equality fragmentation gives each fragment a
+// disjoint @id range — which the fragmentation predicates say nothing
+// about. Only fragment statistics can prove an @id-range query empty on
+// three of the four fragments.
+func quartileDocs(n int) *xmltree.Collection {
+	c := xmltree.NewCollection("pitems")
+	q := n / 4
+	for i := 0; i < n; i++ {
+		sec := i / q
+		if sec > 3 {
+			sec = 3
+		}
+		c.Add(xmltree.MustParseString(fmt.Sprintf("p%03d", i), fmt.Sprintf(
+			`<Item id="%d"><Code>P%03d</Code><Section>S%d</Section></Item>`, i, i, sec)))
+	}
+	return c
+}
+
+func quartileScheme() *fragmentation.Scheme {
+	frags := make([]*fragmentation.Fragment, 4)
+	for i := range frags {
+		frags[i] = fragmentation.MustHorizontal(fmt.Sprintf("FS%d", i),
+			fmt.Sprintf(`/Item/Section = "S%d"`, i))
+	}
+	return &fragmentation.Scheme{Collection: "pitems", Fragments: frags}
+}
+
+// publishQuartile deploys the quartile collection over 4 nodes.
+func publishQuartile(t *testing.T, s *System, docs int) {
+	t.Helper()
+	placement := map[string]string{}
+	for i := 0; i < 4; i++ {
+		placement[fmt.Sprintf("FS%d", i)] = fmt.Sprintf("node%d", i)
+	}
+	err := s.Publish(quartileDocs(docs), quartileScheme(), placement,
+		PublishOptions{CheckCorrectness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// itemStrings renders a result multiset order-insensitively.
+func itemStrings(items xquery.Seq) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = xquery.ItemString(it)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPlannerSkipsProvablyEmptyFragments(t *testing.T) {
+	s := newTestSystem(t, 4)
+	publishQuartile(t, s, 32) // quartiles of 8: FS0 holds ids 0..7
+	skippedBefore := obs.CoordFragmentsSkipped.Value()
+
+	// @id < 4 cannot be pruned by the Section fragmentation predicates,
+	// but statistics prove FS1..FS3 (ids >= 8) empty.
+	res, err := s.Query(`for $i in collection("pitems")/Item where $i/@id < 4 return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 4 {
+		t.Fatalf("items = %d, want 4", len(res.Items))
+	}
+	if len(res.SkippedFragments) != 3 {
+		t.Fatalf("skipped = %v, want FS1..FS3", res.SkippedFragments)
+	}
+	if len(res.Sub) != 1 || res.Sub[0].Fragment != "FS0" {
+		t.Fatalf("contacted fragments: %+v", res.Sub)
+	}
+	if got := obs.CoordFragmentsSkipped.Value() - skippedBefore; got != 3 {
+		t.Fatalf("skip counter moved by %d, want 3", got)
+	}
+
+	// Same answer as a statistics-blind run.
+	naive := newTestSystem(t, 4)
+	naive.SetPlannerStats(false)
+	publishQuartile(t, naive, 32)
+	nres, err := naive.Query(`for $i in collection("pitems")/Item where $i/@id < 4 return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nres.SkippedFragments) != 0 || len(nres.Sub) != 4 {
+		t.Fatalf("naive run skipped fragments: %+v", nres)
+	}
+	if a, b := itemStrings(res.Items), itemStrings(nres.Items); !equalStrings(a, b) {
+		t.Fatalf("planned %v != naive %v", a, b)
+	}
+}
+
+func TestPlannerSkipsAggregateIdentity(t *testing.T) {
+	s := newTestSystem(t, 4)
+	publishQuartile(t, s, 32)
+	// A skipped fragment must contribute the identity of each
+	// composition: count 0, empty sum, false exists, true empty.
+	cases := map[string]string{
+		`count(collection("pitems")/Item[@id < 4])`:  "4",
+		`exists(collection("pitems")/Item[@id < 4])`: "true",
+		`empty(collection("pitems")/Item[@id < 4])`:  "false",
+	}
+	for q, want := range cases {
+		res, err := s.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(res.Items) != 1 || xquery.ItemString(res.Items[0]) != want {
+			t.Fatalf("%s = %v, want %s", q, res.Items, want)
+		}
+	}
+}
+
+// Randomized planned-vs-naive equivalence: whatever the planner skips or
+// reorders, answers match a statistics-blind system on the same data.
+func TestPlannerRandomizedEquivalence(t *testing.T) {
+	planned := newTestSystem(t, 4)
+	publishQuartile(t, planned, 24)
+	naive := newTestSystem(t, 4)
+	naive.SetPlannerStats(false)
+	naive.SetPlanCacheCap(0)
+	publishQuartile(t, naive, 24)
+
+	rng := rand.New(rand.NewSource(7))
+	ops := []string{"<", "<=", ">", ">=", "="}
+	for i := 0; i < 40; i++ {
+		var q string
+		switch rng.Intn(4) {
+		case 0:
+			q = fmt.Sprintf(`for $i in collection("pitems")/Item where $i/@id %s %d return $i/Code`,
+				ops[rng.Intn(len(ops))], rng.Intn(30)-2)
+		case 1:
+			q = fmt.Sprintf(`for $i in collection("pitems")/Item where $i/Section = "S%d" return $i/@id`,
+				rng.Intn(6))
+		case 2:
+			q = fmt.Sprintf(`count(collection("pitems")/Item[@id %s %d])`,
+				ops[rng.Intn(len(ops))], rng.Intn(30))
+		case 3:
+			q = fmt.Sprintf(`sum(collection("pitems")/Item[@id < %d]/@id)`, rng.Intn(30))
+		}
+		pr, err := planned.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		nr, err := naive.Query(q)
+		if err != nil {
+			t.Fatalf("%s (naive): %v", q, err)
+		}
+		if a, b := itemStrings(pr.Items), itemStrings(nr.Items); !equalStrings(a, b) {
+			t.Fatalf("%s: planned %v != naive %v (skipped %v)", q, a, b, pr.SkippedFragments)
+		}
+	}
+}
+
+func TestPlanCacheHit(t *testing.T) {
+	s := newTestSystem(t, 3)
+	publishHorizontal(t, s, 12)
+	q := `for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`
+
+	r1, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PlanCached {
+		t.Fatal("first execution reported a cached plan")
+	}
+	r2, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.PlanCached {
+		t.Fatal("second execution did not hit the plan cache")
+	}
+	if a, b := itemStrings(r1.Items), itemStrings(r2.Items); !equalStrings(a, b) {
+		t.Fatalf("cached plan changed the answer: %v vs %v", a, b)
+	}
+	if s.PlanCacheSize() == 0 {
+		t.Fatal("cache empty after hits")
+	}
+}
+
+func TestPlanCacheNormalizedKey(t *testing.T) {
+	s := newTestSystem(t, 3)
+	publishHorizontal(t, s, 12)
+	if _, err := s.Query(`for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`); err != nil {
+		t.Fatal(err)
+	}
+	// Different layout and quoting, same normal form.
+	r, err := s.Query("for  $i in collection('items')/Item\n where $i/Section = 'CD'  return $i/Code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PlanCached {
+		t.Fatal("reformatted spelling missed the plan cache")
+	}
+}
+
+func TestPlanCacheInvalidationOnWrite(t *testing.T) {
+	s := newTestSystem(t, 4)
+	publishQuartile(t, s, 32)
+	s.SetStatsTTL(0) // refetch statistics per query: immediate invalidation
+	q := `for $i in collection("pitems")/Item where $i/@id < 4 return $i/Code`
+
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PlanCached {
+		t.Fatal("stable generations did not keep the plan cached")
+	}
+
+	// A write to a fragment the plan consulted bumps its generation.
+	invBefore := obs.CoordPlanCacheInvalidations.Value()
+	err = s.Node("node0").StoreDocument("pitems::FS0", xmltree.MustParseString("extra",
+		`<Item id="2"><Code>PX</Code><Section>S0</Section></Item>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlanCached {
+		t.Fatal("plan survived a generation bump")
+	}
+	if obs.CoordPlanCacheInvalidations.Value() == invBefore {
+		t.Fatal("invalidation not counted")
+	}
+	if len(r.Items) != 5 {
+		t.Fatalf("items after write = %d, want 5", len(r.Items))
+	}
+}
+
+func TestPlanCacheInvalidationOnRegister(t *testing.T) {
+	s := newTestSystem(t, 3)
+	publishHorizontal(t, s, 12)
+	q := `for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+
+	// Registering any collection moves the catalog version; every cached
+	// plan predates the new catalog and is replanned.
+	other := xmltree.NewCollection("other")
+	other.Add(xmltree.MustParseString("o1", `<X><Y>1</Y></X>`))
+	if err := s.Publish(other, nil, map[string]string{"": "node0"}, PublishOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlanCached {
+		t.Fatal("plan survived a catalog registration")
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	s := newTestSystem(t, 3)
+	publishHorizontal(t, s, 12)
+	s.SetPlanCacheCap(2)
+	evBefore := obs.CoordPlanCacheEvictions.Value()
+
+	queries := []string{
+		`count(collection("items")/Item)`,
+		`for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`,
+		`for $i in collection("items")/Item where $i/Section = "DVD" return $i/Code`,
+	}
+	for _, q := range queries {
+		if _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.PlanCacheSize(); got != 2 {
+		t.Fatalf("cache size = %d, want cap 2", got)
+	}
+	if obs.CoordPlanCacheEvictions.Value() == evBefore {
+		t.Fatal("eviction not counted")
+	}
+	// The oldest entry fell out; the newest survived.
+	r, err := s.Query(queries[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PlanCached {
+		t.Fatal("most recent plan evicted")
+	}
+	r, err = s.Query(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlanCached {
+		t.Fatal("evicted plan still served")
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	s := newTestSystem(t, 3)
+	publishHorizontal(t, s, 12)
+	s.SetPlanCacheCap(0)
+	q := `count(collection("items")/Item)`
+	for i := 0; i < 2; i++ {
+		r, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PlanCached {
+			t.Fatal("disabled cache served a plan")
+		}
+	}
+	if s.PlanCacheSize() != 0 {
+		t.Fatal("disabled cache holds entries")
+	}
+}
+
+func TestExplainPlannerEstimates(t *testing.T) {
+	s := newTestSystem(t, 4)
+	publishQuartile(t, s, 32)
+	q := `for $i in collection("pitems")/Item where $i/@id < 4 return $i/Code`
+
+	p, err := s.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cached {
+		t.Fatal("first explain reported a cached plan")
+	}
+	if len(p.Skipped) != 3 {
+		t.Fatalf("explain skipped = %v", p.Skipped)
+	}
+	if len(p.Steps) != 1 {
+		t.Fatalf("explain steps = %+v", p.Steps)
+	}
+	st := p.Steps[0]
+	if st.EstDocs < 0 || st.EstCost < 0 {
+		t.Fatalf("no estimates on a statistics-planned step: %+v", st)
+	}
+	// FS0 holds 8 docs; @id < 4 selects half. The linear model lands near
+	// 4 — accept any sane sub-fragment estimate, reject "no idea".
+	if st.EstDocs > 8 {
+		t.Fatalf("estimate exceeds fragment size: %+v", st)
+	}
+
+	// Explain warmed the cache: both Explain and Query hit it now.
+	p, err = s.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Cached {
+		t.Fatal("second explain missed the cache")
+	}
+	r, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PlanCached {
+		t.Fatal("query after explain missed the cache")
+	}
+}
+
+func TestExplainIndexOnlyAnnotation(t *testing.T) {
+	s := newTestSystem(t, 3)
+	publishHorizontal(t, s, 12)
+	p, err := s.Explain(`count(collection("items")/Item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, st := range p.Steps {
+		if st.IndexOnly {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no index-only step on a pure count: %+v", p.Steps)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -70,6 +70,16 @@ type QueryResult struct {
 	// the node's own spans as children) and composition below it. Nil
 	// unless tracing was enabled.
 	Trace *obs.Span
+	// PlanTime is how long resolving the plan took: a plan-cache hit is
+	// the lookup plus revalidation, a miss the full parse + plan. It is
+	// deliberately NOT part of ResponseTime — the paper's decomposition
+	// (parallel + transmission + composition) stays untouched by caching.
+	PlanTime time.Duration
+	// PlanCached marks a query answered with a cached plan.
+	PlanCached bool
+	// SkippedFragments lists fragments the planner proved empty for this
+	// query from their statistics and never contacted.
+	SkippedFragments []string
 }
 
 // SubTiming is one site's measured execution.
@@ -97,35 +107,111 @@ func (r *QueryResult) ResponseTime() time.Duration {
 	return r.ParallelTime + r.TransmissionTime + r.ComposeTime
 }
 
-// Query parses and executes q through the distributed query service.
+// Query parses and executes q through the distributed query service. The
+// compiled plan is memoized in the plan cache keyed by the normalized
+// query text: a repeat of the same query (modulo whitespace, comments and
+// quoting style) skips parsing and planning entirely, as long as the
+// catalog version and the fragment-statistics generations the plan was
+// built from still hold.
 func (s *System) Query(q string) (*QueryResult, error) {
-	e, err := xquery.Parse(q)
+	planStart := time.Now()
+	norm := xquery.NormalizeQueryText(q)
+	e, p, cached, err := s.cachedPlan(norm, q)
 	if err != nil {
 		return nil, err
 	}
-	return s.QueryExpr(e)
+	return s.run(e, p, time.Since(planStart), cached, norm)
 }
 
 // QueryExpr executes a parsed query: it is planned first (strategy
-// selection, fragment pruning, sub-query rewriting) and the plan is then
-// executed. Explain returns the plan without executing it.
+// selection, fragment pruning and skipping, sub-query rewriting) and the
+// plan is then executed. The plan cache is keyed by query text, so
+// QueryExpr always plans afresh; Explain returns the plan without
+// executing it.
 func (s *System) QueryExpr(e xquery.Expr) (*QueryResult, error) {
+	planStart := time.Now()
+	p, err := s.planQuery(e)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(e, p, time.Since(planStart), false, "")
+}
+
+// cachedPlan resolves the compiled plan for a query: a still-valid cache
+// entry is reused outright (no parse, no planning); a missing or stale
+// one falls through to parse + plan, and the fresh plan is cached for
+// the next request.
+func (s *System) cachedPlan(norm, raw string) (xquery.Expr, *queryPlan, bool, error) {
+	useCache := s.planCache.enabled()
+	if useCache {
+		if entry := s.planCache.get(norm); entry != nil {
+			if s.planValid(entry) {
+				obs.CoordPlanCacheHits.Inc()
+				return entry.expr, entry.plan, true, nil
+			}
+			s.planCache.remove(norm)
+			obs.CoordPlanCacheInvalidations.Inc()
+		}
+		obs.CoordPlanCacheMisses.Inc()
+	}
+	e, err := xquery.Parse(raw)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	// The catalog version is read before planning: a registration racing
+	// with the plan leaves the entry stamped with the older version, so
+	// the next lookup discards it — stale in the safe direction.
+	version := s.catalog.Version()
+	p, err := s.planQuery(e)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if useCache {
+		s.planCache.put(&planEntry{key: norm, expr: e, plan: p, catalogVersion: version, stamps: p.stamps})
+	}
+	return e, p, false, nil
+}
+
+// planValid revalidates a cached plan: the catalog must not have moved,
+// and every fragment-statistics snapshot the plan consulted must still
+// carry the generation the plan saw. The check goes through the
+// statistics cache, so a cached plan is exactly as fresh as the
+// statistics TTL — with a zero TTL, a node-side Put/Delete invalidates
+// the plan on the very next lookup.
+func (s *System) planValid(entry *planEntry) bool {
+	if entry.catalogVersion != s.catalog.Version() {
+		return false
+	}
+	for _, st := range entry.stamps {
+		cur := s.nodeStatistics(st.node, st.collection)
+		if (cur != nil) != st.has {
+			return false
+		}
+		if cur != nil && cur.Generation != st.gen {
+			return false
+		}
+	}
+	return true
+}
+
+// run executes a compiled plan and assembles the measured result. norm
+// is the normalized query text when known — the slow-query log carries
+// it so duplicate hot queries aggregate under one key; an empty norm
+// (QueryExpr callers) falls back to formatting the expression on demand.
+func (s *System) run(e xquery.Expr, p *queryPlan, planTime time.Duration, cached bool, norm string) (*QueryResult, error) {
 	start := time.Now()
 	traceID := ""
 	if s.Tracing() {
 		traceID = obs.NewTraceID()
 	}
-	planStart := time.Now()
-	p, err := s.planQuery(e)
-	planTime := time.Since(planStart)
-	if err != nil {
-		return nil, err
-	}
 	res, err := s.executePlan(e, p, traceID)
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
+	res.PlanTime = planTime
+	res.PlanCached = cached
+	res.SkippedFragments = p.skipped
+	elapsed := planTime + time.Since(start)
 	obs.CoordQueries.Inc()
 	obs.CoordQuerySeconds.Observe(elapsed.Seconds())
 	if traceID != "" {
@@ -133,9 +219,18 @@ func (s *System) QueryExpr(e xquery.Expr) (*QueryResult, error) {
 		res.Trace = assembleTrace(res, planTime, elapsed)
 	}
 	if thr := s.SlowQueryThreshold(); thr > 0 && elapsed >= thr {
+		if norm == "" {
+			norm = xquery.NormalizeQueryText(xquery.Format(e))
+		}
+		planState := "computed"
+		if cached {
+			planState = "cached"
+		}
 		obs.CoordSlowQueries.Inc()
 		s.Logger().Log(obs.LevelWarn, "partix: slow query",
 			"trace_id", res.TraceID,
+			"query", norm,
+			"plan", planState,
 			"strategy", string(res.Strategy),
 			"elapsed", elapsed,
 			"threshold", thr,
@@ -177,17 +272,27 @@ func assembleTrace(res *QueryResult, planTime, elapsed time.Duration) *obs.Span 
 	return root
 }
 
-// queryPlan is the outcome of planning: what runs where.
+// queryPlan is the outcome of planning: what runs where. Plans are
+// immutable once built — the plan cache hands the same plan to every
+// repeat of the query.
 type queryPlan struct {
 	strategy Strategy
 	meta     *CollectionMeta // single-collection plans
 	metas    []*CollectionMeta
 	// subQueries is set for centralized/routed/union/aggregate plans.
 	subQueries []fragQuery
-	// reconstruct lists the fragments to fetch and join.
+	// reconstruct lists the fragments to fetch and join, smallest
+	// estimated side first when statistics were available.
 	reconstruct []*fragmentation.Fragment
 	// emptyRoute marks a query contradicting every fragment.
 	emptyRoute bool
+	// skipped lists fragments statistics proved empty for this query.
+	skipped []string
+	// stamps records the statistics snapshots planning consulted; the
+	// plan cache revalidates them before reusing the plan.
+	stamps []genStamp
+	// est holds the planner's per-fragment estimates for Explain.
+	est map[string]planEstimate
 }
 
 // planQuery analyzes the query and decides the execution strategy.
@@ -215,11 +320,19 @@ func (s *System) planQuery(e xquery.Expr) (*queryPlan, error) {
 
 	meta := metas[0]
 	if !meta.Fragmented() {
-		return &queryPlan{
+		p := &queryPlan{
 			strategy:   StrategyCentralized,
 			meta:       meta,
 			subQueries: []fragQuery{{fragment: "", node: meta.Placement[""], replicas: meta.Replicas[""], expr: e}},
-		}, nil
+		}
+		if sp := s.newStatsPlan(e, meta); sp != nil {
+			st := s.fragmentStatistics(meta, "")
+			sp.stamp(meta, "", st)
+			sp.est[""] = estimateFragment(st, sp.hint)
+			sp.apply(p)
+			annotateIndexOnly(sp, p)
+		}
+		return p, nil
 	}
 
 	// doc() references resolve against whatever store evaluates them; on
@@ -227,11 +340,12 @@ func (s *System) planQuery(e xquery.Expr) (*queryPlan, error) {
 	// mixing doc() with a fragmented collection are therefore evaluated
 	// at the coordinator over the reconstructed collection.
 	if usesDocCall(e) {
-		return &queryPlan{
+		sp := s.newStatsPlan(e, meta)
+		return sp.apply(&queryPlan{
 			strategy:    StrategyReconstruct,
 			meta:        meta,
-			reconstruct: meta.Scheme.Fragments,
-		}, nil
+			reconstruct: s.orderReconstruct(sp, meta, meta.Scheme.Fragments),
+		}), nil
 	}
 
 	an := analyzeQuery(e)
@@ -251,20 +365,26 @@ func usesDocCall(e xquery.Expr) bool {
 	return found
 }
 
-// planHorizontal prunes fragments whose predicate contradicts the query
-// and targets the rewritten query at the remainder.
+// planHorizontal prunes fragments whose predicate contradicts the query,
+// skips fragments whose statistics prove them empty for the query, and
+// targets the rewritten query at the remainder.
 func (s *System) planHorizontal(e xquery.Expr, meta *CollectionMeta, an *analysis) (*queryPlan, error) {
+	sp := s.newStatsPlan(e, meta)
 	var relevant []*fragmentation.Fragment
 	for _, f := range meta.Scheme.Fragments {
 		if len(an.constraints) > 0 && contradictsPredicate(f.Predicate, nil, an.constraints, meta.Name) {
 			continue
 		}
+		if sp != nil && s.skipFragment(sp, meta, f) {
+			continue
+		}
 		relevant = append(relevant, f)
 	}
 	if len(relevant) == 0 {
-		// The query contradicts every fragment: empty result, but an
-		// aggregate still needs its zero value, so evaluate over nothing.
-		return &queryPlan{strategy: StrategyRouted, meta: meta, emptyRoute: true}, nil
+		// The query contradicts (or statistics prove empty) every
+		// fragment: empty result, but an aggregate still needs its zero
+		// value, so evaluate over nothing.
+		return sp.apply(&queryPlan{strategy: StrategyRouted, meta: meta, emptyRoute: true}), nil
 	}
 	plan := &queryPlan{meta: meta}
 	shipped := e
@@ -279,6 +399,8 @@ func (s *System) planHorizontal(e xquery.Expr, meta *CollectionMeta, an *analysi
 		plan.subQueries = append(plan.subQueries, fragQuery{fragment: f.Name, node: meta.Placement[f.Name], replicas: meta.Replicas[f.Name], expr: sub})
 	}
 	plan.strategy = unionOrAggregate(e, len(relevant))
+	sp.apply(plan)
+	annotateIndexOnly(sp, plan)
 	return plan, nil
 }
 
@@ -286,6 +408,7 @@ func (s *System) planHorizontal(e xquery.Expr, meta *CollectionMeta, an *analysi
 // sibling hybrid fragments when the query is item-scoped, and falls back
 // to join reconstruction otherwise.
 func (s *System) planVertical(e xquery.Expr, meta *CollectionMeta, an *analysis) (*queryPlan, error) {
+	sp := s.newStatsPlan(e, meta)
 	touched := s.touchedFragments(meta, an)
 	if len(touched) == 0 && !an.unresolved {
 		// Spine-only query: any fragment guaranteed to hold every
@@ -300,7 +423,11 @@ func (s *System) planVertical(e xquery.Expr, meta *CollectionMeta, an *analysis)
 	if len(touched) == 0 {
 		touched = meta.Scheme.Fragments
 	}
-	reconstructPlan := &queryPlan{strategy: StrategyReconstruct, meta: meta, reconstruct: touched}
+	// Vertical and hybrid fragments hold projections whose local paths
+	// diverge from the global document shape, so statistics only feed the
+	// reconstruction fetch order here — never fragment skipping.
+	reconstructPlan := sp.apply(&queryPlan{strategy: StrategyReconstruct, meta: meta,
+		reconstruct: s.orderReconstruct(sp, meta, touched)})
 	if len(touched) == 1 {
 		f := touched[0]
 		// Documents where the projection selects nothing are absent from
@@ -379,11 +506,13 @@ func (s *System) executePlan(e xquery.Expr, p *queryPlan, traceID string) (*Quer
 	case len(p.reconstruct) > 0:
 		return s.reconstructFragments(e, p.meta, p.reconstruct)
 	default:
-		if s.Concurrent() && traceID == "" {
+		if s.Concurrent() && traceID == "" && len(p.subQueries) > 1 {
 			// Concurrent mode composes incrementally: batches merge into
 			// the result as frames arrive, overlapping composition with
 			// transmission. The sequential mode below stays monolithic —
-			// it is the paper's measured methodology.
+			// it is the paper's measured methodology. A single sub-query
+			// has nothing to overlap with, so it also takes the monolithic
+			// path and saves the streaming machinery.
 			return s.executeStreaming(e, p.subQueries, p.strategy)
 		}
 		exec, err := s.execute(p.subQueries, traceID)
@@ -401,6 +530,14 @@ type PlanStep struct {
 	// Query is the rewritten sub-query text; empty for reconstruction
 	// fetches, which ship whole fragment collections.
 	Query string
+	// EstDocs and EstCost are the planner's estimates for the step —
+	// documents contributing bindings and stored bytes touched — from the
+	// fragment's statistics; -1 when no statistics were available.
+	EstDocs int64
+	EstCost float64
+	// IndexOnly marks a sub-query the node can answer from its indexes
+	// alone (a count/exists/empty probe shape).
+	IndexOnly bool
 }
 
 // Plan is the user-facing explanation of how a query would execute.
@@ -408,35 +545,54 @@ type Plan struct {
 	Strategy    Strategy
 	Collections []string
 	Steps       []PlanStep
+	// Skipped lists fragments the planner proved empty for the query
+	// from their statistics; they are never contacted.
+	Skipped []string
+	// Cached reports whether the plan came from the plan cache.
+	Cached bool
 }
 
-// Explain plans a query without executing it.
+// Explain plans a query without executing it. It goes through the plan
+// cache, so explaining a query both reports whether its plan was already
+// cached and warms the cache for a subsequent Query.
 func (s *System) Explain(query string) (*Plan, error) {
-	e, err := xquery.Parse(query)
+	e, p, cached, err := s.cachedPlan(xquery.NormalizeQueryText(query), query)
 	if err != nil {
 		return nil, err
 	}
-	p, err := s.planQuery(e)
-	if err != nil {
-		return nil, err
+	out := &Plan{
+		Strategy:    p.strategy,
+		Collections: xquery.CollectionNames(e),
+		Skipped:     p.skipped,
+		Cached:      cached,
 	}
-	out := &Plan{Strategy: p.strategy, Collections: xquery.CollectionNames(e)}
+	estFor := func(fragment string) (int64, float64, bool) {
+		if est, ok := p.est[fragment]; ok {
+			return est.docs, est.cost, est.indexOnly
+		}
+		return -1, -1, false
+	}
 	switch {
 	case p.emptyRoute:
 		// Nothing to do: the predicates contradict every fragment.
 	case len(p.metas) > 0:
 		for _, meta := range p.metas {
 			for frag, node := range meta.Placement {
-				out.Steps = append(out.Steps, PlanStep{Fragment: frag, Node: node})
+				out.Steps = append(out.Steps, PlanStep{Fragment: frag, Node: node, EstDocs: -1, EstCost: -1})
 			}
 		}
 	case len(p.reconstruct) > 0:
 		for _, f := range p.reconstruct {
-			out.Steps = append(out.Steps, PlanStep{Fragment: f.Name, Node: p.meta.Placement[f.Name]})
+			docs, cost, _ := estFor(f.Name)
+			out.Steps = append(out.Steps, PlanStep{Fragment: f.Name, Node: p.meta.Placement[f.Name], EstDocs: docs, EstCost: cost})
 		}
 	default:
 		for _, fq := range p.subQueries {
-			out.Steps = append(out.Steps, PlanStep{Fragment: fq.fragment, Node: fq.node, Query: xquery.Format(fq.expr)})
+			docs, cost, ixOnly := estFor(fq.fragment)
+			out.Steps = append(out.Steps, PlanStep{
+				Fragment: fq.fragment, Node: fq.node, Query: xquery.Format(fq.expr),
+				EstDocs: docs, EstCost: cost, IndexOnly: ixOnly,
+			})
 		}
 	}
 	return out, nil

@@ -26,6 +26,10 @@ type System struct {
 	tracing       bool
 	slowQuery     time.Duration
 	logger        obs.Logger
+	plannerStats  bool
+
+	planCache  *planCache
+	statsCache *statsCache
 }
 
 // SetConcurrent switches sub-query execution between the paper's
@@ -113,6 +117,57 @@ func (s *System) Logger() obs.Logger {
 	return s.logger
 }
 
+// SetPlannerStats switches statistics-driven planning (fragment
+// skipping, cardinality estimates, reconstruction ordering) on or off.
+// On is the default; off restores pure rule-based planning — the naive
+// union-all baseline the benchmarks compare against. Toggling drops all
+// cached plans, which embed the decisions of the previous mode.
+func (s *System) SetPlannerStats(on bool) {
+	s.mu.Lock()
+	changed := s.plannerStats != on
+	s.plannerStats = on
+	s.mu.Unlock()
+	if changed {
+		s.planCache.clear()
+	}
+}
+
+// PlannerStats reports whether statistics-driven planning is enabled.
+func (s *System) PlannerStats() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.plannerStats
+}
+
+// SetPlanCacheCap resizes the plan cache (default 128 entries),
+// evicting down LRU-first; 0 or negative disables plan caching entirely.
+func (s *System) SetPlanCacheCap(n int) {
+	s.planCache.setCap(n)
+}
+
+// PlanCacheSize reports how many compiled plans are currently cached.
+func (s *System) PlanCacheSize() int {
+	return s.planCache.size()
+}
+
+// SetStatsTTL bounds how stale cached fragment statistics — and
+// therefore plans validated against them — may be (default 30s). A zero
+// or negative TTL refetches statistics on every plan and revalidation,
+// making node-side mutations visible immediately.
+func (s *System) SetStatsTTL(d time.Duration) {
+	s.statsCache.setTTL(d)
+	s.statsCache.clear()
+}
+
+// InvalidatePlans drops every cached plan and fragment-statistics
+// snapshot. Callers mutating node data behind the coordinator's back
+// (outside Publish) use it to make the changes visible before the
+// statistics TTL would.
+func (s *System) InvalidatePlans() {
+	s.planCache.clear()
+	s.statsCache.clear()
+}
+
 // Metrics snapshots the process-wide observability registry: every
 // partix_* series with its current value (histograms as _sum/_count
 // pairs). The map is a copy; mutating it changes nothing.
@@ -121,12 +176,17 @@ func (s *System) Metrics() map[string]float64 {
 }
 
 // NewSystem returns a system with the given communication cost model.
+// Statistics-driven planning and the plan cache are on by default; see
+// SetPlannerStats, SetPlanCacheCap and SetStatsTTL.
 func NewSystem(cost cluster.CostModel) *System {
 	return &System{
-		nodes:   map[string]cluster.Driver{},
-		catalog: NewCatalog(),
-		cost:    cost,
-		logger:  obs.Nop(),
+		nodes:        map[string]cluster.Driver{},
+		catalog:      NewCatalog(),
+		cost:         cost,
+		logger:       obs.Nop(),
+		plannerStats: true,
+		planCache:    newPlanCache(defaultPlanCacheCap),
+		statsCache:   newStatsCache(defaultStatsTTL),
 	}
 }
 
@@ -228,6 +288,11 @@ func (s *System) Publish(c *xmltree.Collection, scheme *fragmentation.Scheme, pl
 	if err := s.catalog.Register(meta); err != nil {
 		return err
 	}
+	// Registration bumped the catalog version, which already invalidates
+	// cached plans; the statistics snapshots of the touched nodes go
+	// stale too once documents land, so drop them when publishing ends
+	// (even a partial publish mutated node data).
+	defer s.statsCache.clear()
 	for frag, nodeName := range placement {
 		if s.Node(nodeName) == nil {
 			return fmt.Errorf("partix: placement of %q references unknown node %q", frag, nodeName)

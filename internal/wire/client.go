@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"partix/internal/engine"
 	"partix/internal/obs"
 	"partix/internal/storage"
 	"partix/internal/xmltree"
@@ -709,6 +710,23 @@ func (c *Client) CollectionStats(collection string) (storage.Stats, error) {
 		return storage.Stats{}, err
 	}
 	return resp.Stats, nil
+}
+
+// CollectionStatistics implements cluster.StatisticsProvider: the planner
+// statistics snapshot via the extended OpStats exchange. Against a peer
+// that has not announced protocol version 4 no request is issued and the
+// statistics are reported as unavailable ((nil, nil)) — the same shape a
+// v4 node with indexing disabled returns — so coordinators degrade to
+// planning without statistics instead of erroring.
+func (c *Client) CollectionStatistics(collection string) (*engine.CollectionStatistics, error) {
+	if c.peer.Load() < 4 {
+		return nil, nil
+	}
+	resp, err := c.roundTrip(&Request{Op: OpStats, Collection: collection, WantStatistics: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Statistics, nil
 }
 
 // CheckCollection reports whether the node holds the collection,

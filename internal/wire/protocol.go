@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"partix/internal/engine"
 	"partix/internal/obs"
 	"partix/internal/storage"
 	"partix/internal/xmltree"
@@ -38,8 +39,13 @@ import (
 // transparently. Likewise a trace ID is only sent to a peer that has
 // announced version 3; against anything older the query still runs,
 // just without node-side spans (gob drops fields a legacy decoder
-// lacks, so even an unexpectedly sent header is harmless).
-const ProtocolVersion = 3
+// lacks, so even an unexpectedly sent header is harmless). Version 4
+// extends OpStats with planner statistics: a client that has seen the
+// server announce version 4 may set Request.WantStatistics, and the
+// server attaches the index-derived CollectionStatistics snapshot to
+// Response.Statistics; against older peers the client never asks and
+// reports the statistics as simply unavailable.
+const ProtocolVersion = 4
 
 // Op identifies a request type.
 type Op uint8
@@ -96,6 +102,10 @@ type Request struct {
 	// omitted from the gob stream) when the query is not traced or the
 	// peer is older.
 	TraceID string
+	// WantStatistics asks OpStats to also return the planner statistics
+	// snapshot (Response.Statistics). Protocol version 4; never set when
+	// the peer is older.
+	WantStatistics bool
 }
 
 // Response is one server → client message.
@@ -114,6 +124,11 @@ type Response struct {
 	// execute, serialize) for a traced OpQuery. Protocol version 3; nil
 	// otherwise.
 	Spans []obs.Span
+	// Statistics is the planner statistics snapshot, attached to an
+	// OpStats response when the client asked for it (WantStatistics) and
+	// announced protocol version 4. Nil otherwise; legacy decoders drop
+	// the field entirely.
+	Statistics *engine.CollectionStatistics
 }
 
 // FrameKind tags one message of a streamed result. The zero value is

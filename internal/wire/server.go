@@ -457,6 +457,16 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 			return fail(err)
 		}
 		resp.Stats = st
+		// Planner statistics only travel to peers that both announced
+		// protocol version 4 and asked; the basic stats above stay exactly
+		// what legacy clients have always received.
+		if req.WantStatistics && req.Proto >= 4 {
+			cs, err := s.db.CollectionStatistics(req.Collection)
+			if err != nil {
+				return fail(err)
+			}
+			resp.Statistics = cs
+		}
 	case OpHasCollection:
 		resp.Bool = s.db.HasCollection(req.Collection)
 	default:

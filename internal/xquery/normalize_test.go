@@ -1,0 +1,108 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeQueryTextEquivalences(t *testing.T) {
+	// Each group lists spellings that must share one normal form.
+	groups := [][]string{
+		{
+			`for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`,
+			"for  $i   in\tcollection(\"items\")/Item\n  where $i/Section = \"CD\"\n  return $i/Code",
+			`for $i in collection('items')/Item where $i/Section = 'CD' return $i/Code`,
+			`for $i in collection("items")/Item (: routed :) where $i/Section = "CD" return $i/Code`,
+		},
+		{
+			`count(collection("c")/Item)`,
+			"  count ( collection( 'c' ) / Item )  ",
+		},
+		{
+			`$x - 1`,
+			"$x  -  1",
+		},
+	}
+	for _, g := range groups {
+		want := NormalizeQueryText(g[0])
+		if want == "" {
+			t.Fatalf("empty normal form for %q", g[0])
+		}
+		for _, q := range g[1:] {
+			if got := NormalizeQueryText(q); got != want {
+				t.Errorf("NormalizeQueryText(%q) = %q, want %q", q, got, want)
+			}
+		}
+	}
+}
+
+func TestNormalizeQueryTextDistinctions(t *testing.T) {
+	// Pairs that must NOT collapse to the same normal form.
+	pairs := [][2]string{
+		// a-b is one name; a - b is a subtraction.
+		{`collection("c")/a-b`, `collection("c")/a - b`},
+		// Literal content differs.
+		{`$x = "CD"`, `$x = "cd"`},
+		// Whitespace inside a string literal is significant.
+		{`contains($d, "good disc")`, `contains($d, "good  disc")`},
+	}
+	for _, p := range pairs {
+		if NormalizeQueryText(p[0]) == NormalizeQueryText(p[1]) {
+			t.Errorf("%q and %q normalized identically: %q", p[0], p[1], NormalizeQueryText(p[0]))
+		}
+	}
+}
+
+func TestNormalizeQueryTextQuoting(t *testing.T) {
+	// Canonical quoting is double; a literal containing a double quote (only
+	// writable single-quoted — the language has no escapes) stays single.
+	if got := NormalizeQueryText(`$x = 'CD'`); !strings.Contains(got, `"CD"`) {
+		t.Errorf("single-quoted literal not canonicalized: %q", got)
+	}
+	q := `$x = 'say "hi"'`
+	if got := NormalizeQueryText(q); !strings.Contains(got, `'say "hi"'`) {
+		t.Errorf("literal with embedded double quote mangled: %q", got)
+	}
+	// Round-trip: the normal form normalizes to itself.
+	n := NormalizeQueryText(q)
+	if NormalizeQueryText(n) != n {
+		t.Errorf("normal form not a fixed point: %q -> %q", n, NormalizeQueryText(n))
+	}
+}
+
+func TestNormalizeQueryTextConstructorFallback(t *testing.T) {
+	// Element-constructor content is raw text with semantic whitespace; the
+	// normalizer must not touch its interior and falls back to TrimSpace.
+	q := "  <out>{ $x }   keep  this </out>  "
+	if got := NormalizeQueryText(q); got != strings.TrimSpace(q) {
+		t.Errorf("constructor query rewritten: %q", got)
+	}
+	// Lexing errors also fall back rather than guessing.
+	bad := `  $x = "unterminated  `
+	if got := NormalizeQueryText(bad); got != strings.TrimSpace(bad) {
+		t.Errorf("unlexable query rewritten: %q", got)
+	}
+}
+
+func TestNormalizeQueryTextParsesSame(t *testing.T) {
+	// The normal form of a parseable query parses to the same expression.
+	queries := []string{
+		`for $i in collection("items")/Item where $i/@id < 2 return $i/Code`,
+		`sum(collection('c')/Item/@id)`,
+		`for $i in collection("c")/Item order by $i/Code descending return $i`,
+	}
+	for _, q := range queries {
+		e1, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := NormalizeQueryText(q)
+		e2, err := Parse(n)
+		if err != nil {
+			t.Fatalf("normal form of %q does not parse: %q: %v", q, n, err)
+		}
+		if Format(e1) != Format(e2) {
+			t.Errorf("normal form changed meaning: %q vs %q", Format(e1), Format(e2))
+		}
+	}
+}

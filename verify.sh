@@ -29,6 +29,13 @@ go build -o "$benchdir/partix-bench" ./cmd/partix-bench
 grep -q '"valueindex"' "$benchdir/vidx.json"
 grep -q '"countIndexOnly": true' "$benchdir/vidx.json"
 grep -q '"existsIndexOnly": true' "$benchdir/vidx.json"
+
+# planner smoke bench: the statistics must prove 3 of 4 fragments empty
+# and a plan-cache hit must resolve faster than a cold parse+plan
+"$benchdir/partix-bench" -exp planner -repeats 1 -json "$benchdir/planner.json" >/dev/null
+grep -q '"planner"' "$benchdir/planner.json"
+grep -q '"skippedFragments": 3' "$benchdir/planner.json"
+grep -q '"cachedPlanFaster": true' "$benchdir/planner.json"
 rm -rf "$benchdir"
 
 # observability smoke test: a node started with -debug-addr must serve
