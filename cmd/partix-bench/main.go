@@ -12,18 +12,21 @@
 //	partix-bench -exp obs -json BENCH_PR4.json
 //	partix-bench -exp valueindex -json BENCH_PR5.json
 //	partix-bench -exp planner -json BENCH_PR6.json
+//	partix-bench -exp mixedrw -json BENCH_PR7.json
 //
 // Experiments: fig7a, fig7b, fig7c, fig7d, headline, smalldb, stream,
-// obs, valueindex, planner, all. The stream experiment contrasts the
-// framed wire protocol against the monolithic one over real TCP node
-// servers; obs measures the observability layer's overhead (metrics off
-// vs on vs traced); valueindex sweeps a range predicate's selectivity
-// with the path/value index on vs off and checks the index-only
-// count()/exists() deciders; planner contrasts the statistics-driven
-// coordinator (fragment skipping, plan cache) against the union-all
-// baseline. With -json the measured panels are also written
-// machine-readable (durations in nanoseconds) so the perf trajectory is
-// tracked across changes.
+// obs, valueindex, planner, mixedrw, all. The stream experiment
+// contrasts the framed wire protocol against the monolithic one over
+// real TCP node servers; obs measures the observability layer's overhead
+// (metrics off vs on vs traced); valueindex sweeps a range predicate's
+// selectivity with the path/value index on vs off and checks the
+// index-only count()/exists() deciders; planner contrasts the
+// statistics-driven coordinator (fragment skipping, plan cache) against
+// the union-all baseline; mixedrw measures read-latency percentiles
+// under a concurrent writer with snapshot-isolated reads vs the old
+// lock-coupled write path. With -json the measured panels are also
+// written machine-readable (durations in nanoseconds) so the perf
+// trajectory is tracked across changes.
 package main
 
 import (
@@ -37,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | planner | all")
+		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | planner | mixedrw | all")
 		scaleF     = flag.Int("scale", 1, "multiply the default database sizes")
 		repeats    = flag.Int("repeats", 3, "timed executions per query (after one discarded warm-up)")
 		dir        = flag.String("dir", "", "working directory for node stores (default: temp)")
@@ -88,6 +91,7 @@ type collector struct {
 	obs        *experiments.ObsCompare
 	valueIndex *experiments.ValueIndexCompare
 	planner    *experiments.PlannerCompare
+	mixedRW    *experiments.MixedRWCompare
 }
 
 func writeJSON(path string, repeats int, col *collector) error {
@@ -99,6 +103,7 @@ func writeJSON(path string, repeats int, col *collector) error {
 	report.Obs = col.obs
 	report.ValueIndex = col.valueIndex
 	report.Planner = col.planner
+	report.MixedRW = col.mixedRW
 	if err := report.WriteJSON(f); err != nil {
 		f.Close()
 		return err
@@ -174,8 +179,16 @@ func run(exp string, scale experiments.Scale, opts experiments.Options, col *col
 		col.planner = c
 		experiments.PrintPlanner(out, c)
 		return nil
+	case "mixedrw":
+		c, err := experiments.RunMixedRW(scale, opts)
+		if err != nil {
+			return err
+		}
+		col.mixedRW = c
+		experiments.PrintMixedRW(out, c)
+		return nil
 	case "all":
-		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "planner", "headline"} {
+		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "planner", "mixedrw", "headline"} {
 			if err := run(name, scale, opts, col); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

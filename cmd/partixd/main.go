@@ -36,6 +36,9 @@ func main() {
 		noIndexes  = flag.Bool("disable-indexes", false, "disable index-assisted candidate pruning")
 		workers    = flag.Int("decode-workers", 0, "decode worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		cacheBytes = flag.Int64("tree-cache-bytes", 0, "decoded-tree cache budget in bytes (0 = off)")
+		noWAL      = flag.Bool("no-wal", false, "disable the write-ahead log (commits are durable only at checkpoints)")
+		noFsync    = flag.Bool("wal-nofsync", false, "keep the WAL but skip fsync at commit (crash may lose the tail)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "checkpoint when the WAL exceeds this size (0 = built-in default, <0 = only on demand)")
 		idle       = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle for this long (0 = never)")
 		drain      = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests")
 		batch      = flag.Int("batch-items", 0, "default items/documents per streamed result frame (0 = built-in default)")
@@ -52,9 +55,12 @@ func main() {
 	}
 
 	db, err := engine.Open(*dbPath, engine.Options{
-		DisableIndexes: *noIndexes,
-		DecodeWorkers:  *workers,
-		TreeCacheBytes: *cacheBytes,
+		DisableIndexes:  *noIndexes,
+		DecodeWorkers:   *workers,
+		TreeCacheBytes:  *cacheBytes,
+		DisableWAL:      *noWAL,
+		WALNoFsync:      *noFsync,
+		CheckpointBytes: *ckptBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -90,8 +90,7 @@ func (n *LocalNode) DB() *engine.DB { return n.db }
 
 // CreateCollection implements Driver.
 func (n *LocalNode) CreateCollection(name string) error {
-	n.db.Store().CreateCollection(name)
-	return nil
+	return n.db.Store().CreateCollection(name)
 }
 
 // StoreDocument implements Driver.

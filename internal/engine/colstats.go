@@ -54,9 +54,7 @@ type CollectionStatistics struct {
 // zero and every PutDocument/LoadCollection/DeleteDocument/DropCollection
 // bumps it. Coordinators key cached statistics and plans on it.
 func (db *DB) Generation(collection string) uint64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.gens[collection]
+	return db.colFor(collection).seq.Load() >> 1
 }
 
 // CollectionStatistics builds the planner statistics snapshot for a
@@ -70,8 +68,8 @@ func (db *DB) CollectionStatistics(collection string) (*CollectionStatistics, er
 	// Generation is read before the index so a racing mutation can only
 	// make the snapshot look older than it is; a coordinator comparing
 	// generations then refetches, which is the safe direction.
+	gen := db.Generation(collection)
 	db.mu.RLock()
-	gen := db.gens[collection]
 	ix := db.idx[collection]
 	db.mu.RUnlock()
 

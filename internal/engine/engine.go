@@ -55,6 +55,19 @@ type Options struct {
 	// 0 (the default) disables caching, keeping the per-document parse
 	// cost the paper's evaluation depends on.
 	TreeCacheBytes int64
+
+	// DisableWAL turns the store's write-ahead log off: mutations become
+	// durable only at Sync/Close, as in the original engine.
+	DisableWAL bool
+
+	// WALNoFsync keeps the log but skips the commit-time fsync, trading
+	// crash durability for write latency (benchmarks, bulk loads).
+	WALNoFsync bool
+
+	// CheckpointBytes is the WAL size that triggers a background catalog
+	// checkpoint. 0 uses the storage default (8 MiB); negative disables
+	// size-triggered checkpoints.
+	CheckpointBytes int64
 }
 
 // DB is one sequential XML database instance.
@@ -65,10 +78,57 @@ type DB struct {
 
 	mu      sync.RWMutex
 	idx     map[string]*docIndex       // collection → indexes
-	gens    map[string]uint64          // collection → mutation generation (cache keys)
+	cols    map[string]*colState       // collection → write lock + seqlock
 	docCols map[string]map[string]bool // doc name → collections holding it
 
 	stats liveStats
+}
+
+// colState is one collection's write serialization and read-side seqlock.
+//
+// Writers hold writeMu for the whole store-commit + index-update sequence,
+// so the WAL order and the index order always agree. Around that sequence
+// they bump seq to odd and back to even; a query validates that seq was
+// even and unchanged across its snapshot + candidate capture, retrying (or
+// finally taking writeMu) otherwise. The collection's mutation generation
+// — the tree-cache and plan-cache key — is seq >> 1.
+type colState struct {
+	writeMu sync.Mutex
+	seq     atomic.Uint64
+}
+
+// colFor returns (creating if needed) the collection's colState.
+func (db *DB) colFor(collection string) *colState {
+	db.mu.RLock()
+	cs := db.cols[collection]
+	db.mu.RUnlock()
+	if cs != nil {
+		return cs
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if cs = db.cols[collection]; cs == nil {
+		cs = &colState{}
+		db.cols[collection] = cs
+	}
+	return cs
+}
+
+// indexFor returns (creating if needed) the collection's index.
+func (db *DB) indexFor(collection string) *docIndex {
+	db.mu.RLock()
+	ix := db.idx[collection]
+	db.mu.RUnlock()
+	if ix != nil {
+		return ix
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ix = db.idx[collection]; ix == nil {
+		ix = newDocIndex()
+		db.idx[collection] = ix
+	}
+	return ix
 }
 
 // liveStats holds the engine counters as atomics so concurrent queries
@@ -115,13 +175,17 @@ func (s *Stats) Add(o Stats) {
 // mutually consistent); otherwise they are rebuilt by scanning the
 // stored documents.
 func Open(path string, opts Options) (*DB, error) {
-	st, err := storage.Open(path)
+	st, err := storage.OpenWith(path, storage.Options{
+		DisableWAL:      opts.DisableWAL,
+		NoFsync:         opts.WALNoFsync,
+		CheckpointBytes: opts.CheckpointBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
 	db := &DB{
 		opts: opts, store: st,
-		idx: map[string]*docIndex{}, gens: map[string]uint64{},
+		idx: map[string]*docIndex{}, cols: map[string]*colState{},
 		docCols: map[string]map[string]bool{},
 	}
 	if opts.TreeCacheBytes > 0 {
@@ -135,11 +199,15 @@ func Open(path string, opts Options) (*DB, error) {
 			st.Close()
 			return nil, err
 		}
+		db.cols[col] = &colState{}
 		for _, name := range names {
 			db.noteDocLocked(name, col)
 		}
 	}
-	if db.loadIndexSnapshot() {
+	// A persisted index snapshot is trustworthy only after a clean
+	// shutdown: when the store replayed WAL records at open, the catalog is
+	// newer than any snapshot saved alongside it, so rebuild by scanning.
+	if st.RecoveredMutations() == 0 && db.loadIndexSnapshot() {
 		return db, nil
 	}
 	for _, col := range st.Collections() {
@@ -216,22 +284,40 @@ func (db *DB) Sync() error {
 // documents through it).
 func (db *DB) Store() *storage.Store { return db.store }
 
-// PutDocument stores and indexes a document.
+// PutDocument stores and indexes a document, durably at return.
+//
+// Encoding, page writes and index-contribution extraction all happen
+// outside the collection's write lock; under it the commit is one WAL
+// append plus in-memory catalog and index updates — and because both
+// commits happen under the same lock, the index always describes the
+// version the WAL order made current (concurrent Puts of one document can
+// no longer commit store and index in opposite orders). The group-commit
+// fsync is awaited after the lock is released, so it stalls neither other
+// writers nor snapshot readers.
 func (db *DB) PutDocument(collection string, doc *xmltree.Document) error {
-	if err := db.store.PutDocument(collection, doc); err != nil {
+	prep := prepDoc(doc)
+	staged, err := db.store.StageDocument(collection, doc)
+	if err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	ix := db.idx[collection]
-	if ix == nil {
-		ix = newDocIndex()
-		db.idx[collection] = ix
+	ix := db.indexFor(collection)
+	cs := db.colFor(collection)
+	cs.writeMu.Lock()
+	cs.seq.Add(1) // odd: mutation in progress
+	tok, err := db.store.CommitStaged(staged)
+	if err != nil {
+		cs.seq.Add(1)
+		cs.writeMu.Unlock()
+		db.store.AbortStaged(staged)
+		return err
 	}
-	db.gens[collection]++ // invalidate cached trees of the old version
+	ix.replacePrep(prep)
+	db.mu.Lock()
 	db.noteDocLocked(doc.Name, collection)
-	ix.replace(doc)
-	return nil
+	db.mu.Unlock()
+	cs.seq.Add(1) // even: new generation visible
+	cs.writeMu.Unlock()
+	return db.store.WaitDurable(tok)
 }
 
 // LoadCollection stores and indexes every document of c. The collection
@@ -242,57 +328,84 @@ func (db *DB) PutDocument(collection string, doc *xmltree.Document) error {
 // documents already stored are still indexed before the error returns, so
 // index and store never disagree.
 func (db *DB) LoadCollection(c *xmltree.Collection) error {
-	db.store.CreateCollection(c.Name)
-	db.mu.Lock()
-	ix := db.idx[c.Name]
-	if ix == nil {
-		ix = newDocIndex()
-		db.idx[c.Name] = ix
+	if err := db.store.CreateCollection(c.Name); err != nil {
+		return err
 	}
-	db.mu.Unlock()
+	ix := db.indexFor(c.Name)
+	cs := db.colFor(c.Name)
+	cs.writeMu.Lock()
+	cs.seq.Add(1)
 	stored := make([]*xmltree.Document, 0, len(c.Docs))
 	var putErr error
+	var last storage.CommitToken
 	for _, d := range c.Docs {
-		if err := db.store.PutDocument(c.Name, d); err != nil {
+		staged, err := db.store.StageDocument(c.Name, d)
+		if err != nil {
 			putErr = err
 			break
 		}
+		tok, err := db.store.CommitStaged(staged)
+		if err != nil {
+			db.store.AbortStaged(staged)
+			putErr = err
+			break
+		}
+		last = tok
 		stored = append(stored, d)
 	}
 	db.mu.Lock()
-	db.gens[c.Name]++
 	for _, d := range stored {
 		db.noteDocLocked(d.Name, c.Name)
 	}
 	db.mu.Unlock()
 	ix.bulkAdd(stored)
+	cs.seq.Add(1)
+	cs.writeMu.Unlock()
+	// One group-commit fsync covers the whole load.
+	if err := db.store.WaitDurable(last); err != nil && putErr == nil {
+		putErr = err
+	}
 	return putErr
 }
 
-// DeleteDocument removes a document from store and index.
+// DeleteDocument removes a document from store and index, durably at
+// return. Store and index commit under the collection write lock, in WAL
+// order, exactly like PutDocument.
 func (db *DB) DeleteDocument(collection, name string) error {
-	if err := db.store.DeleteDocument(collection, name); err != nil {
+	cs := db.colFor(collection)
+	cs.writeMu.Lock()
+	cs.seq.Add(1)
+	tok, err := db.store.DeleteDocumentNoSync(collection, name)
+	if err != nil {
+		cs.seq.Add(1)
+		cs.writeMu.Unlock()
 		return err
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.gens[collection]++
 	db.dropDocLocked(name, collection)
-	if ix := db.idx[collection]; ix != nil {
+	ix := db.idx[collection]
+	db.mu.Unlock()
+	if ix != nil {
 		ix.remove(name)
 	}
-	return nil
+	cs.seq.Add(1)
+	cs.writeMu.Unlock()
+	return db.store.WaitDurable(tok)
 }
 
-// DropCollection removes a whole collection.
+// DropCollection removes a whole collection, durably at return.
 func (db *DB) DropCollection(name string) error {
-	if err := db.store.DropCollection(name); err != nil {
+	cs := db.colFor(name)
+	cs.writeMu.Lock()
+	cs.seq.Add(1)
+	tok, err := db.store.DropCollectionNoSync(name)
+	if err != nil {
+		cs.seq.Add(1)
+		cs.writeMu.Unlock()
 		return err
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	delete(db.idx, name)
-	db.gens[name]++
 	for doc, cols := range db.docCols {
 		if cols[name] {
 			delete(cols, name)
@@ -301,7 +414,10 @@ func (db *DB) DropCollection(name string) error {
 			}
 		}
 	}
-	return nil
+	db.mu.Unlock()
+	cs.seq.Add(1)
+	cs.writeMu.Unlock()
+	return db.store.WaitDurable(tok)
 }
 
 // Collections lists collection names.
@@ -374,58 +490,111 @@ func (db *DB) decodeWorkers() int {
 	}
 }
 
+// querySnapshot is one query's consistent view of a collection: the
+// pinned document set, the candidate refs left after index pruning, and
+// the generation the capture validated against.
+type querySnapshot struct {
+	snap        *storage.CollectionSnapshot
+	refs        []storage.DocRef // candidates, in document-name order
+	gen         uint64
+	pruned      int
+	rangePruned int
+}
+
+// snapshotForQuery captures a querySnapshot without blocking on writers:
+// it reads the collection seqlock, takes a pinned store snapshot, computes
+// index candidates, and retries if a writer committed in between (the
+// index could then describe documents the snapshot does not hold, or miss
+// ones it does). After a few optimistic failures it serializes with the
+// writer lock, which bounds retries under a write storm.
+func (db *DB) snapshotForQuery(collection string, hint *xquery.Hint) (querySnapshot, error) {
+	cs := db.colFor(collection)
+	for attempt := 0; ; attempt++ {
+		locked := attempt >= 3
+		if locked {
+			cs.writeMu.Lock()
+		} else if attempt > 0 {
+			obs.EngineSnapshotRetries.Inc()
+		}
+		s1 := cs.seq.Load()
+		if !locked && s1&1 == 1 {
+			runtime.Gosched() // writer mid-commit; its window is lock-free map work
+			continue
+		}
+		snap, err := db.store.SnapshotCollection(collection)
+		if err != nil {
+			stable := cs.seq.Load() == s1
+			if locked {
+				cs.writeMu.Unlock()
+			}
+			if locked || stable {
+				return querySnapshot{}, err
+			}
+			continue // raced a create/drop: re-resolve
+		}
+		q := querySnapshot{snap: snap, gen: s1 >> 1}
+		db.mu.RLock()
+		ix := db.idx[collection]
+		db.mu.RUnlock()
+		if hint != nil && len(hint.Constraints) > 0 && !db.opts.DisableIndexes && ix != nil {
+			usePaths := !db.opts.DisableValueIndex && hintNeedsPaths(hint)
+			if usePaths {
+				// Pre-v3 snapshots lack the path structures; build them now
+				// (or, if that fails, fall back to pruning without them).
+				usePaths = db.ensurePathIndex(collection, ix)
+			}
+			set, rp := ix.candidates(hint, usePaths)
+			q.rangePruned = rp
+			q.refs = make([]storage.DocRef, 0, len(set))
+			for _, ref := range snap.Refs {
+				if set[ref.Name] {
+					q.refs = append(q.refs, ref)
+				} else {
+					q.pruned++
+				}
+			}
+		} else {
+			q.refs = snap.Refs
+		}
+		if locked {
+			cs.writeMu.Unlock()
+			return q, nil
+		}
+		if cs.seq.Load() == s1 {
+			return q, nil
+		}
+		snap.Close() // a writer committed mid-capture; retry
+	}
+}
+
 // Docs implements xquery.Source with index-assisted pruning: when a hint
 // is present (and indexes are enabled) only candidate documents are
-// decoded; the rest are skipped without touching the store. Candidates
-// are fetched and decoded by the worker pool (sequentially when
-// DecodeWorkers is 1) and always delivered to fn in document-name order.
+// decoded; the rest are skipped without touching the store. The iteration
+// runs over an immutable pinned snapshot, so concurrent writers neither
+// block it nor change what it sees. Candidates are fetched and decoded by
+// the worker pool (sequentially when DecodeWorkers is 1) and always
+// delivered to fn in document-name order.
 func (db *DB) Docs(collection string, hint *xquery.Hint, fn func(*xmltree.Document) error) error {
-	names, err := db.store.Documents(collection)
+	q, err := db.snapshotForQuery(collection, hint)
 	if err != nil {
 		return err
 	}
-	db.mu.RLock()
-	ix := db.idx[collection]
-	gen := db.gens[collection]
-	db.mu.RUnlock()
-
-	var candidates []string
-	pruned, rangePruned := 0, 0
-	if hint != nil && len(hint.Constraints) > 0 && !db.opts.DisableIndexes && ix != nil {
-		usePaths := !db.opts.DisableValueIndex && hintNeedsPaths(hint)
-		if usePaths {
-			// Pre-v3 snapshots lack the path structures; build them now
-			// (or, if that fails, fall back to pruning without them).
-			usePaths = db.ensurePathIndex(collection, ix)
-		}
-		set, rp := ix.candidates(hint, usePaths)
-		rangePruned = rp
-		candidates = make([]string, 0, len(set))
-		for _, name := range names {
-			if set[name] {
-				candidates = append(candidates, name)
-			} else {
-				pruned++
-			}
-		}
-	}
-	if candidates == nil {
-		candidates = names
-	}
+	defer q.snap.Close()
 
 	workers := db.decodeWorkers()
-	if workers > len(candidates) {
-		workers = len(candidates)
+	if workers > len(q.refs) {
+		workers = len(q.refs)
 	}
 	var c docCounters
 	if workers <= 1 {
-		err = db.docsSequential(collection, candidates, gen, fn, &c)
+		err = db.docsSequential(collection, q.refs, q.gen, fn, &c)
 	} else {
-		err = db.docsPipelined(collection, candidates, gen, workers, fn, &c)
+		err = db.docsPipelined(collection, q.refs, q.gen, workers, fn, &c)
 	}
 	if err != nil {
 		return err
 	}
+	pruned, rangePruned := q.pruned, q.rangePruned
 	db.stats.docsDecoded.Add(c.decoded)
 	db.stats.docsPruned.Add(int64(pruned))
 	db.stats.rangePruned.Add(int64(rangePruned))

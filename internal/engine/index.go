@@ -161,10 +161,16 @@ func (ix *docIndex) add(doc *xmltree.Document) {
 // replace removes any previous version of doc and adds the new one under
 // a single lock acquisition.
 func (ix *docIndex) replace(doc *xmltree.Document) {
-	p := prepDoc(doc)
+	ix.replacePrep(prepDoc(doc))
+}
+
+// replacePrep is replace with the document's contribution precomputed by
+// the caller (outside every lock): the critical section is pure map and
+// posting-list maintenance.
+func (ix *docIndex) replacePrep(p docPrep) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.removeLocked(doc.Name)
+	ix.removeLocked(p.name)
 	ix.addPrepLocked(p)
 }
 

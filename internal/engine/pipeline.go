@@ -46,22 +46,23 @@ func (c *docCounters) account(db *DB, f fetched) {
 	}
 }
 
-// fetchDecode loads one candidate document, consulting the decoded-tree
-// cache when enabled.
-func (db *DB) fetchDecode(collection, name string, gen uint64) fetched {
+// fetchDecode loads one candidate document through its snapshot ref
+// (lock-free: the query's pin keeps the record chain stable), consulting
+// the decoded-tree cache when enabled.
+func (db *DB) fetchDecode(collection string, ref storage.DocRef, gen uint64) fetched {
 	obs.EngineDecodeInflight.Add(1)
 	defer obs.EngineDecodeInflight.Add(-1)
-	key := treeKey{collection: collection, name: name, gen: gen}
+	key := treeKey{collection: collection, name: ref.Name, gen: gen}
 	if db.cache != nil {
 		if doc, ok := db.cache.get(key); ok {
 			return fetched{doc: doc, cacheHit: true}
 		}
 	}
-	raw, err := db.store.GetDocumentRaw(collection, name)
+	raw, err := db.store.ReadRef(ref)
 	if err != nil {
 		return fetched{err: err}
 	}
-	doc, err := storage.DecodeDocument(name, raw)
+	doc, err := storage.DecodeDocument(ref.Name, raw)
 	if err != nil {
 		return fetched{err: err}
 	}
@@ -73,10 +74,10 @@ func (db *DB) fetchDecode(collection, name string, gen uint64) fetched {
 
 // docsSequential is the paper-faithful path (DecodeWorkers=1): one
 // candidate at a time on the calling goroutine.
-func (db *DB) docsSequential(collection string, names []string, gen uint64,
+func (db *DB) docsSequential(collection string, refs []storage.DocRef, gen uint64,
 	fn func(*xmltree.Document) error, c *docCounters) error {
-	for _, name := range names {
-		f := db.fetchDecode(collection, name, gen)
+	for _, ref := range refs {
+		f := db.fetchDecode(collection, ref, gen)
 		if f.err != nil {
 			return f.err
 		}
@@ -93,9 +94,9 @@ func (db *DB) docsSequential(collection string, names []string, gen uint64,
 // in order, so fn observes the exact sequential document order. The sem
 // channel throttles decode-ahead: workers acquire a token per job, the
 // consumer releases one per delivered document.
-func (db *DB) docsPipelined(collection string, names []string, gen uint64, workers int,
+func (db *DB) docsPipelined(collection string, refs []storage.DocRef, gen uint64, workers int,
 	fn func(*xmltree.Document) error, c *docCounters) error {
-	n := len(names)
+	n := len(refs)
 	window := 2 * workers
 	if window > n {
 		window = n
@@ -124,7 +125,7 @@ func (db *DB) docsPipelined(collection string, names []string, gen uint64, worke
 				if i >= n {
 					return
 				}
-				slots[i] <- db.fetchDecode(collection, names[i], gen)
+				slots[i] <- db.fetchDecode(collection, refs[i], gen)
 			}
 		}()
 	}

@@ -154,6 +154,35 @@ func TestRunValueIndexShape(t *testing.T) {
 	}
 }
 
+func TestRunMixedRWShape(t *testing.T) {
+	c, err := RunMixedRW(testScale, testOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sides) != 5 {
+		t.Fatalf("sides = %d, want 5", len(c.Sides))
+	}
+	for _, s := range c.Sides {
+		if s.ReadP50Ns <= 0 || s.ReadP99Ns < s.ReadP50Ns || s.ReadMaxNs < s.ReadP99Ns {
+			t.Fatalf("%s: inconsistent read percentiles: %+v", s.Name, s)
+		}
+		if !s.Writer && s.Writes != 0 {
+			t.Fatalf("%s: read-only side reports %d writes", s.Name, s.Writes)
+		}
+	}
+	// The non-durable writer sides must get writes through while reads run.
+	for _, s := range c.Sides {
+		if s.Writer && !s.DurableWAL && s.Writes == 0 {
+			t.Fatalf("%s: writer completed no writes during the read window", s.Name)
+		}
+	}
+	var sb strings.Builder
+	PrintMixedRW(&sb, c)
+	if !strings.Contains(sb.String(), "read p99") {
+		t.Fatalf("print output malformed:\n%s", sb.String())
+	}
+}
+
 func TestPrintPanel(t *testing.T) {
 	p, err := RunSmallDB(testOpts(t))
 	if err != nil {

@@ -32,6 +32,9 @@ type Report struct {
 	// Planner is the cost-based planner vs union-all comparison
 	// (partix-bench -exp planner).
 	Planner *PlannerCompare `json:"planner,omitempty"`
+	// MixedRW is the snapshot-read vs lock-coupled mixed read/write
+	// comparison (partix-bench -exp mixedrw).
+	MixedRW *MixedRWCompare `json:"mixedrw,omitempty"`
 }
 
 // PanelReport is one figure panel's measurements.

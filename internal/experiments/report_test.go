@@ -45,6 +45,18 @@ func sampleReport() *Report {
 		ExistsIndexOnly: true, ExistsDocsDecoded: 0,
 		BestDecodeRatio: 100,
 	}
+	r.MixedRW = &MixedRWCompare{
+		Docs: 300, Reads: 120, Query: mixedRWQuery, WriterDocBytes: 32768,
+		Sides: []MixedRWSide{
+			{Name: "read-only", ReadP50Ns: 500000, ReadP99Ns: 900000, ReadMaxNs: 1000000},
+			{Name: "lock-coupled writer, durable (seed locks + WAL)", Writer: true, LockCoupled: true,
+				DurableWAL: true, Writes: 310, WALFsyncs: 305,
+				ReadP50Ns: 700000, ReadP99Ns: 2000000, ReadMaxNs: 60000000, WriteP50Ns: 700000, WriteP99Ns: 3000000},
+			{Name: "snapshot reads + durable writer", Writer: true, DurableWAL: true, Writes: 300, WALFsyncs: 290,
+				ReadP50Ns: 600000, ReadP99Ns: 1250000, ReadMaxNs: 1600000, WriteP50Ns: 680000, WriteP99Ns: 2000000},
+		},
+		P99Ratio: 1.6,
+	}
 	return r
 }
 

@@ -25,6 +25,8 @@ var (
 		"Decoded-tree cache hits.")
 	EngineCacheMisses = Default.NewCounter("partix_engine_tree_cache_misses_total",
 		"Decoded-tree cache misses.")
+	EngineSnapshotRetries = Default.NewCounter("partix_engine_snapshot_retries_total",
+		"Query snapshot captures retried because a writer committed mid-capture.")
 	EngineDecodeInflight = Default.NewGauge("partix_engine_decode_inflight",
 		"Documents currently in the decode pipeline.")
 	EngineQuerySeconds = Default.NewHistogram("partix_engine_query_seconds",
@@ -40,6 +42,19 @@ var (
 		"Bytes read from the store file.")
 	StorageBytesWritten = Default.NewCounter("partix_storage_written_bytes_total",
 		"Bytes written to the store file.")
+	StorageWALAppends = Default.NewCounter("partix_storage_wal_appends_total",
+		"Records appended to the write-ahead log.")
+	StorageWALBytes = Default.NewCounter("partix_storage_wal_bytes_total",
+		"Bytes appended to the write-ahead log (framing included).")
+	StorageWALFsyncs = Default.NewCounter("partix_storage_wal_fsyncs_total",
+		"Write-ahead log fsyncs (group commits batch many commits per fsync).")
+	StorageWALGroupSize = Default.NewHistogram("partix_storage_wal_group_size",
+		"Commits made durable per WAL fsync (group-commit batch size).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	StorageWALReplayed = Default.NewCounter("partix_storage_wal_replayed_total",
+		"Write-ahead log records replayed during crash recovery at open.")
+	StorageCheckpoints = Default.NewCounter("partix_storage_checkpoints_total",
+		"Catalog checkpoints (persist catalog, truncate WAL, recycle pages).")
 
 	// wire client: coordinator-side remote-node transport.
 	WireClientRequests = Default.NewCounter("partix_wire_client_requests_total",

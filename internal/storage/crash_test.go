@@ -1,0 +1,352 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+// copyCrashImage snapshots the store's on-disk state (page file + WAL) the
+// way a crash would leave it: whatever reached the files, header and
+// catalog updates not included unless a checkpoint ran.
+func copyCrashImage(t *testing.T, srcPath, dstPath string) {
+	t.Helper()
+	for _, suffix := range []string{"", ".wal"} {
+		data, err := os.ReadFile(srcPath + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dstPath+suffix, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashRecoveryWithoutSync acknowledges a batch of mutations without
+// ever calling Sync or Close, then opens the files as a crashed process
+// left them: every acknowledged commit must be there.
+func TestCrashRecoveryWithoutSync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	docs := map[string]string{}
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("d%d", i)
+		xml := fmt.Sprintf("<a><b>version-one-%d</b></a>", i)
+		if err := s.PutDocument("items", doc(name, xml)); err != nil {
+			t.Fatal(err)
+		}
+		docs[name] = xml
+	}
+	// Replace one, delete one, create-and-drop a collection, store meta.
+	docs["d5"] = "<a><b>version-two</b></a>"
+	if err := s.PutDocument("items", doc("d5", docs["d5"])); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteDocument("items", "d3"); err != nil {
+		t.Fatal(err)
+	}
+	delete(docs, "d3")
+	if err := s.PutDocument("aux", doc("x", "<a/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropCollection("aux"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutMeta("engine:index", []byte("snapshot-bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	crash := filepath.Join(dir, "crash.db")
+	copyCrashImage(t, path, crash)
+
+	s2, err := Open(crash)
+	if err != nil {
+		t.Fatalf("open after crash: %v", err)
+	}
+	if s2.RecoveredMutations() == 0 {
+		t.Fatal("expected WAL replay, got a clean open")
+	}
+	names, err := s2.Documents("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(docs) {
+		t.Fatalf("recovered %d documents, want %d (%v)", len(names), len(docs), names)
+	}
+	for name, xml := range docs {
+		got, err := s2.GetDocument("items", name)
+		if err != nil {
+			t.Fatalf("recovered %s: %v", name, err)
+		}
+		if want := doc(name, xml); !xmltree.EqualDocuments(want, got) {
+			t.Fatalf("recovered %s differs: %s", name, xmltree.Diff(want.Root, got.Root))
+		}
+	}
+	if s2.HasCollection("aux") {
+		t.Fatal("dropped collection resurrected by recovery")
+	}
+	if data, ok, err := s2.GetMeta("engine:index"); err != nil || !ok || string(data) != "snapshot-bytes" {
+		t.Fatalf("meta after recovery: %q %v %v", data, ok, err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery checkpointed, so a second open must be clean.
+	s3, err := Open(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.RecoveredMutations() != 0 {
+		t.Fatalf("second open replayed %d records; recovery did not checkpoint", s3.RecoveredMutations())
+	}
+}
+
+// TestWALKillPointFuzz simulates a crash at every possible byte offset of
+// the write-ahead log: for each truncation length the store must recover
+// to exactly the prefix of commits whose records fit completely, never
+// serving a torn document or a dangling catalog entry.
+func TestWALKillPointFuzz(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.db")
+	s, err := OpenWith(path, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Checkpointed baseline: one document that predates the log.
+	baseXML := "<a><b>base</b></a>"
+	if err := s.PutDocument("items", doc("base", baseXML)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Acknowledged commits after the checkpoint. states[j] is the expected
+	// document set after the first j commits; sizes[j-1] the WAL length
+	// that covers them.
+	model := map[string]string{"base": baseXML}
+	snapshot := func() map[string]string {
+		m := make(map[string]string, len(model))
+		for k, v := range model {
+			m[k] = v
+		}
+		return m
+	}
+	states := []map[string]string{snapshot()}
+	var sizes []int64
+	commit := func(mutate func() error, update func()) {
+		t.Helper()
+		if err := mutate(); err != nil {
+			t.Fatal(err)
+		}
+		update()
+		states = append(states, snapshot())
+		sizes = append(sizes, s.wal.sizeNow())
+	}
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("d%d", i%7) // i >= 7 replaces an earlier version
+		xml := fmt.Sprintf("<a><b>content-%d</b><c>%d</c></a>", i, i*i)
+		commit(
+			func() error { return s.PutDocument("items", doc(name, xml)) },
+			func() { model[name] = xml },
+		)
+		if i == 4 || i == 9 {
+			victim := fmt.Sprintf("d%d", (i-2)%7)
+			commit(
+				func() error { return s.DeleteDocument("items", victim) },
+				func() { delete(model, victim) },
+			)
+		}
+	}
+
+	pageImage, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walImage, err := os.ReadFile(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(len(walImage)); got != sizes[len(sizes)-1] {
+		t.Fatalf("wal file is %d bytes, last commit recorded %d", got, sizes[len(sizes)-1])
+	}
+
+	crash := filepath.Join(dir, "kill.db")
+	for cut := 0; cut <= len(walImage); cut++ {
+		// Expected: the longest prefix of commits whose records lie fully
+		// within the first cut bytes.
+		j := 0
+		for j < len(sizes) && sizes[j] <= int64(cut) {
+			j++
+		}
+		want := states[j]
+
+		if err := os.WriteFile(crash, pageImage, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(crash+".wal", walImage[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := OpenWith(crash, Options{NoFsync: true})
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		names, err := rs.Documents("items")
+		if err != nil {
+			t.Fatalf("cut=%d: documents: %v", cut, err)
+		}
+		if len(names) != len(want) {
+			t.Fatalf("cut=%d: recovered %d docs (%v), want %d commits applied", cut, len(names), names, j)
+		}
+		for name, xml := range want {
+			got, err := rs.GetDocument("items", name)
+			if err != nil {
+				t.Fatalf("cut=%d: read %s: %v", cut, name, err)
+			}
+			if wantDoc := doc(name, xml); !xmltree.EqualDocuments(wantDoc, got) {
+				t.Fatalf("cut=%d: %s differs from the acknowledged version", cut, name)
+			}
+		}
+		if err := rs.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+	}
+}
+
+// TestCatalogWriteFailureKeepsOldCatalog injects a page-write failure into
+// the checkpoint's catalog write: the previous catalog must stay intact
+// and a later checkpoint must succeed (write-new-then-free-old).
+func TestCatalogWriteFailureKeepsOldCatalog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cat.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	d1 := doc("d1", "<a><b>one</b></a>")
+	if err := s.PutDocument("c", d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	oldCatalog := s.pager.catalog
+
+	s.pager.failWrite = func(id int64) error { return errors.New("injected write failure") }
+	if err := s.Sync(); err == nil {
+		t.Fatal("checkpoint with failing writes reported success")
+	}
+	s.pager.failWrite = nil
+
+	if s.pager.catalog != oldCatalog {
+		t.Fatalf("catalog pointer moved from %d to %d despite failed write", oldCatalog, s.pager.catalog)
+	}
+	got, err := s.GetDocument("c", "d1")
+	if err != nil {
+		t.Fatalf("document unreadable after failed checkpoint: %v", err)
+	}
+	if !xmltree.EqualDocuments(d1, got) {
+		t.Fatal("document corrupt after failed checkpoint")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("checkpoint after clearing the fault: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, err := s2.GetDocument("c", "d1"); err != nil || !xmltree.EqualDocuments(d1, got) {
+		t.Fatalf("document lost across reopen: %v", err)
+	}
+}
+
+// TestPutReplaceWriteFailure injects a write failure into a replacing Put:
+// the old version must survive untouched on every error path.
+func TestPutReplaceWriteFailure(t *testing.T) {
+	s, _ := tempStore(t)
+	v1 := doc("d", "<a><b>version-one</b></a>")
+	if err := s.PutDocument("c", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.pager.failWrite = func(id int64) error { return errors.New("injected write failure") }
+	if err := s.PutDocument("c", doc("d", "<a><b>version-two</b></a>")); err == nil {
+		t.Fatal("put with failing writes reported success")
+	}
+	s.pager.failWrite = nil
+	got, err := s.GetDocument("c", "d")
+	if err != nil {
+		t.Fatalf("old version unreadable after failed replace: %v", err)
+	}
+	if !xmltree.EqualDocuments(v1, got) {
+		t.Fatal("old version corrupt after failed replace")
+	}
+}
+
+// TestSnapshotSurvivesReplaceAndCheckpoint pins a snapshot, replaces and
+// checkpoints underneath it, and asserts the snapshot still reads the old
+// version (pages pinned by an active reader are never recycled).
+func TestSnapshotSurvivesReplaceAndCheckpoint(t *testing.T) {
+	s, _ := tempStore(t)
+	v1 := doc("d", "<a><b>pinned-version</b></a>")
+	if err := s.PutDocument("c", v1); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.SnapshotCollection("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutDocument("c", doc("d", "<a><b>newer</b></a>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil { // must not drain the pinned chain
+		t.Fatal(err)
+	}
+	if len(snap.Refs) != 1 {
+		t.Fatalf("snapshot has %d refs", len(snap.Refs))
+	}
+	data, err := s.ReadRef(snap.Refs[0])
+	if err != nil {
+		t.Fatalf("pinned read: %v", err)
+	}
+	old, err := DecodeDocument("d", data)
+	if err != nil {
+		t.Fatalf("pinned record torn: %v", err)
+	}
+	if !xmltree.EqualDocuments(v1, old) {
+		t.Fatal("snapshot read served the newer version")
+	}
+	snap.Close()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// With the pin gone the chain drains; new writes reuse the pages.
+	steady := s.pager.pageCount.Load()
+	if err := s.PutDocument("c", doc("d", "<a><b>again</b></a>")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.pager.pageCount.Load(); got > steady+1 {
+		t.Fatalf("pages grew from %d to %d; drained chain not reused", steady, got)
+	}
+}

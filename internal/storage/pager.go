@@ -11,9 +11,14 @@
 //	page 1..n         record pages, each [next int64][used uint16][data]
 //
 // A record (an encoded document, or the catalog itself) occupies a chain
-// of pages. Deleting a record returns its pages to the free list. All
-// mutating operations are serialized by a store-level mutex; durability is
-// fsync-on-Sync (callers decide when to pay for it).
+// of pages. Deleting a record parks its pages on a pending-free list; they
+// rejoin the on-disk free list only at the next checkpoint, and only once
+// no snapshot reader pinned before the delete is still active. That
+// discipline is what makes both crash recovery and MVCC reads work: a
+// page reachable from the last checkpointed catalog, or from any pinned
+// snapshot, is never rewritten. Mutating operations are serialized by a
+// store-level mutex; durability is write-ahead logging with group-commit
+// fsync (wal.go), with the catalog persisted by checkpoints.
 package storage
 
 import (
@@ -22,6 +27,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"partix/internal/obs"
 )
@@ -47,12 +53,18 @@ var pagePool = sync.Pool{
 }
 
 // pager manages the page file: allocation, free list and raw page IO.
+// Allocation and free-list state are mutated only under the owning
+// store's write lock; pageCount is atomic because pinned snapshot readers
+// bounds-check page reads without holding any store lock.
 type pager struct {
-	mu        sync.Mutex
 	f         *os.File
-	pageCount int64
+	pageCount atomic.Int64
 	freeHead  int64
 	catalog   int64 // first page of the catalog record, 0 if none
+
+	// failWrite, when set, intercepts every page write (test hook for
+	// injecting I/O failures on specific pages).
+	failWrite func(id int64) error
 }
 
 func openPager(path string) (*pager, error) {
@@ -67,7 +79,7 @@ func openPager(path string) (*pager, error) {
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
 	}
 	if st.Size() == 0 {
-		p.pageCount = 1 // header page
+		p.pageCount.Store(1) // header page
 		if err := p.writeHeader(); err != nil {
 			f.Close()
 			return nil, err
@@ -84,7 +96,7 @@ func openPager(path string) (*pager, error) {
 func (p *pager) writeHeader() error {
 	buf := make([]byte, PageSize)
 	copy(buf, magic)
-	binary.LittleEndian.PutUint64(buf[8:], uint64(p.pageCount))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(p.pageCount.Load()))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(p.freeHead))
 	binary.LittleEndian.PutUint64(buf[24:], uint64(p.catalog))
 	if _, err := p.f.WriteAt(buf, 0); err != nil {
@@ -101,11 +113,11 @@ func (p *pager) readHeader() error {
 	if string(buf[:8]) != magic {
 		return fmt.Errorf("storage: bad magic %q (not a partix store)", buf[:8])
 	}
-	p.pageCount = int64(binary.LittleEndian.Uint64(buf[8:]))
+	p.pageCount.Store(int64(binary.LittleEndian.Uint64(buf[8:])))
 	p.freeHead = int64(binary.LittleEndian.Uint64(buf[16:]))
 	p.catalog = int64(binary.LittleEndian.Uint64(buf[24:]))
-	if p.pageCount < 1 {
-		return fmt.Errorf("storage: corrupt header: page count %d", p.pageCount)
+	if p.pageCount.Load() < 1 {
+		return fmt.Errorf("storage: corrupt header: page count %d", p.pageCount.Load())
 	}
 	return nil
 }
@@ -123,8 +135,8 @@ func (p *pager) allocPage() (int64, error) {
 		p.freeHead = next
 		return id, nil
 	}
-	id := p.pageCount
-	p.pageCount++
+	id := p.pageCount.Load()
+	p.pageCount.Add(1)
 	return id, nil
 }
 
@@ -153,6 +165,11 @@ func (p *pager) writePage(id int64, buf []byte) error {
 	if id < 1 {
 		return fmt.Errorf("storage: write to reserved page %d", id)
 	}
+	if p.failWrite != nil {
+		if err := p.failWrite(id); err != nil {
+			return err
+		}
+	}
 	if _, err := p.f.WriteAt(buf, id*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
@@ -163,8 +180,8 @@ func (p *pager) writePage(id int64, buf []byte) error {
 
 // readPageInto fills buf (PageSize bytes) with the page's content.
 func (p *pager) readPageInto(id int64, buf []byte) error {
-	if id < 1 || id >= p.pageCount {
-		return fmt.Errorf("storage: read of page %d outside store (pages: %d)", id, p.pageCount)
+	if count := p.pageCount.Load(); id < 1 || id >= count {
+		return fmt.Errorf("storage: read of page %d outside store (pages: %d)", id, count)
 	}
 	if _, err := p.f.ReadAt(buf, id*PageSize); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
@@ -186,22 +203,30 @@ func (p *pager) readPageHeaderInto(id int64, buf []byte) (next int64, used int, 
 	return next, used, nil
 }
 
-// writeRecord stores data in a fresh chain of pages and returns the id of
-// the first page.
-func (p *pager) writeRecord(data []byte) (int64, error) {
-	if len(data) == 0 {
-		return 0, fmt.Errorf("storage: empty record")
+// allocRecordPages reserves a chain of pages big enough for size bytes.
+// Callers hold the store's write lock; the pages are exclusively theirs
+// until committed into the catalog or returned via the pending-free list,
+// so the data can be written without any lock held.
+func (p *pager) allocRecordPages(size int) ([]int64, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("storage: empty record")
 	}
-	// Allocate all pages first so chains are linked front-to-back.
-	n := (len(data) + pagePayload - 1) / pagePayload
+	n := (size + pagePayload - 1) / pagePayload
 	pages := make([]int64, n)
 	for i := range pages {
 		id, err := p.allocPage()
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		pages[i] = id
 	}
+	return pages, nil
+}
+
+// writeRecordPages fills a pre-allocated chain with data, linking the
+// pages front-to-back. No lock is needed: the chain is unreferenced until
+// the caller commits it.
+func (p *pager) writeRecordPages(pages []int64, data []byte) error {
 	bufp := pagePool.Get().(*[]byte)
 	defer pagePool.Put(bufp)
 	buf := *bufp
@@ -211,17 +236,48 @@ func (p *pager) writeRecord(data []byte) (int64, error) {
 			chunk = chunk[:pagePayload]
 		}
 		var next int64
-		if i+1 < n {
+		if i+1 < len(pages) {
 			next = pages[i+1]
 		}
 		binary.LittleEndian.PutUint64(buf, uint64(next))
 		binary.LittleEndian.PutUint16(buf[8:], uint16(len(chunk)))
 		copy(buf[pageHeaderSize:], chunk)
 		if err := p.writePage(id, buf); err != nil {
-			return 0, err
+			return err
 		}
 	}
+	return nil
+}
+
+// writeRecord stores data in a fresh chain of pages and returns the id of
+// the first page (allocation and writes under one caller-held lock; used
+// for the rare catalog write, where staging buys nothing).
+func (p *pager) writeRecord(data []byte) (int64, error) {
+	pages, err := p.allocRecordPages(len(data))
+	if err != nil {
+		return 0, err
+	}
+	if err := p.writeRecordPages(pages, data); err != nil {
+		return 0, err
+	}
 	return pages[0], nil
+}
+
+// chainPages walks a record chain and returns every page id in it.
+func (p *pager) chainPages(first int64) ([]int64, error) {
+	bufp := pagePool.Get().(*[]byte)
+	defer pagePool.Put(bufp)
+	var pages []int64
+	id := first
+	for id != 0 {
+		next, _, err := p.readPageHeaderInto(id, *bufp)
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, id)
+		id = next
+	}
+	return pages, nil
 }
 
 // readRecord loads a full record chain.
@@ -275,6 +331,15 @@ func (p *pager) sync() error {
 		return err
 	}
 	return p.f.Sync()
+}
+
+// fsync flushes the page file without touching the header (checkpoints
+// order their own header write between two fsyncs).
+func (p *pager) fsync() error {
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync: %w", err)
+	}
+	return nil
 }
 
 func (p *pager) close() error {

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"partix/internal/obs"
 	"partix/internal/xmltree"
 )
 
@@ -30,22 +32,95 @@ type catalog struct {
 	Meta        map[string]docEntry
 }
 
+// Options configure a store's durability behaviour.
+type Options struct {
+	// DisableWAL turns the write-ahead log off entirely: mutations are
+	// in-memory-catalog-only until Sync/Close, as in the original engine.
+	// The write-new-then-free-old discipline still applies, so a failed
+	// write never corrupts the previous state.
+	DisableWAL bool
+
+	// NoFsync appends WAL records without fsyncing them at commit.
+	// Recovery still replays whatever reached the disk (torn tails are
+	// truncated), but an acknowledged commit may be lost on a crash.
+	// For benchmarks and tests that do not want to pay for durability.
+	NoFsync bool
+
+	// CheckpointBytes is the WAL size that triggers an asynchronous
+	// checkpoint (persist catalog, truncate log, recycle freed pages).
+	// 0 means the default (8 MiB); negative disables size-triggered
+	// checkpoints, leaving them to explicit Sync/Close calls.
+	CheckpointBytes int64
+}
+
+// defaultCheckpointBytes is the WAL size that triggers a background
+// checkpoint when Options.CheckpointBytes is zero.
+const defaultCheckpointBytes = 8 << 20
+
+// pendingFree is a record chain freed by a committed operation. Its pages
+// return to the free list at the first checkpoint where no active read
+// pin predates the freeing operation (pins taken later can no longer
+// reach the chain through any snapshot).
+type pendingFree struct {
+	seq   uint64 // mutation sequence of the op that freed the chain; 0 = never visible
+	pages []int64
+}
+
 // Store is a persistent XML document store: named collections of named
-// documents over a single paged file. It is safe for concurrent use.
+// documents over a single paged file, made durable by a write-ahead log.
+// It is safe for concurrent use; readers never block behind writers'
+// page I/O or fsyncs.
 type Store struct {
 	mu    sync.RWMutex
 	pager *pager
 	cat   catalog
 	path  string
+	opts  Options
+	wal   *wal // nil when Options.DisableWAL
+
+	// mutSeq counts committed catalog mutations; read pins capture it so
+	// the pending-free drain knows which freed chains are still visible
+	// to an active snapshot.
+	mutSeq  uint64
+	pending []pendingFree
+
+	pinMu sync.Mutex
+	pins  map[uint64]int // pinned mutSeq → active pin count
+
+	// ckptMu serializes checkpoints (and Close) so the
+	// catalog-write / header-write / log-truncate sequence is atomic with
+	// respect to other checkpoints. It is taken before s.mu.
+	ckptMu     sync.Mutex
+	ckptQueued atomic.Bool
+	closed     bool
+
+	recovered int // WAL records replayed at Open (0 after a clean shutdown)
 }
 
-// Open opens (creating if needed) a store at path.
+// Open opens (creating if needed) a store at path with default options:
+// WAL on, fsync at commit.
 func Open(path string) (*Store, error) {
+	return OpenWith(path, Options{})
+}
+
+// OpenWith opens (creating if needed) a store at path. When the
+// write-ahead log is enabled and holds records — the previous process
+// crashed after acknowledged commits — they are replayed on top of the
+// last checkpointed catalog and a fresh checkpoint is taken, so the store
+// comes up with every acknowledged commit and a truncated log.
+func OpenWith(path string, opts Options) (*Store, error) {
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = defaultCheckpointBytes
+	}
 	p, err := openPager(path)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{pager: p, path: path, cat: catalog{Collections: map[string]map[string]docEntry{}}}
+	s := &Store{
+		pager: p, path: path, opts: opts,
+		cat:  catalog{Collections: map[string]map[string]docEntry{}},
+		pins: map[uint64]int{},
+	}
 	if p.catalog != 0 {
 		data, err := p.readRecord(p.catalog)
 		if err != nil {
@@ -57,101 +132,573 @@ func Open(path string) (*Store, error) {
 			return nil, fmt.Errorf("storage: decode catalog: %w", err)
 		}
 	}
+	if opts.DisableWAL {
+		return s, nil
+	}
+	w, records, err := openWAL(path+".wal", opts.NoFsync)
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	s.wal = w
+	if len(records) == 0 {
+		return s, nil
+	}
+	if err := s.recover(records); err != nil {
+		w.close()
+		p.close()
+		return nil, err
+	}
 	return s, nil
 }
 
-// Close flushes the catalog and closes the file.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.saveCatalogLocked(); err != nil {
-		s.pager.close()
-		return err
+// recover replays logged operations on top of the checkpointed catalog.
+// The on-disk free list is rebuilt from reachability first: the crashed
+// process may have consumed free pages (and parked others on its pending
+// list) after the checkpoint, so neither the header's free list nor its
+// page links can be trusted — but every page reachable from the
+// checkpointed catalog is intact, by the deferred-free discipline.
+func (s *Store) recover(records []walRecord) error {
+	if err := s.rebuildFreeList(); err != nil {
+		return fmt.Errorf("storage: recovery: %w", err)
 	}
-	return s.pager.close()
+	for i, rec := range records {
+		if err := s.applyWAL(rec); err != nil {
+			return fmt.Errorf("storage: recovery: replay record %d: %w", i+1, err)
+		}
+	}
+	s.recovered = len(records)
+	obs.StorageWALReplayed.Add(int64(len(records)))
+	// Checkpoint immediately: the replayed state becomes the new durable
+	// baseline and the log is truncated, so a crash during the next run
+	// replays only its own tail.
+	return s.Checkpoint()
 }
 
-// Sync persists the catalog and fsyncs the file.
-func (s *Store) Sync() error {
+// rebuildFreeList re-derives the free list as every page not reachable
+// from the catalog (documents, metadata, the catalog record itself). This
+// also reclaims pages leaked by a crash between a checkpoint's log
+// truncation and its free-list maintenance.
+func (s *Store) rebuildFreeList() error {
+	count := s.pager.pageCount.Load()
+	reachable := make([]bool, count)
+	mark := func(first int64) error {
+		pages, err := s.pager.chainPages(first)
+		if err != nil {
+			return err
+		}
+		for _, id := range pages {
+			if id < 1 || id >= count {
+				return fmt.Errorf("catalog references page %d outside store (pages: %d)", id, count)
+			}
+			reachable[id] = true
+		}
+		return nil
+	}
+	for _, docs := range s.cat.Collections {
+		for _, e := range docs {
+			if err := mark(e.Page); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range s.cat.Meta {
+		if err := mark(e.Page); err != nil {
+			return err
+		}
+	}
+	if s.pager.catalog != 0 {
+		if err := mark(s.pager.catalog); err != nil {
+			return err
+		}
+	}
+	s.pager.freeHead = 0
+	for id := count - 1; id >= 1; id-- {
+		if !reachable[id] {
+			if err := s.pager.freePage(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyWAL re-applies one logged operation. Replay is idempotent at this
+// level: re-putting yields the same document, re-deleting an absent
+// document is a no-op, so a log that survived a crash mid-truncation
+// still converges to the correct state.
+func (s *Store) applyWAL(rec walRecord) error {
+	switch rec.Op {
+	case walOpPut:
+		old, had := s.cat.Collections[rec.Collection][rec.Doc]
+		page, err := s.pager.writeRecord(rec.Data)
+		if err != nil {
+			return err
+		}
+		docs := s.cat.Collections[rec.Collection]
+		if docs == nil {
+			docs = map[string]docEntry{}
+			s.cat.Collections[rec.Collection] = docs
+		}
+		docs[rec.Doc] = docEntry{Page: page, Size: int64(len(rec.Data))}
+		s.mutSeq++
+		if had {
+			s.deferFreeChainLocked(old.Page)
+		}
+	case walOpDelete:
+		e, ok := s.cat.Collections[rec.Collection][rec.Doc]
+		if !ok {
+			return nil
+		}
+		delete(s.cat.Collections[rec.Collection], rec.Doc)
+		s.mutSeq++
+		s.deferFreeChainLocked(e.Page)
+	case walOpDrop:
+		docs, ok := s.cat.Collections[rec.Collection]
+		if !ok {
+			return nil
+		}
+		for _, e := range docs {
+			s.deferFreeChainLocked(e.Page)
+		}
+		delete(s.cat.Collections, rec.Collection)
+		s.mutSeq++
+	case walOpCreate:
+		if s.cat.Collections[rec.Collection] == nil {
+			s.cat.Collections[rec.Collection] = map[string]docEntry{}
+		}
+	case walOpMeta:
+		if old, ok := s.cat.Meta[rec.Doc]; ok {
+			delete(s.cat.Meta, rec.Doc)
+			s.mutSeq++
+			s.deferFreeChainLocked(old.Page)
+		}
+		if len(rec.Data) == 0 {
+			return nil
+		}
+		page, err := s.pager.writeRecord(rec.Data)
+		if err != nil {
+			return err
+		}
+		if s.cat.Meta == nil {
+			s.cat.Meta = map[string]docEntry{}
+		}
+		s.cat.Meta[rec.Doc] = docEntry{Page: page, Size: int64(len(rec.Data))}
+		s.mutSeq++
+	default:
+		return fmt.Errorf("unknown wal op %d", rec.Op)
+	}
+	return nil
+}
+
+// RecoveredMutations reports how many WAL records were replayed when the
+// store was opened. Non-zero means the previous process did not shut down
+// cleanly; derived state persisted alongside the catalog (such as the
+// engine's index snapshot) may predate the replayed operations and must
+// be rebuilt.
+func (s *Store) RecoveredMutations() int { return s.recovered }
+
+// deferFreeChainLocked parks a record chain on the pending-free list,
+// tagged with the current mutation sequence. Callers hold s.mu. A chain
+// whose headers cannot be walked is leaked rather than corrupting the
+// free list; recovery's reachability rebuild reclaims it eventually.
+func (s *Store) deferFreeChainLocked(first int64) {
+	pages, err := s.pager.chainPages(first)
+	if err != nil {
+		return
+	}
+	s.pending = append(s.pending, pendingFree{seq: s.mutSeq, pages: pages})
+}
+
+// acquirePinLocked registers a read pin at the current mutation sequence.
+// Callers hold s.mu (read or write), which orders the pin against the
+// drain in checkpointLocked.
+func (s *Store) acquirePinLocked() *ReadPin {
+	s.pinMu.Lock()
+	seq := s.mutSeq
+	s.pins[seq]++
+	s.pinMu.Unlock()
+	return &ReadPin{store: s, seq: seq}
+}
+
+// ReadPin keeps every record chain that was cataloged at pin time readable
+// — replaced and deleted versions included — until Close. Queries hold one
+// for the duration of a snapshot read.
+type ReadPin struct {
+	store *Store
+	seq   uint64
+	once  sync.Once
+}
+
+// Close releases the pin. Safe to call more than once.
+func (p *ReadPin) Close() {
+	p.once.Do(func() {
+		s := p.store
+		s.pinMu.Lock()
+		if n := s.pins[p.seq]; n <= 1 {
+			delete(s.pins, p.seq)
+		} else {
+			s.pins[p.seq] = n - 1
+		}
+		s.pinMu.Unlock()
+	})
+}
+
+// minActivePin returns the oldest pinned mutation sequence, or ok=false
+// when no pin is active.
+func (s *Store) minActivePin() (uint64, bool) {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	var min uint64
+	found := false
+	for seq := range s.pins {
+		if !found || seq < min {
+			min = seq
+			found = true
+		}
+	}
+	return min, found
+}
+
+// drainPendingLocked returns eligible pending-free chains to the free
+// list: a chain freed at sequence F is eligible once every active pin was
+// taken at or after F (force drains everything — shutdown only, when no
+// new allocation can follow). Callers hold s.mu.
+func (s *Store) drainPendingLocked(force bool) error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	minPin, pinned := s.minActivePin()
+	kept := s.pending[:0]
+	for _, pf := range s.pending {
+		if !force && pinned && pf.seq > minPin {
+			kept = append(kept, pf)
+			continue
+		}
+		for _, id := range pf.pages {
+			if err := s.pager.freePage(id); err != nil {
+				s.pending = append(kept, s.pending...) // keep state sane
+				return err
+			}
+		}
+	}
+	s.pending = kept
+	return nil
+}
+
+// Close checkpoints (persisting the catalog and truncating the log) and
+// closes the files.
+func (s *Store) Close() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.saveCatalogLocked(); err != nil {
+	if err := s.checkpointLocked(); err != nil {
+		firstErr = err
+	}
+	// Recycle every still-pending chain: no allocation can follow, so
+	// even chains covered by a (leaked) pin are safe to free now.
+	if err := s.drainPendingLocked(true); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.mu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.pager.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Sync checkpoints: every committed mutation and the catalog itself are
+// durable on return, and the write-ahead log is truncated.
+func (s *Store) Sync() error {
+	if err := s.Checkpoint(); err != nil {
 		return err
 	}
+	// Match the historical contract: Sync leaves the header synced too.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.pager.sync()
 }
 
-func (s *Store) saveCatalogLocked() error {
+// Checkpoint persists the catalog (write-new-then-free-old), truncates
+// the WAL and recycles pages freed by operations no active snapshot can
+// still see. Serialized with other checkpoints; brief on the store lock.
+func (s *Store) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	// Flush the bulk of the page writes before taking the store lock so
+	// writers and readers are blocked only for the catalog write and the
+	// small delta fsync below.
+	if !s.opts.DisableWAL && !s.opts.NoFsync {
+		if err := s.pager.fsync(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked is the core checkpoint sequence. Callers hold s.mu and
+// s.ckptMu. Order matters for crash safety:
+//
+//  1. write the new catalog record into fresh pages (old one untouched);
+//  2. fsync — catalog record and any residual page writes are durable;
+//  3. point the header at the new catalog and fsync again — the switch;
+//  4. truncate the WAL — everything it held is covered by the catalog;
+//  5. only now free the old catalog record and drain the pending list.
+//
+// A crash before 3 recovers from the old catalog + full log; after 3,
+// from the new catalog (+ log until 4 completes, replay being
+// idempotent); pages freed in 5 were unreachable from the new catalog
+// already, so a crash there at worst leaks until the next recovery GC.
+func (s *Store) checkpointLocked() error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&s.cat); err != nil {
 		return fmt.Errorf("storage: encode catalog: %w", err)
 	}
-	if s.pager.catalog != 0 {
-		if err := s.pager.freeRecord(s.pager.catalog); err != nil {
-			return err
-		}
-		s.pager.catalog = 0
-	}
+	oldCatalog := s.pager.catalog
 	id, err := s.pager.writeRecord(buf.Bytes())
 	if err != nil {
 		return err
 	}
+	var coveredSeq uint64
+	if s.wal != nil {
+		coveredSeq = s.wal.lastSeq()
+		if !s.opts.NoFsync {
+			if err := s.pager.fsync(); err != nil {
+				return err
+			}
+		}
+	}
 	s.pager.catalog = id
-	return s.pager.writeHeader()
+	if err := s.pager.writeHeader(); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if !s.opts.NoFsync {
+			if err := s.pager.fsync(); err != nil {
+				return err
+			}
+		}
+		if err := s.wal.reset(coveredSeq); err != nil {
+			return err
+		}
+	}
+	if oldCatalog != 0 {
+		// The catalog record is read only at Open; no pin can reference
+		// it, so it recycles immediately (seq 0 = always drainable).
+		if pages, err := s.pager.chainPages(oldCatalog); err == nil {
+			s.pending = append(s.pending, pendingFree{seq: 0, pages: pages})
+		}
+	}
+	obs.StorageCheckpoints.Inc()
+	return s.drainPendingLocked(false)
+}
+
+// maybeCheckpoint starts a background checkpoint when the WAL has grown
+// past the configured threshold. At most one is queued at a time.
+func (s *Store) maybeCheckpoint() {
+	if s.wal == nil || s.opts.CheckpointBytes <= 0 {
+		return
+	}
+	if s.wal.sizeNow() < s.opts.CheckpointBytes {
+		return
+	}
+	if !s.ckptQueued.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.ckptQueued.Store(false)
+		// An error here is not lost: the WAL keeps everything, and the
+		// next explicit Sync/Close surfaces the failure.
+		s.Checkpoint()
+	}()
 }
 
 // CreateCollection declares an empty collection; it is a no-op when the
-// collection exists.
-func (s *Store) CreateCollection(name string) {
+// collection exists. The declaration is logged (and durable at return,
+// like every mutation) so an empty collection survives a crash.
+func (s *Store) CreateCollection(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cat.Collections[name] == nil {
-		s.cat.Collections[name] = map[string]docEntry{}
+	if s.cat.Collections[name] != nil {
+		s.mu.Unlock()
+		return nil
 	}
+	tok, err := s.logLocked(walRecord{Op: walOpCreate, Collection: name})
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.cat.Collections[name] = map[string]docEntry{}
+	s.mu.Unlock()
+	s.maybeCheckpoint()
+	return s.WaitDurable(tok)
+}
+
+// logLocked appends a WAL record (no fsync) under s.mu, returning the
+// commit token WaitDurable redeems. A zero token means the WAL is off.
+func (s *Store) logLocked(rec walRecord) (CommitToken, error) {
+	if s.wal == nil {
+		return CommitToken{}, nil
+	}
+	seq, err := s.wal.append(rec)
+	if err != nil {
+		return CommitToken{}, err
+	}
+	return CommitToken{seq: seq}, nil
+}
+
+// CommitToken identifies a committed (applied and logged) mutation whose
+// durability can be awaited with WaitDurable.
+type CommitToken struct {
+	seq uint64
+}
+
+// WaitDurable blocks until the mutation behind tok is fsynced, batching
+// into the group commit. A zero token (WAL off, or NoFsync) returns
+// immediately.
+func (s *Store) WaitDurable(tok CommitToken) error {
+	if s.wal == nil || tok.seq == 0 {
+		return nil
+	}
+	return s.wal.commit(tok.seq)
 }
 
 // DropCollection deletes a collection and all its documents.
 func (s *Store) DropCollection(name string) error {
+	tok, err := s.DropCollectionNoSync(name)
+	if err != nil {
+		return err
+	}
+	return s.WaitDurable(tok)
+}
+
+// DropCollectionNoSync commits the drop without waiting for durability;
+// the returned token lets the caller group the fsync.
+func (s *Store) DropCollectionNoSync(name string) (CommitToken, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	docs, ok := s.cat.Collections[name]
 	if !ok {
-		return fmt.Errorf("storage: collection %q does not exist", name)
+		s.mu.Unlock()
+		return CommitToken{}, fmt.Errorf("storage: collection %q does not exist", name)
 	}
-	for _, e := range docs {
-		if err := s.pager.freeRecord(e.Page); err != nil {
-			return err
-		}
+	tok, err := s.logLocked(walRecord{Op: walOpDrop, Collection: name})
+	if err != nil {
+		s.mu.Unlock()
+		return CommitToken{}, err
 	}
 	delete(s.cat.Collections, name)
-	return nil
+	s.mutSeq++
+	for _, e := range docs {
+		s.deferFreeChainLocked(e.Page)
+	}
+	s.mu.Unlock()
+	s.maybeCheckpoint()
+	return tok, nil
+}
+
+// StagedDoc is a document whose record pages are written but not yet
+// visible: CommitStaged publishes it, AbortStaged recycles the pages.
+// Staging happens outside the store's critical section, so concurrent
+// writers overlap their page I/O and commit is an in-memory operation
+// plus one log append.
+type StagedDoc struct {
+	collection string
+	name       string
+	data       []byte
+	pages      []int64
+}
+
+// StageDocument encodes doc and writes its record into freshly allocated
+// pages without publishing it.
+func (s *Store) StageDocument(collection string, doc *xmltree.Document) (*StagedDoc, error) {
+	data, err := EncodeDocument(doc)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	pages, err := s.pager.allocRecordPages(len(data))
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &StagedDoc{collection: collection, name: doc.Name, data: data, pages: pages}
+	if err := s.pager.writeRecordPages(pages, data); err != nil {
+		s.AbortStaged(st)
+		return nil, err
+	}
+	return st, nil
+}
+
+// CommitStaged publishes a staged document: the write-ahead record is
+// appended first, then the catalog entry flips to the new chain and any
+// replaced chain is parked for deferred recycling — so an error at any
+// point leaves the previous version fully intact and readable.
+func (s *Store) CommitStaged(st *StagedDoc) (CommitToken, error) {
+	s.mu.Lock()
+	tok, err := s.logLocked(walRecord{
+		Op: walOpPut, Collection: st.collection, Doc: st.name, Data: st.data,
+	})
+	if err != nil {
+		s.mu.Unlock()
+		return CommitToken{}, err
+	}
+	docs := s.cat.Collections[st.collection]
+	if docs == nil {
+		docs = map[string]docEntry{}
+		s.cat.Collections[st.collection] = docs
+	}
+	old, had := docs[st.name]
+	docs[st.name] = docEntry{Page: st.pages[0], Size: int64(len(st.data))}
+	s.mutSeq++
+	if had {
+		s.deferFreeChainLocked(old.Page)
+	}
+	s.mu.Unlock()
+	s.maybeCheckpoint()
+	return tok, nil
+}
+
+// AbortStaged returns a staged document's pages to the allocator. The
+// pages were never visible to any reader, so they are immediately
+// drainable (seq 0).
+func (s *Store) AbortStaged(st *StagedDoc) {
+	if st == nil || len(st.pages) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, pendingFree{seq: 0, pages: st.pages})
+	st.pages = nil
+	s.mu.Unlock()
 }
 
 // PutDocument stores (or replaces) a document in a collection, creating
-// the collection if needed.
+// the collection if needed. The document is durable when PutDocument
+// returns (unless the store runs with NoFsync or DisableWAL).
 func (s *Store) PutDocument(collection string, doc *xmltree.Document) error {
-	data, err := EncodeDocument(doc)
+	st, err := s.StageDocument(collection, doc)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	docs := s.cat.Collections[collection]
-	if docs == nil {
-		docs = map[string]docEntry{}
-		s.cat.Collections[collection] = docs
-	}
-	if old, ok := docs[doc.Name]; ok {
-		if err := s.pager.freeRecord(old.Page); err != nil {
-			return err
-		}
-	}
-	page, err := s.pager.writeRecord(data)
+	tok, err := s.CommitStaged(st)
 	if err != nil {
+		s.AbortStaged(st)
 		return err
 	}
-	docs[doc.Name] = docEntry{Page: page, Size: int64(len(data))}
-	return nil
+	return s.WaitDurable(tok)
 }
 
 // GetDocument loads and decodes a document. Decoding happens on every call
@@ -165,16 +712,19 @@ func (s *Store) GetDocument(collection, name string) (*xmltree.Document, error) 
 }
 
 // GetDocumentRaw returns the encoded bytes of a document (used by the wire
-// protocol to ship documents without a decode/encode round trip). The read
-// lock is held across lookup and page reads so a concurrent delete cannot
-// recycle the record's pages mid-read.
+// protocol to ship documents without a decode/encode round trip). The
+// record is read under a pin, not the store lock, so a large read never
+// blocks writers and a concurrent delete cannot recycle the pages mid-read.
 func (s *Store) GetDocumentRaw(collection, name string) ([]byte, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	e, err := s.lookupLocked(collection, name)
 	if err != nil {
+		s.mu.RUnlock()
 		return nil, err
 	}
+	pin := s.acquirePinLocked()
+	s.mu.RUnlock()
+	defer pin.Close()
 	return s.pager.readRecordSized(e.Page, int(e.Size))
 }
 
@@ -190,19 +740,83 @@ func (s *Store) lookupLocked(collection, name string) (docEntry, error) {
 	return e, nil
 }
 
-// DeleteDocument removes a document.
+// DocRef locates one document inside a snapshot.
+type DocRef struct {
+	Name string
+	Page int64
+	Size int64
+}
+
+// CollectionSnapshot is an immutable view of one collection: the document
+// set (sorted by name) exactly as it was at snapshot time, readable via
+// ReadRef regardless of concurrent replaces, deletes or drops. Close it
+// when done so the pages it pins can be recycled.
+type CollectionSnapshot struct {
+	Refs []DocRef
+	pin  *ReadPin
+}
+
+// Close releases the snapshot's pin.
+func (cs *CollectionSnapshot) Close() {
+	if cs != nil && cs.pin != nil {
+		cs.pin.Close()
+	}
+}
+
+// SnapshotCollection captures a consistent, pinned view of a collection.
+func (s *Store) SnapshotCollection(name string) (*CollectionSnapshot, error) {
+	s.mu.RLock()
+	docs, ok := s.cat.Collections[name]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("storage: collection %q does not exist", name)
+	}
+	refs := make([]DocRef, 0, len(docs))
+	for dn, e := range docs {
+		refs = append(refs, DocRef{Name: dn, Page: e.Page, Size: e.Size})
+	}
+	pin := s.acquirePinLocked()
+	s.mu.RUnlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Name < refs[j].Name })
+	return &CollectionSnapshot{Refs: refs, pin: pin}, nil
+}
+
+// ReadRef reads a snapshot document's encoded bytes. Valid only while the
+// snapshot it came from is open (the pin keeps the chain stable); no
+// store lock is taken.
+func (s *Store) ReadRef(ref DocRef) ([]byte, error) {
+	return s.pager.readRecordSized(ref.Page, int(ref.Size))
+}
+
+// DeleteDocument removes a document, durably.
 func (s *Store) DeleteDocument(collection, name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, err := s.lookupLocked(collection, name)
+	tok, err := s.DeleteDocumentNoSync(collection, name)
 	if err != nil {
 		return err
 	}
-	if err := s.pager.freeRecord(e.Page); err != nil {
-		return err
+	return s.WaitDurable(tok)
+}
+
+// DeleteDocumentNoSync commits the delete without waiting for durability;
+// the returned token lets the caller group the fsync.
+func (s *Store) DeleteDocumentNoSync(collection, name string) (CommitToken, error) {
+	s.mu.Lock()
+	e, err := s.lookupLocked(collection, name)
+	if err != nil {
+		s.mu.Unlock()
+		return CommitToken{}, err
+	}
+	tok, err := s.logLocked(walRecord{Op: walOpDelete, Collection: collection, Doc: name})
+	if err != nil {
+		s.mu.Unlock()
+		return CommitToken{}, err
 	}
 	delete(s.cat.Collections[collection], name)
-	return nil
+	s.mutSeq++
+	s.deferFreeChainLocked(e.Page)
+	s.mu.Unlock()
+	s.maybeCheckpoint()
+	return tok, nil
 }
 
 // Collections returns the collection names, sorted.
@@ -264,39 +878,60 @@ func (s *Store) CollectionStats(collection string) (Stats, error) {
 
 // PutMeta stores (or replaces) a named metadata record — opaque bytes the
 // engine uses for persisted index snapshots. Metadata lives in the same
-// paged file as documents.
+// paged file as documents and is logged like any other mutation; storing
+// empty deletes the record.
 func (s *Store) PutMeta(key string, data []byte) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cat.Meta == nil {
-		s.cat.Meta = map[string]docEntry{}
+	_, had := s.cat.Meta[key]
+	if !had && len(data) == 0 {
+		s.mu.Unlock()
+		return nil // deleting an absent record: nothing to log or do
 	}
-	if old, ok := s.cat.Meta[key]; ok {
-		if err := s.pager.freeRecord(old.Page); err != nil {
-			return err
-		}
-		delete(s.cat.Meta, key)
-	}
-	if len(data) == 0 {
-		return nil // storing empty deletes the record
-	}
-	page, err := s.pager.writeRecord(data)
+	tok, err := s.logLocked(walRecord{Op: walOpMeta, Doc: key, Data: data})
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
-	s.cat.Meta[key] = docEntry{Page: page, Size: int64(len(data))}
-	return nil
+	var page int64
+	if len(data) > 0 {
+		// Write the new record before dropping the old entry so a write
+		// failure leaves the previous metadata intact.
+		page, err = s.pager.writeRecord(data)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	if had {
+		old := s.cat.Meta[key]
+		delete(s.cat.Meta, key)
+		s.mutSeq++
+		s.deferFreeChainLocked(old.Page)
+	}
+	if len(data) > 0 {
+		if s.cat.Meta == nil {
+			s.cat.Meta = map[string]docEntry{}
+		}
+		s.cat.Meta[key] = docEntry{Page: page, Size: int64(len(data))}
+		s.mutSeq++
+	}
+	s.mu.Unlock()
+	s.maybeCheckpoint()
+	return s.WaitDurable(tok)
 }
 
 // GetMeta loads a metadata record; ok is false when the key is absent.
 func (s *Store) GetMeta(key string) (data []byte, ok bool, err error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	e, present := s.cat.Meta[key]
 	if !present {
+		s.mu.RUnlock()
 		return nil, false, nil
 	}
-	data, err = s.pager.readRecord(e.Page)
+	pin := s.acquirePinLocked()
+	s.mu.RUnlock()
+	defer pin.Close()
+	data, err = s.pager.readRecordSized(e.Page, int(e.Size))
 	if err != nil {
 		return nil, false, err
 	}
@@ -304,25 +939,42 @@ func (s *Store) GetMeta(key string) (data []byte, ok bool, err error) {
 }
 
 // LoadCollection stores every document of c under the collection name.
+// Documents are committed individually but fsynced once at the end (one
+// group commit for the whole load).
 func (s *Store) LoadCollection(c *xmltree.Collection) error {
-	s.CreateCollection(c.Name)
+	if err := s.CreateCollection(c.Name); err != nil {
+		return err
+	}
+	var last CommitToken
 	for _, d := range c.Docs {
-		if err := s.PutDocument(c.Name, d); err != nil {
+		st, err := s.StageDocument(c.Name, d)
+		if err != nil {
 			return err
 		}
+		tok, err := s.CommitStaged(st)
+		if err != nil {
+			s.AbortStaged(st)
+			return err
+		}
+		last = tok
 	}
-	return nil
+	return s.WaitDurable(last)
 }
 
 // ReadCollection decodes every document of a collection, sorted by name.
 func (s *Store) ReadCollection(name string) (*xmltree.Collection, error) {
-	docs, err := s.Documents(name)
+	snap, err := s.SnapshotCollection(name)
 	if err != nil {
 		return nil, err
 	}
+	defer snap.Close()
 	c := xmltree.NewCollection(name)
-	for _, dn := range docs {
-		d, err := s.GetDocument(name, dn)
+	for _, ref := range snap.Refs {
+		data, err := s.ReadRef(ref)
+		if err != nil {
+			return nil, err
+		}
+		d, err := DecodeDocument(ref.Name, data)
 		if err != nil {
 			return nil, err
 		}

@@ -415,7 +415,9 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 	case OpPing:
 		resp.Bool = true
 	case OpCreateCollection:
-		s.db.Store().CreateCollection(req.Collection)
+		if err := s.db.Store().CreateCollection(req.Collection); err != nil {
+			return fail(err)
+		}
 	case OpStoreDocument:
 		doc, err := storage.DecodeDocument(req.DocName, req.DocData)
 		if err != nil {

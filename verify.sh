@@ -12,7 +12,15 @@ test -z "$unformatted"
 go vet ./...
 go build ./...
 go test -timeout 5m ./...
-go test -race -timeout 5m ./internal/obs/... ./internal/engine/... ./internal/xquery/... ./internal/cluster/... ./internal/partix/... ./internal/wire/...
+go test -race -timeout 5m ./internal/obs/... ./internal/storage/... ./internal/engine/... ./internal/xquery/... ./internal/cluster/... ./internal/partix/... ./internal/wire/...
+# crash-recovery gate: the WAL kill-point fuzz (recovery at every
+# truncation offset) and the engine's commit-order/snapshot-isolation
+# tests must hold under the race detector
+go test -race -timeout 5m -run 'TestWALKillPointFuzz|TestCrashRecoveryWithoutSync' ./internal/storage/
+go test -race -timeout 5m -run 'TestConcurrentSameDocPutCommitOrder|TestQuerySnapshotIsolation|TestMixedReadWriteConcurrency' ./internal/engine/
+# mixed read/write panel under the race detector: snapshot reads
+# against a concurrent writer pool
+go test -race -timeout 5m -run TestRunMixedRWShape ./internal/experiments/
 # streaming smoke benchmark: one iteration proves the framed and
 # monolithic wire paths agree and the alloc assertions hold
 go test -timeout 5m -run '^$' -bench BenchmarkStreamVsMonolithic -benchtime 1x ./internal/wire/
@@ -36,6 +44,13 @@ grep -q '"existsIndexOnly": true' "$benchdir/vidx.json"
 grep -q '"planner"' "$benchdir/planner.json"
 grep -q '"skippedFragments": 3' "$benchdir/planner.json"
 grep -q '"cachedPlanFaster": true' "$benchdir/planner.json"
+
+# mixed read/write smoke bench: all five sides must report read
+# percentiles and the JSON report must carry the mixedrw section
+"$benchdir/partix-bench" -exp mixedrw -repeats 1 -json "$benchdir/mixedrw.json" >/dev/null
+grep -q '"mixedrw"' "$benchdir/mixedrw.json"
+grep -q '"lockCoupled": true' "$benchdir/mixedrw.json"
+grep -q '"durableWAL": true' "$benchdir/mixedrw.json"
 rm -rf "$benchdir"
 
 # observability smoke test: a node started with -debug-addr must serve
