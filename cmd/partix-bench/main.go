@@ -13,9 +13,10 @@
 //	partix-bench -exp valueindex -json BENCH_PR5.json
 //	partix-bench -exp planner -json BENCH_PR6.json
 //	partix-bench -exp mixedrw -json BENCH_PR7.json
+//	partix-bench -exp exec -json BENCH_PR8.json
 //
 // Experiments: fig7a, fig7b, fig7c, fig7d, headline, smalldb, stream,
-// obs, valueindex, planner, mixedrw, all. The stream experiment
+// obs, valueindex, planner, mixedrw, exec, all. The stream experiment
 // contrasts the framed wire protocol against the monolithic one over
 // real TCP node servers; obs measures the observability layer's overhead
 // (metrics off vs on vs traced); valueindex sweeps a range predicate's
@@ -24,9 +25,14 @@
 // statistics-driven coordinator (fragment skipping, plan cache) against
 // the union-all baseline; mixedrw measures read-latency percentiles
 // under a concurrent writer with snapshot-isolated reads vs the old
-// lock-coupled write path. With -json the measured panels are also
-// written machine-readable (durations in nanoseconds) so the perf
-// trajectory is tracked across changes.
+// lock-coupled write path; exec contrasts the compiled vectorized
+// executor against the tree-walking interpreter (per-query CPU and
+// allocations, plus a 10x streaming peak-heap panel). With -json the
+// measured panels are also written machine-readable (durations in
+// nanoseconds) so the perf trajectory is tracked across changes.
+//
+// -cpuprofile and -memprofile write pprof profiles of the whole run for
+// digging into where executor time and allocations go.
 package main
 
 import (
@@ -34,13 +40,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"partix/internal/experiments"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | planner | mixedrw | all")
+		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | planner | mixedrw | exec | all")
 		scaleF     = flag.Int("scale", 1, "multiply the default database sizes")
 		repeats    = flag.Int("repeats", 3, "timed executions per query (after one discarded warm-up)")
 		dir        = flag.String("dir", "", "working directory for node stores (default: temp)")
@@ -50,8 +58,37 @@ func main() {
 		cacheBytes = flag.Int64("tree-cache-bytes", 0, "decoded-tree cache budget per node in bytes (0 = off, paper-faithful)")
 		format     = flag.String("format", "table", "table | csv")
 		jsonPath   = flag.String("json", "", "also write the measurements to this file as JSON (e.g. BENCH_PR3.json)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "partix-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "partix-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "partix-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated allocation samples
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "partix-bench:", err)
+			}
+		}()
+	}
 
 	scale := experiments.DefaultScale.Multiply(*scaleF)
 	opts := experiments.Options{Dir: *dir, Repeats: *repeats, DisableIndexes: *noIdx,
@@ -92,6 +129,7 @@ type collector struct {
 	valueIndex *experiments.ValueIndexCompare
 	planner    *experiments.PlannerCompare
 	mixedRW    *experiments.MixedRWCompare
+	exec       *experiments.ExecCompare
 }
 
 func writeJSON(path string, repeats int, col *collector) error {
@@ -104,6 +142,7 @@ func writeJSON(path string, repeats int, col *collector) error {
 	report.ValueIndex = col.valueIndex
 	report.Planner = col.planner
 	report.MixedRW = col.mixedRW
+	report.Exec = col.exec
 	if err := report.WriteJSON(f); err != nil {
 		f.Close()
 		return err
@@ -114,7 +153,12 @@ func writeJSON(path string, repeats int, col *collector) error {
 func run(exp string, scale experiments.Scale, opts experiments.Options, col *collector) error {
 	out := os.Stdout
 	runPanel := func(f func(experiments.Scale, experiments.Options) (*experiments.Panel, error), nt bool) error {
-		p, err := f(scale, opts)
+		var p *experiments.Panel
+		res, err := experiments.MeasureResources(func() error {
+			var err error
+			p, err = f(scale, opts)
+			return err
+		})
 		if err != nil {
 			return err
 		}
@@ -124,6 +168,7 @@ func run(exp string, scale experiments.Scale, opts experiments.Options, col *col
 			printPanelNT(out, p)
 		}
 		experiments.PrintEngineStats(out, p)
+		experiments.PrintResources(out, res)
 		return nil
 	}
 
@@ -187,8 +232,16 @@ func run(exp string, scale experiments.Scale, opts experiments.Options, col *col
 		col.mixedRW = c
 		experiments.PrintMixedRW(out, c)
 		return nil
+	case "exec":
+		c, err := experiments.RunExec(scale, opts)
+		if err != nil {
+			return err
+		}
+		col.exec = c
+		experiments.PrintExec(out, c)
+		return nil
 	case "all":
-		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "planner", "mixedrw", "headline"} {
+		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "planner", "mixedrw", "exec", "headline"} {
 			if err := run(name, scale, opts, col); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -34,6 +34,7 @@ func main() {
 		addr       = flag.String("addr", ":7001", "listen address")
 		dbPath     = flag.String("db", "partixd.db", "path of the node's store file")
 		noIndexes  = flag.Bool("disable-indexes", false, "disable index-assisted candidate pruning")
+		noCompiled = flag.Bool("no-compiled-exec", false, "disable the compiled vectorized executor (interpret every query)")
 		workers    = flag.Int("decode-workers", 0, "decode worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		cacheBytes = flag.Int64("tree-cache-bytes", 0, "decoded-tree cache budget in bytes (0 = off)")
 		noWAL      = flag.Bool("no-wal", false, "disable the write-ahead log (commits are durable only at checkpoints)")
@@ -55,12 +56,13 @@ func main() {
 	}
 
 	db, err := engine.Open(*dbPath, engine.Options{
-		DisableIndexes:  *noIndexes,
-		DecodeWorkers:   *workers,
-		TreeCacheBytes:  *cacheBytes,
-		DisableWAL:      *noWAL,
-		WALNoFsync:      *noFsync,
-		CheckpointBytes: *ckptBytes,
+		DisableIndexes:      *noIndexes,
+		DisableCompiledExec: *noCompiled,
+		DecodeWorkers:       *workers,
+		TreeCacheBytes:      *cacheBytes,
+		DisableWAL:          *noWAL,
+		WALNoFsync:          *noFsync,
+		CheckpointBytes:     *ckptBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -211,24 +211,29 @@ func runSubStream(i int, sq SubQuery, st *streamState) (SubResult, error) {
 // matching the wire server's default frame size.
 const localStreamBatch = 256
 
-// StreamQuery implements Streamer for in-process nodes: the engine's
-// materialized result is delivered in bounded batches so local and
-// remote nodes exercise the same incremental composition path. yield's
+// StreamQuery implements Streamer for in-process nodes. Results flow
+// straight from the engine's compiled operator pipeline in bounded
+// chunks — the node never materializes the full result, so peak memory
+// stays flat however large the sub-query's answer is. Queries outside
+// the compiled subset materialize through the interpreter and are then
+// re-chunked, preserving the same incremental composition path. yield's
 // error aborts the delivery and is returned.
 func (n *LocalNode) StreamQuery(query string, yield func(xquery.Seq) error) error {
-	items, err := n.db.Query(query)
+	e, err := xquery.Parse(query)
 	if err != nil {
 		return err
 	}
-	for len(items) > 0 {
-		b := localStreamBatch
-		if b > len(items) {
-			b = len(items)
+	_, err = n.db.StreamQueryExpr(e, func(items xquery.Seq) error {
+		for len(items) > localStreamBatch {
+			if err := yield(items[:localStreamBatch:localStreamBatch]); err != nil {
+				return err
+			}
+			items = items[localStreamBatch:]
 		}
-		if err := yield(items[:b:b]); err != nil {
-			return err
+		if len(items) > 0 {
+			return yield(items[:len(items):len(items)])
 		}
-		items = items[b:]
-	}
-	return nil
+		return nil
+	})
+	return err
 }

@@ -27,6 +27,7 @@ import (
 	"partix/internal/storage"
 	"partix/internal/xmltree"
 	"partix/internal/xquery"
+	"partix/internal/xquery/exec"
 )
 
 // Options configure a DB.
@@ -50,6 +51,13 @@ type Options struct {
 	// to the evaluator in stable document order at any setting, so query
 	// output is identical across worker counts.
 	DecodeWorkers int
+
+	// DisableCompiledExec turns off the compiled vectorized executor;
+	// every query then runs through the tree-walking interpreter. The
+	// compiled pipeline is observationally identical (the interpreter is
+	// its semantic oracle), so this switch exists for the executor
+	// ablation benchmarks and as an escape hatch.
+	DisableCompiledExec bool
 
 	// TreeCacheBytes is the byte budget of the decoded-tree LRU cache;
 	// 0 (the default) disables caching, keeping the per-document parse
@@ -136,6 +144,7 @@ func (db *DB) indexFor(collection string) *docIndex {
 // Stats()/ResetStats() snapshots.
 type liveStats struct {
 	queries       atomic.Int64
+	compiled      atomic.Int64
 	docsDecoded   atomic.Int64
 	docsPruned    atomic.Int64
 	rangePruned   atomic.Int64
@@ -148,6 +157,7 @@ type liveStats struct {
 // Stats counts the engine's work, for tests and ablation benchmarks.
 type Stats struct {
 	Queries       int64 // queries executed
+	Compiled      int64 // of Queries, executed by the compiled vectorized pipeline
 	DocsDecoded   int64 // documents decoded (parsed) during queries
 	DocsPruned    int64 // documents skipped thanks to index hints
 	RangePruned   int64 // of DocsPruned, documents eliminated by value-index comparisons
@@ -160,6 +170,7 @@ type Stats struct {
 // Add accumulates o into s (for aggregating counters across nodes).
 func (s *Stats) Add(o Stats) {
 	s.Queries += o.Queries
+	s.Compiled += o.Compiled
 	s.DocsDecoded += o.DocsDecoded
 	s.DocsPruned += o.DocsPruned
 	s.RangePruned += o.RangePruned
@@ -440,14 +451,65 @@ func (db *DB) Query(query string) (xquery.Seq, error) {
 	return db.QueryExpr(e)
 }
 
-// QueryExpr executes a parsed query.
+// QueryExpr executes a parsed query: through the compiled vectorized
+// pipeline when the query is inside the compiled subset (and
+// Options.DisableCompiledExec is off), through the tree-walking
+// interpreter otherwise. Both paths produce identical results.
 func (db *DB) QueryExpr(e xquery.Expr) (xquery.Seq, error) {
 	db.stats.queries.Add(1)
 	obs.EngineQueries.Inc()
 	start := time.Now()
-	seq, err := xquery.Eval(e, db)
+	var seq xquery.Seq
+	var err error
+	if prog := db.compileQuery(e); prog != nil {
+		seq, err = prog.Run(db)
+	} else {
+		seq, err = xquery.Eval(e, db)
+	}
 	obs.EngineQuerySeconds.Observe(time.Since(start).Seconds())
 	return seq, err
+}
+
+// StreamQueryExpr executes a parsed query delivering result items to
+// yield in bounded chunks, so peak memory stays flat however large the
+// result is. Each yielded Seq is owned by the consumer. Queries outside
+// the compiled subset (or with the executor disabled) fall back to the
+// interpreter, which materializes and then yields once — correctness is
+// unchanged, only the memory bound is lost. Returns the total item count.
+func (db *DB) StreamQueryExpr(e xquery.Expr, yield func(xquery.Seq) error) (int, error) {
+	db.stats.queries.Add(1)
+	obs.EngineQueries.Inc()
+	start := time.Now()
+	defer func() { obs.EngineQuerySeconds.Observe(time.Since(start).Seconds()) }()
+	if prog := db.compileQuery(e); prog != nil {
+		return prog.Stream(db, yield)
+	}
+	seq, err := xquery.Eval(e, db)
+	if err != nil {
+		return 0, err
+	}
+	if len(seq) > 0 {
+		if err := yield(seq); err != nil {
+			return 0, err
+		}
+	}
+	return len(seq), nil
+}
+
+// compileQuery compiles e for the vectorized executor, or returns nil
+// for the interpreter path (executor disabled, or shape outside the
+// compiled subset).
+func (db *DB) compileQuery(e xquery.Expr) *exec.Program {
+	if db.opts.DisableCompiledExec {
+		return nil
+	}
+	prog, ok := exec.Compile(e)
+	if !ok {
+		return nil
+	}
+	db.stats.compiled.Add(1)
+	obs.EngineCompiledQueries.Inc()
+	return prog
 }
 
 // Stats returns a snapshot of the engine counters. Each field is read
@@ -456,6 +518,7 @@ func (db *DB) QueryExpr(e xquery.Expr) (xquery.Seq, error) {
 func (db *DB) Stats() Stats {
 	return Stats{
 		Queries:       db.stats.queries.Load(),
+		Compiled:      db.stats.compiled.Load(),
 		DocsDecoded:   db.stats.docsDecoded.Load(),
 		DocsPruned:    db.stats.docsPruned.Load(),
 		RangePruned:   db.stats.rangePruned.Load(),
@@ -469,6 +532,7 @@ func (db *DB) Stats() Stats {
 // ResetStats zeroes the counters.
 func (db *DB) ResetStats() {
 	db.stats.queries.Store(0)
+	db.stats.compiled.Store(0)
 	db.stats.docsDecoded.Store(0)
 	db.stats.docsPruned.Store(0)
 	db.stats.rangePruned.Store(0)

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// execQueries spans the compiled subset and the interpreter-only shapes
+// through the full engine (snapshots, hints, decode pipeline).
+var execQueries = []string{
+	`for $i in collection("items")/Item where $i/Section = "CD" return $i/Code`,
+	`for $i in collection("items")/Item where contains($i/Description, "good") return $i/Code`,
+	`for $i in collection("items")/Item order by $i/Code descending return $i/Code`,
+	`collection("items")/Item[Section = "DVD"]/@id`,
+	`count(collection("items")/Item)`,
+	`exists(for $i in collection("items")/Item where $i/Section = "Book" return $i)`,
+	`sum(for $i in collection("items")/Item return $i/@id)`,
+	`for $i in collection("items")/Item return ($i/Code, $i/Section)`, // interpreter fallback
+}
+
+// TestCompiledExecMatchesInterpreter runs the same queries with the
+// executor on and off; engine results must be identical.
+func TestCompiledExecMatchesInterpreter(t *testing.T) {
+	compiled := testDB(t, Options{})
+	interp := testDB(t, Options{DisableCompiledExec: true})
+	loadItems(t, compiled)
+	loadItems(t, interp)
+	for _, q := range execQueries {
+		want, err := interp.Query(q)
+		if err != nil {
+			t.Fatalf("%s (interpreter): %v", q, err)
+		}
+		got, err := compiled.Query(q)
+		if err != nil {
+			t.Fatalf("%s (compiled): %v", q, err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("%s: compiled %d items, interpreter %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if xquery.ItemString(want[i]) != xquery.ItemString(got[i]) {
+				t.Fatalf("%s: item %d: compiled %q, interpreter %q",
+					q, i, xquery.ItemString(got[i]), xquery.ItemString(want[i]))
+			}
+		}
+	}
+	if st := compiled.Stats(); st.Compiled == 0 {
+		t.Fatalf("compiled engine reports no compiled queries: %+v", st)
+	}
+	if st := interp.Stats(); st.Compiled != 0 {
+		t.Fatalf("interpreter engine reports compiled queries: %+v", st)
+	}
+}
+
+// TestStreamQueryExpr verifies the streaming entry point delivers the
+// same items as Query, in bounded chunks, for large results.
+func TestStreamQueryExpr(t *testing.T) {
+	db := testDB(t, Options{})
+	c := xmltree.NewCollection("big")
+	for i := 0; i < 300; i++ {
+		c.Add(xmltree.MustParseString(fmt.Sprintf("d%d", i),
+			fmt.Sprintf("<r><v>a%03d</v><v>b%03d</v></r>", i, i)))
+	}
+	if err := db.LoadCollection(c); err != nil {
+		t.Fatal(err)
+	}
+	const q = `collection("big")/r/v`
+	want, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := xquery.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got xquery.Seq
+	chunks := 0
+	total, err := db.StreamQueryExpr(e, func(items xquery.Seq) error {
+		chunks++
+		got = append(got, items...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(want) || !reflect.DeepEqual(seqStrings(want), seqStrings(got)) {
+		t.Fatalf("stream total=%d chunks=%d, want %d items", total, chunks, len(want))
+	}
+	if chunks < 2 {
+		t.Fatalf("600 items arrived in %d chunk(s); want bounded frames", chunks)
+	}
+}
+
+func seqStrings(s xquery.Seq) []string {
+	out := make([]string, len(s))
+	for i, it := range s {
+		out[i] = xquery.ItemString(it)
+	}
+	return out
+}
+
+// TestCompiledExecIndexOnly verifies the compiled fold path still answers
+// probe-eligible deciders from indexes alone, decoding no documents.
+func TestCompiledExecIndexOnly(t *testing.T) {
+	db := testDB(t, Options{})
+	loadItems(t, db)
+	db.ResetStats()
+	res, err := db.Query(`count(collection("items")/Item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != 4.0 {
+		t.Fatalf("got %v", res)
+	}
+	st := db.Stats()
+	if st.Compiled != 1 {
+		t.Fatalf("query did not compile: %+v", st)
+	}
+	if st.IndexOnlyHits == 0 || st.DocsDecoded != 0 {
+		t.Fatalf("count() decoded documents: %+v", st)
+	}
+}

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"sort"
-	"strconv"
 	"strings"
 
 	"partix/internal/xmltree"
@@ -103,10 +102,9 @@ type valueList struct {
 	overflow []docID // docs with an over-cap value at this path, sorted
 }
 
-func parseNum(raw string) (float64, bool) {
-	f, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
-	return f, err == nil
-}
+// parseNum is the evaluator's numeric interpretation (xquery.ParseNumber),
+// shared so the index can never drift from the comparison semantics.
+func parseNum(raw string) (float64, bool) { return xquery.ParseNumber(raw) }
 
 func newValueEntry(raw string) valueEntry {
 	e := valueEntry{raw: raw}
@@ -233,20 +231,15 @@ func (vl *valueList) matchEntries(op xquery.CmpOp, lit string, fn func(*valueEnt
 	}
 }
 
+// stringCmp is the string-comparison branch of the shared general-
+// comparison semantics: both operands presented as non-numeric, so
+// xquery.CompareOperands resolves them lexicographically.
 func stringCmp(op xquery.CmpOp, val, lit string) bool {
-	switch op {
-	case xquery.CmpEq:
-		return val == lit
-	case xquery.CmpLt:
-		return val < lit
-	case xquery.CmpLe:
-		return val <= lit
-	case xquery.CmpGt:
-		return val > lit
-	case xquery.CmpGe:
-		return val >= lit
+	bop, ok := xquery.CmpToBinaryOp(op)
+	if !ok {
+		return false
 	}
-	return false
+	return xquery.CompareOperands(bop, xquery.Operand{Raw: val}, xquery.Operand{Raw: lit})
 }
 
 // docContrib is what one document contributes to the path structures,

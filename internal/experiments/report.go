@@ -35,6 +35,9 @@ type Report struct {
 	// MixedRW is the snapshot-read vs lock-coupled mixed read/write
 	// comparison (partix-bench -exp mixedrw).
 	MixedRW *MixedRWCompare `json:"mixedrw,omitempty"`
+	// Exec is the compiled vectorized executor vs interpreter comparison
+	// (partix-bench -exp exec).
+	Exec *ExecCompare `json:"exec,omitempty"`
 }
 
 // PanelReport is one figure panel's measurements.
@@ -287,6 +290,40 @@ func measureStreamSide(sys *partix.System, query string, repeats int) (StreamSid
 		return StreamSide{}, 0, err
 	}
 	return side, items, nil
+}
+
+// RunResources is the process-level resource usage of one experiment run:
+// everything allocated while it ran plus the peak live-heap growth over
+// the pre-run baseline.
+type RunResources struct {
+	Allocs        uint64
+	AllocBytes    uint64
+	PeakHeapBytes uint64
+}
+
+// MeasureResources runs fn once and captures its RunResources. The heap
+// is sampled by a background goroutine, so short spikes between samples
+// can be missed; treat the peak as a lower bound.
+func MeasureResources(fn func() error) (RunResources, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	peak, err := peakHeapDuring(fn)
+	if err != nil {
+		return RunResources{}, err
+	}
+	runtime.ReadMemStats(&after)
+	return RunResources{
+		Allocs:        after.Mallocs - before.Mallocs,
+		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		PeakHeapBytes: peak,
+	}, nil
+}
+
+// PrintResources renders one run's resource line.
+func PrintResources(w io.Writer, r RunResources) {
+	fmt.Fprintf(w, "  resources: allocs=%d (%.1f MB)  peak-heap=%.1f MB\n",
+		r.Allocs, float64(r.AllocBytes)/1e6, float64(r.PeakHeapBytes)/1e6)
 }
 
 // peakHeapDuring runs fn once with a background sampler and reports the

@@ -57,6 +57,22 @@ func sampleReport() *Report {
 		},
 		P99Ratio: 1.6,
 	}
+	r.Exec = &ExecCompare{
+		Docs: 1500, Repeats: 3,
+		Queries: []ExecQueryPoint{{
+			ID:          "HQ1",
+			Query:       `for $i in collection("items")/Item where $i/Section = "CD" return $i/Name`,
+			Items:       380,
+			Compiled:    ExecSide{ResponseNs: 400000, AllocsPerOp: 9000, AllocBytesPerOp: 700000},
+			Interpreted: ExecSide{ResponseNs: 1300000, AllocsPerOp: 52000, AllocBytesPerOp: 4200000},
+			Speedup:     3.25, AllocRatio: 5.8,
+		}},
+		Stream: []ExecStreamPoint{
+			{Docs: 1500, Items: 1500, MaterializedPeakHeap: 24000000, StreamedPeakHeap: 2000000},
+			{Docs: 15000, Items: 15000, MaterializedPeakHeap: 240000000, StreamedPeakHeap: 2100000},
+		},
+		MeanSpeedup: 3.25, MeanAllocRatio: 5.8,
+	}
 	return r
 }
 

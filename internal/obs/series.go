@@ -27,6 +27,8 @@ var (
 		"Decoded-tree cache misses.")
 	EngineSnapshotRetries = Default.NewCounter("partix_engine_snapshot_retries_total",
 		"Query snapshot captures retried because a writer committed mid-capture.")
+	EngineCompiledQueries = Default.NewCounter("partix_engine_compiled_queries_total",
+		"Queries executed by the compiled vectorized pipeline (the rest interpret).")
 	EngineDecodeInflight = Default.NewGauge("partix_engine_decode_inflight",
 		"Documents currently in the decode pipeline.")
 	EngineQuerySeconds = Default.NewHistogram("partix_engine_query_seconds",

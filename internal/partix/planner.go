@@ -3,8 +3,6 @@ package partix
 import (
 	"math"
 	"sort"
-	"strconv"
-	"strings"
 
 	"partix/internal/engine"
 	"partix/internal/fragmentation"
@@ -199,12 +197,10 @@ func pathExcludes(ps engine.PathStats, op xquery.CmpOp, lit string) bool {
 	return false
 }
 
-// parseLitNum mirrors the evaluator's numeric interpretation of a
-// comparison operand (ParseFloat of the space-trimmed string).
-func parseLitNum(lit string) (float64, bool) {
-	f, err := strconv.ParseFloat(strings.TrimSpace(lit), 64)
-	return f, err == nil
-}
+// parseLitNum is the evaluator's numeric interpretation of a comparison
+// operand, shared via xquery.ParseNumber so the planner's range reasoning
+// cannot drift from the comparison semantics.
+func parseLitNum(lit string) (float64, bool) { return xquery.ParseNumber(lit) }
 
 // estimateFragment guesses how many documents of the fragment satisfy the
 // query's constraints and how many stored bytes the sub-query touches.

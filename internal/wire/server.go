@@ -290,13 +290,29 @@ func (s *Server) serveStream(enc *gob.Encoder, conn net.Conn, req *Request) erro
 	}
 }
 
+// transportFailure marks a frame-write error flowing back out through the
+// evaluator's yield path: the connection is gone, so the stream must be
+// dropped rather than answered with FrameErr.
+type transportFailure struct{ err error }
+
+func (t *transportFailure) Error() string { return t.err.Error() }
+
 // streamQuery evaluates the query and ships the result sequence as
-// bounded FrameItems batches. The evaluator still materializes its
-// result (it is not lazy); frames bound the wire transfer and the
-// decode-side memory, and let the coordinator compose while later
-// frames are still in flight.
+// bounded FrameItems batches. Compiled queries stream straight out of the
+// engine's operator pipeline — items are encoded and framed as the scan
+// produces them, so the node never materializes the full result; only
+// queries outside the compiled subset still materialize first. A failure
+// after frames were already sent terminates the stream with FrameErr,
+// which clients surface as a node error at whatever point it arrives.
 func (s *Server) streamQuery(enc *gob.Encoder, conn net.Conn, req *Request, batch int) error {
-	items, err := func() (items xquery.Seq, err error) {
+	// One pooled buffer per stream, reset in place between frames: the
+	// put/get pair it replaced could double-insert the buffer into the
+	// pool (the deferred put re-pooled the pointer a concurrent stream
+	// had already drawn), corrupting frames under concurrency.
+	buf := getItemBatch()
+	defer putItemBatch(buf)
+	bytes := 0
+	total, err := func() (total int, err error) {
 		// A panic in the hook or evaluator is confined to this stream,
 		// mirroring dispatch: the client sees FrameErr, not a dead node.
 		defer func() {
@@ -310,39 +326,42 @@ func (s *Server) streamQuery(enc *gob.Encoder, conn net.Conn, req *Request, batc
 		if s.hook != nil {
 			s.hook(req)
 		}
-		return s.db.Query(req.Query)
+		e, perr := xquery.Parse(req.Query)
+		if perr != nil {
+			return 0, perr
+		}
+		return s.db.StreamQueryExpr(e, func(items xquery.Seq) error {
+			for _, it := range items {
+				wi, encErr := EncodeItem(it)
+				if encErr != nil {
+					return encErr
+				}
+				*buf = append(*buf, wi)
+				bytes += wi.wireBytes()
+				if len(*buf) >= batch || bytes >= s.opts.MaxFrameBytes {
+					if ferr := s.sendFrame(enc, conn, &Frame{Kind: FrameItems, Items: *buf}); ferr != nil {
+						return &transportFailure{err: ferr}
+					}
+					resetItemBatch(buf)
+					bytes = 0
+				}
+			}
+			return nil
+		})
 	}()
 	if err != nil {
+		var tf *transportFailure
+		if errors.As(err, &tf) {
+			return tf.err // peer gone; drop the connection, no FrameErr
+		}
 		return s.sendFrame(enc, conn, &Frame{Kind: FrameErr, Err: err.Error()})
-	}
-	// One pooled buffer per stream, reset in place between frames: the
-	// put/get pair it replaced could double-insert the buffer into the
-	// pool (the deferred put re-pooled the pointer a concurrent stream
-	// had already drawn), corrupting frames under concurrency.
-	buf := getItemBatch()
-	defer putItemBatch(buf)
-	bytes := 0
-	for _, it := range items {
-		wi, encErr := EncodeItem(it)
-		if encErr != nil {
-			return s.sendFrame(enc, conn, &Frame{Kind: FrameErr, Err: encErr.Error()})
-		}
-		*buf = append(*buf, wi)
-		bytes += wi.wireBytes()
-		if len(*buf) >= batch || bytes >= s.opts.MaxFrameBytes {
-			if err := s.sendFrame(enc, conn, &Frame{Kind: FrameItems, Items: *buf}); err != nil {
-				return err
-			}
-			resetItemBatch(buf)
-			bytes = 0
-		}
 	}
 	if len(*buf) > 0 {
 		if err := s.sendFrame(enc, conn, &Frame{Kind: FrameItems, Items: *buf}); err != nil {
 			return err
 		}
 	}
-	return s.sendFrame(enc, conn, &Frame{Kind: FrameEnd, Total: len(items)})
+	return s.sendFrame(enc, conn, &Frame{Kind: FrameEnd, Total: total})
 }
 
 // streamFetch ships a collection's documents as bounded FrameDocs

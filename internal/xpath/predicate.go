@@ -2,10 +2,10 @@ package xpath
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
 	"partix/internal/xmltree"
+	"partix/internal/xquery"
 )
 
 // Op is a comparison operator θ ∈ {=, <, >, !=, <=, >=}.
@@ -60,35 +60,33 @@ func (o Op) Negate() Op {
 	}
 }
 
-// compare applies the operator to a node value and a literal. If both sides
-// parse as numbers the comparison is numeric, otherwise lexicographic.
-func (o Op) compare(nodeVal, lit string) bool {
-	if a, errA := strconv.ParseFloat(strings.TrimSpace(nodeVal), 64); errA == nil {
-		if b, errB := strconv.ParseFloat(strings.TrimSpace(lit), 64); errB == nil {
-			return o.cmpFloat(a, b)
-		}
+// binaryOp maps the fragmentation operator onto the evaluator's operator
+// enum so predicate evaluation shares xquery's general-comparison code.
+func (o Op) binaryOp() xquery.BinaryOp {
+	switch o {
+	case OpEq:
+		return xquery.OpEq
+	case OpNe:
+		return xquery.OpNe
+	case OpLt:
+		return xquery.OpLt
+	case OpLe:
+		return xquery.OpLe
+	case OpGt:
+		return xquery.OpGt
+	default:
+		return xquery.OpGe
 	}
-	return o.cmpString(nodeVal, lit)
+}
+
+// compare applies the operator to a node value and a literal under the
+// evaluator's general-comparison semantics: numeric when both sides parse
+// as numbers, lexicographic otherwise.
+func (o Op) compare(nodeVal, lit string) bool {
+	return xquery.CompareOperands(o.binaryOp(), xquery.PrepOperand(nodeVal), xquery.PrepOperand(lit))
 }
 
 func (o Op) cmpFloat(a, b float64) bool {
-	switch o {
-	case OpEq:
-		return a == b
-	case OpNe:
-		return a != b
-	case OpLt:
-		return a < b
-	case OpLe:
-		return a <= b
-	case OpGt:
-		return a > b
-	default:
-		return a >= b
-	}
-}
-
-func (o Op) cmpString(a, b string) bool {
 	switch o {
 	case OpEq:
 		return a == b

@@ -1,0 +1,182 @@
+package xquery
+
+import (
+	"testing"
+
+	"partix/internal/xmltree"
+)
+
+// The general-comparison truth table: numeric when both sides parse as
+// numbers, string comparison otherwise, NaN satisfying no numeric
+// comparison. Every layer (interpreter, compiled executor, value index,
+// planner) routes through these functions, so this table pins the shared
+// semantics.
+func TestCompareOperands(t *testing.T) {
+	cases := []struct {
+		name string
+		op   BinaryOp
+		l, r string
+		want bool
+	}{
+		// Numeric comparisons: both sides parse.
+		{"num eq", OpEq, "10", "10.0", true},
+		{"num eq scientific", OpEq, "100", "1e2", true},
+		{"num eq trimmed", OpEq, " 7 ", "7", true},
+		{"num ne", OpNe, "1", "2", true},
+		{"num ne equal", OpNe, "3", "3.00", false},
+		{"num lt", OpLt, "9", "10", true},
+		{"num lt false", OpLt, "10", "9", false},
+		{"num le equal", OpLe, "5", "5", true},
+		{"num gt", OpGt, "10", "9", true},
+		{"num ge equal", OpGe, "5.5", "5.5", true},
+		{"num negative", OpLt, "-2", "1", true},
+
+		// String fallback: either side non-numeric.
+		{"str eq", OpEq, "CD", "CD", true},
+		{"str eq case", OpEq, "cd", "CD", false},
+		{"str lt lexicographic", OpLt, "9", "10a", false}, // "9" > "1" as strings
+		{"str date range", OpGt, "2005-03-01", "2004-01-01", true},
+		{"str one numeric", OpEq, "10", "ten", false},
+		{"str ne mixed", OpNe, "10", "ten", true},
+		{"empty vs empty", OpEq, "", "", true},
+		{"empty vs zero", OpEq, "", "0", false},
+
+		// NaN: parses as a number, satisfies no numeric comparison.
+		{"nan eq nan", OpEq, "NaN", "NaN", false},
+		{"nan ne nan", OpNe, "NaN", "NaN", true},
+		{"nan lt num", OpLt, "NaN", "5", false},
+		{"nan gt num", OpGt, "NaN", "5", false},
+		{"nan le num", OpLe, "NaN", "5", false},
+		{"num ge nan", OpGe, "5", "NaN", false},
+		{"nan vs string", OpEq, "NaN", "NaN ", false}, // "NaN " parses too → numeric NaN≠NaN
+		{"nan vs word", OpLt, "NaN", "word", true},    // "word" is non-numeric → string cmp
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CompareOperands(tc.op, PrepOperand(tc.l), PrepOperand(tc.r))
+			if got != tc.want {
+				t.Errorf("CompareOperands(%v, %q, %q) = %v, want %v", tc.op, tc.l, tc.r, got, tc.want)
+			}
+			// CompareValue prepares the left side itself; same answer.
+			if got := CompareValue(tc.op, tc.l, PrepOperand(tc.r)); got != tc.want {
+				t.Errorf("CompareValue(%v, %q, %q) = %v, want %v", tc.op, tc.l, tc.r, got, tc.want)
+			}
+			// CompareAtoms atomizes items; strings atomize to themselves.
+			if got := CompareAtoms(tc.op, tc.l, tc.r); got != tc.want {
+				t.Errorf("CompareAtoms(%v, %q, %q) = %v, want %v", tc.op, tc.l, tc.r, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	cases := []struct {
+		in    string
+		num   float64
+		isNum bool
+	}{
+		{"10", 10, true},
+		{" 10.5 ", 10.5, true},
+		{"1e3", 1000, true},
+		{"-0", 0, true},
+		{"", 0, false},
+		{"ten", 0, false},
+		{"10x", 0, false},
+		{"10 20", 0, false},
+	}
+	for _, tc := range cases {
+		num, isNum := ParseNumber(tc.in)
+		if isNum != tc.isNum || (isNum && num != tc.num) {
+			t.Errorf("ParseNumber(%q) = (%v, %v), want (%v, %v)", tc.in, num, isNum, tc.num, tc.isNum)
+		}
+	}
+	// NaN parses as numeric; its value is unequal to itself by IEEE rules.
+	if num, isNum := ParseNumber("NaN"); !isNum || num == num {
+		t.Errorf("ParseNumber(NaN) = (%v, %v), want a numeric NaN", num, isNum)
+	}
+}
+
+func TestGeneralCompareExistential(t *testing.T) {
+	nodes := func(vals ...string) Seq {
+		s := make(Seq, len(vals))
+		for i, v := range vals {
+			n := xmltree.NewElement("v")
+			n.Append(xmltree.NewText(v))
+			s[i] = n
+		}
+		return s
+	}
+	cases := []struct {
+		name        string
+		op          BinaryOp
+		left, right Seq
+		want        bool
+	}{
+		{"one witness suffices", OpEq, nodes("a", "b", "c"), Seq{"b"}, true},
+		{"no witness", OpEq, nodes("a", "b"), Seq{"z"}, false},
+		{"empty left", OpEq, nil, Seq{"a"}, false},
+		{"empty right", OpEq, nodes("a"), nil, false},
+		{"both empty", OpEq, nil, nil, false},
+		{"ne finds any unequal pair", OpNe, nodes("a", "a"), Seq{"a", "b"}, true},
+		{"numeric witness among strings", OpLt, nodes("zz", "5"), Seq{"10"}, true},
+		{"float item atomizes", OpEq, Seq{float64(10)}, Seq{"10"}, true},
+		{"bool item atomizes", OpEq, Seq{true}, Seq{"true"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := GeneralCompare(tc.op, tc.left, tc.right); got != tc.want {
+				t.Errorf("GeneralCompare(%v) = %v, want %v", tc.op, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompareKeys(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Item
+		want int
+	}{
+		{"both empty", nil, nil, 0},
+		{"empty first", nil, "a", -1},
+		{"empty first sym", "a", nil, 1},
+		{"numeric order", "9", "10", -1},
+		{"numeric equal", "10", "10.0", 0},
+		{"string order", "10a", "9a", -1},
+		{"string equal", "x", "x", 0},
+		{"mixed falls to string", "10", "ten", -1},
+		{"float items", float64(2), float64(10), -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CompareKeys(tc.a, tc.b); got != tc.want {
+				t.Errorf("CompareKeys(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+			}
+			// Antisymmetry with the argument order flipped.
+			if got := CompareKeys(tc.b, tc.a); got != -tc.want {
+				t.Errorf("CompareKeys(%v, %v) = %d, want %d", tc.b, tc.a, got, -tc.want)
+			}
+		})
+	}
+}
+
+func TestCmpToBinaryOp(t *testing.T) {
+	cases := []struct {
+		in  CmpOp
+		out BinaryOp
+		ok  bool
+	}{
+		{CmpEq, OpEq, true},
+		{CmpLt, OpLt, true},
+		{CmpLe, OpLe, true},
+		{CmpGt, OpGt, true},
+		{CmpGe, OpGe, true},
+		{CmpExists, 0, false},
+	}
+	for _, tc := range cases {
+		out, ok := CmpToBinaryOp(tc.in)
+		if ok != tc.ok || (ok && out != tc.out) {
+			t.Errorf("CmpToBinaryOp(%v) = (%v, %v), want (%v, %v)", tc.in, out, ok, tc.out, tc.ok)
+		}
+	}
+}

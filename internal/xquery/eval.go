@@ -45,6 +45,19 @@ func EvalQuery(query string, src Source) (Seq, error) {
 	return Eval(e, src)
 }
 
+// EvalWith evaluates e with pre-bound variables and an optional context
+// item. The compiled executor (internal/xquery/exec) uses it as the
+// per-tuple fallback for sub-expressions it does not handle natively, so
+// cold expression shapes keep the interpreter's exact semantics. vars may
+// be nil; the map is not retained.
+func EvalWith(e Expr, src Source, vars map[string]Seq, ctxItem Item) (Seq, error) {
+	if vars == nil {
+		vars = map[string]Seq{}
+	}
+	ctx := &context{src: src, vars: vars, ctxItem: ctxItem}
+	return ctx.eval(e)
+}
+
 type context struct {
 	src     Source
 	hints   map[string]*Hint // collection name → hint
@@ -318,7 +331,7 @@ func (c *context) evalFLWOR(f *FLWOR) (Seq, error) {
 	}
 	sort.SliceStable(run.tuples, func(i, j int) bool {
 		for k := range f.OrderBy {
-			cmp := compareKeys(run.tuples[i].keys[k], run.tuples[j].keys[k])
+			cmp := CompareKeys(run.tuples[i].keys[k], run.tuples[j].keys[k])
 			if cmp == 0 {
 				continue
 			}
@@ -333,33 +346,6 @@ func (c *context) evalFLWOR(f *FLWOR) (Seq, error) {
 		out = append(out, t.items...)
 	}
 	return out, nil
-}
-
-// compareKeys orders two sort keys: empty first, numeric when both parse,
-// lexicographic otherwise.
-func compareKeys(a, b Item) int {
-	switch {
-	case a == nil && b == nil:
-		return 0
-	case a == nil:
-		return -1
-	case b == nil:
-		return 1
-	}
-	as, bs := ItemString(a), ItemString(b)
-	af, aerr := strconv.ParseFloat(strings.TrimSpace(as), 64)
-	bf, berr := strconv.ParseFloat(strings.TrimSpace(bs), 64)
-	if aerr == nil && berr == nil {
-		switch {
-		case af < bf:
-			return -1
-		case af > bf:
-			return 1
-		default:
-			return 0
-		}
-	}
-	return strings.Compare(as, bs)
 }
 
 func (c *context) evalClauses(run *flworRun, i int) error {
@@ -468,6 +454,21 @@ func docNode(d *xmltree.Document) *xmltree.Node {
 	return &xmltree.Node{Kind: xmltree.ElementNode, Name: "#document", Children: []*xmltree.Node{d.Root}}
 }
 
+// DocNode is the exported form of the evaluator's virtual document
+// wrapper; the compiled executor must bind the identical node shape so
+// leading steps (including a wrapper-matching //*) behave the same.
+func DocNode(d *xmltree.Document) *xmltree.Node { return docNode(d) }
+
+// ItemNumber converts one item to a number under the evaluator's rules
+// (booleans become 0/1, anything else atomizes then parses).
+func ItemNumber(it Item) (float64, error) { return itemNumber(it) }
+
+// CollectionRooted is the exported form of collectionRooted, used by the
+// compiled executor to recognize scannable binding sources.
+func CollectionRooted(e Expr) (collection string, steps []PathStep, ok bool) {
+	return collectionRooted(e)
+}
+
 // collectionRooted recognizes collection("x")/step/... binding sources.
 func collectionRooted(e Expr) (collection string, steps []PathStep, ok bool) {
 	switch x := e.(type) {
@@ -515,7 +516,7 @@ func (c *context) evalBinary(b *Binary) (Seq, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Seq{generalCompare(b.Op, lv, rv)}, nil
+		return Seq{GeneralCompare(b.Op, lv, rv)}, nil
 	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
 		lv, err := c.evalNumber(b.Left)
 		if err != nil {
@@ -561,55 +562,6 @@ func (c *context) evalNumber(e Expr) (*float64, error) {
 		return nil, err
 	}
 	return &f, nil
-}
-
-// generalCompare implements XQuery general comparison: existential over
-// both sequences, numeric when both atoms are numbers, else string.
-func generalCompare(op BinaryOp, left, right Seq) bool {
-	for _, l := range left {
-		for _, r := range right {
-			if atomicCompare(op, l, r) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func atomicCompare(op BinaryOp, l, r Item) bool {
-	ls, rs := ItemString(l), ItemString(r)
-	lf, lerr := strconv.ParseFloat(strings.TrimSpace(ls), 64)
-	rf, rerr := strconv.ParseFloat(strings.TrimSpace(rs), 64)
-	if lerr == nil && rerr == nil {
-		switch op {
-		case OpEq:
-			return lf == rf
-		case OpNe:
-			return lf != rf
-		case OpLt:
-			return lf < rf
-		case OpLe:
-			return lf <= rf
-		case OpGt:
-			return lf > rf
-		default:
-			return lf >= rf
-		}
-	}
-	switch op {
-	case OpEq:
-		return ls == rs
-	case OpNe:
-		return ls != rs
-	case OpLt:
-		return ls < rs
-	case OpLe:
-		return ls <= rs
-	case OpGt:
-		return ls > rs
-	default:
-		return ls >= rs
-	}
 }
 
 // --- constructors ---
@@ -678,10 +630,9 @@ func itemNumber(it Item) (float64, error) {
 		}
 		return 0, nil
 	default:
-		s := strings.TrimSpace(ItemString(it))
-		f, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return 0, fmt.Errorf("xquery: %q is not a number", s)
+		f, ok := ParseNumber(ItemString(it))
+		if !ok {
+			return 0, fmt.Errorf("xquery: %q is not a number", strings.TrimSpace(ItemString(it)))
 		}
 		return f, nil
 	}

@@ -1,0 +1,602 @@
+// Package exec compiles parsed FLWOR/path queries into a push-based,
+// batch-at-a-time operator pipeline: scan → path-step → predicate-filter →
+// bind → order-by → project. The pipeline pulls documents from the
+// engine's decode worker pool (through xquery.Source) and pushes result
+// items to a yield callback in bounded batches, so memory stays flat on
+// arbitrarily large results instead of materializing a full Seq. Where
+// possible, predicate evaluation is vectorized: per tuple batch the
+// predicate's value column is gathered into reusable scratch buffers and
+// compared against a literal prepared once at compile time, through the
+// same shared comparison code (xquery/compare.go) the interpreter uses.
+//
+// Compile is deliberately partial: any expression shape outside the
+// compiled subset either falls back per-tuple to the tree-walking
+// interpreter (xquery.EvalWith) for that sub-expression, or — for
+// top-level shapes the pipeline cannot express — declines entirely, in
+// which case the engine runs xquery.Eval. The interpreter remains the
+// semantic oracle; the compiled pipeline must be observationally
+// identical (see the randomized differential test).
+package exec
+
+import (
+	"partix/internal/xquery"
+)
+
+// foldKind says how the pipeline's item stream is consumed: passed
+// through (foldNone) or folded into a single aggregate/decider item.
+type foldKind uint8
+
+const (
+	foldNone foldKind = iota
+	foldCount
+	foldSum
+	foldAvg
+	foldMin
+	foldMax
+	foldExists
+	foldEmpty
+)
+
+var foldNames = map[foldKind]string{
+	foldSum: "sum", foldAvg: "avg", foldMin: "min", foldMax: "max",
+}
+
+// Program is a compiled query: a streaming pipeline plus an optional fold
+// and the index-only probes the interpreter would have tried first.
+type Program struct {
+	fold        foldKind
+	countProbe  *xquery.PathProbe // answers foldCount from indexes when the source can
+	existsProbe *xquery.PathProbe // answers foldExists/foldEmpty from indexes
+	pipe        *pipeline
+}
+
+// Streams reports whether the program produces an item stream (no fold):
+// the result can be arbitrarily large and is worth delivering in frames.
+func (p *Program) Streams() bool { return p.fold == foldNone }
+
+// Ordered reports whether the program ends in an order-by, the one
+// blocking operator: all qualifying tuples are materialized before the
+// sort, so memory is proportional to the result for such queries.
+func (p *Program) Ordered() bool { return p.pipe != nil && len(p.pipe.orderBy) > 0 }
+
+// pipeline is the compiled operator chain over one collection scan.
+type pipeline struct {
+	coll         string
+	hint         *xquery.Hint // candidate pruning for the scan, from ExtractHints
+	scanSteps    []step       // binding path of the driving for-clause
+	freshWrapper bool         // first step may select the #document wrapper itself
+	clauses      []boundClause
+	filter       []filterTerm
+	orderBy      []orderKey
+	ret          valueExpr
+	stride       int      // slots per tuple
+	varNames     []string // slot → variable name; "" for the synthetic path binding
+	letSlot      []bool   // slot → bound by a let-clause (holds a Seq, not an Item)
+}
+
+// step is one compiled location step.
+type step struct {
+	descendant bool
+	name       string
+	attr, text bool
+	preds      []pred
+}
+
+// predKind discriminates compiled step predicates.
+type predKind uint8
+
+const (
+	predPositional predKind = iota // [2] — literal number selects by position
+	predTerm                       // native term relative to the context node
+	predFallback                   // interpreted via xquery.EvalWith
+)
+
+type pred struct {
+	kind     predKind
+	pos      int
+	term     *term
+	fallback xquery.Expr
+}
+
+// termKind discriminates native filter terms.
+type termKind uint8
+
+const (
+	termCmp    termKind = iota // path CMP literal (general comparison)
+	termString                 // contains/starts-with/ends-with(path, literal)
+	termExists                 // path existence (bare path, exists(), not empty())
+)
+
+// strFn selects the string predicate function of a termString.
+type strFn uint8
+
+const (
+	fnContains strFn = iota
+	fnStartsWith
+	fnEndsWith
+)
+
+// term is one native predicate: a pred-free relative path from a base
+// (a tuple slot, or the context node for step predicates) tested against
+// a literal prepared once at compile time. Terms are existential — any
+// node at the path satisfying the test satisfies the term — so the
+// vectorized evaluation may skip duplicate suppression: duplicates can
+// never flip an existential result.
+type term struct {
+	kind   termKind
+	slot   int // base slot; ctxSlot for step predicates
+	rel    []step
+	op     xquery.BinaryOp // termCmp
+	lit    xquery.Operand  // termCmp: literal prepared once per plan
+	fn     strFn           // termString
+	needle string          // termString
+	negate bool
+}
+
+// ctxSlot marks a term whose base is the step-predicate context node.
+const ctxSlot = -1
+
+type filterTerm struct {
+	native   *term
+	fallback xquery.Expr // interpreted per tuple when native is nil
+}
+
+type orderKey struct {
+	key  valueExpr
+	desc bool
+}
+
+// veKind discriminates compiled value expressions (clause sources, return
+// and order-by key programs).
+type veKind uint8
+
+const (
+	veSlot     veKind = iota // $v
+	vePath                   // $v/rel/path (step predicates allowed)
+	veLit                    // string/number literal
+	veCount                  // count($v/rel) — the VQ10 inner-aggregate shape
+	veFallback               // interpreted via xquery.EvalWith
+)
+
+type valueExpr struct {
+	kind veKind
+	slot int
+	rel  []step
+	lit  xquery.Item
+	expr xquery.Expr
+}
+
+// boundClause is one for/let clause after the driving scan clause.
+type boundClause struct {
+	let  bool
+	slot int
+	src  valueExpr
+}
+
+// Compile translates a parsed query into a Program, or reports ok=false
+// when the top-level shape is outside the compiled subset (the caller
+// then evaluates with the interpreter).
+func Compile(e xquery.Expr) (*Program, bool) {
+	hints := xquery.ExtractHints(e)
+	switch x := e.(type) {
+	case *xquery.FuncCall:
+		return compileFold(x, hints)
+	case *xquery.FLWOR, *xquery.PathExpr, *xquery.CollectionCall:
+		pipe, ok := compileStream(e, hints)
+		if !ok {
+			return nil, false
+		}
+		return &Program{fold: foldNone, pipe: pipe}, true
+	}
+	return nil, false
+}
+
+// compileFold handles the aggregate/decider wrappers around a stream:
+// count, sum, avg, min, max, exists, empty. The index-only probes the
+// interpreter short-circuits with are extracted here and tried first at
+// run time, so the compiled path never decodes documents the interpreter
+// would have answered from the path summary.
+func compileFold(f *xquery.FuncCall, hints map[string]*xquery.Hint) (*Program, bool) {
+	if len(f.Args) != 1 {
+		return nil, false
+	}
+	var fold foldKind
+	switch f.Name {
+	case "count":
+		fold = foldCount
+	case "sum":
+		fold = foldSum
+	case "avg":
+		fold = foldAvg
+	case "min":
+		fold = foldMin
+	case "max":
+		fold = foldMax
+	case "exists":
+		fold = foldExists
+	case "empty":
+		fold = foldEmpty
+	default:
+		return nil, false
+	}
+	pipe, ok := compileStream(f.Args[0], hints)
+	if !ok {
+		return nil, false
+	}
+	p := &Program{fold: fold, pipe: pipe}
+	switch fold {
+	case foldCount:
+		p.countProbe = xquery.ExtractCountProbe(f.Args[0])
+	case foldExists, foldEmpty:
+		p.existsProbe = xquery.ExtractExistsProbe(f.Args[0])
+	}
+	return p, true
+}
+
+// compileStream compiles an item-producing expression: a FLWOR whose
+// driving clause scans a collection, or a collection-rooted path.
+func compileStream(e xquery.Expr, hints map[string]*xquery.Hint) (*pipeline, bool) {
+	if f, isFLWOR := e.(*xquery.FLWOR); isFLWOR {
+		return compileFLWOR(f, hints)
+	}
+	coll, steps, ok := xquery.CollectionRooted(e)
+	if !ok {
+		return nil, false
+	}
+	c := &compiler{slotOf: map[string]int{}}
+	scan, ok := c.compileSteps(steps)
+	if !ok {
+		return nil, false
+	}
+	return &pipeline{
+		coll:         coll,
+		hint:         hints[coll],
+		scanSteps:    scan,
+		freshWrapper: wrapperReachable(scan),
+		ret:          valueExpr{kind: veSlot, slot: 0},
+		stride:       1,
+		varNames:     []string{""},
+		letSlot:      []bool{false},
+	}, true
+}
+
+// compiler tracks variable slots while compiling one FLWOR.
+type compiler struct {
+	slotOf   map[string]int
+	varNames []string
+	letSlot  []bool
+}
+
+func (c *compiler) addSlot(name string, let bool) (int, bool) {
+	if name != "" {
+		if _, dup := c.slotOf[name]; dup {
+			return 0, false // shadowing: the interpreter's restore semantics; decline
+		}
+		c.slotOf[name] = len(c.varNames)
+	}
+	c.varNames = append(c.varNames, name)
+	c.letSlot = append(c.letSlot, let)
+	return len(c.varNames) - 1, true
+}
+
+func compileFLWOR(f *xquery.FLWOR, hints map[string]*xquery.Hint) (*pipeline, bool) {
+	if len(f.Clauses) == 0 || f.Clauses[0].Let {
+		return nil, false
+	}
+	coll, rawSteps, ok := xquery.CollectionRooted(f.Clauses[0].In)
+	if !ok {
+		return nil, false
+	}
+	c := &compiler{slotOf: map[string]int{}}
+	if _, ok := c.addSlot(f.Clauses[0].Var, false); !ok {
+		return nil, false
+	}
+	scan, ok := c.compileSteps(rawSteps)
+	if !ok {
+		return nil, false
+	}
+	p := &pipeline{
+		coll:         coll,
+		hint:         hints[coll],
+		scanSteps:    scan,
+		freshWrapper: wrapperReachable(scan),
+	}
+	for _, cl := range f.Clauses[1:] {
+		src := c.compileValue(cl.In)
+		slot, ok := c.addSlot(cl.Var, cl.Let)
+		if !ok {
+			return nil, false
+		}
+		p.clauses = append(p.clauses, boundClause{let: cl.Let, slot: slot, src: src})
+	}
+	if f.Where != nil {
+		conjuncts(f.Where, func(t xquery.Expr) {
+			if nt, ok := c.compileTerm(t); ok {
+				p.filter = append(p.filter, filterTerm{native: nt})
+			} else {
+				p.filter = append(p.filter, filterTerm{fallback: t})
+			}
+		})
+	}
+	for _, spec := range f.OrderBy {
+		p.orderBy = append(p.orderBy, orderKey{key: c.compileValue(spec.Key), desc: spec.Descending})
+	}
+	p.ret = c.compileValue(f.Return)
+	p.stride = len(c.varNames)
+	p.varNames = c.varNames
+	p.letSlot = c.letSlot
+	return p, true
+}
+
+// conjuncts calls fn for every term of the top-level AND tree, mirroring
+// the hint extractor's decomposition (evaluation order is preserved:
+// left-to-right, which matters only for which error surfaces first).
+func conjuncts(e xquery.Expr, fn func(xquery.Expr)) {
+	if b, ok := e.(*xquery.Binary); ok && b.Op == xquery.OpAnd {
+		conjuncts(b.Left, fn)
+		conjuncts(b.Right, fn)
+		return
+	}
+	fn(e)
+}
+
+// compileSteps converts location steps, compiling each step predicate.
+func (c *compiler) compileSteps(raw []xquery.PathStep) ([]step, bool) {
+	out := make([]step, 0, len(raw))
+	for _, st := range raw {
+		s := step{descendant: st.Descendant, name: st.Name, attr: st.Attr, text: st.Text}
+		for _, pe := range st.Preds {
+			s.preds = append(s.preds, c.compilePred(pe))
+		}
+		out = append(out, s)
+	}
+	return out, true
+}
+
+func (c *compiler) compilePred(e xquery.Expr) pred {
+	if num, ok := e.(*xquery.NumberLit); ok {
+		return pred{kind: predPositional, pos: int(num.Value)}
+	}
+	if t, ok := c.compileCtxTerm(e); ok {
+		return pred{kind: predTerm, term: t}
+	}
+	return pred{kind: predFallback, fallback: e}
+}
+
+// compileValue compiles a clause source / return / order-key expression.
+// Unsupported shapes become interpreter fallbacks, never a failure.
+func (c *compiler) compileValue(e xquery.Expr) valueExpr {
+	switch x := e.(type) {
+	case *xquery.VarRef:
+		if slot, ok := c.slotOf[x.Name]; ok {
+			return valueExpr{kind: veSlot, slot: slot}
+		}
+	case *xquery.StringLit:
+		return valueExpr{kind: veLit, lit: x.Value}
+	case *xquery.NumberLit:
+		return valueExpr{kind: veLit, lit: x.Value}
+	case *xquery.PathExpr:
+		if slot, rel, ok := c.slotPath(x, true); ok {
+			return valueExpr{kind: vePath, slot: slot, rel: rel}
+		}
+	case *xquery.FuncCall:
+		if x.Name == "count" && len(x.Args) == 1 {
+			if pe, isPath := x.Args[0].(*xquery.PathExpr); isPath {
+				if slot, rel, ok := c.slotPath(pe, true); ok {
+					return valueExpr{kind: veCount, slot: slot, rel: rel}
+				}
+			}
+		}
+	}
+	return valueExpr{kind: veFallback, expr: e}
+}
+
+// slotPath recognizes $v/rel paths where $v is a for-bound slot (a single
+// node at run time). withPreds permits compiled step predicates; term
+// paths require pred-free steps so their vectorized walk stays trivial.
+func (c *compiler) slotPath(p *xquery.PathExpr, withPreds bool) (int, []step, bool) {
+	v, isVar := p.Source.(*xquery.VarRef)
+	if !isVar {
+		return 0, nil, false
+	}
+	slot, known := c.slotOf[v.Name]
+	if !known || c.letSlot[slot] {
+		return 0, nil, false
+	}
+	rel, ok := c.relSteps(p.Steps, withPreds)
+	if !ok {
+		return 0, nil, false
+	}
+	return slot, rel, true
+}
+
+func (c *compiler) relSteps(raw []xquery.PathStep, withPreds bool) ([]step, bool) {
+	if !withPreds {
+		for _, st := range raw {
+			if len(st.Preds) > 0 {
+				return nil, false
+			}
+		}
+	}
+	return c.compileSteps(raw)
+}
+
+// compileTerm compiles one where-conjunct into a native term evaluated
+// against tuple slots, or reports ok=false for the interpreter fallback.
+func (c *compiler) compileTerm(e xquery.Expr) (*term, bool) {
+	return c.compileTermBase(e, c.whereBase)
+}
+
+// compileCtxTerm compiles a step predicate relative to the context node.
+func (c *compiler) compileCtxTerm(e xquery.Expr) (*term, bool) {
+	return c.compileTermBase(e, ctxBase)
+}
+
+// baseFn resolves the path side of a term to (slot, relative steps).
+type baseFn func(e xquery.Expr) (int, []step, bool)
+
+// whereBase: $v or $v/rel over a for-bound slot.
+func (c *compiler) whereBase(e xquery.Expr) (int, []step, bool) {
+	switch x := e.(type) {
+	case *xquery.VarRef:
+		slot, known := c.slotOf[x.Name]
+		if !known || c.letSlot[slot] {
+			return 0, nil, false
+		}
+		return slot, nil, true
+	case *xquery.PathExpr:
+		return c.slotPath(x, false)
+	}
+	return 0, nil, false
+}
+
+// ctxBase: "." or a relative path inside a step predicate.
+func ctxBase(e xquery.Expr) (int, []step, bool) {
+	switch x := e.(type) {
+	case *xquery.ContextItem:
+		return ctxSlot, nil, true
+	case *xquery.PathExpr:
+		if x.Source != nil {
+			return 0, nil, false
+		}
+		c := &compiler{}
+		rel, ok := c.relSteps(x.Steps, false)
+		if !ok {
+			return 0, nil, false
+		}
+		return ctxSlot, rel, true
+	}
+	return 0, nil, false
+}
+
+func (c *compiler) compileTermBase(e xquery.Expr, base baseFn) (*term, bool) {
+	switch x := e.(type) {
+	case *xquery.Binary:
+		switch x.Op {
+		case xquery.OpEq, xquery.OpNe, xquery.OpLt, xquery.OpLe, xquery.OpGt, xquery.OpGe:
+		default:
+			return nil, false
+		}
+		op := x.Op
+		pathSide, litSide := x.Left, x.Right
+		if _, isLit := literalOf(litSide); !isLit {
+			if _, leftLit := literalOf(x.Left); !leftLit {
+				return nil, false
+			}
+			pathSide, litSide = x.Right, x.Left
+			op = flipOp(op)
+		}
+		litStr, _ := literalOf(litSide)
+		slot, rel, ok := base(pathSide)
+		if !ok {
+			return nil, false
+		}
+		// A bare VarRef base compares the slot's single item — atomic
+		// values atomize the same way node values do, so no node
+		// requirement; non-empty rel requires a node base (checked at
+		// run time with the interpreter's exact error).
+		return &term{kind: termCmp, slot: slot, rel: rel, op: op, lit: xquery.PrepOperand(litStr)}, true
+	case *xquery.FuncCall:
+		switch x.Name {
+		case "contains", "starts-with", "ends-with":
+			if len(x.Args) != 2 {
+				return nil, false
+			}
+			needle, isLit := literalOf(x.Args[1])
+			if !isLit {
+				return nil, false
+			}
+			slot, rel, ok := base(x.Args[0])
+			if !ok {
+				return nil, false
+			}
+			fn := fnContains
+			switch x.Name {
+			case "starts-with":
+				fn = fnStartsWith
+			case "ends-with":
+				fn = fnEndsWith
+			}
+			return &term{kind: termString, slot: slot, rel: rel, fn: fn, needle: needle}, true
+		case "exists", "empty":
+			if len(x.Args) != 1 {
+				return nil, false
+			}
+			pe, isPath := x.Args[0].(*xquery.PathExpr)
+			if !isPath {
+				return nil, false
+			}
+			slot, rel, ok := base(pe)
+			if !ok {
+				return nil, false
+			}
+			return &term{kind: termExists, slot: slot, rel: rel, negate: x.Name == "empty"}, true
+		case "not":
+			if len(x.Args) != 1 {
+				return nil, false
+			}
+			inner, ok := c.compileTermBase(x.Args[0], base)
+			if !ok {
+				return nil, false
+			}
+			nt := *inner
+			nt.negate = !nt.negate
+			return &nt, true
+		}
+	case *xquery.PathExpr:
+		// A bare path conjunct is an existence test (its effective boolean
+		// value: non-empty node sequence). Requires at least one step so
+		// the result is guaranteed to be nodes — a bare $v could hold an
+		// atomic whose effective boolean value is value-dependent.
+		if len(x.Steps) == 0 {
+			return nil, false
+		}
+		slot, rel, ok := base(x)
+		if !ok || len(rel) == 0 {
+			return nil, false
+		}
+		return &term{kind: termExists, slot: slot, rel: rel}, true
+	}
+	return nil, false
+}
+
+// literalOf renders a literal operand exactly as the evaluator atomizes
+// it (numbers through the shared number formatting).
+func literalOf(e xquery.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *xquery.StringLit:
+		return x.Value, true
+	case *xquery.NumberLit:
+		return xquery.ItemString(x.Value), true
+	}
+	return "", false
+}
+
+// flipOp mirrors a comparison across literal-on-the-left: lit < p ⟺ p > lit.
+func flipOp(op xquery.BinaryOp) xquery.BinaryOp {
+	switch op {
+	case xquery.OpLt:
+		return xquery.OpGt
+	case xquery.OpLe:
+		return xquery.OpGe
+	case xquery.OpGt:
+		return xquery.OpLt
+	case xquery.OpGe:
+		return xquery.OpLe
+	}
+	return op
+}
+
+// wrapperReachable reports whether the scan's first step could select the
+// virtual #document wrapper itself (the interpreter's Walk starts at the
+// context node, so a leading //* — or an explicit //#document — matches
+// it). Such scans allocate a fresh wrapper per document; all others reuse
+// one wrapper across the scan since it can never escape into results.
+// An empty step list binds the wrapper directly, which also escapes.
+func wrapperReachable(steps []step) bool {
+	if len(steps) == 0 {
+		return true
+	}
+	st := steps[0]
+	return st.descendant && !st.attr && !st.text && (st.name == "*" || st.name == "#document")
+}

@@ -1,0 +1,596 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"partix/internal/xmltree"
+	"partix/internal/xquery"
+)
+
+// memSource is an in-memory Source; it counts scanned documents so tests
+// can assert early termination.
+type memSource struct {
+	cols    map[string]*xmltree.Collection
+	scanned int
+}
+
+func newMemSource(cols ...*xmltree.Collection) *memSource {
+	s := &memSource{cols: map[string]*xmltree.Collection{}}
+	for _, c := range cols {
+		s.cols[c.Name] = c
+	}
+	return s
+}
+
+func (s *memSource) Docs(name string, _ *xquery.Hint, fn func(*xmltree.Document) error) error {
+	c, ok := s.cols[name]
+	if !ok {
+		return fmt.Errorf("no collection %q", name)
+	}
+	for _, d := range c.Docs {
+		s.scanned++
+		if err := fn(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *memSource) Doc(name string) (*xmltree.Document, error) {
+	for _, c := range s.cols {
+		for _, d := range c.Docs {
+			if d.Name == name {
+				return d, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("no document %q", name)
+}
+
+// itemsSource builds the store-catalog shape the Figure 7 workloads query.
+func itemsSource() *memSource {
+	mk := func(i int, code, section, desc string, pics int) *xmltree.Document {
+		xml := fmt.Sprintf(`<Item id="%d"><Code>%s</Code><Name>name-%s</Name><Description>%s</Description><Section>%s</Section>`,
+			i, code, code, desc, section)
+		if pics > 0 {
+			xml += "<PictureList>"
+			for p := 0; p < pics; p++ {
+				xml += fmt.Sprintf("<Picture><Name>p%d</Name></Picture>", p)
+			}
+			xml += "</PictureList>"
+		}
+		if i%2 == 0 {
+			xml += "<Characteristics>yes</Characteristics>"
+		}
+		xml += `</Item>`
+		return xmltree.MustParseString(fmt.Sprintf("i%d", i), xml)
+	}
+	return newMemSource(xmltree.NewCollection("items",
+		mk(1, "I1", "CD", "a good disc", 2),
+		mk(2, "I2", "DVD", "a fine movie", 0),
+		mk(3, "I3", "CD", "plain disc", 1),
+		mk(4, "I4", "Book", "good reading", 0),
+		mk(5, "I5", "Book", "an excellent story", 3),
+		mk(6, "I6", "DVD", "excellent cut", 0),
+	))
+}
+
+// sameSeq compares interpreter and compiled results. Nodes compare by
+// pointer (both paths select from the same trees) except the synthetic
+// #document wrapper, which each run allocates fresh.
+func sameSeq(a, b xquery.Seq) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		an, aIsNode := a[i].(*xmltree.Node)
+		bn, bIsNode := b[i].(*xmltree.Node)
+		if aIsNode != bIsNode {
+			return false
+		}
+		if aIsNode {
+			if an == bn {
+				continue
+			}
+			if an.Name != bn.Name || an.Kind != bn.Kind || an.Text() != bn.Text() {
+				return false
+			}
+			continue
+		}
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func seqString(s xquery.Seq) string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = xquery.ItemString(it)
+	}
+	return strings.Join(parts, " ")
+}
+
+// runBoth evaluates query through the interpreter and the compiled
+// pipeline and requires identical results (or identical error presence).
+// mustCompile pins queries that the compiled subset must cover natively.
+func runBoth(t *testing.T, src *memSource, query string, mustCompile bool) {
+	t.Helper()
+	e, err := xquery.Parse(query)
+	if err != nil {
+		t.Fatalf("parse %s: %v", query, err)
+	}
+	prog, ok := Compile(e)
+	if !ok {
+		if mustCompile {
+			t.Fatalf("Compile declined %s", query)
+		}
+		return
+	}
+	want, wantErr := xquery.Eval(e, src)
+	got, gotErr := prog.Run(src)
+	if (wantErr != nil) != (gotErr != nil) {
+		t.Fatalf("%s: interpreter err=%v, compiled err=%v", query, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("%s: error mismatch\ninterp:   %v\ncompiled: %v", query, wantErr, gotErr)
+		}
+		return
+	}
+	if !sameSeq(want, got) {
+		t.Fatalf("%s:\ninterp   (%d): %s\ncompiled (%d): %s", query, len(want), seqString(want), len(got), seqString(got))
+	}
+	// Stream must deliver the same items in the same order.
+	var streamed xquery.Seq
+	total, err := prog.Stream(src, func(items xquery.Seq) error {
+		streamed = append(streamed, items...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s: Stream: %v", query, err)
+	}
+	if total != len(streamed) || !sameSeq(want, streamed) {
+		t.Fatalf("%s: Stream mismatch: total=%d, items (%d): %s", query, total, len(streamed), seqString(streamed))
+	}
+}
+
+// TestDifferentialFixed pins the compiled subset on hand-picked queries:
+// every Figure 7 workload shape plus the edge shapes the executor handles
+// specially (positional predicates, wrapper escape, order-by, let
+// bindings, fallback sub-expressions, atomization errors).
+func TestDifferentialFixed(t *testing.T) {
+	src := itemsSource()
+	native := []string{
+		// Figure 7 / workload shapes.
+		`for $i in collection("items")/Item where $i/Section = "CD" return $i/Name`,
+		`for $i in collection("items")/Item where $i/Code = "I2" return $i`,
+		`for $i in collection("items")/Item where exists($i/Characteristics) return $i/Code`,
+		`for $i in collection("items")/Item where contains($i/Description, "good") return $i/Code`,
+		`for $i in collection("items")/Item where $i/Section = "Book" and contains($i/Description, "excellent") return $i/Name`,
+		`count(for $i in collection("items")/Item where $i/Section = "CD" return $i)`,
+		`count(for $i in collection("items")/Item where contains($i/Description, "good") return $i)`,
+		`sum(for $i in collection("items")/Item return count($i/PictureList/Picture))`,
+		`for $i in collection("items")/Item, $p in $i/PictureList/Picture return $p/Name`,
+		// Bare paths, predicates, attributes, descendants.
+		`collection("items")/Item/Code`,
+		`collection("items")/Item[Section = "CD"]/Code`,
+		`collection("items")/Item[Section = "DVD"]/@id`,
+		`collection("items")/Item/PictureList/Picture[2]/Name`,
+		`collection("items")/Item[PictureList]/Code`,
+		`collection("items")//Picture/Name`,
+		`collection("items")//*`,
+		`collection("items")`,
+		`collection("items")/Item/Section/text()`,
+		`collection("items")/Item[not(PictureList)]/Code`,
+		`collection("items")/Item[Section != "CD"]/Code`,
+		// Comparisons both directions, numeric and string.
+		`for $i in collection("items")/Item where $i/@id < 3 return $i/Code`,
+		`for $i in collection("items")/Item where 3 <= $i/@id return $i/Code`,
+		`for $i in collection("items")/Item where starts-with($i/Description, "a ") return $i/Code`,
+		`for $i in collection("items")/Item where ends-with($i/Section, "D") return $i/Code`,
+		`for $i in collection("items")/Item where empty($i/PictureList) return $i/Code`,
+		`for $i in collection("items")/Item where $i/PictureList return $i/Code`,
+		`for $i in collection("items")/Item where not($i/Section = "CD") return $i/Code`,
+		// Order by, both directions, numeric and string keys, missing keys.
+		`for $i in collection("items")/Item order by $i/Code descending return $i/Code`,
+		`for $i in collection("items")/Item order by $i/@id descending return $i/Code`,
+		`for $i in collection("items")/Item order by count($i/PictureList/Picture) return $i/Code`,
+		`for $i in collection("items")/Item order by $i/Characteristics return $i/Code`,
+		`for $i in collection("items")/Item order by $i/Section, $i/Code descending return $i/Code`,
+		// Let bindings, literals, count projections.
+		`for $i in collection("items")/Item let $c := $i/Code return $c`,
+		`for $i in collection("items")/Item let $n := count($i/PictureList/Picture) return $n`,
+		`for $i in collection("items")/Item return count($i/PictureList/Picture)`,
+		`for $i in collection("items")/Item where $i/Section = "CD" return "hit"`,
+		// Folds over streams.
+		`count(collection("items")/Item)`,
+		`exists(for $i in collection("items")/Item where $i/Section = "CD" return $i)`,
+		`empty(for $i in collection("items")/Item where $i/Section = "Vinyl" return $i)`,
+		`sum(for $i in collection("items")/Item return $i/@id)`,
+		`avg(for $i in collection("items")/Item return $i/@id)`,
+		`min(for $i in collection("items")/Item return $i/@id)`,
+		`max(for $i in collection("items")/Item return $i/@id)`,
+		// Empty-sequence edges.
+		`for $i in collection("items")/Missing return $i`,
+		`sum(for $i in collection("items")/Missing return $i)`,
+		`avg(for $i in collection("items")/Missing return $i)`,
+		`min(for $i in collection("items")/Missing return $i)`,
+		`count(collection("items")/Item[Section = "Vinyl"])`,
+	}
+	for _, q := range native {
+		t.Run(q, func(t *testing.T) { runBoth(t, src, q, true) })
+	}
+	// Shapes that exercise the per-tuple interpreter fallback inside a
+	// compiled pipeline (still must produce interpreter-identical output).
+	fallback := []string{
+		`for $i in collection("items")/Item where count($i/PictureList/Picture) > 1 return $i/Code`,
+		`for $i in collection("items")/Item where $i/Section = "CD" or $i/Section = "Book" return $i/Code`,
+		`for $i in collection("items")/Item return exists($i/PictureList)`,
+		`for $i in collection("items")/Item let $s := $i/Section where $s = "CD" return $i/Code`,
+		`for $i in collection("items")/Item order by $i/@id return (for $p in $i/PictureList/Picture return $p/Name)`,
+		// Aggregation over a non-numeric value must error identically.
+		`sum(for $i in collection("items")/Item return $i/Section)`,
+	}
+	for _, q := range fallback {
+		t.Run(q, func(t *testing.T) { runBoth(t, src, q, true) })
+	}
+}
+
+// TestCompileDeclines pins top-level shapes outside the compiled subset:
+// the engine must fall back to the interpreter for these.
+func TestCompileDeclines(t *testing.T) {
+	declined := []string{
+		`"hello"`,
+		`doc("i1")/Item/Code`,
+		`count(doc("i1")/Item)`,
+		`for $i in doc("i1")/Item return $i`,
+		`count(collection("items")/Item) + 1`,
+		`for $i in collection("items")/Item for $i in $i/PictureList/Picture return $i`, // shadowing
+	}
+	for _, q := range declined {
+		e, err := xquery.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %s: %v", q, err)
+		}
+		if _, ok := Compile(e); ok {
+			t.Errorf("Compile accepted %s; want decline", q)
+		}
+	}
+}
+
+// TestStreamChunksBounded verifies the executor yields bounded frames: a
+// scan over many documents with multiple items each must never hand the
+// consumer a chunk much larger than yieldChunk, no matter the total.
+func TestStreamChunksBounded(t *testing.T) {
+	var docs []*xmltree.Document
+	for i := 0; i < 400; i++ {
+		docs = append(docs, xmltree.MustParseString(fmt.Sprintf("d%d", i),
+			fmt.Sprintf("<r><v>%d</v><v>%d</v><v>%d</v></r>", i, i+1, i+2)))
+	}
+	src := newMemSource(xmltree.NewCollection("c", docs...))
+	e, err := xquery.Parse(`collection("c")/r/v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, ok := Compile(e)
+	if !ok {
+		t.Fatal("Compile declined")
+	}
+	chunks, total := 0, 0
+	n, err := prog.Stream(src, func(items xquery.Seq) error {
+		if len(items) == 0 {
+			t.Fatal("empty chunk yielded")
+		}
+		if len(items) > yieldChunk+8 {
+			t.Fatalf("chunk of %d items exceeds bound", len(items))
+		}
+		chunks++
+		total += len(items)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1200 || total != 1200 {
+		t.Fatalf("streamed %d/%d items, want 1200", n, total)
+	}
+	if chunks < 4 {
+		t.Fatalf("result arrived in %d chunks; want several bounded frames", chunks)
+	}
+}
+
+// TestExistsStopsScan verifies the decider folds cancel the collection
+// scan at the first witness instead of visiting every document.
+func TestExistsStopsScan(t *testing.T) {
+	var docs []*xmltree.Document
+	for i := 0; i < 100; i++ {
+		docs = append(docs, xmltree.MustParseString(fmt.Sprintf("d%d", i),
+			fmt.Sprintf("<r><v>%d</v></r>", i)))
+	}
+	src := newMemSource(xmltree.NewCollection("c", docs...))
+	e, err := xquery.Parse(`exists(for $r in collection("c")/r where $r/v = 3 return $r)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, ok := Compile(e)
+	if !ok {
+		t.Fatal("Compile declined")
+	}
+	res, err := prog.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != true {
+		t.Fatalf("got %v", res)
+	}
+	// Batching may buffer up to a full tuple batch before the fold sees
+	// the witness, but the scan must stop well short of all 100 docs.
+	if src.scanned > 2+tupleBatchSize/4 {
+		t.Fatalf("scanned %d docs; want early stop", src.scanned)
+	}
+}
+
+// --- randomized differential testing ---
+
+var elemNames = []string{"a", "b", "c", "d"}
+var leafValues = []string{"1", "2", "10", "-3", "2.5", "x", "y", "good stuff", "", "CD"}
+
+func randDoc(r *rand.Rand, name string) *xmltree.Document {
+	var sb strings.Builder
+	sb.WriteString("<r")
+	if r.Intn(2) == 0 {
+		fmt.Fprintf(&sb, ` id="%d"`, r.Intn(20))
+	}
+	sb.WriteString(">")
+	randChildren(r, &sb, 0)
+	sb.WriteString("</r>")
+	return xmltree.MustParseString(name, sb.String())
+}
+
+func randChildren(r *rand.Rand, sb *strings.Builder, depth int) {
+	n := r.Intn(4)
+	for i := 0; i < n; i++ {
+		name := elemNames[r.Intn(len(elemNames))]
+		fmt.Fprintf(sb, "<%s", name)
+		if r.Intn(4) == 0 {
+			fmt.Fprintf(sb, ` id="%d"`, r.Intn(20))
+		}
+		sb.WriteString(">")
+		if depth < 2 && r.Intn(3) == 0 {
+			randChildren(r, sb, depth+1)
+		} else {
+			sb.WriteString(leafValues[r.Intn(len(leafValues))])
+		}
+		fmt.Fprintf(sb, "</%s>", name)
+	}
+}
+
+func randLit(r *rand.Rand) string {
+	if r.Intn(2) == 0 {
+		return fmt.Sprintf("%d", r.Intn(12)-2)
+	}
+	return fmt.Sprintf("%q", leafValues[r.Intn(len(leafValues))])
+}
+
+func randOp(r *rand.Rand) string {
+	return []string{"=", "!=", "<", "<=", ">", ">="}[r.Intn(6)]
+}
+
+func randStepName(r *rand.Rand) string {
+	if r.Intn(8) == 0 {
+		return "*"
+	}
+	return elemNames[r.Intn(len(elemNames))]
+}
+
+// randRel builds a short relative path like a/b or a//b/@id. The first
+// step is always a concrete name: the parser rejects a leading *.
+func randRel(r *rand.Rand) string {
+	parts := []string{elemNames[r.Intn(len(elemNames))]}
+	if r.Intn(2) == 0 {
+		sep := "/"
+		if r.Intn(4) == 0 {
+			sep = "//"
+		}
+		next := randStepName(r)
+		if r.Intn(6) == 0 {
+			next = "@id"
+		}
+		parts = append(parts, sep+next)
+	}
+	return strings.Join(parts, "")
+}
+
+func randPath(r *rand.Rand) string {
+	p := `collection("c")`
+	if r.Intn(8) == 0 {
+		return p // bare collection: wrapper escape
+	}
+	if r.Intn(4) == 0 {
+		p += "//" + randStepName(r)
+	} else {
+		p += "/r"
+	}
+	nsteps := r.Intn(2)
+	for i := 0; i < nsteps; i++ {
+		p += "/" + randStepName(r)
+	}
+	if r.Intn(3) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			p += fmt.Sprintf("[%d]", r.Intn(3)+1)
+		case 1:
+			p += fmt.Sprintf("[%s %s %s]", randRel(r), randOp(r), randLit(r))
+		case 2:
+			p += fmt.Sprintf("[%s]", randRel(r))
+		default:
+			p += fmt.Sprintf("[not(%s)]", randRel(r))
+		}
+	}
+	return p
+}
+
+func randWhereTerm(r *rand.Rand, v string) string {
+	switch r.Intn(7) {
+	case 0:
+		return fmt.Sprintf("$%s/%s %s %s", v, randRel(r), randOp(r), randLit(r))
+	case 1:
+		return fmt.Sprintf("%s %s $%s/%s", randLit(r), randOp(r), v, randRel(r))
+	case 2:
+		return fmt.Sprintf("contains($%s/%s, %q)", v, randRel(r), leafValues[r.Intn(len(leafValues))])
+	case 3:
+		return fmt.Sprintf("exists($%s/%s)", v, randRel(r))
+	case 4:
+		return fmt.Sprintf("empty($%s/%s)", v, randRel(r))
+	case 5:
+		return fmt.Sprintf("$%s/%s", v, randRel(r))
+	default:
+		// Interpreter-fallback shape: count comparison.
+		return fmt.Sprintf("count($%s/%s) %s %d", v, randRel(r), randOp(r), r.Intn(3))
+	}
+}
+
+func randReturn(r *rand.Rand, v string) string {
+	switch r.Intn(5) {
+	case 0:
+		return "$" + v
+	case 1:
+		return fmt.Sprintf("$%s/%s", v, randRel(r))
+	case 2:
+		return fmt.Sprintf("count($%s/%s)", v, randRel(r))
+	case 3:
+		return randLit(r)
+	default:
+		return fmt.Sprintf("$%s/%s/text()", v, randStepName(r))
+	}
+}
+
+func randQuery(r *rand.Rand) string {
+	switch r.Intn(4) {
+	case 0: // bare path
+		return randPath(r)
+	case 1: // fold over a path or FLWOR
+		fold := []string{"count", "exists", "empty", "sum", "min", "max", "avg"}[r.Intn(7)]
+		if r.Intn(2) == 0 {
+			return fmt.Sprintf("%s(%s)", fold, randPath(r))
+		}
+		return fmt.Sprintf("%s(%s)", fold, randFLWOR(r))
+	default:
+		return randFLWOR(r)
+	}
+}
+
+func randFLWOR(r *rand.Rand) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "for $x in %s", randPath(r))
+	vars := []string{"x"}
+	if r.Intn(4) == 0 {
+		fmt.Fprintf(&sb, ", $y in $x/%s", randRel(r))
+		vars = append(vars, "y")
+	}
+	if r.Intn(5) == 0 {
+		fmt.Fprintf(&sb, " let $l := $x/%s", randRel(r))
+	}
+	if r.Intn(2) == 0 {
+		v := vars[r.Intn(len(vars))]
+		fmt.Fprintf(&sb, " where %s", randWhereTerm(r, v))
+		if r.Intn(3) == 0 {
+			fmt.Fprintf(&sb, " and %s", randWhereTerm(r, vars[r.Intn(len(vars))]))
+		}
+	}
+	if r.Intn(3) == 0 {
+		v := vars[r.Intn(len(vars))]
+		desc := ""
+		if r.Intn(2) == 0 {
+			desc = " descending"
+		}
+		fmt.Fprintf(&sb, " order by $%s/%s%s", v, randRel(r), desc)
+	}
+	fmt.Fprintf(&sb, " return %s", randReturn(r, vars[r.Intn(len(vars))]))
+	return sb.String()
+}
+
+// TestDifferentialRandom fuzzes generated FLWOR/path queries over
+// generated documents through both the compiled pipeline and the
+// interpreter; results (and errors) must be identical. This is the
+// executor's semantic safety net — the interpreter is the oracle.
+func TestDifferentialRandom(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 60
+	}
+	compiled := 0
+	for seed := 0; seed < iters; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		var docs []*xmltree.Document
+		for i, n := 0, 2+r.Intn(5); i < n; i++ {
+			docs = append(docs, randDoc(r, fmt.Sprintf("d%d", i)))
+		}
+		src := newMemSource(xmltree.NewCollection("c", docs...))
+		query := randQuery(r)
+		e, err := xquery.Parse(query)
+		if err != nil {
+			t.Fatalf("seed %d: generated unparsable query %s: %v", seed, query, err)
+		}
+		prog, ok := Compile(e)
+		if !ok {
+			continue
+		}
+		compiled++
+		want, wantErr := xquery.Eval(e, src)
+		got, gotErr := prog.Run(src)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("seed %d: %s\ninterp err=%v compiled err=%v", seed, query, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !sameSeq(want, got) {
+			t.Fatalf("seed %d: %s\ninterp   (%d): %s\ncompiled (%d): %s",
+				seed, query, len(want), seqString(want), len(got), seqString(got))
+		}
+	}
+	// The generator must keep most shapes inside the compiled subset, or
+	// this test stops testing the executor.
+	if compiled < iters/2 {
+		t.Fatalf("only %d/%d generated queries compiled natively", compiled, iters)
+	}
+}
+
+// TestAllocsScanFilterProject is the allocation-regression gate for the
+// hot scan → filter → project path: steady-state execution must not
+// allocate per document (scratch buffers are reused; only result growth
+// allocates, and this query rejects every document).
+func TestAllocsScanFilterProject(t *testing.T) {
+	const nDocs = 512
+	var docs []*xmltree.Document
+	for i := 0; i < nDocs; i++ {
+		docs = append(docs, xmltree.MustParseString(fmt.Sprintf("d%d", i),
+			fmt.Sprintf(`<Item><Code>I%d</Code><Section>CD</Section></Item>`, i)))
+	}
+	src := newMemSource(xmltree.NewCollection("items", docs...))
+	e, err := xquery.Parse(`for $i in collection("items")/Item where $i/Section = "Vinyl" return $i/Code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, ok := Compile(e)
+	if !ok {
+		t.Fatal("Compile declined")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := prog.Run(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perDoc := allocs / nDocs
+	// One executor + scratch set per run amortizes over 512 docs; the
+	// per-document cost must be far below one allocation.
+	if perDoc > 0.25 {
+		t.Fatalf("scan→filter→project allocates %.2f allocs/doc (%.0f per run); regression over the pinned budget", perDoc, allocs)
+	}
+}

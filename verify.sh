@@ -51,6 +51,19 @@ grep -q '"cachedPlanFaster": true' "$benchdir/planner.json"
 grep -q '"mixedrw"' "$benchdir/mixedrw.json"
 grep -q '"lockCoupled": true' "$benchdir/mixedrw.json"
 grep -q '"durableWAL": true' "$benchdir/mixedrw.json"
+
+# compiled-executor gates: the randomized differential tests must hold
+# under the race detector, and the allocation pin for the hot
+# scan→filter→project loop must not regress (run without -race, which
+# would inflate the alloc counts)
+go test -race -timeout 5m -run 'TestDifferential' ./internal/xquery/exec/
+go test -timeout 5m -run TestAllocsScanFilterProject ./internal/xquery/exec/
+
+# executor smoke bench: compiled and interpreted executors must agree
+# on the Figure 7(a) workload (RunExec fails on any mismatch) and the
+# JSON report must carry the exec section
+"$benchdir/partix-bench" -exp exec -repeats 1 -json "$benchdir/exec.json" >/dev/null
+grep -q '"exec"' "$benchdir/exec.json"
 rm -rf "$benchdir"
 
 # observability smoke test: a node started with -debug-addr must serve
