@@ -14,9 +14,10 @@
 //	partix-bench -exp planner -json BENCH_PR6.json
 //	partix-bench -exp mixedrw -json BENCH_PR7.json
 //	partix-bench -exp exec -json BENCH_PR8.json
+//	partix-bench -exp telemetry -json BENCH_PR9.json
 //
 // Experiments: fig7a, fig7b, fig7c, fig7d, headline, smalldb, stream,
-// obs, valueindex, planner, mixedrw, exec, all. The stream experiment
+// obs, valueindex, planner, mixedrw, exec, telemetry, all. The stream experiment
 // contrasts the framed wire protocol against the monolithic one over
 // real TCP node servers; obs measures the observability layer's overhead
 // (metrics off vs on vs traced); valueindex sweeps a range predicate's
@@ -27,7 +28,10 @@
 // under a concurrent writer with snapshot-isolated reads vs the old
 // lock-coupled write path; exec contrasts the compiled vectorized
 // executor against the tree-walking interpreter (per-query CPU and
-// allocations, plus a 10x streaming peak-heap panel). With -json the
+// allocations, plus a 10x streaming peak-heap panel); telemetry ablates
+// the query flight recorder + workload profiler on the Fig 7(a) mix
+// (overhead budget 2%) and checks the mined workload profile against
+// the planner's routing of that mix. With -json the
 // measured panels are also written machine-readable (durations in
 // nanoseconds) so the perf trajectory is tracked across changes.
 //
@@ -48,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | planner | mixedrw | exec | all")
+		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | planner | mixedrw | exec | telemetry | all")
 		scaleF     = flag.Int("scale", 1, "multiply the default database sizes")
 		repeats    = flag.Int("repeats", 3, "timed executions per query (after one discarded warm-up)")
 		dir        = flag.String("dir", "", "working directory for node stores (default: temp)")
@@ -130,6 +134,7 @@ type collector struct {
 	planner    *experiments.PlannerCompare
 	mixedRW    *experiments.MixedRWCompare
 	exec       *experiments.ExecCompare
+	telemetry  *experiments.TelemetryCompare
 }
 
 func writeJSON(path string, repeats int, col *collector) error {
@@ -143,6 +148,7 @@ func writeJSON(path string, repeats int, col *collector) error {
 	report.Planner = col.planner
 	report.MixedRW = col.mixedRW
 	report.Exec = col.exec
+	report.Telemetry = col.telemetry
 	if err := report.WriteJSON(f); err != nil {
 		f.Close()
 		return err
@@ -240,8 +246,16 @@ func run(exp string, scale experiments.Scale, opts experiments.Options, col *col
 		col.exec = c
 		experiments.PrintExec(out, c)
 		return nil
+	case "telemetry":
+		c, err := experiments.RunTelemetry(scale, opts)
+		if err != nil {
+			return err
+		}
+		col.telemetry = c
+		experiments.PrintTelemetry(out, c)
+		return nil
 	case "all":
-		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "planner", "mixedrw", "exec", "headline"} {
+		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "planner", "mixedrw", "exec", "telemetry", "headline"} {
 			if err := run(name, scale, opts, col); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -257,6 +258,60 @@ func run(configPath string, opts wire.ClientOptions, qopts queryOptions, args []
 		}
 		fmt.Printf("ok: %d fragment(s) reconstruct into %d document(s); all correctness rules hold\n",
 			len(frags), re.Len())
+		return nil
+
+	case "top":
+		// Workload report: pull telemetry from every node (protocol v5)
+		// and rank fragments by observed load. A fresh CLI process has no
+		// coordinator history of its own — everything shown here is the
+		// nodes' accumulated view.
+		ct := sys.ClusterTelemetry()
+		for _, ns := range ct.Nodes {
+			status := "no telemetry (pre-v5 peer)"
+			if ns.Supported {
+				status = "ok"
+			}
+			if ns.Err != "" {
+				status = "error: " + ns.Err
+			}
+			fmt.Printf("node %-12s %s\n", ns.Node, status)
+		}
+		if len(ct.NodeHeat) > 0 {
+			heat := ct.NodeHeat
+			sort.Slice(heat, func(i, j int) bool {
+				return heat[i].HeatLatencySeconds() > heat[j].HeatLatencySeconds()
+			})
+			fmt.Printf("\nhottest fragments (by time served):\n")
+			fmt.Printf("%-16s %-12s %-10s %10s %12s %12s %10s\n",
+				"collection", "fragment", "node", "queries", "docsDecoded", "bytes", "p99")
+			for _, h := range heat {
+				frag := h.Fragment
+				if frag == "" {
+					frag = "(whole)"
+				}
+				fmt.Printf("%-16s %-12s %-10s %10d %12d %12d %9.3fs\n",
+					h.Collection, frag, h.Node, h.Queries, h.DocsDecoded, h.Bytes, h.P99Seconds)
+			}
+		}
+		for _, cw := range ct.Profile.Collections {
+			fmt.Printf("\ncollection %q: %d queries\n", cw.Collection, cw.Queries)
+			for _, kc := range cw.Paths {
+				fmt.Printf("  path %-40s %d\n", kc.Key, kc.Count)
+			}
+			for _, kc := range cw.Predicates {
+				fmt.Printf("  pred %-40s %d\n", kc.Key, kc.Count)
+			}
+		}
+		fmt.Printf("\ncluster metrics (coordinator + nodes):\n")
+		for _, key := range []string{
+			"partix_engine_queries_total", "partix_engine_docs_decoded_total",
+			"partix_engine_docs_pruned_total", "partix_storage_wal_fsyncs_total",
+			"partix_telemetry_records_total", "partix_telemetry_sampled_out_total",
+		} {
+			if v, ok := ct.Metrics[key]; ok {
+				fmt.Printf("  %-40s %.0f\n", key, v)
+			}
+		}
 		return nil
 
 	case "stats":

@@ -8,7 +8,10 @@
 //	partixd -addr :7001 -db node1.db
 //
 // With -debug-addr the node additionally serves an operational HTTP
-// endpoint: Prometheus metrics on /metrics, liveness on /healthz, a JSON
+// endpoint: Prometheus metrics on /metrics, liveness on /healthz (with
+// WAL/checkpoint lag detail, and 503 past the -health-max-wal-bytes /
+// -health-max-fsync-lag thresholds), the query flight recorder on
+// /debug/queries, the mined workload profile on /debug/workload, a JSON
 // metrics snapshot on /debug/vars and the Go profiler under
 // /debug/pprof/.
 package main
@@ -45,8 +48,14 @@ func main() {
 		batch      = flag.Int("batch-items", 0, "default items/documents per streamed result frame (0 = built-in default)")
 		frameBytes = flag.Int("max-frame-bytes", 0, "flush a streamed frame once it holds this many payload bytes (0 = built-in default)")
 		maxMsg     = flag.Int64("max-message-bytes", 0, "reject incoming messages larger than this (0 = built-in default)")
-		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (empty = off)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/queries, /debug/workload, /debug/vars and /debug/pprof on this address (empty = off)")
 		quiet      = flag.Bool("quiet", false, "suppress request logging")
+
+		recCap     = flag.Int("record-capacity", 0, "query flight recorder ring size (0 = built-in default)")
+		recSample  = flag.Int("record-sample", 1, "record 1 in N ordinary queries (slow and errored queries are always recorded)")
+		recSlow    = flag.Duration("record-slow", 100*time.Millisecond, "queries at or above this duration bypass sampling (0 = off)")
+		maxWALLag  = flag.Int64("health-max-wal-bytes", 0, "report unhealthy once this many WAL bytes accumulated since the last checkpoint (0 = off)")
+		maxSyncLag = flag.Duration("health-max-fsync-lag", 0, "report unhealthy once the WAL has unsynced commits older than this (0 = off)")
 	)
 	flag.Parse()
 
@@ -75,12 +84,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	recorder := obs.NewFlightRecorder(*recCap)
+	recorder.SetSampleEvery(*recSample)
+	recorder.SetSlowThreshold(*recSlow)
+	profiler := obs.NewWorkloadProfiler(0)
+
 	srv := wire.NewServerWith(db, logger, wire.ServerOptions{
 		IdleTimeout:     *idle,
 		DrainTimeout:    *drain,
 		BatchItems:      *batch,
 		MaxFrameBytes:   *frameBytes,
 		MaxMessageBytes: *maxMsg,
+		Recorder:        recorder,
+		Profiler:        profiler,
 	})
 
 	if *debugAddr != "" {
@@ -93,10 +109,53 @@ func main() {
 			// The engine answers a stats snapshot iff it is open and
 			// serving — the same liveness a wire ping would establish.
 			_ = db.Stats()
+			ws := db.WALStatus()
+			if !ws.Enabled {
+				return nil
+			}
+			if *maxWALLag > 0 && ws.SizeBytes > *maxWALLag {
+				return fmt.Errorf("wal: %d bytes since last checkpoint (limit %d)", ws.SizeBytes, *maxWALLag)
+			}
+			if *maxSyncLag > 0 && ws.SyncedSeq < ws.LastSeq && !ws.LastFsync.IsZero() {
+				if lag := time.Since(ws.LastFsync); lag > *maxSyncLag {
+					return fmt.Errorf("wal: unsynced commits for %s (limit %s)", lag.Round(time.Millisecond), *maxSyncLag)
+				}
+			}
 			return nil
 		}
+		healthDetail := func() map[string]string {
+			ws := db.WALStatus()
+			detail := map[string]string{
+				"wal_enabled": fmt.Sprintf("%t", ws.Enabled),
+			}
+			if ws.Enabled {
+				detail["wal_bytes_since_checkpoint"] = fmt.Sprintf("%d", ws.SizeBytes)
+				detail["wal_last_seq"] = fmt.Sprintf("%d", ws.LastSeq)
+				detail["wal_synced_seq"] = fmt.Sprintf("%d", ws.SyncedSeq)
+				if ws.LastFsync.IsZero() {
+					detail["wal_fsync_age_seconds"] = "never"
+				} else {
+					detail["wal_fsync_age_seconds"] = fmt.Sprintf("%.3f", time.Since(ws.LastFsync).Seconds())
+				}
+			}
+			return detail
+		}
+		workload := func() *obs.WorkloadProfile {
+			// The profiler mined paths/predicates from served queries; the
+			// engine's heat counters carry the decode/latency side. Merged
+			// they are this node's complete local profile.
+			prof := profiler.Profile()
+			prof.Fragments = obs.MergeHeat(append(prof.Fragments, db.FragmentHeat()...))
+			return prof
+		}
+		handler := obs.HandlerWith(obs.Default, obs.DebugOptions{
+			Health:       health,
+			HealthDetail: healthDetail,
+			Recorder:     recorder,
+			Workload:     workload,
+		})
 		go func() {
-			if err := http.Serve(dl, obs.Handler(obs.Default, health)); err != nil && logger != nil {
+			if err := http.Serve(dl, handler); err != nil && logger != nil {
 				logger.Printf("debug endpoint: %v", err)
 			}
 		}()

@@ -70,6 +70,16 @@ type StatisticsProvider interface {
 	CollectionStatistics(collection string) (*engine.CollectionStatistics, error)
 }
 
+// TelemetryProvider is an optional Driver extension for cluster-wide
+// workload telemetry: the node returns a snapshot of its metric series
+// and per-fragment heat counters for the coordinator to aggregate.
+// (nil, nil) means the node cannot provide telemetry — a legacy peer —
+// and the aggregation simply reports it as unsupported. A driver
+// without this extension is treated the same way.
+type TelemetryProvider interface {
+	Telemetry() (*obs.TelemetrySnapshot, error)
+}
+
 // LocalNode is an in-process driver backed by an engine.DB, used by the
 // simulated cluster and by tests.
 type LocalNode struct {
@@ -147,6 +157,14 @@ func (n *LocalNode) HasCollection(collection string) bool {
 	return n.db.HasCollection(collection)
 }
 
+// Telemetry implements TelemetryProvider. Only fragment heat is
+// returned: an in-process node shares the coordinator's metric registry
+// (obs.Default), so returning a metric snapshot too would double-count
+// every series when the coordinator merges node telemetry with its own.
+func (n *LocalNode) Telemetry() (*obs.TelemetrySnapshot, error) {
+	return &obs.TelemetrySnapshot{Node: n.name, Heat: n.db.FragmentHeat()}, nil
+}
+
 // CostModel is the communication model of Section 5: transmission time is
 // payload size divided by the link speed (the paper uses Gigabit
 // Ethernet), plus a fixed per-message latency.
@@ -184,6 +202,11 @@ type SubQuery struct {
 	// the sub-query's processing steps; the spans land in
 	// SubResult.Spans.
 	TraceID string
+	// Tag is a pure correlation identifier for streamed sub-queries:
+	// nodes implementing TaggedStreamer carry it in their logs and error
+	// frames but do no extra timing. Unlike TraceID it never switches the
+	// execution onto the traced monolithic path.
+	Tag string
 }
 
 // SubResult is the measured outcome of one sub-query.

@@ -22,6 +22,15 @@ type Streamer interface {
 	StreamQuery(query string, yield func(xquery.Seq) error) error
 }
 
+// TaggedStreamer is an optional Streamer extension: the stream carries a
+// correlation tag the node echoes in its slow-query log lines and error
+// frames, so a failed or slow sub-query joins across coordinator and
+// node logs. Tagging is free — the node times nothing extra — which is
+// what distinguishes it from tracing (TracedDriver).
+type TaggedStreamer interface {
+	StreamQueryTagged(tag, query string, yield func(xquery.Seq) error) error
+}
+
 // StreamSink consumes partial results during a streamed execution.
 // Batch is never called concurrently — the executor serializes delivery
 // across sub-queries — so implementations need no locking of their own.
@@ -170,7 +179,9 @@ func runSubStream(i int, sq SubQuery, st *streamState) (SubResult, error) {
 			return nil
 		}
 		var err error
-		if str, ok := node.(Streamer); ok {
+		if ts, ok := node.(TaggedStreamer); ok && sq.Tag != "" {
+			err = ts.StreamQueryTagged(sq.Tag, sq.Query, yield)
+		} else if str, ok := node.(Streamer); ok {
 			err = str.StreamQuery(sq.Query, yield)
 		} else {
 			// Driver without streaming support: one monolithic batch.

@@ -1,0 +1,121 @@
+package design
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"partix/internal/obs"
+)
+
+// WorkloadFromProfile converts a mined workload profile (the coordinator
+// profiler's export, internal/obs) into design workload queries for one
+// collection, closing the observe → redesign loop: the profile's top-K
+// predicate keys become FLWOR queries filtering on them (the signal
+// ProposeHorizontal's min-term method wants) and its top-K path keys
+// become projection queries (the affinity signal ProposeVertical wants),
+// each weighted by the sketch count.
+//
+// Keys the synthesizer cannot express as a plain child-step FLWOR —
+// attribute steps, descendant steps, paths no deeper than the binding
+// root — are skipped: the profile is a lossy sketch already, and a
+// mis-synthesized query would distort the design more than a dropped
+// one.
+func WorkloadFromProfile(p *obs.WorkloadProfile, collection string) []WorkloadQuery {
+	if p == nil {
+		return nil
+	}
+	var out []WorkloadQuery
+	for _, cw := range p.Collections {
+		if cw.Collection != collection {
+			continue
+		}
+		for _, kc := range cw.Predicates {
+			if q, ok := predicateQuery(collection, kc.Key); ok {
+				out = append(out, WorkloadQuery{Text: q, Weight: sketchWeight(kc.Count)})
+			}
+		}
+		for _, kc := range cw.Paths {
+			if q, ok := pathQuery(collection, kc.Key); ok {
+				out = append(out, WorkloadQuery{Text: q, Weight: sketchWeight(kc.Count)})
+			}
+		}
+	}
+	return out
+}
+
+func sketchWeight(count int64) int {
+	if count < 1 {
+		return 1
+	}
+	return int(count)
+}
+
+// splitCanonicalPath splits a canonical profile path ("/Item/Section")
+// into the binding root label and the remainder relative to it ("Item",
+// "/Section"). Attribute and descendant steps are rejected — the
+// synthesizer only emits plain child-step FLWORs.
+func splitCanonicalPath(path string) (root, rest string, ok bool) {
+	if !strings.HasPrefix(path, "/") || strings.Contains(path, "//") || strings.Contains(path, "@") {
+		return "", "", false
+	}
+	rem := path[1:]
+	i := strings.IndexByte(rem, '/')
+	if i < 0 {
+		return rem, "", rem != ""
+	}
+	return rem[:i], rem[i:], true
+}
+
+// pathQuery synthesizes the projection query for a canonical path key.
+func pathQuery(collection, key string) (string, bool) {
+	root, rest, ok := splitCanonicalPath(key)
+	if !ok || rest == "" {
+		return "", false
+	}
+	return fmt.Sprintf("for $d in collection(%q)/%s return $d%s", collection, root, rest), true
+}
+
+// predicateQuery synthesizes the filtering query for a canonical
+// predicate key: either a comparison (`/Item/Section = "CD"`) or a
+// containment (`contains(/Item/Description, "good")`).
+func predicateQuery(collection, key string) (string, bool) {
+	if inner, ok := strings.CutPrefix(key, "contains("); ok {
+		inner, ok = strings.CutSuffix(inner, ")")
+		if !ok {
+			return "", false
+		}
+		i := strings.Index(inner, ", \"")
+		if i < 0 {
+			return "", false
+		}
+		root, rest, ok := splitCanonicalPath(inner[:i])
+		if !ok || rest == "" {
+			return "", false
+		}
+		lit := inner[i+2:]
+		if _, err := strconv.Unquote(lit); err != nil {
+			return "", false
+		}
+		return fmt.Sprintf("for $d in collection(%q)/%s where contains($d%s, %s) return $d",
+			collection, root, rest, lit), true
+	}
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		marker := " " + op + " \""
+		i := strings.Index(key, marker)
+		if i < 0 {
+			continue
+		}
+		root, rest, ok := splitCanonicalPath(key[:i])
+		if !ok || rest == "" {
+			return "", false
+		}
+		lit := key[i+len(marker)-1:]
+		if _, err := strconv.Unquote(lit); err != nil {
+			return "", false
+		}
+		return fmt.Sprintf("for $d in collection(%q)/%s where $d%s %s %s return $d",
+			collection, root, rest, op, lit), true
+	}
+	return "", false
+}

@@ -1,0 +1,95 @@
+package design
+
+import (
+	"testing"
+
+	"partix/internal/obs"
+	"partix/internal/xquery"
+)
+
+func profileWith(coll string, preds, paths []obs.KeyCount) *obs.WorkloadProfile {
+	return &obs.WorkloadProfile{
+		Version: obs.WorkloadProfileVersion,
+		Collections: []obs.CollectionWorkload{
+			{Collection: coll, Predicates: preds, Paths: paths},
+		},
+	}
+}
+
+func TestWorkloadFromProfileSynthesis(t *testing.T) {
+	p := profileWith("items",
+		[]obs.KeyCount{
+			{Key: `/Item/Section = "CD"`, Count: 7},
+			{Key: `contains(/Item/Description, "good")`, Count: 3},
+			{Key: `/Item/Code != "I000007"`, Count: 2},
+		},
+		[]obs.KeyCount{
+			{Key: "/Item/Name", Count: 5},
+		},
+	)
+	qs := WorkloadFromProfile(p, "items")
+	want := map[string]int{
+		`for $d in collection("items")/Item where $d/Section = "CD" return $d`:                7,
+		`for $d in collection("items")/Item where contains($d/Description, "good") return $d`: 3,
+		`for $d in collection("items")/Item where $d/Code != "I000007" return $d`:             2,
+		`for $d in collection("items")/Item return $d/Name`:                                   5,
+	}
+	if len(qs) != len(want) {
+		t.Fatalf("synthesized %d queries, want %d: %+v", len(qs), len(want), qs)
+	}
+	for _, q := range qs {
+		w, ok := want[q.Text]
+		if !ok {
+			t.Fatalf("unexpected query %q", q.Text)
+		}
+		if q.Weight != w {
+			t.Fatalf("%q weight = %d, want %d", q.Text, q.Weight, w)
+		}
+		// Every synthesized query must be executable, not just plausible.
+		if _, err := xquery.Parse(q.Text); err != nil {
+			t.Fatalf("synthesized query does not parse: %q: %v", q.Text, err)
+		}
+	}
+}
+
+// Keys the synthesizer cannot express as a plain child-step FLWOR are
+// dropped, never mis-synthesized.
+func TestWorkloadFromProfileSkipsInexpressibleKeys(t *testing.T) {
+	p := profileWith("items",
+		[]obs.KeyCount{
+			{Key: `/Item//Deep = "x"`, Count: 9},        // descendant step
+			{Key: `/Item/@id = "1"`, Count: 9},          // attribute step
+			{Key: `/Item = "x"`, Count: 9},              // no step below the binding root
+			{Key: `exists(/Item/Section)`, Count: 9},    // unsupported predicate form
+			{Key: `/Item/Section = unquoted`, Count: 9}, // malformed literal
+		},
+		[]obs.KeyCount{
+			{Key: "/Item", Count: 9},     // root-only path
+			{Key: "Item/Name", Count: 9}, // not rooted
+			{Key: "/Item/@id", Count: 9}, // attribute step
+		},
+	)
+	if qs := WorkloadFromProfile(p, "items"); len(qs) != 0 {
+		t.Fatalf("inexpressible keys synthesized: %+v", qs)
+	}
+}
+
+func TestWorkloadFromProfileScopesAndClamps(t *testing.T) {
+	p := &obs.WorkloadProfile{
+		Version: obs.WorkloadProfileVersion,
+		Collections: []obs.CollectionWorkload{
+			{Collection: "other", Predicates: []obs.KeyCount{{Key: `/X/Y = "1"`, Count: 4}}},
+			{Collection: "items", Paths: []obs.KeyCount{{Key: "/Item/Name", Count: 0}}},
+		},
+	}
+	qs := WorkloadFromProfile(p, "items")
+	if len(qs) != 1 {
+		t.Fatalf("scoping leaked across collections: %+v", qs)
+	}
+	if qs[0].Weight != 1 {
+		t.Fatalf("zero-count sketch entry not clamped to weight 1: %+v", qs[0])
+	}
+	if WorkloadFromProfile(nil, "items") != nil {
+		t.Fatal("nil profile must synthesize nothing")
+	}
+}

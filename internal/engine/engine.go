@@ -90,6 +90,7 @@ type DB struct {
 	docCols map[string]map[string]bool // doc name → collections holding it
 
 	stats liveStats
+	heat  heatState // per-collection workload heat, see heat.go
 }
 
 // colState is one collection's write serialization and read-side seqlock.
@@ -198,6 +199,7 @@ func Open(path string, opts Options) (*DB, error) {
 		opts: opts, store: st,
 		idx: map[string]*docIndex{}, cols: map[string]*colState{},
 		docCols: map[string]map[string]bool{},
+		heat:    heatState{cols: map[string]*colHeat{}},
 	}
 	if opts.TreeCacheBytes > 0 {
 		db.cache = newTreeCache(opts.TreeCacheBytes)
@@ -442,6 +444,13 @@ func (db *DB) CollectionStats(name string) (storage.Stats, error) {
 	return db.store.CollectionStats(name)
 }
 
+// WALStatus reports the store's write-ahead log durability lag, for
+// health endpoints that degrade when checkpointing or fsync falls
+// behind.
+func (db *DB) WALStatus() storage.WALStatus {
+	return db.store.WALStatus()
+}
+
 // Query parses and executes an XQuery expression.
 func (db *DB) Query(query string) (xquery.Seq, error) {
 	e, err := xquery.Parse(query)
@@ -466,7 +475,9 @@ func (db *DB) QueryExpr(e xquery.Expr) (xquery.Seq, error) {
 	} else {
 		seq, err = xquery.Eval(e, db)
 	}
-	obs.EngineQuerySeconds.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	obs.EngineQuerySeconds.Observe(elapsed.Seconds())
+	db.observeQueryHeat(e, elapsed)
 	return seq, err
 }
 
@@ -480,7 +491,11 @@ func (db *DB) StreamQueryExpr(e xquery.Expr, yield func(xquery.Seq) error) (int,
 	db.stats.queries.Add(1)
 	obs.EngineQueries.Inc()
 	start := time.Now()
-	defer func() { obs.EngineQuerySeconds.Observe(time.Since(start).Seconds()) }()
+	defer func() {
+		elapsed := time.Since(start)
+		obs.EngineQuerySeconds.Observe(elapsed.Seconds())
+		db.observeQueryHeat(e, elapsed)
+	}()
 	if prog := db.compileQuery(e); prog != nil {
 		return prog.Stream(db, yield)
 	}
@@ -671,6 +686,7 @@ func (db *DB) Docs(collection string, hint *xquery.Hint, fn func(*xmltree.Docume
 	obs.EngineBytesDecoded.Add(c.bytes)
 	obs.EngineCacheHits.Add(c.hits)
 	obs.EngineCacheMisses.Add(c.misses)
+	db.observeDocsHeat(collection, c.decoded, c.bytes)
 	return nil
 }
 

@@ -38,6 +38,9 @@ type Report struct {
 	// Exec is the compiled vectorized executor vs interpreter comparison
 	// (partix-bench -exp exec).
 	Exec *ExecCompare `json:"exec,omitempty"`
+	// Telemetry is the flight recorder + workload profiler ablation and
+	// profile-accuracy check (partix-bench -exp telemetry).
+	Telemetry *TelemetryCompare `json:"telemetry,omitempty"`
 }
 
 // PanelReport is one figure panel's measurements.

@@ -2,36 +2,119 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strconv"
 )
+
+// DebugOptions configures the optional pieces of the debug mux.
+type DebugOptions struct {
+	// Health, when non-nil, gates /healthz: an error answers 503 with
+	// the message instead of 200 ok.
+	Health func() error
+	// HealthDetail, when non-nil, contributes extra "key value" lines
+	// after the ok line on a healthy /healthz — WAL/checkpoint lag
+	// numbers a load balancer or operator can read without scraping.
+	HealthDetail func() map[string]string
+	// Recorder, when non-nil, serves the flight recorder's newest
+	// records as JSON on /debug/queries (?n= caps the count).
+	Recorder *FlightRecorder
+	// Workload, when non-nil, serves the workload profile as JSON on
+	// /debug/workload.
+	Workload func() *WorkloadProfile
+	// Metrics, when non-nil, overrides the /metrics and /debug/vars
+	// scalar values — the coordinator substitutes its cluster-wide
+	// aggregate here. Nil serves the registry directly.
+	Metrics func() map[string]float64
+}
 
 // Handler returns the node debug mux: /metrics (Prometheus text),
 // /healthz (200 ok / 503 with the error, health may be nil), and
 // /debug/vars (JSON snapshot of every series), plus the net/http/pprof
 // endpoints under /debug/pprof/. partixd serves this on -debug-addr.
 func Handler(reg *Registry, health func() error) http.Handler {
+	return HandlerWith(reg, DebugOptions{Health: health})
+}
+
+// HandlerWith is Handler plus the telemetry endpoints: /debug/queries
+// (flight recorder dump, newest first) and /debug/workload (workload
+// profile JSON) when the corresponding options are set.
+func HandlerWith(reg *Registry, opts DebugOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if opts.Metrics != nil {
+			// Aggregated values arrive as a flat map, so they render as
+			// untyped series (histograms appear as their _sum/_count and
+			// _bucket scalars, already cumulative).
+			m := opts.Metrics()
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s %v\n", k, m[k])
+			}
+			return
+		}
 		reg.WriteText(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if health != nil {
-			if err := health(); err != nil {
+		if opts.Health != nil {
+			if err := opts.Health(); err != nil {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
 				return
 			}
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
+		if opts.HealthDetail != nil {
+			detail := opts.HealthDetail()
+			keys := make([]string, 0, len(detail))
+			for k := range detail {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s %s\n", k, detail[k])
+			}
+		}
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		if opts.Metrics != nil {
+			enc.Encode(opts.Metrics())
+			return
+		}
 		enc.Encode(reg.Snapshot())
 	})
+	if opts.Recorder != nil {
+		mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+			max := 100
+			if s := r.URL.Query().Get("n"); s != "" {
+				if n, err := strconv.Atoi(s); err == nil && n > 0 {
+					max = n
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(opts.Recorder.Snapshot(max))
+		})
+	}
+	if opts.Workload != nil {
+		mux.HandleFunc("/debug/workload", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(opts.Workload())
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -215,7 +215,11 @@ func (r *Registry) WriteText(w io.Writer) error {
 			cum += h.buckets[len(h.bounds)].Load()
 			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
 			fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
-			fmt.Fprintf(w, "%s_count %d\n", h.name, h.Count())
+			// _count repeats the +Inf cumulative rather than loading
+			// h.count separately: under concurrent Observe calls the
+			// two loads could disagree, and Prometheus requires
+			// _count == _bucket{le="+Inf"} exactly.
+			fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
 		}})
 	}
 	r.mu.Unlock()

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]+"\})? (-?[0-9.eE+-]+|\+Inf|NaN)$`)
+)
+
+// Lint the full default-registry scrape the way a Prometheus parser
+// would: HELP/TYPE pairs precede each family, sample names match the
+// family, histogram buckets are cumulative and non-decreasing, and
+// _count equals both the +Inf bucket and the histogram's true
+// observation count — the invariant the scrape-side consumers (rate(),
+// histogram_quantile()) silently miscompute on when broken.
+func TestPrometheusTextLint(t *testing.T) {
+	// Drive some real traffic through the default registry so histograms
+	// have observations in finite buckets and past the last bound.
+	EngineQuerySeconds.Observe((3 * time.Millisecond).Seconds())
+	EngineQuerySeconds.Observe((20 * time.Second).Seconds())
+	TelemetryRecords.Inc()
+
+	var sb strings.Builder
+	if err := Default.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	type hist struct {
+		buckets []int64 // cumulative, in order, +Inf last
+		count   int64
+		hasInf  bool
+		hasCnt  bool
+	}
+	hists := map[string]*hist{}
+	var family, familyType string
+	sawHelp := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	line := 0
+	for sc.Scan() {
+		line++
+		l := sc.Text()
+		switch {
+		case strings.HasPrefix(l, "# HELP "):
+			if !helpRe.MatchString(l) {
+				t.Fatalf("line %d: malformed HELP: %q", line, l)
+			}
+			sawHelp[strings.Fields(l)[2]] = true
+		case strings.HasPrefix(l, "# TYPE "):
+			m := typeRe.FindStringSubmatch(l)
+			if m == nil {
+				t.Fatalf("line %d: malformed TYPE: %q", line, l)
+			}
+			family, familyType = m[1], m[2]
+			if !sawHelp[family] {
+				t.Fatalf("line %d: TYPE for %s without preceding HELP", line, family)
+			}
+			if familyType == "histogram" {
+				hists[family] = &hist{}
+			}
+		case strings.HasPrefix(l, "#"):
+			t.Fatalf("line %d: unknown comment form: %q", line, l)
+		default:
+			m := sampleRe.FindStringSubmatch(l)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample: %q", line, l)
+			}
+			name := m[1]
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if base != family && name != family {
+				t.Fatalf("line %d: sample %s outside its family %s", line, name, family)
+			}
+			if h, ok := hists[family]; ok && strings.HasSuffix(name, "_bucket") {
+				v, err := strconv.ParseInt(m[3], 10, 64)
+				if err != nil {
+					t.Fatalf("line %d: bucket value %q: %v", line, m[3], err)
+				}
+				if n := len(h.buckets); n > 0 && v < h.buckets[n-1] {
+					t.Fatalf("line %d: %s buckets not cumulative: %d after %d", line, family, v, h.buckets[n-1])
+				}
+				h.buckets = append(h.buckets, v)
+				if m[2] == `{le="+Inf"}` {
+					h.hasInf = true
+				}
+			}
+			if h, ok := hists[family]; ok && strings.HasSuffix(name, "_count") {
+				h.count, _ = strconv.ParseInt(m[3], 10, 64)
+				h.hasCnt = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hists) == 0 {
+		t.Fatal("no histogram families in the scrape")
+	}
+	for name, h := range hists {
+		if !h.hasInf {
+			t.Fatalf("%s: no +Inf bucket", name)
+		}
+		if !h.hasCnt {
+			t.Fatalf("%s: no _count sample", name)
+		}
+		if inf := h.buckets[len(h.buckets)-1]; h.count != inf {
+			t.Fatalf("%s: _count %d != +Inf bucket %d", name, h.count, inf)
+		}
+	}
+	// And against the live histogram itself: _count must equal Count(),
+	// including the observation beyond the last finite bound.
+	if got, want := hists["partix_engine_query_seconds"], EngineQuerySeconds.Count(); got == nil || got.count != int64(want) {
+		t.Fatalf("partix_engine_query_seconds _count = %+v, histogram Count() = %d", got, want)
+	}
+}
+
+// A histogram whose only observation lies beyond the last finite bound
+// still reports _count == +Inf bucket (the regression the _count fix
+// addressed: it used to read a separate counter that could lag the
+// buckets mid-scrape and miss over-the-top observations entirely).
+func TestPrometheusCountMatchesInfBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lint_overflow_seconds", "observations beyond every bound", []float64{0.1, 1})
+	h.Observe(time.Hour.Seconds())
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	want := []string{
+		`lint_overflow_seconds_bucket{le="0.1"} 0`,
+		`lint_overflow_seconds_bucket{le="1"} 0`,
+		`lint_overflow_seconds_bucket{le="+Inf"} 1`,
+		`lint_overflow_seconds_count 1`,
+	}
+	for _, w := range want {
+		if !strings.Contains(text, w+"\n") {
+			t.Fatalf("scrape missing %q:\n%s", w, text)
+		}
+	}
+	if !strings.Contains(text, fmt.Sprintf("lint_overflow_seconds_sum %g\n", time.Hour.Seconds())) {
+		t.Fatalf("scrape sum:\n%s", text)
+	}
+}

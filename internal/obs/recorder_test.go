@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderRingEvictsOldest(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(&QueryRecord{Query: fmt.Sprintf("q%d", i)})
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 4 {
+		t.Fatalf("snapshot size = %d, want 4", len(snap))
+	}
+	for i, want := range []string{"q5", "q4", "q3", "q2"} {
+		if snap[i].Query != want {
+			t.Fatalf("snapshot[%d] = %s, want %s (newest first)", i, snap[i].Query, want)
+		}
+	}
+	if got := r.Snapshot(2); len(got) != 2 || got[0].Query != "q5" {
+		t.Fatalf("capped snapshot: %+v", got)
+	}
+	if rec, dropped := r.Stats(); rec != 6 || dropped != 0 {
+		t.Fatalf("stats = (%d, %d), want (6, 0)", rec, dropped)
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := NewFlightRecorder(0)
+	for i := 0; i < DefaultRecorderCapacity+10; i++ {
+		r.Record(&QueryRecord{})
+	}
+	if got := len(r.Snapshot(0)); got != DefaultRecorderCapacity {
+		t.Fatalf("retained %d records, want %d", got, DefaultRecorderCapacity)
+	}
+}
+
+// At a 1-in-100 sampling rate every slow and every errored query must
+// still be recorded — tail sampling only drops ordinary traffic.
+func TestRecorderTailSamplingKeepsSlowAndErrors(t *testing.T) {
+	r := NewFlightRecorder(4096)
+	r.SetSampleEvery(100)
+	r.SetSlowThreshold(100 * time.Millisecond)
+
+	const ordinary, slow, failed = 1000, 37, 23
+	kept := 0
+	for i := 0; i < ordinary; i++ {
+		if r.ShouldRecord(time.Millisecond, false) {
+			kept++
+			r.Record(&QueryRecord{Query: "ordinary"})
+		}
+	}
+	for i := 0; i < slow; i++ {
+		if !r.ShouldRecord(150*time.Millisecond, false) {
+			t.Fatal("slow query sampled out")
+		}
+		r.Record(&QueryRecord{Query: "slow", Slow: true})
+	}
+	for i := 0; i < failed; i++ {
+		if !r.ShouldRecord(time.Millisecond, true) {
+			t.Fatal("errored query sampled out")
+		}
+		r.Record(&QueryRecord{Query: "failed", Error: "boom"})
+	}
+	if kept != ordinary/100 {
+		t.Fatalf("kept %d of %d ordinary queries at 1-in-100", kept, ordinary)
+	}
+	var gotSlow, gotFailed int
+	for _, rec := range r.Snapshot(0) {
+		switch rec.Query {
+		case "slow":
+			gotSlow++
+		case "failed":
+			gotFailed++
+		}
+	}
+	if gotSlow != slow || gotFailed != failed {
+		t.Fatalf("retained %d slow, %d failed; want %d, %d", gotSlow, gotFailed, slow, failed)
+	}
+	recorded, dropped := r.Stats()
+	if recorded != int64(kept+slow+failed) {
+		t.Fatalf("recorded = %d, want %d", recorded, kept+slow+failed)
+	}
+	if dropped != int64(ordinary-kept) {
+		t.Fatalf("sampledOut = %d, want %d", dropped, ordinary-kept)
+	}
+}
+
+// Concurrent writers and snapshot readers; run under -race. Snapshots
+// must only ever see fully published records.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(64)
+	r.SetSampleEvery(3)
+	r.SetSlowThreshold(50 * time.Millisecond)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				d := time.Millisecond
+				failed := i%7 == 0
+				if i%11 == 0 {
+					d = time.Second // slow: always kept
+				}
+				if r.ShouldRecord(d, failed) {
+					r.Record(&QueryRecord{
+						Query:      fmt.Sprintf("w%d-q%d", w, i),
+						DurationNs: int64(d),
+						Error:      map[bool]string{true: "boom"}[failed],
+					})
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, rec := range r.Snapshot(0) {
+				if rec.Query == "" {
+					t.Error("snapshot saw a half-published record")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	recorded, dropped := r.Stats()
+	if recorded == 0 || dropped == 0 {
+		t.Fatalf("stats = (%d, %d): expected both recordings and sampling drops", recorded, dropped)
+	}
+	if got := len(r.Snapshot(0)); got != 64 {
+		t.Fatalf("ring retained %d, want 64", got)
+	}
+}

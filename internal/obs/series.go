@@ -118,4 +118,15 @@ var (
 		"Fragments proven empty by statistics and skipped by the planner.")
 	CoordStatsFetches = Default.NewCounter("partix_coord_stats_fetches_total",
 		"Fragment statistics fetches issued to nodes (statistics-cache misses).")
+
+	// telemetry: the flight recorder, workload profiler, and
+	// cluster-wide aggregation pulls.
+	TelemetryRecords = Default.NewCounter("partix_telemetry_records_total",
+		"Query records published into the flight recorder.")
+	TelemetrySampledOut = Default.NewCounter("partix_telemetry_sampled_out_total",
+		"Ordinary queries dropped by the recorder's tail sampling.")
+	TelemetryPulls = Default.NewCounter("partix_telemetry_pulls_total",
+		"Node telemetry snapshots pulled during cluster-wide aggregation.")
+	TelemetryPullErrors = Default.NewCounter("partix_telemetry_pull_errors_total",
+		"Node telemetry pulls that failed or hit a pre-v5 peer.")
 )

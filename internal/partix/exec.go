@@ -23,8 +23,10 @@ type execution struct {
 
 // buildSubs resolves fragment queries to cluster sub-queries. A
 // non-empty traceID rides along on every sub-query so nodes can record
-// spans against it.
-func (s *System) buildSubs(fqs []fragQuery, traceID string) ([]cluster.SubQuery, error) {
+// spans against it; tag is the cheap correlation identifier streamed
+// sub-queries carry for log joining (it never switches a node onto the
+// traced path).
+func (s *System) buildSubs(fqs []fragQuery, traceID, tag string) ([]cluster.SubQuery, error) {
 	subs := make([]cluster.SubQuery, 0, len(fqs))
 	for _, fq := range fqs {
 		node := s.Node(fq.node)
@@ -36,6 +38,7 @@ func (s *System) buildSubs(fqs []fragQuery, traceID string) ([]cluster.SubQuery,
 			Node:     node,
 			Query:    xquery.Format(fq.expr),
 			TraceID:  traceID,
+			Tag:      tag,
 		}
 		for _, r := range fq.replicas {
 			replica := s.Node(r)
@@ -52,8 +55,8 @@ func (s *System) buildSubs(fqs []fragQuery, traceID string) ([]cluster.SubQuery,
 // execute ships the sub-queries through the cluster layer: sequentially
 // with slowest-site accounting by default (the paper's methodology), or
 // in parallel goroutines when the system runs in concurrent mode.
-func (s *System) execute(fqs []fragQuery, traceID string) (*execution, error) {
-	subs, err := s.buildSubs(fqs, traceID)
+func (s *System) execute(fqs []fragQuery, traceID, tag string) (*execution, error) {
+	subs, err := s.buildSubs(fqs, traceID, tag)
 	if err != nil {
 		return nil, err
 	}

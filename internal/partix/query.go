@@ -118,6 +118,7 @@ func (s *System) Query(q string) (*QueryResult, error) {
 	norm := xquery.NormalizeQueryText(q)
 	e, p, cached, err := s.cachedPlan(norm, q)
 	if err != nil {
+		s.recordPlanFailure(nil, norm, time.Since(planStart), err)
 		return nil, err
 	}
 	return s.run(e, p, time.Since(planStart), cached, norm)
@@ -132,8 +133,10 @@ func (s *System) QueryExpr(e xquery.Expr) (*QueryResult, error) {
 	planStart := time.Now()
 	p, err := s.planQuery(e)
 	if err != nil {
+		s.recordPlanFailure(e, "", time.Since(planStart), err)
 		return nil, err
 	}
+	p.work = xquery.ExtractWorkloadKeys(e)
 	return s.run(e, p, time.Since(planStart), false, "")
 }
 
@@ -166,6 +169,10 @@ func (s *System) cachedPlan(norm, raw string) (xquery.Expr, *queryPlan, bool, er
 	if err != nil {
 		return nil, nil, false, err
 	}
+	// Workload keys are mined at plan time and live on the immutable
+	// plan, so a plan-cache hit feeds the profiler without re-walking
+	// the expression.
+	p.work = xquery.ExtractWorkloadKeys(e)
 	if useCache {
 		s.planCache.put(&planEntry{key: norm, expr: e, plan: p, catalogVersion: version, stamps: p.stamps})
 	}
@@ -204,8 +211,17 @@ func (s *System) run(e xquery.Expr, p *queryPlan, planTime time.Duration, cached
 	if s.Tracing() {
 		traceID = obs.NewTraceID()
 	}
-	res, err := s.executePlan(e, p, traceID)
+	rec, prof := s.telemetrySinks()
+	// Every query gets a correlation tag when telemetry or the slow-query
+	// log is on, so flight records, log lines and node-side error frames
+	// join up even with tracing off. A traced query reuses its trace ID.
+	tag := traceID
+	if tag == "" && (rec != nil || s.SlowQueryThreshold() > 0) {
+		tag = obs.NewTraceID()
+	}
+	res, err := s.executePlan(e, p, traceID, tag)
 	if err != nil {
+		s.recordQuery(rec, prof, p, e, norm, tag, planTime, planTime+time.Since(start), cached, nil, err)
 		return nil, err
 	}
 	res.PlanTime = planTime
@@ -228,7 +244,7 @@ func (s *System) run(e xquery.Expr, p *queryPlan, planTime time.Duration, cached
 		}
 		obs.CoordSlowQueries.Inc()
 		s.Logger().Log(obs.LevelWarn, "partix: slow query",
-			"trace_id", res.TraceID,
+			"trace_id", tag,
 			"query", norm,
 			"plan", planState,
 			"strategy", string(res.Strategy),
@@ -238,6 +254,7 @@ func (s *System) run(e xquery.Expr, p *queryPlan, planTime time.Duration, cached
 			"items", len(res.Items),
 		)
 	}
+	s.recordQuery(rec, prof, p, e, norm, tag, planTime, elapsed, cached, res, nil)
 	return res, nil
 }
 
@@ -293,6 +310,10 @@ type queryPlan struct {
 	stamps []genStamp
 	// est holds the planner's per-fragment estimates for Explain.
 	est map[string]planEstimate
+	// work holds the query's canonical workload keys (paths and
+	// predicates per collection), mined once at plan time for the
+	// workload profiler.
+	work map[string]*xquery.WorkloadKeys
 }
 
 // planQuery analyzes the query and decides the execution strategy.
@@ -495,8 +516,10 @@ func unionOrAggregate(e xquery.Expr, fragments int) Strategy {
 
 // executePlan runs a plan and assembles the measured result. A non-empty
 // traceID forces the monolithic sub-query path: node spans describe a
-// whole sub-query, which framed streaming delivery would split.
-func (s *System) executePlan(e xquery.Expr, p *queryPlan, traceID string) (*QueryResult, error) {
+// whole sub-query, which framed streaming delivery would split. tag is
+// the correlation identifier telemetry stamps on sub-queries — unlike
+// traceID it never changes how the plan executes.
+func (s *System) executePlan(e xquery.Expr, p *queryPlan, traceID, tag string) (*QueryResult, error) {
 	switch {
 	case p.emptyRoute:
 		return s.evalLocal(e, StrategyRouted, nil,
@@ -513,9 +536,9 @@ func (s *System) executePlan(e xquery.Expr, p *queryPlan, traceID string) (*Quer
 			// it is the paper's measured methodology. A single sub-query
 			// has nothing to overlap with, so it also takes the monolithic
 			// path and saves the streaming machinery.
-			return s.executeStreaming(e, p.subQueries, p.strategy)
+			return s.executeStreaming(e, p.subQueries, p.strategy, tag)
 		}
-		exec, err := s.execute(p.subQueries, traceID)
+		exec, err := s.execute(p.subQueries, traceID, tag)
 		if err != nil {
 			return nil, err
 		}

@@ -15,8 +15,8 @@ import (
 // compositions (exists/empty) cancel the remaining streams as soon as
 // one fragment's verdict decides the global answer. The composed items
 // are identical to the monolithic path's at every batch size.
-func (s *System) executeStreaming(e xquery.Expr, fqs []fragQuery, strategy Strategy) (*QueryResult, error) {
-	subs, err := s.buildSubs(fqs, "")
+func (s *System) executeStreaming(e xquery.Expr, fqs []fragQuery, strategy Strategy, tag string) (*QueryResult, error) {
+	subs, err := s.buildSubs(fqs, "", tag)
 	if err != nil {
 		return nil, err
 	}

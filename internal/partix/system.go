@@ -27,9 +27,15 @@ type System struct {
 	slowQuery     time.Duration
 	logger        obs.Logger
 	plannerStats  bool
+	telemetry     bool
 
 	planCache  *planCache
 	statsCache *statsCache
+
+	// recorder and profiler are created once and never replaced; the
+	// telemetry flag (not nil-ness) gates whether queries feed them.
+	recorder *obs.FlightRecorder
+	profiler *obs.WorkloadProfiler
 }
 
 // SetConcurrent switches sub-query execution between the paper's
@@ -185,8 +191,11 @@ func NewSystem(cost cluster.CostModel) *System {
 		cost:         cost,
 		logger:       obs.Nop(),
 		plannerStats: true,
+		telemetry:    true,
 		planCache:    newPlanCache(defaultPlanCacheCap),
 		statsCache:   newStatsCache(defaultStatsTTL),
+		recorder:     obs.NewFlightRecorder(0),
+		profiler:     obs.NewWorkloadProfiler(0),
 	}
 }
 

@@ -1,0 +1,216 @@
+package partix
+
+import (
+	"time"
+
+	"partix/internal/cluster"
+	"partix/internal/obs"
+	"partix/internal/xquery"
+)
+
+// SetTelemetry switches workload telemetry — the query flight recorder
+// and the workload profiler — on or off. On is the default; off reduces
+// the query path to the pre-telemetry hot path (the benchmark ablation
+// measures exactly this difference). The recorder and profiler keep
+// whatever they already hold; toggling does not clear them.
+func (s *System) SetTelemetry(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.telemetry = on
+}
+
+// TelemetryEnabled reports whether queries feed the flight recorder and
+// workload profiler.
+func (s *System) TelemetryEnabled() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.telemetry
+}
+
+// Recorder exposes the query flight recorder, for configuration
+// (sampling, slow threshold) and snapshots. Never nil.
+func (s *System) Recorder() *obs.FlightRecorder { return s.recorder }
+
+// Profiler exposes the workload profiler. Never nil.
+func (s *System) Profiler() *obs.WorkloadProfiler { return s.profiler }
+
+// WorkloadProfile exports the coordinator's mined workload: per-collection
+// top-K paths and predicates, and per-fragment heat as observed from the
+// coordinator (sub-query latency including the network, result bytes).
+// Node-local heat — decode counts the coordinator cannot see — comes from
+// ClusterTelemetry.
+func (s *System) WorkloadProfile() *obs.WorkloadProfile {
+	return s.profiler.Profile()
+}
+
+// telemetrySinks returns the recorder and profiler the current query
+// should feed, or nils when telemetry is off.
+func (s *System) telemetrySinks() (*obs.FlightRecorder, *obs.WorkloadProfiler) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.telemetry {
+		return nil, nil
+	}
+	return s.recorder, s.profiler
+}
+
+// recordQuery feeds one finished (or failed) query into the profiler and
+// the flight recorder. It runs after the response is fully assembled, so
+// everything here is off the latency path the caller observes — except
+// that it still runs synchronously, which is why the sampled-out exit is
+// a single atomic add. p is nil when the query never produced a plan
+// (parse or planning failure) — those still belong in the flight
+// recorder, since a query that cannot even plan is exactly what an
+// operator goes looking for.
+func (s *System) recordQuery(rec *obs.FlightRecorder, prof *obs.WorkloadProfiler, p *queryPlan, e xquery.Expr,
+	norm, tag string, planTime, elapsed time.Duration, cached bool, res *QueryResult, qerr error) {
+	if prof != nil && p != nil && p.work != nil {
+		for coll, wk := range p.work {
+			prof.ObserveQuery(coll, wk.Paths, wk.Predicates)
+		}
+		if res != nil && p.meta != nil {
+			for _, st := range res.Sub {
+				prof.ObserveFragment(p.meta.Name, st.Fragment, 0, int64(st.ResultBytes), st.Elapsed.Seconds())
+			}
+		}
+	}
+	if rec == nil {
+		return
+	}
+	if !rec.ShouldRecord(elapsed, qerr != nil) {
+		obs.TelemetrySampledOut.Inc()
+		return
+	}
+	if norm == "" && e != nil {
+		norm = xquery.NormalizeQueryText(xquery.Format(e))
+	}
+	qr := &obs.QueryRecord{
+		UnixNano:   time.Now().UnixNano(),
+		TraceID:    tag,
+		Query:      norm,
+		DurationNs: int64(elapsed),
+		PlanNs:     int64(planTime),
+		PlanCached: cached,
+		Slow:       rec.IsSlow(elapsed),
+	}
+	if p != nil {
+		qr.Strategy = string(p.strategy)
+		qr.IndexOnly = planIndexOnly(p)
+	}
+	if qerr != nil {
+		qr.Error = qerr.Error()
+	}
+	if res != nil {
+		qr.Items = len(res.Items)
+		qr.Frames = res.Frames
+		qr.Streamed = res.Streamed
+		qr.Spans = res.Trace
+		for _, st := range res.Sub {
+			qr.Bytes += st.ResultBytes
+			qr.Fragments = append(qr.Fragments, obs.FragmentTiming{
+				Fragment:  st.Fragment,
+				Node:      st.Node,
+				ElapsedNs: int64(st.Elapsed),
+				Items:     st.Items,
+				Bytes:     st.ResultBytes,
+				Cancelled: st.Cancelled,
+			})
+		}
+	}
+	rec.Record(qr)
+	obs.TelemetryRecords.Inc()
+}
+
+// recordPlanFailure routes a query that died before producing a plan —
+// parse error, unknown collection, planner rejection — into the flight
+// recorder, tagged like any other query so the record joins with log
+// lines. The profiler is not fed: there is no plan to mine keys from.
+func (s *System) recordPlanFailure(e xquery.Expr, norm string, planTime time.Duration, qerr error) {
+	rec, _ := s.telemetrySinks()
+	if rec == nil {
+		return
+	}
+	s.recordQuery(rec, nil, nil, e, norm, obs.NewTraceID(), planTime, planTime, false, nil, qerr)
+}
+
+// planIndexOnly reports whether every sub-query of the plan was judged
+// answerable from the node's indexes alone.
+func planIndexOnly(p *queryPlan) bool {
+	if len(p.subQueries) == 0 || len(p.est) == 0 {
+		return false
+	}
+	for _, fq := range p.subQueries {
+		est, ok := p.est[fq.fragment]
+		if !ok || !est.indexOnly {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeTelemetryStatus is one node's standing in a cluster telemetry
+// pull: whether it supports the telemetry operation (protocol v5 or
+// in-process) and the pull error, if any.
+type NodeTelemetryStatus struct {
+	Node      string `json:"node"`
+	Supported bool   `json:"supported"`
+	Err       string `json:"err,omitempty"`
+}
+
+// ClusterTelemetry is the cluster-wide aggregate: summed metric series
+// (coordinator registry plus every reachable node), the coordinator's
+// workload profile, node-local fragment heat merged across nodes (this
+// is where decode counts live — the coordinator cannot observe them),
+// and per-node pull status.
+type ClusterTelemetry struct {
+	Metrics  map[string]float64    `json:"metrics"`
+	Profile  *obs.WorkloadProfile  `json:"profile"`
+	NodeHeat []obs.FragmentHeat    `json:"nodeHeat,omitempty"`
+	Nodes    []NodeTelemetryStatus `json:"nodes"`
+}
+
+// ClusterTelemetry pulls telemetry from every registered node and merges
+// it with the coordinator's own. Nodes that fail to answer are reported
+// in the status list rather than failing the aggregation — a metrics
+// endpoint that goes dark because one node is down would be useless
+// exactly when it matters. The coordinator's profile keeps its own
+// fragment heat (latency as clients experience it, network included);
+// NodeHeat carries the node-local view keyed by serving node.
+func (s *System) ClusterTelemetry() *ClusterTelemetry {
+	out := &ClusterTelemetry{
+		Metrics: obs.Default.Snapshot(),
+		Profile: s.profiler.Profile(),
+	}
+	var nodeHeat []obs.FragmentHeat
+	for _, name := range s.Nodes() {
+		tp, ok := s.Node(name).(cluster.TelemetryProvider)
+		if !ok {
+			out.Nodes = append(out.Nodes, NodeTelemetryStatus{Node: name})
+			continue
+		}
+		obs.TelemetryPulls.Inc()
+		snap, err := tp.Telemetry()
+		if err != nil {
+			obs.TelemetryPullErrors.Inc()
+			out.Nodes = append(out.Nodes, NodeTelemetryStatus{Node: name, Supported: true, Err: err.Error()})
+			continue
+		}
+		if snap == nil {
+			// The driver exists but the peer is too old to answer.
+			out.Nodes = append(out.Nodes, NodeTelemetryStatus{Node: name})
+			continue
+		}
+		out.Nodes = append(out.Nodes, NodeTelemetryStatus{Node: name, Supported: true})
+		for k, v := range snap.Metrics {
+			out.Metrics[k] += v
+		}
+		for _, h := range snap.Heat {
+			if h.Node == "" {
+				h.Node = snap.Node
+			}
+			nodeHeat = append(nodeHeat, h)
+		}
+	}
+	out.NodeHeat = obs.MergeHeat(nodeHeat)
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"partix/internal/obs"
 	"partix/internal/xmltree"
@@ -427,6 +428,39 @@ func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pager.sync()
+}
+
+// WALStatus reports the write-ahead log's durability lag for health
+// checks: bytes accumulated since the last checkpoint truncated the
+// log, the highest appended and fsynced sequences, and when the last
+// fsync happened. A zero-value status means the WAL is disabled.
+type WALStatus struct {
+	Enabled   bool
+	NoFsync   bool
+	SizeBytes int64  // log bytes since the last checkpoint (framing included)
+	LastSeq   uint64 // sequence of the last appended record
+	SyncedSeq uint64 // highest sequence known durable
+	LastFsync time.Time
+}
+
+// WALStatus returns the current write-ahead log durability lag.
+func (s *Store) WALStatus() WALStatus {
+	if s.wal == nil {
+		return WALStatus{}
+	}
+	size, last, synced, lastSync := s.wal.status()
+	size -= walHeaderSize
+	if size < 0 {
+		size = 0
+	}
+	return WALStatus{
+		Enabled:   true,
+		NoFsync:   s.opts.NoFsync,
+		SizeBytes: size,
+		LastSeq:   last,
+		SyncedSeq: synced,
+		LastFsync: lastSync,
+	}
 }
 
 // Checkpoint persists the catalog (write-new-then-free-old), truncates

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"partix/internal/obs"
 )
@@ -68,6 +70,11 @@ type wal struct {
 
 	nofsync bool
 
+	// lastSync is the unix-nano time of the last successful fsync (or
+	// open/reset, when the on-disk state was known durable), read by
+	// WALStatus for checkpoint-lag health reporting.
+	lastSync atomic.Int64
+
 	// The group-commit state. sync.mu is never held while waiting for
 	// wal.mu's holder, and the leader releases sync.mu around the fsync
 	// itself, so appends keep flowing into the next batch.
@@ -89,6 +96,7 @@ func openWAL(path string, nofsync bool) (*wal, []walRecord, error) {
 	}
 	w := &wal{f: f, nofsync: nofsync}
 	w.gc.cond = sync.NewCond(&w.gc.mu)
+	w.lastSync.Store(time.Now().UnixNano())
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -308,6 +316,7 @@ func (w *wal) commit(seq uint64) error {
 			if target > g.synced {
 				g.synced = target
 			}
+			w.lastSync.Store(time.Now().UnixNano())
 			obs.StorageWALFsyncs.Inc()
 			obs.StorageWALGroupSize.Observe(float64(target - covered))
 		}
@@ -321,6 +330,10 @@ func (w *wal) reset(coveredSeq uint64) error {
 	w.mu.Lock()
 	err := w.reinit()
 	w.mu.Unlock()
+	if err == nil {
+		// An empty log is durable by definition.
+		w.lastSync.Store(time.Now().UnixNano())
+	}
 	g := &w.gc
 	g.mu.Lock()
 	if coveredSeq > g.synced {
@@ -335,4 +348,18 @@ func (w *wal) reset(coveredSeq uint64) error {
 // checkpoints before closing, which covers them.
 func (w *wal) close() error {
 	return w.f.Close()
+}
+
+// status reads the log's durability state for health reporting.
+func (w *wal) status() (size int64, lastSeq, syncedSeq uint64, lastSync time.Time) {
+	w.mu.Lock()
+	size, lastSeq = w.size, w.seq
+	w.mu.Unlock()
+	w.gc.mu.Lock()
+	syncedSeq = w.gc.synced
+	w.gc.mu.Unlock()
+	if ns := w.lastSync.Load(); ns != 0 {
+		lastSync = time.Unix(0, ns)
+	}
+	return size, lastSeq, syncedSeq, lastSync
 }

@@ -110,13 +110,21 @@ type ClientStats struct {
 
 // NodeError is a failure the node itself reported in a Response. The
 // connection is intact and the operation was delivered, so it is never
-// retried.
+// retried. TraceID carries the query's correlation tag when the node
+// echoed one (protocol v5 FrameErr), so the failure joins across
+// coordinator and node logs.
 type NodeError struct {
-	Node string
-	Msg  string
+	Node    string
+	Msg     string
+	TraceID string
 }
 
-func (e *NodeError) Error() string { return fmt.Sprintf("wire: node %s: %s", e.Node, e.Msg) }
+func (e *NodeError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("wire: node %s: %s (trace %s)", e.Node, e.Msg, e.TraceID)
+	}
+	return fmt.Sprintf("wire: node %s: %s", e.Node, e.Msg)
+}
 
 var errClientClosed = errors.New("wire: client is closed")
 
@@ -474,7 +482,7 @@ func (c *Client) streamOnce(req *Request, deliver func(*Frame) error) (int, erro
 		case FrameErr:
 			c.put(pc)
 			c.nodeErrs.Add(1)
-			return delivered, &NodeError{Node: c.name, Msg: f.Err}
+			return delivered, &NodeError{Node: c.name, Msg: f.Err, TraceID: f.TraceID}
 		default:
 			// Kind 0 means the message had no Kind field at all: a legacy
 			// monolithic Response decoded as a Frame. The response was
@@ -632,6 +640,16 @@ func (c *Client) ExecuteQueryTraced(traceID, query string) (xquery.Seq, []obs.Sp
 // monolithically and yield is called once with the full result — so
 // callers need no protocol awareness.
 func (c *Client) StreamQuery(query string, yield func(xquery.Seq) error) error {
+	return c.StreamQueryTagged("", query, yield)
+}
+
+// StreamQueryTagged is StreamQuery with a correlation tag: against a
+// protocol-v5 peer the ID rides the request so the node's log lines and
+// a FrameErr carry it; older peers never see the field. Tagging does
+// not trace — the node times nothing extra, the ID exists purely so a
+// failed or slow distributed query joins across coordinator and node
+// logs.
+func (c *Client) StreamQueryTagged(traceID, query string, yield func(xquery.Seq) error) error {
 	if c.peerStreams() {
 		deliver := func(f *Frame) error {
 			seq, err := DecodeSeq(f.Items)
@@ -640,7 +658,11 @@ func (c *Client) StreamQuery(query string, yield func(xquery.Seq) error) error {
 			}
 			return yield(seq)
 		}
-		err := c.stream(&Request{Op: OpQueryStream, Query: query}, deliver, nil)
+		req := &Request{Op: OpQueryStream, Query: query}
+		if traceID != "" && c.peer.Load() >= 5 {
+			req.TraceID = traceID
+		}
+		err := c.stream(req, deliver, nil)
 		if !errors.Is(err, errStreamDowngrade) {
 			return err
 		}
@@ -727,6 +749,27 @@ func (c *Client) CollectionStatistics(collection string) (*engine.CollectionStat
 		return nil, err
 	}
 	return resp.Statistics, nil
+}
+
+// Telemetry implements cluster.TelemetryProvider: the node's metric
+// snapshot and per-fragment heat via OpTelemetry. Against a peer that
+// has not announced protocol version 5 no request is issued and
+// (nil, nil) is returned, so coordinators aggregate the nodes they can
+// and report the rest as unsupported instead of erroring.
+func (c *Client) Telemetry() (*obs.TelemetrySnapshot, error) {
+	if c.peer.Load() < 5 {
+		return nil, nil
+	}
+	resp, err := c.roundTrip(&Request{Op: OpTelemetry})
+	if err != nil {
+		return nil, err
+	}
+	snap := resp.Telemetry
+	if snap != nil {
+		// The node does not know its logical cluster name; stamp it here.
+		snap.Node = c.name
+	}
+	return snap, nil
 }
 
 // CheckCollection reports whether the node holds the collection,

@@ -44,8 +44,15 @@ import (
 // server announce version 4 may set Request.WantStatistics, and the
 // server attaches the index-derived CollectionStatistics snapshot to
 // Response.Statistics; against older peers the client never asks and
-// reports the statistics as simply unavailable.
-const ProtocolVersion = 4
+// reports the statistics as simply unavailable. Version 5 adds
+// telemetry: OpTelemetry pulls the node's metric snapshot and
+// per-fragment heat (Response.Telemetry) for cluster-wide aggregation,
+// and streamed requests may carry Request.TraceID purely as a log/error
+// correlation tag — FrameErr echoes it back (Frame.TraceID) so a failed
+// sub-query joins across coordinator and node logs. A client never
+// issues OpTelemetry to a peer that has not announced version 5 and
+// reports that node's telemetry as unavailable instead.
+const ProtocolVersion = 5
 
 // Op identifies a request type.
 type Op uint8
@@ -64,6 +71,10 @@ const (
 	OpQueryStream
 	// OpFetchStream is OpFetchCollection answered as Frames. Version 2.
 	OpFetchStream
+	// OpTelemetry pulls the node's telemetry snapshot (metric series and
+	// per-fragment heat) for cluster-wide aggregation. Protocol version
+	// 5; never sent to an older peer.
+	OpTelemetry
 )
 
 // retrySafe marks the operations a client may transparently re-issue on
@@ -80,6 +91,7 @@ var retrySafe = map[Op]bool{
 	OpHasCollection:   true,
 	OpQueryStream:     true,
 	OpFetchStream:     true,
+	OpTelemetry:       true,
 }
 
 // Request is one client → server message.
@@ -100,7 +112,9 @@ type Request struct {
 	// OpQuery. When set, the node times each processing step and returns
 	// the spans in Response.Spans. Protocol version 3; empty (and so
 	// omitted from the gob stream) when the query is not traced or the
-	// peer is older.
+	// peer is older. On the streaming operations (version 5) the ID is
+	// instead a pure correlation tag: the server does not trace, it only
+	// echoes the ID on FrameErr and in its slow-query log lines.
 	TraceID string
 	// WantStatistics asks OpStats to also return the planner statistics
 	// snapshot (Response.Statistics). Protocol version 4; never set when
@@ -129,6 +143,9 @@ type Response struct {
 	// announced protocol version 4. Nil otherwise; legacy decoders drop
 	// the field entirely.
 	Statistics *engine.CollectionStatistics
+	// Telemetry is the node's telemetry snapshot, attached to an
+	// OpTelemetry response. Protocol version 5; nil otherwise.
+	Telemetry *obs.TelemetrySnapshot
 }
 
 // FrameKind tags one message of a streamed result. The zero value is
@@ -163,6 +180,10 @@ type Frame struct {
 	Err      string
 	// Total is the stream's full item/doc count, set on FrameEnd.
 	Total int
+	// TraceID echoes the request's correlation tag on FrameErr, so a
+	// failed sub-query can be joined across coordinator and node logs.
+	// Protocol version 5; empty otherwise (legacy decoders drop it).
+	TraceID string
 }
 
 // itemBatchPool recycles the []Item scratch slices the server encodes

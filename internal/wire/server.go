@@ -44,6 +44,14 @@ type ServerOptions struct {
 	// disconnected before the decoder allocates for it. 0 means
 	// DefaultMaxMessageBytes (64 MiB).
 	MaxMessageBytes int64
+	// Recorder, when non-nil, receives a QueryRecord for every plain and
+	// streamed query the server serves (subject to the recorder's tail
+	// sampling). partixd feeds it to the /debug/queries endpoint.
+	Recorder *obs.FlightRecorder
+	// Profiler, when non-nil, is fed every served query's workload keys
+	// (paths, predicates, per node-collection). partixd feeds it to the
+	// /debug/workload endpoint.
+	Profiler *obs.WorkloadProfiler
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -311,7 +319,10 @@ func (s *Server) streamQuery(enc *gob.Encoder, conn net.Conn, req *Request, batc
 	// had already drawn), corrupting frames under concurrency.
 	buf := getItemBatch()
 	defer putItemBatch(buf)
-	bytes := 0
+	bytes, totalBytes := 0, 0
+	start := time.Now()
+	decodedBefore := s.decodedNow()
+	var expr xquery.Expr
 	total, err := func() (total int, err error) {
 		// A panic in the hook or evaluator is confined to this stream,
 		// mirroring dispatch: the client sees FrameErr, not a dead node.
@@ -330,6 +341,7 @@ func (s *Server) streamQuery(enc *gob.Encoder, conn net.Conn, req *Request, batc
 		if perr != nil {
 			return 0, perr
 		}
+		expr = e
 		return s.db.StreamQueryExpr(e, func(items xquery.Seq) error {
 			for _, it := range items {
 				wi, encErr := EncodeItem(it)
@@ -338,6 +350,7 @@ func (s *Server) streamQuery(enc *gob.Encoder, conn net.Conn, req *Request, batc
 				}
 				*buf = append(*buf, wi)
 				bytes += wi.wireBytes()
+				totalBytes += wi.wireBytes()
 				if len(*buf) >= batch || bytes >= s.opts.MaxFrameBytes {
 					if ferr := s.sendFrame(enc, conn, &Frame{Kind: FrameItems, Items: *buf}); ferr != nil {
 						return &transportFailure{err: ferr}
@@ -349,13 +362,19 @@ func (s *Server) streamQuery(enc *gob.Encoder, conn net.Conn, req *Request, batc
 			return nil
 		})
 	}()
+	record := func(qerr error) {
+		s.recordQuery(req, expr, time.Since(start), total, totalBytes,
+			s.decodedDelta(decodedBefore), true, qerr)
+	}
 	if err != nil {
+		record(err)
 		var tf *transportFailure
 		if errors.As(err, &tf) {
 			return tf.err // peer gone; drop the connection, no FrameErr
 		}
-		return s.sendFrame(enc, conn, &Frame{Kind: FrameErr, Err: err.Error()})
+		return s.sendFrame(enc, conn, &Frame{Kind: FrameErr, Err: err.Error(), TraceID: req.TraceID})
 	}
+	record(nil)
 	if len(*buf) > 0 {
 		if err := s.sendFrame(enc, conn, &Frame{Kind: FrameItems, Items: *buf}); err != nil {
 			return err
@@ -402,7 +421,7 @@ func (s *Server) streamFetch(enc *gob.Encoder, conn net.Conn, req *Request, batc
 		return sendErr // transport failure: drop the connection
 	}
 	if err != nil {
-		return s.sendFrame(enc, conn, &Frame{Kind: FrameErr, Err: err.Error()})
+		return s.sendFrame(enc, conn, &Frame{Kind: FrameErr, Err: err.Error(), TraceID: req.TraceID})
 	}
 	if err := flush(); err != nil {
 		return err
@@ -449,14 +468,29 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 		if req.TraceID != "" {
 			return s.tracedQuery(req, resp)
 		}
-		items, err := s.db.Query(req.Query)
+		start := time.Now()
+		decodedBefore := s.decodedNow()
+		e, perr := xquery.Parse(req.Query)
+		if perr != nil {
+			s.recordQuery(req, nil, time.Since(start), 0, 0, 0, false, perr)
+			return fail(perr)
+		}
+		items, err := s.db.QueryExpr(e)
 		if err != nil {
+			s.recordQuery(req, e, time.Since(start), 0, 0, s.decodedDelta(decodedBefore), false, err)
 			return fail(err)
 		}
 		wi, err := EncodeSeq(items)
 		if err != nil {
 			return fail(err)
 		}
+		bytes := 0
+		if s.opts.Recorder != nil {
+			for _, it := range wi {
+				bytes += it.wireBytes()
+			}
+		}
+		s.recordQuery(req, e, time.Since(start), len(items), bytes, s.decodedDelta(decodedBefore), false, nil)
 		resp.Items = wi
 	case OpFetchCollection:
 		names, err := s.db.Store().Documents(req.Collection)
@@ -490,10 +524,79 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 		}
 	case OpHasCollection:
 		resp.Bool = s.db.HasCollection(req.Collection)
+	case OpTelemetry:
+		// Telemetry only travels to peers that announced protocol
+		// version 5; an older (or misbehaving) peer gets an error, not a
+		// response shape it cannot decode.
+		if req.Proto < 5 {
+			resp.Err = "wire: telemetry requires protocol version 5"
+			break
+		}
+		resp.Telemetry = &obs.TelemetrySnapshot{
+			Metrics: obs.Default.Snapshot(),
+			Heat:    s.db.FragmentHeat(),
+		}
 	default:
 		resp.Err = "wire: unknown operation"
 	}
 	return resp
+}
+
+// decodedNow reads the engine's docs-decoded counter when the server
+// has a recorder; the delta across a query approximates its decode
+// work (concurrent queries may attribute each other's decodes, which
+// is fine for flight-recorder forensics).
+func (s *Server) decodedNow() int64 {
+	if s.opts.Recorder == nil {
+		return 0
+	}
+	return s.db.Stats().DocsDecoded
+}
+
+func (s *Server) decodedDelta(before int64) int64 {
+	if s.opts.Recorder == nil {
+		return 0
+	}
+	if d := s.db.Stats().DocsDecoded - before; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// recordQuery publishes one served query into the node's flight
+// recorder and workload profiler, when the server has them. expr may be
+// nil (parse failures); streamed marks the chunked-frame path.
+func (s *Server) recordQuery(req *Request, expr xquery.Expr, elapsed time.Duration, items, bytes int, decoded int64, streamed bool, qerr error) {
+	if s.opts.Profiler != nil && expr != nil {
+		for coll, k := range xquery.ExtractWorkloadKeys(expr) {
+			s.opts.Profiler.ObserveQuery(coll, k.Paths, k.Predicates)
+		}
+	}
+	r := s.opts.Recorder
+	if r == nil {
+		return
+	}
+	failed := qerr != nil
+	if !r.ShouldRecord(elapsed, failed) {
+		obs.TelemetrySampledOut.Inc()
+		return
+	}
+	rec := &obs.QueryRecord{
+		UnixNano:    time.Now().UnixNano(),
+		TraceID:     req.TraceID,
+		Query:       xquery.NormalizeQueryText(req.Query),
+		DurationNs:  int64(elapsed),
+		Items:       items,
+		Bytes:       bytes,
+		DocsDecoded: decoded,
+		Streamed:    streamed,
+		Slow:        r.IsSlow(elapsed),
+	}
+	if qerr != nil {
+		rec.Error = qerr.Error()
+	}
+	r.Record(rec)
+	obs.TelemetryRecords.Inc()
 }
 
 // tracedQuery serves an OpQuery that carries a trace ID, timing each

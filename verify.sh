@@ -1,9 +1,10 @@
 #!/bin/sh
 # verify.sh — the checks a change must pass before it lands:
-# formatting, vet, build, the full test suite, and the race detector over
-# the packages with real concurrency (decode pipeline, bounded sub-query
-# execution, coordinator, wire transport). Test runs carry a timeout so a
-# hung network test fails fast instead of wedging CI.
+# formatting, vet (the go vet gate below), build, the full test suite,
+# and the race detector over the packages with real concurrency (decode
+# pipeline, bounded sub-query execution, coordinator, wire transport,
+# telemetry sinks). Test runs carry a timeout so a hung network test
+# fails fast instead of wedging CI.
 set -eux
 
 unformatted="$(gofmt -l .)"
@@ -52,6 +53,23 @@ grep -q '"mixedrw"' "$benchdir/mixedrw.json"
 grep -q '"lockCoupled": true' "$benchdir/mixedrw.json"
 grep -q '"durableWAL": true' "$benchdir/mixedrw.json"
 
+# telemetry gates under the race detector: the flight recorder's
+# lock-free ring under concurrent writers/readers, tail sampling
+# retention of every slow/errored query at a 1-in-100 rate, the
+# profiler's concurrent sketch/heat updates, the wire v5 pull with both
+# legacy directions, and the system-level toggle/aggregation tests
+go test -race -timeout 5m -run 'TestRecorder|TestProfiler|TestMergeHeat|TestPrometheus' ./internal/obs/
+go test -race -timeout 5m -run 'TestTelemetry|TestTaggedStream' ./internal/wire/
+go test -race -timeout 5m -run 'TestWorkloadProfileMatchesRouting|TestRecorderCapturesQueries|TestClusterTelemetry|TestSetTelemetry' ./internal/partix/
+
+# telemetry smoke bench: the directly-timed recorder+profiler cost must
+# stay within the 2% budget against the Fig 7(a) ablated baseline, and
+# the mined workload profile must match the planner's actual routing
+"$benchdir/partix-bench" -exp telemetry -repeats 1 -json "$benchdir/telemetry.json" >/dev/null
+grep -q '"telemetry"' "$benchdir/telemetry.json"
+grep -q '"withinBudget": true' "$benchdir/telemetry.json"
+grep -q '"profileMatches": true' "$benchdir/telemetry.json"
+
 # compiled-executor gates: the randomized differential tests must hold
 # under the race detector, and the allocation pin for the hot
 # scan→filter→project loop must not regress (run without -race, which
@@ -90,4 +108,10 @@ for series in \
   echo "$metrics" | grep -q "$series"
 done
 curl -sf http://127.0.0.1:8481/debug/vars | grep -q partix_engine_queries_total
+# telemetry endpoints: the flight-recorder dump must answer (empty ring
+# serves valid JSON) and the workload profile must carry its version
+curl -sf http://127.0.0.1:8481/debug/queries >/dev/null
+curl -sf http://127.0.0.1:8481/debug/workload | grep -q '"version"'
+# healthz detail: WAL/checkpoint lag must be reported after the ok line
+curl -sf http://127.0.0.1:8481/healthz | grep -q '^wal_enabled true$'
 kill $partixd_pid
