@@ -15,9 +15,10 @@
 //	partix-bench -exp mixedrw -json BENCH_PR7.json
 //	partix-bench -exp exec -json BENCH_PR8.json
 //	partix-bench -exp telemetry -json BENCH_PR9.json
+//	partix-bench -exp resultcache -json BENCH_PR10.json
 //
 // Experiments: fig7a, fig7b, fig7c, fig7d, headline, smalldb, stream,
-// obs, valueindex, planner, mixedrw, exec, telemetry, all. The stream experiment
+// obs, valueindex, planner, mixedrw, exec, telemetry, resultcache, all. The stream experiment
 // contrasts the framed wire protocol against the monolithic one over
 // real TCP node servers; obs measures the observability layer's overhead
 // (metrics off vs on vs traced); valueindex sweeps a range predicate's
@@ -31,7 +32,10 @@
 // allocations, plus a 10x streaming peak-heap panel); telemetry ablates
 // the query flight recorder + workload profiler on the Fig 7(a) mix
 // (overhead budget 2%) and checks the mined workload profile against
-// the planner's routing of that mix. With -json the
+// the planner's routing of that mix; resultcache measures the
+// coordinator result cache (hit vs cold-execution latency, staleness
+// under concurrent fragment writes) and admission control (typed
+// shedding under an overload burst). With -json the
 // measured panels are also written machine-readable (durations in
 // nanoseconds) so the perf trajectory is tracked across changes.
 //
@@ -52,7 +56,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | planner | mixedrw | exec | telemetry | all")
+		exp        = flag.String("exp", "all", "fig7a | fig7b | fig7c | fig7d | headline | smalldb | stream | obs | valueindex | planner | mixedrw | exec | telemetry | resultcache | all")
 		scaleF     = flag.Int("scale", 1, "multiply the default database sizes")
 		repeats    = flag.Int("repeats", 3, "timed executions per query (after one discarded warm-up)")
 		dir        = flag.String("dir", "", "working directory for node stores (default: temp)")
@@ -127,14 +131,15 @@ var (
 
 // collector gathers every panel the run produced for the JSON report.
 type collector struct {
-	panels     []*experiments.Panel
-	stream     *experiments.StreamCompare
-	obs        *experiments.ObsCompare
-	valueIndex *experiments.ValueIndexCompare
-	planner    *experiments.PlannerCompare
-	mixedRW    *experiments.MixedRWCompare
-	exec       *experiments.ExecCompare
-	telemetry  *experiments.TelemetryCompare
+	panels      []*experiments.Panel
+	stream      *experiments.StreamCompare
+	obs         *experiments.ObsCompare
+	valueIndex  *experiments.ValueIndexCompare
+	planner     *experiments.PlannerCompare
+	mixedRW     *experiments.MixedRWCompare
+	exec        *experiments.ExecCompare
+	telemetry   *experiments.TelemetryCompare
+	resultCache *experiments.ResultCacheCompare
 }
 
 func writeJSON(path string, repeats int, col *collector) error {
@@ -149,6 +154,7 @@ func writeJSON(path string, repeats int, col *collector) error {
 	report.MixedRW = col.mixedRW
 	report.Exec = col.exec
 	report.Telemetry = col.telemetry
+	report.ResultCache = col.resultCache
 	if err := report.WriteJSON(f); err != nil {
 		f.Close()
 		return err
@@ -254,8 +260,16 @@ func run(exp string, scale experiments.Scale, opts experiments.Options, col *col
 		col.telemetry = c
 		experiments.PrintTelemetry(out, c)
 		return nil
+	case "resultcache":
+		c, err := experiments.RunResultCache(scale, opts)
+		if err != nil {
+			return err
+		}
+		col.resultCache = c
+		experiments.PrintResultCache(out, c)
+		return nil
 	case "all":
-		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "planner", "mixedrw", "exec", "telemetry", "headline"} {
+		for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "smalldb", "stream", "obs", "valueindex", "planner", "mixedrw", "exec", "telemetry", "resultcache", "headline"} {
 			if err := run(name, scale, opts, col); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

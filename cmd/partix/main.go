@@ -94,6 +94,8 @@ func main() {
 		noStream   = flag.Bool("no-stream", false, "force monolithic responses even against streaming-capable nodes")
 		trace      = flag.Bool("trace", false, "trace the query across the deployment and print the span tree")
 		slowQuery  = flag.Duration("slow-query", 0, "log queries slower than this threshold (0 = off)")
+		tenant     = flag.String("tenant", "", "tenant tag stamped on queries and node requests for quota accounting")
+		cacheBytes = flag.Int64("result-cache-bytes", 0, "coordinator result cache budget in bytes (0 = off)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -108,17 +110,22 @@ func main() {
 		BatchItems:       *batch,
 		MaxMessageBytes:  *maxMsg,
 		DisableStreaming: *noStream,
+		Tenant:           *tenant,
 	}
-	if err := run(*configPath, opts, queryOptions{trace: *trace, slowQuery: *slowQuery}, flag.Args()); err != nil {
+	qopts := queryOptions{trace: *trace, slowQuery: *slowQuery, tenant: *tenant, resultCacheBytes: *cacheBytes}
+	if err := run(*configPath, opts, qopts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "partix:", err)
 		os.Exit(1)
 	}
 }
 
-// queryOptions are the coordinator-side observability switches.
+// queryOptions are the coordinator-side observability and serving-tier
+// switches.
 type queryOptions struct {
-	trace     bool
-	slowQuery time.Duration
+	trace            bool
+	slowQuery        time.Duration
+	tenant           string
+	resultCacheBytes int64
 }
 
 func run(configPath string, opts wire.ClientOptions, qopts queryOptions, args []string) error {
@@ -132,6 +139,9 @@ func run(configPath string, opts wire.ClientOptions, qopts queryOptions, args []
 	}
 	defer closeAll()
 	sys.SetTracing(qopts.trace)
+	if qopts.resultCacheBytes > 0 {
+		sys.SetResultCacheBytes(qopts.resultCacheBytes)
+	}
 	if qopts.slowQuery > 0 {
 		sys.SetSlowQueryThreshold(qopts.slowQuery)
 		sys.SetLogger(obs.NewTextLogger(os.Stderr, obs.LevelInfo))
@@ -166,7 +176,7 @@ func run(configPath string, opts wire.ClientOptions, qopts queryOptions, args []
 		if err := register(sys, cfg, scheme, mode); err != nil {
 			return err
 		}
-		res, err := sys.Query(args[1])
+		res, err := sys.QueryAs(qopts.tenant, args[1])
 		if err != nil {
 			return err
 		}
@@ -177,8 +187,13 @@ func run(configPath string, opts wire.ClientOptions, qopts queryOptions, args []
 				fmt.Println(xquery.ItemString(it))
 			}
 		}
-		fmt.Fprintf(os.Stderr, "strategy=%s fragments=%v response=%v (parallel=%v transmission=%v compose=%v)\n",
-			res.Strategy, res.Fragments, res.ResponseTime(), res.ParallelTime, res.TransmissionTime, res.ComposeTime)
+		if res.Cached {
+			fmt.Fprintf(os.Stderr, "strategy=%s fragments=%v served from result cache in %v (zero node round-trips)\n",
+				res.Strategy, res.Fragments, res.PlanTime)
+		} else {
+			fmt.Fprintf(os.Stderr, "strategy=%s fragments=%v response=%v (parallel=%v transmission=%v compose=%v)\n",
+				res.Strategy, res.Fragments, res.ResponseTime(), res.ParallelTime, res.TransmissionTime, res.ComposeTime)
+		}
 		// res.Streamed also covers incremental composition of monolithic
 		// responses; only report it when the wire protocol could stream.
 		if res.Streamed && !opts.DisableStreaming {

@@ -41,6 +41,9 @@ type Report struct {
 	// Telemetry is the flight recorder + workload profiler ablation and
 	// profile-accuracy check (partix-bench -exp telemetry).
 	Telemetry *TelemetryCompare `json:"telemetry,omitempty"`
+	// ResultCache is the coordinator result cache + admission control
+	// comparison (partix-bench -exp resultcache).
+	ResultCache *ResultCacheCompare `json:"resultcache,omitempty"`
 }
 
 // PanelReport is one figure panel's measurements.

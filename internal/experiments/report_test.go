@@ -73,6 +73,14 @@ func sampleReport() *Report {
 		},
 		MeanSpeedup: 3.25, MeanAllocRatio: 5.8,
 	}
+	r.ResultCache = &ResultCacheCompare{
+		Docs: 1500, Fragments: 4, Repeats: 3, Queries: 8,
+		ColdNs: 1200000, HitNs: 2000, HitSpeedup: 600, HitFasterThanCold: true,
+		CacheEntries: 8, CacheBytes: 90000,
+		WriterRounds: 6, CheckedReads: 48, StaleServed: 0,
+		HitsDuringWrites: 60, InvalidationsOnWrite: 6,
+		OverloadSubmitted: 32, OverloadServed: 4, OverloadShed: 28, ShedTyped: true,
+	}
 	return r
 }
 

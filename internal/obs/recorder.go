@@ -32,6 +32,7 @@ type QueryRecord struct {
 	DocsDecoded int64            `json:"docsDecoded,omitempty"`
 	DocsPruned  int64            `json:"docsPruned,omitempty"`
 	PlanCached  bool             `json:"planCached,omitempty"`
+	Cached      bool             `json:"cached,omitempty"` // served from the result cache
 	Streamed    bool             `json:"streamed,omitempty"`
 	Compiled    bool             `json:"compiled,omitempty"`
 	IndexOnly   bool             `json:"indexOnly,omitempty"`

@@ -1,0 +1,212 @@
+package partix
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"partix/internal/obs"
+)
+
+// Admission control bounds what the coordinator accepts instead of
+// letting overload collapse it: a cap on queries executing at once, a
+// bounded FIFO queue for the excess with a wait deadline (queue full or
+// deadline exceeded sheds the query with ErrOverloaded), and per-tenant
+// token-bucket quotas keyed by the client-supplied tenant tag. Cache
+// hits bypass the queue entirely — they cost no node round-trips, so
+// throttling them would only convert free answers into rejections.
+// Everything is off by default; serving deployments opt in through
+// System.SetMaxInflight, SetMaxQueued, SetQueueTimeout, SetTenantQuota.
+
+// ErrOverloaded is returned (wrapped) when admission control rejects a
+// query: the queue is full, the queue wait exceeded its deadline, or a
+// tenant exhausted its quota. Callers detect it with errors.Is.
+var ErrOverloaded = errors.New("partix: overloaded")
+
+// defaultQueueTimeout bounds how long an admitted-to-queue query may
+// wait for an execution slot before it is shed.
+const defaultQueueTimeout = time.Second
+
+// admission is the coordinator's execution gate.
+type admission struct {
+	mu          sync.Mutex
+	maxInflight int           // 0 = unlimited (admission off)
+	maxQueued   int           // queue cap once inflight is saturated
+	queueWait   time.Duration // max queue wait; 0 = defaultQueueTimeout
+	inflight    int
+	queue       []chan struct{} // FIFO waiters; a send transfers the slot
+}
+
+func newAdmission() *admission {
+	return &admission{}
+}
+
+func (a *admission) setMaxInflight(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.maxInflight = n
+}
+
+func (a *admission) setMaxQueued(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.maxQueued = n
+}
+
+func (a *admission) setQueueWait(d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queueWait = d
+}
+
+// acquire claims an execution slot, queuing when the coordinator is
+// saturated. It returns the release func, or a wrapped ErrOverloaded
+// when the query must be shed. With no inflight cap it is a no-op.
+func (a *admission) acquire() (func(), error) {
+	a.mu.Lock()
+	if a.maxInflight <= 0 {
+		a.mu.Unlock()
+		return func() {}, nil
+	}
+	if a.inflight < a.maxInflight {
+		a.inflight++
+		a.mu.Unlock()
+		return a.release, nil
+	}
+	if len(a.queue) >= a.maxQueued {
+		a.mu.Unlock()
+		obs.CoordShed.Inc()
+		return nil, fmt.Errorf("%w: %d queries executing and %d queued", ErrOverloaded, a.maxInflight, a.maxQueued)
+	}
+	// Saturated but the queue has room: wait for a releasing query to
+	// hand over its slot, up to the queue deadline.
+	grant := make(chan struct{}, 1)
+	a.queue = append(a.queue, grant)
+	wait := a.queueWait
+	if wait <= 0 {
+		wait = defaultQueueTimeout
+	}
+	a.mu.Unlock()
+	obs.CoordQueued.Inc()
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-grant:
+		// The releaser transferred its slot: inflight already counts us.
+		return a.release, nil
+	case <-timer.C:
+	}
+	// Deadline hit — but a grant may have raced the timer. Remove
+	// ourselves from the queue; if we are no longer queued, the slot was
+	// already handed over and sits in the grant buffer: take it.
+	a.mu.Lock()
+	for i, ch := range a.queue {
+		if ch == grant {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.mu.Unlock()
+			obs.CoordShed.Inc()
+			return nil, fmt.Errorf("%w: queued longer than %v", ErrOverloaded, wait)
+		}
+	}
+	a.mu.Unlock()
+	<-grant
+	return a.release, nil
+}
+
+// release returns an execution slot, handing it to the oldest queued
+// waiter when one exists (the inflight count then stays unchanged — the
+// slot moves, it is not freed).
+func (a *admission) release() {
+	a.mu.Lock()
+	if len(a.queue) > 0 {
+		grant := a.queue[0]
+		a.queue = a.queue[1:]
+		a.mu.Unlock()
+		grant <- struct{}{}
+		return
+	}
+	if a.inflight > 0 {
+		a.inflight--
+	}
+	a.mu.Unlock()
+}
+
+// queued reports how many queries are waiting for a slot.
+func (a *admission) queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
+// tenantQuota is a lazily-refilled token bucket per tenant tag. One
+// (rate, burst) policy applies to every tenant; buckets are created on
+// first use. The zero rate disables quotas.
+type tenantQuota struct {
+	mu      sync.Mutex
+	rate    float64 // tokens (queries) per second
+	burst   float64 // bucket capacity
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantQuota() *tenantQuota {
+	return &tenantQuota{buckets: map[string]*tokenBucket{}}
+}
+
+// set installs the per-tenant policy. Existing buckets are dropped so
+// the new policy applies immediately; rate <= 0 disables quotas.
+func (tq *tenantQuota) set(rate, burst float64) {
+	tq.mu.Lock()
+	defer tq.mu.Unlock()
+	tq.rate = rate
+	if burst < 1 {
+		burst = 1
+	}
+	tq.burst = burst
+	tq.buckets = map[string]*tokenBucket{}
+}
+
+// admit spends one token from tenant's bucket, reporting whether the
+// query may proceed. Unknown tenants start with a full bucket.
+func (tq *tenantQuota) admit(tenant string) bool {
+	tq.mu.Lock()
+	defer tq.mu.Unlock()
+	if tq.rate <= 0 {
+		return true
+	}
+	now := time.Now()
+	b := tq.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: tq.burst, last: now}
+		tq.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * tq.rate
+		if b.tokens > tq.burst {
+			b.tokens = tq.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// admitTenant enforces the per-tenant quota for one query.
+func (s *System) admitTenant(tenant string) error {
+	if s.tenants.admit(tenant) {
+		return nil
+	}
+	obs.CoordQuotaRejections.Inc()
+	if tenant == "" {
+		return fmt.Errorf("%w: tenant quota exhausted", ErrOverloaded)
+	}
+	return fmt.Errorf("%w: quota exhausted for tenant %q", ErrOverloaded, tenant)
+}

@@ -77,6 +77,12 @@ type QueryResult struct {
 	PlanTime time.Duration
 	// PlanCached marks a query answered with a cached plan.
 	PlanCached bool
+	// Cached marks a result served from the coordinator result cache:
+	// zero node round-trips, zero plan work. Sub, Trace and the timing
+	// decomposition are empty — nothing was executed; PlanTime carries
+	// the lookup + revalidation cost, TraceID is freshly minted so the
+	// hit still correlates with its flight-recorder entry.
+	Cached bool
 	// SkippedFragments lists fragments the planner proved empty for this
 	// query from their statistics and never contacted.
 	SkippedFragments []string
@@ -112,16 +118,199 @@ func (r *QueryResult) ResponseTime() time.Duration {
 // query text: a repeat of the same query (modulo whitespace, comments and
 // quoting style) skips parsing and planning entirely, as long as the
 // catalog version and the fragment-statistics generations the plan was
-// built from still hold.
+// built from still hold. When the result cache is enabled
+// (SetResultCacheBytes), a repeat whose touched generations also still
+// hold skips execution too and is answered from memory.
 func (s *System) Query(q string) (*QueryResult, error) {
+	return s.QueryAs("", q)
+}
+
+// QueryAs is Query on behalf of a tenant: the tag selects the token
+// bucket a SetTenantQuota policy debits. An empty tenant is its own
+// bucket. Beyond quotas the serving path is identical to Query's —
+// result cache first, then singleflight, then admission, then execution.
+func (s *System) QueryAs(tenant, q string) (*QueryResult, error) {
 	planStart := time.Now()
+	if err := s.admitTenant(tenant); err != nil {
+		return nil, err
+	}
 	norm := xquery.NormalizeQueryText(q)
+	if res, ok := s.cachedResult(norm, planStart); ok {
+		return res, nil
+	}
+	if s.resultCache.enabled() {
+		// Singleflight: concurrent misses on one key run one upstream
+		// execution. The leader executes and populates; followers wait,
+		// re-check the cache, and only execute themselves if the leader
+		// failed or its result was uncacheable.
+		fl, leader := s.resultCache.beginFlight(norm)
+		if leader {
+			defer s.resultCache.endFlight(norm)
+		} else {
+			<-fl.done
+			if res, ok := s.cachedResult(norm, planStart); ok {
+				return res, nil
+			}
+		}
+	}
+	release, err := s.admission.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	// The catalog version is read before plan resolution: a registration
+	// racing with the execution leaves the cached result stamped with the
+	// older version, so the next lookup discards it — stale in the safe
+	// direction, exactly like the plan cache.
+	version := s.catalog.Version()
 	e, p, cached, err := s.cachedPlan(norm, q)
 	if err != nil {
 		s.recordPlanFailure(nil, norm, time.Since(planStart), err)
 		return nil, err
 	}
-	return s.run(e, p, time.Since(planStart), cached, norm)
+	// Generation stamps are captured before the sub-queries run: a write
+	// landing during execution bumps the node's generation past the
+	// stamp, so the entry dies on its first revalidation instead of
+	// serving a half-updated result as current.
+	stamps, verifiable := s.resultStamps(p)
+	res, err := s.run(e, p, time.Since(planStart), cached, norm)
+	if err != nil {
+		return nil, err
+	}
+	s.maybeCacheResult(norm, version, stamps, verifiable, e, p, res)
+	return res, nil
+}
+
+// cachedResult answers a query from the result cache when a still-valid
+// entry exists. A hit re-executes nothing: the stored merged items are
+// returned with a fresh trace ID and the Cached marker, no replayed
+// Sub/Trace spans, and only the lookup + revalidation time as PlanTime.
+// Tracing bypasses the cache — a traced query exists to be executed.
+func (s *System) cachedResult(norm string, planStart time.Time) (*QueryResult, bool) {
+	rc := s.resultCache
+	if !rc.enabled() || s.Tracing() {
+		return nil, false
+	}
+	entry := rc.get(norm)
+	if entry != nil && !s.resultValid(entry) {
+		rc.remove(norm)
+		obs.CoordResultCacheInvalidations.Inc()
+		entry = nil
+	}
+	if entry == nil {
+		obs.CoordResultCacheMisses.Inc()
+		return nil, false
+	}
+	obs.CoordResultCacheHits.Inc()
+	elapsed := time.Since(planStart)
+	res := &QueryResult{
+		Items:            entry.items,
+		Strategy:         entry.strategy,
+		Fragments:        entry.fragments,
+		SkippedFragments: entry.skipped,
+		Cached:           true,
+		TraceID:          obs.NewTraceID(),
+		PlanTime:         elapsed,
+	}
+	obs.CoordQueries.Inc()
+	obs.CoordQuerySeconds.Observe(elapsed.Seconds())
+	s.recordCachedHit(entry, norm, res.TraceID, elapsed)
+	return res, true
+}
+
+// resultValid revalidates a cached result exactly like planValid does a
+// cached plan: the catalog must not have moved and every generation
+// stamp the execution captured must still hold in the statistics cache's
+// current view. Freshness is therefore bounded by the statistics TTL;
+// with a zero TTL a node-side write invalidates on the very next lookup.
+func (s *System) resultValid(entry *resultEntry) bool {
+	if entry.catalogVersion != s.catalog.Version() {
+		return false
+	}
+	for _, st := range entry.stamps {
+		cur := s.nodeStatistics(st.node, st.collection)
+		if cur == nil || !st.has || cur.Generation != st.gen {
+			return false
+		}
+	}
+	return true
+}
+
+// resultStamps captures the (node, collection, generation) stamp of
+// every fragment the plan will touch. The second return is false when
+// any touched fragment provides no statistics — without a generation to
+// watch, a mutation there would be invisible, so the result must not be
+// cached. An emptyRoute plan touches nothing the query result depends on
+// beyond what planning already stamped (statistics-proven-empty
+// fragments carry stamps in p.stamps; predicate-contradicted ones are
+// data-independent).
+func (s *System) resultStamps(p *queryPlan) ([]genStamp, bool) {
+	type pair struct{ node, collection string }
+	var pairs []pair
+	switch {
+	case p.emptyRoute:
+		for _, st := range p.stamps {
+			if !st.has {
+				return nil, false
+			}
+		}
+		return p.stamps, true
+	case len(p.metas) > 0:
+		for _, meta := range p.metas {
+			for frag, node := range meta.Placement {
+				pairs = append(pairs, pair{node, meta.NodeCollection(frag)})
+			}
+		}
+	case len(p.reconstruct) > 0:
+		for _, f := range p.reconstruct {
+			pairs = append(pairs, pair{p.meta.Placement[f.Name], p.meta.NodeCollection(f.Name)})
+		}
+	default:
+		for _, fq := range p.subQueries {
+			pairs = append(pairs, pair{fq.node, p.meta.NodeCollection(fq.fragment)})
+		}
+	}
+	stamps := make([]genStamp, 0, len(pairs))
+	for _, pr := range pairs {
+		cur := s.nodeStatistics(pr.node, pr.collection)
+		if cur == nil {
+			return nil, false
+		}
+		stamps = append(stamps, genStamp{node: pr.node, collection: pr.collection, gen: cur.Generation, has: true})
+	}
+	return stamps, true
+}
+
+// maybeCacheResult populates the result cache after a successful
+// execution, if the result is eligible: non-streamed (a streamed result
+// was never materialized and must not be just to cache it), not an
+// exists/empty decider (already index-only fast and size-trivial — not
+// worth a slot), every touched fragment verifiable by generation, and
+// the accounted size within the per-entry cap.
+func (s *System) maybeCacheResult(norm string, version uint64, stamps []genStamp, verifiable bool,
+	e xquery.Expr, p *queryPlan, res *QueryResult) {
+	rc := s.resultCache
+	if !rc.enabled() || !verifiable || res.Streamed || res.Trace != nil {
+		return
+	}
+	if _, decider := topLevelDecider(e); decider {
+		return
+	}
+	bytes := resultEntryBytes(norm, res.Items)
+	if limit := rc.entryCap(); limit > 0 && bytes > limit {
+		return
+	}
+	rc.put(&resultEntry{
+		key:            norm,
+		items:          res.Items,
+		strategy:       res.Strategy,
+		fragments:      res.Fragments,
+		skipped:        res.SkippedFragments,
+		work:           p.work,
+		bytes:          bytes,
+		catalogVersion: version,
+		stamps:         stamps,
+	})
 }
 
 // QueryExpr executes a parsed query: it is planned first (strategy

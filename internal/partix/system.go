@@ -29,8 +29,11 @@ type System struct {
 	plannerStats  bool
 	telemetry     bool
 
-	planCache  *planCache
-	statsCache *statsCache
+	planCache   *planCache
+	statsCache  *statsCache
+	resultCache *resultCache
+	admission   *admission
+	tenants     *tenantQuota
 
 	// recorder and profiler are created once and never replaced; the
 	// telemetry flag (not nil-ness) gates whether queries feed them.
@@ -135,6 +138,9 @@ func (s *System) SetPlannerStats(on bool) {
 	s.mu.Unlock()
 	if changed {
 		s.planCache.clear()
+		// Cached results embed the previous mode's strategy and skipped
+		// fragments, so they go too.
+		s.resultCache.clear()
 	}
 }
 
@@ -157,20 +163,70 @@ func (s *System) PlanCacheSize() int {
 }
 
 // SetStatsTTL bounds how stale cached fragment statistics — and
-// therefore plans validated against them — may be (default 30s). A zero
-// or negative TTL refetches statistics on every plan and revalidation,
-// making node-side mutations visible immediately.
+// therefore plans and cached results validated against them — may be
+// (default 30s). A zero or negative TTL refetches statistics on every
+// plan and revalidation, making node-side mutations visible immediately.
 func (s *System) SetStatsTTL(d time.Duration) {
 	s.statsCache.setTTL(d)
 	s.statsCache.clear()
 }
 
-// InvalidatePlans drops every cached plan and fragment-statistics
-// snapshot. Callers mutating node data behind the coordinator's back
-// (outside Publish) use it to make the changes visible before the
-// statistics TTL would.
+// SetResultCacheBytes budgets the coordinator result cache: up to n
+// bytes of fully merged query results (accounted at their serialized
+// size) are kept and served on repeat queries with zero node round-trips
+// and zero plan work, revalidated through the fragment-statistics
+// generations the execution touched. Zero (the default) disables the
+// cache — the paper's measured methodology re-executes every repeat.
+func (s *System) SetResultCacheBytes(n int64) {
+	s.resultCache.setBudget(n)
+}
+
+// SetResultCacheMaxEntry caps a single cached result's accounted size;
+// larger results execute normally but are never cached. Zero (the
+// default) derives the cap as budget/16.
+func (s *System) SetResultCacheMaxEntry(n int64) {
+	s.resultCache.setMaxEntry(n)
+}
+
+// ResultCacheSize reports how many merged results are currently cached.
+func (s *System) ResultCacheSize() int { return s.resultCache.size() }
+
+// ResultCacheBytes reports the bytes the result cache currently holds.
+func (s *System) ResultCacheBytes() int64 { return s.resultCache.usage() }
+
+// SetMaxInflight caps how many queries execute at once; the excess
+// queues (see SetMaxQueued) and is shed with ErrOverloaded when the
+// queue is full or the wait exceeds the queue timeout. Zero (the
+// default) disables admission control. Result-cache hits bypass the
+// gate — they cost no node work.
+func (s *System) SetMaxInflight(n int) { s.admission.setMaxInflight(n) }
+
+// SetMaxQueued bounds the admission queue: queries arriving beyond
+// MaxInflight wait here for a slot; past this bound they are shed
+// immediately with ErrOverloaded. Zero allows no queueing.
+func (s *System) SetMaxQueued(n int) { s.admission.setMaxQueued(n) }
+
+// SetQueueTimeout bounds how long a queued query waits for an execution
+// slot before it is shed with ErrOverloaded (default 1s).
+func (s *System) SetQueueTimeout(d time.Duration) { s.admission.setQueueWait(d) }
+
+// QueuedQueries reports how many queries are waiting for an execution
+// slot right now.
+func (s *System) QueuedQueries() int { return s.admission.queued() }
+
+// SetTenantQuota installs a token-bucket quota applied per tenant tag
+// (see QueryAs): each tenant may issue `burst` queries instantly and
+// `rate` queries per second sustained; beyond that QueryAs fails with
+// ErrOverloaded. rate <= 0 (the default) disables quotas.
+func (s *System) SetTenantQuota(rate, burst float64) { s.tenants.set(rate, burst) }
+
+// InvalidatePlans drops every cached plan, cached result and
+// fragment-statistics snapshot. Callers mutating node data behind the
+// coordinator's back (outside Publish) use it to make the changes
+// visible before the statistics TTL would.
 func (s *System) InvalidatePlans() {
 	s.planCache.clear()
+	s.resultCache.clear()
 	s.statsCache.clear()
 }
 
@@ -194,6 +250,9 @@ func NewSystem(cost cluster.CostModel) *System {
 		telemetry:    true,
 		planCache:    newPlanCache(defaultPlanCacheCap),
 		statsCache:   newStatsCache(defaultStatsTTL),
+		resultCache:  newResultCache(),
+		admission:    newAdmission(),
+		tenants:      newTenantQuota(),
 		recorder:     obs.NewFlightRecorder(0),
 		profiler:     obs.NewWorkloadProfiler(0),
 	}
@@ -298,10 +357,15 @@ func (s *System) Publish(c *xmltree.Collection, scheme *fragmentation.Scheme, pl
 		return err
 	}
 	// Registration bumped the catalog version, which already invalidates
-	// cached plans; the statistics snapshots of the touched nodes go
-	// stale too once documents land, so drop them when publishing ends
-	// (even a partial publish mutated node data).
-	defer s.statsCache.clear()
+	// cached plans and cached results; the statistics snapshots of the
+	// touched nodes go stale too once documents land, so drop them when
+	// publishing ends (even a partial publish mutated node data). The
+	// result cache is cleared eagerly as well — its entries would only
+	// die lazily on their next revalidation otherwise.
+	defer func() {
+		s.statsCache.clear()
+		s.resultCache.clear()
+	}()
 	for frag, nodeName := range placement {
 		if s.Node(nodeName) == nil {
 			return fmt.Errorf("partix: placement of %q references unknown node %q", frag, nodeName)

@@ -51,6 +51,11 @@ type ClientOptions struct {
 	// DisableStreaming forces the monolithic request/response paths even
 	// against protocol-v2 servers (ablation and paper-fidelity runs).
 	DisableStreaming bool
+	// Tenant tags every request with a tenant identity for server-side
+	// admission control (protocol version 6): nodes running per-tenant
+	// quotas debit this tenant's token bucket. Empty (the default) leaves
+	// requests untagged; against pre-v6 peers the tag is never sent.
+	Tenant string
 	// Logger receives transport events (reconnects, swallowed
 	// HasCollection failures) as leveled key=value records. nil
 	// disables logging; wrap a *log.Logger with obs.FromStd to keep an
@@ -117,6 +122,11 @@ type NodeError struct {
 	Node    string
 	Msg     string
 	TraceID string
+	// Overloaded marks a request the node's admission control shed
+	// (protocol version 6) rather than failed: the node is healthy but at
+	// capacity, or the tenant's quota ran dry. Callers match it with
+	// errors.Is(err, ErrNodeOverloaded).
+	Overloaded bool
 }
 
 func (e *NodeError) Error() string {
@@ -124,6 +134,42 @@ func (e *NodeError) Error() string {
 		return fmt.Sprintf("wire: node %s: %s (trace %s)", e.Node, e.Msg, e.TraceID)
 	}
 	return fmt.Sprintf("wire: node %s: %s", e.Node, e.Msg)
+}
+
+// Is makes errors.Is(err, ErrNodeOverloaded) match shed requests.
+func (e *NodeError) Is(target error) bool {
+	return target == ErrNodeOverloaded && e.Overloaded
+}
+
+// ErrNodeOverloaded is the sentinel for NodeErrors raised by server-side
+// admission control (node at capacity or tenant quota exhausted). Such
+// errors are never retried by the client — re-offering load to an
+// overloaded node is exactly wrong.
+var ErrNodeOverloaded = errors.New("wire: node overloaded")
+
+// overloadedPrefix is how a server marks a shed request in the error
+// text it sends (Response.Err or FrameErr); the client maps it back to
+// NodeError.Overloaded. Prefixing the string keeps the wire format
+// backward compatible — legacy clients just see an error message.
+const overloadedPrefix = "overloaded: "
+
+// nodeError builds the NodeError for a node-reported failure, typing
+// admission-control rejections by their wire prefix.
+func (c *Client) nodeError(msg, traceID string) *NodeError {
+	return &NodeError{
+		Node:       c.name,
+		Msg:        msg,
+		TraceID:    traceID,
+		Overloaded: len(msg) >= len(overloadedPrefix) && msg[:len(overloadedPrefix)] == overloadedPrefix,
+	}
+}
+
+// stampTenant attaches the client's tenant tag to a request when the
+// peer speaks protocol v6; older peers never see the field.
+func (c *Client) stampTenant(req *Request) {
+	if c.opts.Tenant != "" && c.peer.Load() >= 6 {
+		req.Tenant = c.opts.Tenant
+	}
 }
 
 var errClientClosed = errors.New("wire: client is closed")
@@ -350,6 +396,7 @@ func (c *Client) once(req *Request) (*Response, error) {
 	obs.WireClientInflight.Add(1)
 	defer obs.WireClientInflight.Add(-1)
 	req.Proto = ProtocolVersion
+	c.stampTenant(req)
 	resp, err := pc.do(req, c.opts.RequestTimeout)
 	if err != nil {
 		var tooBig *ErrMessageTooBig
@@ -369,7 +416,7 @@ func (c *Client) once(req *Request) (*Response, error) {
 	c.noteProto(resp.Proto)
 	if resp.Err != "" {
 		c.nodeErrs.Add(1)
-		return nil, &NodeError{Node: c.name, Msg: resp.Err}
+		return nil, c.nodeError(resp.Err, "")
 	}
 	return resp, nil
 }
@@ -442,6 +489,7 @@ func (c *Client) streamOnce(req *Request, deliver func(*Frame) error) (int, erro
 	defer obs.WireClientInflight.Add(-1)
 	req.Proto = ProtocolVersion
 	req.BatchItems = c.opts.BatchItems
+	c.stampTenant(req)
 	if err := pc.send(req, c.opts.RequestTimeout); err != nil {
 		c.discard(pc)
 		return 0, fmt.Errorf("wire: %s: %w", c.addr, err)
@@ -482,7 +530,7 @@ func (c *Client) streamOnce(req *Request, deliver func(*Frame) error) (int, erro
 		case FrameErr:
 			c.put(pc)
 			c.nodeErrs.Add(1)
-			return delivered, &NodeError{Node: c.name, Msg: f.Err, TraceID: f.TraceID}
+			return delivered, c.nodeError(f.Err, f.TraceID)
 		default:
 			// Kind 0 means the message had no Kind field at all: a legacy
 			// monolithic Response decoded as a Frame. The response was

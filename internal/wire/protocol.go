@@ -51,8 +51,17 @@ import (
 // correlation tag — FrameErr echoes it back (Frame.TraceID) so a failed
 // sub-query joins across coordinator and node logs. A client never
 // issues OpTelemetry to a peer that has not announced version 5 and
-// reports that node's telemetry as unavailable instead.
-const ProtocolVersion = 5
+// reports that node's telemetry as unavailable instead. Version 6 adds
+// the serving tier's multi-tenancy header: requests may carry a
+// client-supplied tenant tag (Request.Tenant) that server-side admission
+// control uses for per-tenant token-bucket quotas, and a server that
+// sheds a request answers with an "overloaded: "-prefixed error that the
+// client surfaces as a NodeError matching ErrNodeOverloaded — never
+// retried, since re-offering load to an overloaded node is exactly
+// wrong. A client only stamps the tenant tag for a peer that has
+// announced version 6; against older peers the tag is dropped (gob
+// would drop it anyway) and the query runs unthrottled.
+const ProtocolVersion = 6
 
 // Op identifies a request type.
 type Op uint8
@@ -120,6 +129,11 @@ type Request struct {
 	// snapshot (Response.Statistics). Protocol version 4; never set when
 	// the peer is older.
 	WantStatistics bool
+	// Tenant is the client-supplied tenant tag the server's admission
+	// control debits quotas against. Protocol version 6; empty when the
+	// client is untagged or the peer is older (legacy decoders drop the
+	// field entirely).
+	Tenant string
 }
 
 // Response is one server → client message.

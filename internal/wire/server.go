@@ -52,6 +52,20 @@ type ServerOptions struct {
 	// (paths, predicates, per node-collection). partixd feeds it to the
 	// /debug/workload endpoint.
 	Profiler *obs.WorkloadProfiler
+	// MaxInflight caps how many query/fetch operations the node serves at
+	// once; excess requests are rejected immediately with an
+	// "overloaded: "-prefixed error (clients surface it as a NodeError
+	// matching ErrNodeOverloaded and never retry it). Mutations and
+	// control operations are not gated. 0 disables the cap.
+	MaxInflight int
+	// TenantRate and TenantBurst install a token-bucket quota per tenant
+	// tag (Request.Tenant, protocol version 6): each tenant may issue
+	// TenantBurst query/fetch operations instantly and TenantRate per
+	// second sustained; beyond that requests are rejected with an
+	// overloaded error. TenantRate <= 0 disables quotas. Untagged
+	// requests (legacy peers, untagged clients) share one bucket.
+	TenantRate  float64
+	TenantBurst float64
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -93,6 +107,12 @@ type Server struct {
 	// tests use it to simulate evaluator panics and slow requests.
 	hook func(*Request)
 
+	// admission state: the inflight count for MaxInflight and the lazily
+	// refilled per-tenant token buckets for TenantRate/TenantBurst.
+	admitMu  sync.Mutex
+	inflight int
+	buckets  map[string]*serverBucket
+
 	handlers sync.WaitGroup
 
 	mu       sync.Mutex
@@ -120,7 +140,72 @@ func NewServerLogger(db *engine.DB, logger obs.Logger, opts ServerOptions) *Serv
 	if logger == nil {
 		logger = obs.Nop()
 	}
-	return &Server{db: db, log: logger, opts: opts.withDefaults(), conns: map[net.Conn]struct{}{}}
+	return &Server{db: db, log: logger, opts: opts.withDefaults(),
+		conns: map[net.Conn]struct{}{}, buckets: map[string]*serverBucket{}}
+}
+
+// serverBucket is one tenant's token bucket.
+type serverBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// gatedOp reports whether an operation is subject to admission control:
+// the read paths a coordinator fans queries out over. Mutations, pings
+// and telemetry pulls always pass — shedding a health probe or a write
+// whose outcome the client cannot verify helps nobody.
+func gatedOp(op Op) bool {
+	switch op {
+	case OpQuery, OpQueryStream, OpFetchCollection, OpFetchStream:
+		return true
+	}
+	return false
+}
+
+// admit applies the node's admission policy to one request, returning
+// the release func and "" on success, or the overloaded error text. The
+// returned error always carries the overloadedPrefix so clients can type
+// it.
+func (s *Server) admit(req *Request) (func(), string) {
+	if !gatedOp(req.Op) || (s.opts.MaxInflight <= 0 && s.opts.TenantRate <= 0) {
+		return func() {}, ""
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if rate := s.opts.TenantRate; rate > 0 {
+		burst := s.opts.TenantBurst
+		if burst < 1 {
+			burst = 1
+		}
+		now := time.Now()
+		b := s.buckets[req.Tenant]
+		if b == nil {
+			b = &serverBucket{tokens: burst, last: now}
+			s.buckets[req.Tenant] = b
+		} else {
+			b.tokens += now.Sub(b.last).Seconds() * rate
+			if b.tokens > burst {
+				b.tokens = burst
+			}
+			b.last = now
+		}
+		if b.tokens < 1 {
+			return nil, overloadedPrefix + fmt.Sprintf("quota exhausted for tenant %q", req.Tenant)
+		}
+		b.tokens--
+	}
+	if s.opts.MaxInflight > 0 {
+		if s.inflight >= s.opts.MaxInflight {
+			return nil, overloadedPrefix + fmt.Sprintf("node at capacity (%d operations in flight)", s.inflight)
+		}
+		s.inflight++
+		return func() {
+			s.admitMu.Lock()
+			s.inflight--
+			s.admitMu.Unlock()
+		}, ""
+	}
+	return func() {}, ""
 }
 
 // Serve accepts connections until the listener is closed. It blocks.
@@ -248,12 +333,25 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		obs.WireServerRequests.Inc()
 		var err error
-		if req.Op == OpQueryStream || req.Op == OpFetchStream {
+		release, overload := s.admit(&req)
+		switch {
+		case overload != "":
+			// Shed before any work. Streamed requests expect frames, so
+			// the rejection travels as FrameErr there; either way the
+			// connection stays usable — the client just saw a typed error.
+			if req.Op == OpQueryStream || req.Op == OpFetchStream {
+				err = s.sendFrame(enc, conn, &Frame{Kind: FrameErr, Err: overload, TraceID: req.TraceID})
+			} else {
+				err = enc.Encode(&Response{Err: overload, Proto: ProtocolVersion})
+			}
+		case req.Op == OpQueryStream || req.Op == OpFetchStream:
 			err = s.serveStream(enc, conn, &req)
-		} else {
+			release()
+		default:
 			resp := s.dispatch(&req)
 			resp.Proto = ProtocolVersion
 			err = enc.Encode(resp)
+			release()
 		}
 		if err != nil {
 			s.log.Log(obs.LevelWarn, "wire: encode failed",

@@ -142,6 +142,22 @@ const (
 	LogError = iobs.LevelError
 )
 
+// Serving tier (result cache and admission control).
+var (
+	// ErrOverloaded is returned (wrapped) by System.Query/QueryAs when
+	// coordinator admission control sheds the query: the admission queue
+	// is full, the queue wait exceeded its deadline, or the tenant's
+	// token-bucket quota ran dry. Match with errors.Is. See
+	// System.SetMaxInflight, SetMaxQueued, SetQueueTimeout,
+	// SetTenantQuota; the result cache is budgeted with
+	// System.SetResultCacheBytes.
+	ErrOverloaded = ipartix.ErrOverloaded
+	// ErrNodeOverloaded matches NodeErrors raised by a remote node's own
+	// admission control (partixd -max-inflight / -tenant-rate); such
+	// requests are delivered, shed by the node, and never retried.
+	ErrNodeOverloaded = iwire.ErrNodeOverloaded
+)
+
 // NopLogger returns the default do-nothing logger.
 func NopLogger() Logger { return iobs.Nop() }
 

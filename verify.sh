@@ -82,6 +82,22 @@ go test -timeout 5m -run TestAllocsScanFilterProject ./internal/xquery/exec/
 # JSON report must carry the exec section
 "$benchdir/partix-bench" -exp exec -repeats 1 -json "$benchdir/exec.json" >/dev/null
 grep -q '"exec"' "$benchdir/exec.json"
+
+# result-cache gates under the race detector: the randomized read/write
+# differential (cache-served == fresh execution, zero stale), the
+# singleflight dogpile, the streamed-bypass memory regression, and the
+# admission/tenant shedding paths on both the coordinator and the wire
+go test -race -timeout 5m -run 'TestResultCache|TestStreamedQueryBypassesResultCache|TestDeciderQueriesBypassResultCache|TestAdmission|TestTenantQuota|TestCacheHitBypassesAdmission|TestPublishClearsResultCache' ./internal/partix/
+go test -race -timeout 5m -run 'TestServerTenantQuota|TestServerMaxInflight|TestNodeErrorOverloaded' ./internal/wire/
+
+# result-cache smoke bench: a cache hit must beat cold distributed
+# execution by the 20x floor, the concurrent-writer differential must
+# serve zero stale results, and every overload rejection must be typed
+"$benchdir/partix-bench" -exp resultcache -repeats 1 -json "$benchdir/resultcache.json" >/dev/null
+grep -q '"resultcache"' "$benchdir/resultcache.json"
+grep -q '"hitFasterThanCold": true' "$benchdir/resultcache.json"
+grep -q '"staleServed": 0' "$benchdir/resultcache.json"
+grep -q '"shedTyped": true' "$benchdir/resultcache.json"
 rm -rf "$benchdir"
 
 # observability smoke test: a node started with -debug-addr must serve
